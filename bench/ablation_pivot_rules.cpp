@@ -1,0 +1,62 @@
+// Ablation: pivot rules of the event-selection QR (DESIGN.md decision #1).
+//
+// Runs every category's pipeline under the three pivot rules --
+//   original_score  (paper-faithful; default),
+//   updated_score   (the naive Algorithm 2 reading), and
+//   max_norm        (classic Algorithm 1 under the same beta termination) --
+// and reports the selected event sets plus how many metric signatures come
+// out composable under each.  The paper's claim: the specialized rule
+// selects basis-aligned events, the classic rule drifts to aggregates.
+#include <iomanip>
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+namespace {
+
+const char* rule_name(core::PivotRule rule) {
+  switch (rule) {
+    case core::PivotRule::original_score: return "original_score";
+    case core::PivotRule::updated_score: return "updated_score";
+    case core::PivotRule::max_norm: return "max_norm";
+  }
+  return "?";
+}
+
+void emit(const std::string& which) {
+  std::cout << "== pivot-rule ablation: " << which << " ==\n";
+  for (core::PivotRule rule :
+       {core::PivotRule::original_score, core::PivotRule::updated_score,
+        core::PivotRule::max_norm}) {
+    auto category = bench::make_category(which);
+    category.options.pivot_rule = rule;
+    const auto result = bench::run_category(category);
+    std::size_t composable = 0;
+    for (const auto& m : result.metrics) {
+      if (m.composable) ++composable;
+    }
+    std::cout << "  " << std::left << std::setw(15) << rule_name(rule)
+              << " selected " << result.xhat_events.size() << " events, "
+              << composable << "/" << result.metrics.size()
+              << " signatures composable\n";
+    for (const auto& e : result.xhat_events) {
+      std::cout << "      " << e << "\n";
+    }
+  }
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1) {
+    emit(argv[1]);
+    return 0;
+  }
+  for (const char* c : {"cpu_flops", "gpu_flops", "branch", "dcache", "icache", "gpu_dcache"}) {
+    emit(c);
+  }
+  return 0;
+}

@@ -1,0 +1,26 @@
+// Extension category: GPU data-movement metrics (TCC hits/misses, HBM
+// traffic) on the Tempest machine -- the sixth benchmark category and the
+// GPU half of the arithmetic-intensity story.
+//
+// Shape expected: the QR selects the aggregate TCC_HIT_sum / TCC_MISS_sum
+// counters (the per-channel events carry 1/16 coefficients and score 16x
+// worse); all four signatures compose, with HBM bytes = 64 x misses.
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main() {
+  const auto category = bench::make_category("gpu_dcache");
+  const auto result = bench::run_category(category);
+  std::cout << core::format_selected_events(result) << "\n";
+  std::cout << core::format_metric_table(
+      "GPU Data-Movement Metrics, raw coefficients (" +
+          category.machine.name() + ")",
+      result.metrics);
+  std::cout << "\n"
+            << core::format_metric_table("Rounded", result.metrics,
+                                         /*rounded=*/true);
+  return 0;
+}

@@ -1,0 +1,25 @@
+// Extension category: instruction-cache metrics (CAT's fifth benchmark,
+// beyond the paper's four evaluated categories).
+//
+// Shape expected: the QR selects one event per (L1IM, L1IH, L2IH) basis
+// dimension from the ICACHE_64B / FRONTEND_RETIRED family; all five
+// signatures compose with near-integer coefficients after rounding.
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main() {
+  const auto category = bench::make_category("icache");
+  const auto result = bench::run_category(category);
+  std::cout << core::format_selected_events(result) << "\n";
+  std::cout << core::format_metric_table(
+      "Instruction-Cache Metrics, raw coefficients (" +
+          category.machine.name() + ")",
+      result.metrics);
+  std::cout << "\n"
+            << core::format_metric_table("Rounded", result.metrics,
+                                         /*rounded=*/true);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// google-benchmark microbenchmarks for the dense linear algebra substrate:
+// the kernels on the analysis hot path (QR, QRCP, least squares) plus the
+// specialized pivoting scheme, across the matrix shapes the pipeline
+// actually produces (tall measurement matrices, small basis systems).
+#include <benchmark/benchmark.h>
+
+#include "core/qrcp_special.hpp"
+#include "linalg/linalg.hpp"
+
+namespace {
+
+using namespace catalyst;
+
+void BM_Gemm(benchmark::State& state) {
+  const auto n = static_cast<linalg::index_t>(state.range(0));
+  const linalg::Matrix a = linalg::random_gaussian(n, n, 1);
+  const linalg::Matrix b = linalg::random_gaussian(n, n, 2);
+  linalg::Matrix c(n, n);
+  for (auto _ : state) {
+    linalg::gemm(1.0, a, false, b, false, 0.0, c);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmThreaded(benchmark::State& state) {
+  const linalg::index_t n = 256;
+  const linalg::Matrix a = linalg::random_gaussian(n, n, 1);
+  const linalg::Matrix b = linalg::random_gaussian(n, n, 2);
+  linalg::Matrix c(n, n);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    linalg::gemm(1.0, a, false, b, false, 0.0, c, threads);
+    benchmark::DoNotOptimize(c.data().data());
+  }
+}
+BENCHMARK(BM_GemmThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
+
+void BM_QrFactorization(benchmark::State& state) {
+  const auto m = static_cast<linalg::index_t>(state.range(0));
+  const linalg::index_t n = m / 2;
+  const linalg::Matrix a = linalg::random_gaussian(m, n, 3);
+  for (auto _ : state) {
+    linalg::QrFactorization qr(a);
+    benchmark::DoNotOptimize(qr.packed().data().data());
+  }
+}
+BENCHMARK(BM_QrFactorization)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+void BM_QrBlocked(benchmark::State& state) {
+  const auto m = static_cast<linalg::index_t>(state.range(0));
+  const linalg::index_t n = m / 2;
+  const auto nb = static_cast<linalg::index_t>(state.range(1));
+  const linalg::Matrix a = linalg::random_gaussian(m, n, 3);
+  for (auto _ : state) {
+    linalg::QrFactorization qr(a, nb);
+    benchmark::DoNotOptimize(qr.packed().data().data());
+  }
+}
+BENCHMARK(BM_QrBlocked)
+    ->Args({256, 8})
+    ->Args({256, 32})
+    ->Args({512, 8})
+    ->Args({512, 32})
+    ->Args({512, 64});
+
+void BM_ClassicQrcp(benchmark::State& state) {
+  // The shape of a projected measurement matrix: few basis rows, many
+  // event columns.
+  const auto cols = static_cast<linalg::index_t>(state.range(0));
+  const linalg::Matrix a = linalg::random_gaussian(16, cols, 4);
+  for (auto _ : state) {
+    auto res = linalg::qrcp(a);
+    benchmark::DoNotOptimize(res.rank);
+  }
+}
+BENCHMARK(BM_ClassicQrcp)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_SpecializedQrcp(benchmark::State& state) {
+  const auto cols = static_cast<linalg::index_t>(state.range(0));
+  const linalg::Matrix a = linalg::random_gaussian(16, cols, 5);
+  for (auto _ : state) {
+    auto res = core::specialized_qrcp(a, 5e-4);
+    benchmark::DoNotOptimize(res.rank);
+  }
+}
+BENCHMARK(BM_SpecializedQrcp)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Lstsq(benchmark::State& state) {
+  const auto m = static_cast<linalg::index_t>(state.range(0));
+  const linalg::index_t n = 16;  // basis dimension
+  const linalg::Matrix a = linalg::random_gaussian(m, n, 6);
+  const linalg::Vector b = [&] {
+    linalg::Vector v(static_cast<std::size_t>(m));
+    for (std::size_t i = 0; i < v.size(); ++i) v[i] = double(i % 7) - 3.0;
+    return v;
+  }();
+  for (auto _ : state) {
+    auto res = linalg::lstsq(a, b);
+    benchmark::DoNotOptimize(res.x.data());
+  }
+}
+BENCHMARK(BM_Lstsq)->Arg(16)->Arg(48)->Arg(128)->Arg(512);
+
+void BM_NormTwoEstimate(benchmark::State& state) {
+  const linalg::Matrix a = linalg::random_gaussian(48, 16, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::norm_two_estimate(a));
+  }
+}
+BENCHMARK(BM_NormTwoEstimate);
+
+void BM_JacobiSvd(benchmark::State& state) {
+  const auto n = static_cast<linalg::index_t>(state.range(0));
+  const linalg::Matrix a = linalg::random_gaussian(3 * n, n, 8);
+  for (auto _ : state) {
+    auto res = linalg::svd(a);
+    benchmark::DoNotOptimize(res.singular_values.data());
+  }
+}
+BENCHMARK(BM_JacobiSvd)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PivotRules(benchmark::State& state) {
+  const linalg::Matrix a = linalg::random_gaussian(16, 512, 9);
+  const auto rule = static_cast<core::PivotRule>(state.range(0));
+  for (auto _ : state) {
+    auto res = core::specialized_qrcp(a, 5e-4, rule);
+    benchmark::DoNotOptimize(res.rank);
+  }
+}
+BENCHMARK(BM_PivotRules)
+    ->Arg(static_cast<int>(core::PivotRule::original_score))
+    ->Arg(static_cast<int>(core::PivotRule::updated_score))
+    ->Arg(static_cast<int>(core::PivotRule::max_norm));
+
+}  // namespace
+
+BENCHMARK_MAIN();

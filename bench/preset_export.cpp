@@ -1,0 +1,46 @@
+// Preset export: the end product the paper motivates -- automatically
+// generated PAPI-style preset tables for each machine, in both the
+// pipe-separated and JSON formats.
+//
+// Usage: preset_export [category] [--json]
+#include <cstring>
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+namespace {
+
+void emit(const std::string& which, bool json) {
+  const auto category = bench::make_category(which);
+  const auto result = bench::run_category(category);
+  const auto presets = core::make_presets(result.metrics);
+  std::cout << "## presets for " << category.machine.name() << " ("
+            << which << "): " << presets.size() << " composable metrics\n";
+  std::cout << (json ? core::presets_to_json(presets)
+                     : core::presets_to_table(presets))
+            << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string which = "all";
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else {
+      which = argv[i];
+    }
+  }
+  if (which != "all") {
+    emit(which, json);
+    return 0;
+  }
+  for (const char* c : {"cpu_flops", "gpu_flops", "branch", "dcache", "icache", "gpu_dcache"}) {
+    emit(c, json);
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Section V-E: threshold sensitivity.
+//
+// Sweeps the QR noise tolerance alpha over several decades for every
+// category and reports the selected event set at each value -- the paper's
+// claim is that a wide range of alphas yields the same X-hat (no "magic"
+// value needed).
+#include <algorithm>
+#include <iomanip>
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main(int argc, char** argv) {
+  const std::vector<double> alphas{1e-6, 1e-5, 1e-4, 5e-4, 1e-3,
+                                   5e-3, 1e-2, 5e-2};
+  std::vector<std::string> categories{"cpu_flops", "gpu_flops", "branch", "icache", "gpu_dcache",
+                                      "dcache"};
+  if (argc > 1) categories = {argv[1]};
+
+  for (const auto& which : categories) {
+    auto category = bench::make_category(which);
+    std::cout << "== alpha sensitivity: " << which << " ==\n";
+    std::vector<std::string> reference;
+    for (double alpha : alphas) {
+      category.options.alpha = alpha;
+      const auto result = bench::run_category(category);
+      std::vector<std::string> sel = result.xhat_events;
+      std::sort(sel.begin(), sel.end());
+      if (reference.empty()) reference = sel;
+      std::cout << "  alpha = " << std::scientific << std::setprecision(0)
+                << alpha << std::defaultfloat << ": " << sel.size()
+                << " events selected"
+                << (sel == reference ? "  (same set as reference)"
+                                     : "  (DIFFERENT set)")
+                << "\n";
+    }
+    std::cout << "  reference set (alpha = " << std::scientific
+              << std::setprecision(0) << alphas.front() << std::defaultfloat
+              << "):\n";
+    for (const auto& e : reference) std::cout << "    " << e << "\n";
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Tables I-IV: the metric signatures over each expectation basis.
+//
+// These are inputs to the analysis rather than measured results; the bench
+// regenerates them from the library so the published tables and the code
+// can never drift apart.
+#include <iostream>
+
+#include "cat/cat.hpp"
+#include "core/core.hpp"
+
+using namespace catalyst;
+
+int main() {
+  std::cout << core::format_signature_table(
+                   "Table I: CPU FLOPs Metric Signatures",
+                   cat::cpu_flops_benchmark().basis.labels,
+                   core::cpu_flops_signatures())
+            << "\n";
+  std::cout << core::format_signature_table(
+                   "Table II: GPU FLOPs Metric Signatures",
+                   cat::gpu_flops_benchmark().basis.labels,
+                   core::gpu_flops_signatures())
+            << "\n";
+  std::cout << core::format_signature_table(
+                   "Table III: Branching Metric Signatures",
+                   cat::branch_benchmark().basis.labels,
+                   core::branch_signatures())
+            << "\n";
+  cat::DcacheOptions opt;
+  opt.threads = 1;
+  opt.strides = {64};
+  std::cout << core::format_signature_table(
+                   "Table IV: Data Cache Metric Signatures",
+                   cat::dcache_benchmark(opt).basis.labels,
+                   core::dcache_signatures())
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,21 @@
+// Table V: CPU floating-point metric definitions with least-squares
+// backward errors, on the Saphira (Sapphire-Rapids-flavoured) machine.
+//
+// Shape to reproduce: the four Instr/Ops metrics compose with ~machine-eps
+// error; the two FMA-instruction metrics get 0.8x coefficients on every
+// event and error ~2.4e-1 (no FMA-only events exist).
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main() {
+  const auto category = bench::make_category("cpu_flops");
+  const auto result = bench::run_category(category);
+  std::cout << core::format_metric_table(
+      "Table V: CPU Floating-Point Metrics (" +
+          category.machine.name() + ")",
+      result.metrics);
+  return 0;
+}

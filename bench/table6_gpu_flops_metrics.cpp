@@ -1,0 +1,22 @@
+// Table VI: GPU floating-point metric definitions on the Tempest
+// (MI250X-flavoured) machine.
+//
+// Shape to reproduce: HP Add / HP Sub alone are NOT composable (0.5x the
+// combined ADD counter, error ~4.1e-1); HP Add-and-Sub and the per-precision
+// All-Ops metrics compose with ~machine-eps error, the FMA counter scaled
+// by 2.
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main() {
+  const auto category = bench::make_category("gpu_flops");
+  const auto result = bench::run_category(category);
+  std::cout << core::format_metric_table(
+      "Table VI: GPU Floating-Point Metrics (" + category.machine.name() +
+          ")",
+      result.metrics);
+  return 0;
+}

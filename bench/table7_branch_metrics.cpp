@@ -1,0 +1,21 @@
+// Table VII: branching metric definitions on the Saphira machine.
+//
+// Shape to reproduce: six of the seven metrics compose exactly (including
+// the subtractive Not-Taken and Correctly-Predicted combinations); the
+// "Conditional Branches Executed" signature is unreachable -- no raw event
+// counts speculatively executed conditionals -- so its error saturates at
+// the maximum value 1.0 with near-zero garbage coefficients.
+#include <iostream>
+
+#include "harness_common.hpp"
+
+using namespace catalyst;
+
+int main() {
+  const auto category = bench::make_category("branch");
+  const auto result = bench::run_category(category);
+  std::cout << core::format_metric_table(
+      "Table VII: Branching Metrics (" + category.machine.name() + ")",
+      result.metrics);
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Arithmetic intensity monitoring -- the original use case of the Counter
+// Analysis Toolkit ("Effortless Monitoring of Arithmetic Intensity with
+// PAPI's Counter Analysis Toolkit", the paper's ref. [11]).
+//
+// Arithmetic intensity = FLOPs / bytes moved from memory.  Neither side is
+// a raw event: FLOPs need the weighted FP_ARITH combination, and memory
+// traffic needs L3-miss counts scaled by the line size.  This example
+// discovers both automatically, registers them as presets, and profiles a
+// sweep of synthetic workloads from memory-bound (streaming) to
+// compute-bound (blocked matmul-like), printing the intensity roofline
+// ordering.
+//
+// Build & run:  ./examples/arithmetic_intensity
+#include <iomanip>
+#include <iostream>
+
+#include "cat/cat.hpp"
+#include "core/core.hpp"
+#include "pmu/pmu.hpp"
+
+int main() {
+  using namespace catalyst;
+  const pmu::Machine machine = pmu::saphira_cpu();
+  constexpr double kLineBytes = 64.0;
+
+  // --- Discover the two building-block metrics --------------------------------
+  const auto flops_run = core::run_pipeline(
+      machine, cat::cpu_flops_benchmark(), core::cpu_flops_signatures());
+  cat::DcacheOptions chase;
+  chase.threads = 2;
+  core::PipelineOptions cache_opt;
+  cache_opt.tau = 1e-1;
+  cache_opt.alpha = 5e-2;
+  cache_opt.projection_max_error = 1e-1;
+  cache_opt.fitness_threshold = 5e-2;
+  const auto cache_run =
+      core::run_pipeline(machine, cat::dcache_benchmark(chase),
+                         core::dcache_signatures(), cache_opt);
+
+  auto presets = core::make_presets(flops_run.metrics);
+  const auto cache_presets = core::make_presets(cache_run.metrics);
+  presets.insert(presets.end(), cache_presets.begin(), cache_presets.end());
+
+  vpapi::Session session(machine);
+  core::register_presets(session, presets);
+  if (!session.query_event("PAPI_DP_OPS") ||
+      !session.query_event("PAPI_L2_DCM")) {
+    std::cerr << "required presets were not discovered\n";
+    return 1;
+  }
+  std::cout << "Discovered presets: PAPI_DP_OPS (FLOPs) and PAPI_L2_DCM\n"
+               "(off-core data traffic proxy; bytes = misses x "
+            << kLineBytes << ")\n\n";
+
+  // --- Profile a workload sweep ------------------------------------------------
+  // Synthetic apps: (name, DP scalar instrs, DP AVX-512 FMA instrs,
+  // L1 misses, L2 hits) per "phase"; L2 misses = traffic to L3/memory.
+  struct App {
+    const char* name;
+    double scalar, fma512, l1_miss, l2_hit;
+  };
+  const App apps[] = {
+      {"stream-copy (memory-bound)", 1e5, 0.0, 8e5, 1e5},
+      {"sparse SpMV", 4e5, 1e4, 5e5, 2e5},
+      {"stencil-27pt", 2e5, 8e4, 2e5, 1.5e5},
+      {"blocked dgemm (compute-bound)", 1e5, 1.2e6, 5e4, 4e4},
+  };
+
+  const int set = session.create_eventset();
+  session.add_event(set, "PAPI_DP_OPS");
+  session.add_event(set, "PAPI_L2_DCM");
+  std::cout << std::left << std::setw(32) << "workload" << std::right
+            << std::setw(14) << "DP FLOPs" << std::setw(14) << "bytes"
+            << std::setw(12) << "intensity\n";
+  std::uint64_t run = 0;
+  for (const App& app : apps) {
+    pmu::Activity act;
+    act[pmu::sig::fp("scalar", "dp", false)] = app.scalar;
+    act[pmu::sig::fp("512", "dp", true)] = app.fma512;
+    act[pmu::sig::l1d_demand_miss] = app.l1_miss;
+    act[pmu::sig::l2d_demand_hit] = app.l2_hit;
+    act[pmu::sig::l2d_demand_miss] = app.l1_miss - app.l2_hit;
+
+    session.reset(set);
+    session.start(set);
+    session.run_kernel(act, run++, 0);
+    session.stop(set);
+    std::vector<double> vals;
+    session.read(set, vals);
+    const double flops = vals[0];
+    const double bytes = vals[1] * kLineBytes;
+    std::cout << std::left << std::setw(32) << app.name << std::right
+              << std::fixed << std::setprecision(0) << std::setw(14) << flops
+              << std::setw(14) << bytes << std::setw(11)
+              << std::setprecision(3) << (flops / bytes) << "\n";
+  }
+  std::cout << "\nIntensity rises monotonically from streaming to blocked\n"
+               "matmul -- measured entirely through automatically defined\n"
+               "metrics.\n";
+  return 0;
+}

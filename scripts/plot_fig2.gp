@@ -1,0 +1,23 @@
+# gnuplot script for Fig. 2: sorted max-RNMSE event variabilities.
+#
+# Generate the data first:
+#   ./build/bench/fig2_variability branch    > fig2a.dat
+#   ./build/bench/fig2_variability cpu_flops > fig2b.dat
+#   ./build/bench/fig2_variability gpu_flops > fig2c.dat
+#   ./build/bench/fig2_variability dcache    > fig2d.dat
+# then:
+#   gnuplot -e "datafile='fig2a.dat'; tau=1e-10; outfile='fig2a.png'" scripts/plot_fig2.gp
+if (!exists("datafile")) datafile = "fig2a.dat"
+if (!exists("tau")) tau = 1e-10
+if (!exists("outfile")) outfile = "fig2.png"
+
+set terminal pngcairo size 800,500
+set output outfile
+set logscale y
+set format y "10^{%L}"
+set xlabel "Event Index"
+set ylabel "Max. RNMSE Variability"
+set title "Sorted Event Variabilities"
+set key top left
+plot datafile using 1:2 with points pt 7 ps 0.5 title "events", \
+     tau with lines lw 2 dt 2 title sprintf("tau = %.0e", tau)

@@ -1,0 +1,18 @@
+# gnuplot script for Fig. 3: cache metric approximations vs signatures.
+#
+# Generate the data first (one block per metric, separated by blank lines):
+#   ./build/bench/fig3_dcache_approx > fig3.dat
+# then plot panel N (0-based):
+#   gnuplot -e "datafile='fig3.dat'; panel=0; outfile='fig3a.png'" scripts/plot_fig3.gp
+if (!exists("datafile")) datafile = "fig3.dat"
+if (!exists("panel")) panel = 0
+if (!exists("outfile")) outfile = "fig3.png"
+
+set terminal pngcairo size 900,500
+set output outfile
+set yrange [0:3]
+set xlabel "Pointer Chain Size (slot index: L1,L2,L3,M x strides)"
+set ylabel "Normalized Event Counts"
+set key top right
+plot datafile index panel using 2 with linespoints pt 7 title "combination", \
+     ''       index panel using 3 with linespoints pt 5 title "signature"

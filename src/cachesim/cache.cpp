@@ -1,0 +1,120 @@
+#include "cachesim/cache.hpp"
+
+#include <bit>
+
+namespace catalyst::cachesim {
+
+CacheLevel::CacheLevel(const LevelConfig& config) : config_(config) {
+  config_.validate();
+  const std::uint64_t sets = config_.num_sets();
+  set_mask_ = sets - 1;
+  line_shift_ = static_cast<std::uint32_t>(
+      std::countr_zero(static_cast<std::uint64_t>(config_.line_bytes)));
+  ways_.assign(sets * config_.associativity, Way{});
+}
+
+CacheLevel::Way* CacheLevel::find(std::uint64_t line) {
+  const std::uint64_t set = set_index(line);
+  Way* base = ways_.data() + set * config_.associativity;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+const CacheLevel::Way* CacheLevel::find(std::uint64_t line) const {
+  const std::uint64_t set = set_index(line);
+  const Way* base = ways_.data() + set * config_.associativity;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == line) return &base[w];
+  }
+  return nullptr;
+}
+
+CacheLevel::Way* CacheLevel::victim(std::uint64_t line) {
+  const std::uint64_t set = set_index(line);
+  Way* base = ways_.data() + set * config_.associativity;
+  Way* v = base;
+  for (std::uint32_t w = 0; w < config_.associativity; ++w) {
+    if (!base[w].valid) return &base[w];
+    if (base[w].lru_stamp < v->lru_stamp) v = &base[w];
+  }
+  return v;
+}
+
+bool CacheLevel::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  ++clock_;
+  if (Way* w = find(line)) {
+    w->lru_stamp = clock_;
+    ++stats_.demand_hits;
+    return true;
+  }
+  ++stats_.demand_misses;
+  Way* v = victim(line);
+  v->tag = line;
+  v->valid = true;
+  v->lru_stamp = clock_;
+  if (config_.prefetch == PrefetchPolicy::next_line) {
+    // Install the next `prefetch_degree` sequential lines (if absent)
+    // without touching the demand statistics -- a simple hardware streamer.
+    for (std::uint32_t d = 1; d <= config_.prefetch_degree; ++d) {
+      const std::uint64_t next = line + d;
+      ++clock_;
+      if (!find(next)) {
+        Way* p = victim(next);
+        p->tag = next;
+        p->valid = true;
+        p->lru_stamp = clock_;
+        ++stats_.prefetches_issued;
+      }
+    }
+  }
+  return false;
+}
+
+bool CacheLevel::contains(std::uint64_t addr) const {
+  return find(addr >> line_shift_) != nullptr;
+}
+
+void CacheLevel::install(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  ++clock_;
+  if (Way* w = find(line)) {
+    w->lru_stamp = clock_;
+    return;
+  }
+  Way* v = victim(line);
+  v->tag = line;
+  v->valid = true;
+  v->lru_stamp = clock_;
+}
+
+void CacheLevel::reset() {
+  for (Way& w : ways_) w = Way{};
+  clock_ = 0;
+  stats_ = LevelStats{};
+}
+
+CacheHierarchy::CacheHierarchy(const HierarchyConfig& config) {
+  config.validate();
+  levels_.reserve(config.levels.size());
+  for (const auto& lc : config.levels) levels_.emplace_back(lc);
+}
+
+std::optional<std::size_t> CacheHierarchy::access(std::uint64_t addr) {
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    if (levels_[i].access(addr)) {
+      return i;
+    }
+  }
+  ++memory_accesses_;
+  return std::nullopt;
+}
+
+void CacheHierarchy::reset() {
+  for (auto& l : levels_) l.reset();
+  memory_accesses_ = 0;
+}
+
+}  // namespace catalyst::cachesim

@@ -1,0 +1,7 @@
+// catalyst/cachesim -- umbrella header for the cache hierarchy simulator.
+#pragma once
+
+#include "cachesim/cache.hpp"         // IWYU pragma: export
+#include "cachesim/config.hpp"        // IWYU pragma: export
+#include "cachesim/pointer_chase.hpp" // IWYU pragma: export
+#include "cachesim/tlb.hpp"           // IWYU pragma: export

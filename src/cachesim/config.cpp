@@ -1,0 +1,63 @@
+#include "cachesim/config.hpp"
+
+namespace catalyst::cachesim {
+
+namespace {
+
+bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+void LevelConfig::validate() const {
+  if (size_bytes == 0 || line_bytes == 0 || associativity == 0) {
+    throw ConfigError(name + ": zero-sized geometry field");
+  }
+  if (!is_pow2(line_bytes)) {
+    throw ConfigError(name + ": line size must be a power of two");
+  }
+  const std::uint64_t way_bytes =
+      static_cast<std::uint64_t>(line_bytes) * associativity;
+  if (size_bytes % way_bytes != 0) {
+    throw ConfigError(name + ": capacity not divisible by line*assoc");
+  }
+  if (!is_pow2(num_sets())) {
+    throw ConfigError(name + ": number of sets must be a power of two");
+  }
+}
+
+void HierarchyConfig::validate() const {
+  if (levels.empty()) throw ConfigError("hierarchy has no levels");
+  for (const auto& l : levels) l.validate();
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    if (levels[i].size_bytes < levels[i - 1].size_bytes) {
+      throw ConfigError(levels[i].name +
+                        ": outer level smaller than inner level");
+    }
+    if (levels[i].line_bytes != levels[0].line_bytes) {
+      throw ConfigError(levels[i].name +
+                        ": mixed line sizes are not supported");
+    }
+  }
+}
+
+HierarchyConfig HierarchyConfig::saphira() {
+  HierarchyConfig h;
+  h.levels = {
+      LevelConfig{"L1D", 48u * 1024u, 64, 12},
+      LevelConfig{"L2", 2u * 1024u * 1024u, 64, 16},
+      LevelConfig{"L3", 8u * 1024u * 1024u, 64, 16},
+  };
+  return h;
+}
+
+HierarchyConfig HierarchyConfig::tiny() {
+  HierarchyConfig h;
+  h.levels = {
+      LevelConfig{"L1D", 256, 32, 2},
+      LevelConfig{"L2", 1024, 32, 2},
+      LevelConfig{"L3", 4096, 32, 2},
+  };
+  return h;
+}
+
+}  // namespace catalyst::cachesim

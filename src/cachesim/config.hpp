@@ -1,0 +1,65 @@
+// catalyst/cachesim -- cache hierarchy configuration.
+//
+// The simulator stands in for the real Sapphire Rapids data caches that the
+// paper's CAT pointer-chase benchmark exercises.  Only the properties the
+// analysis depends on are modelled: capacities, line size, associativity and
+// LRU replacement, which together determine where in the hierarchy a chase
+// of a given footprint hits.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace catalyst::cachesim {
+
+/// Thrown for invalid cache geometry.
+class ConfigError : public std::runtime_error {
+ public:
+  explicit ConfigError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Hardware prefetch policy of a level.
+enum class PrefetchPolicy {
+  none,       ///< Demand fetches only.
+  next_line,  ///< On a demand miss, also install the next sequential line.
+};
+
+/// Geometry of one cache level.
+struct LevelConfig {
+  std::string name;             ///< e.g. "L1D".
+  std::uint64_t size_bytes = 0; ///< Total capacity.
+  std::uint32_t line_bytes = 64;
+  std::uint32_t associativity = 8;
+  PrefetchPolicy prefetch = PrefetchPolicy::none;
+  /// Lines fetched ahead per demand miss (next_line policy only).
+  std::uint32_t prefetch_degree = 1;
+
+  std::uint64_t num_sets() const {
+    return size_bytes / (static_cast<std::uint64_t>(line_bytes) *
+                         associativity);
+  }
+
+  /// Throws ConfigError unless sizes are positive powers of two and the
+  /// geometry divides evenly.
+  void validate() const;
+};
+
+/// An ordered list of levels, closest (L1) first.
+struct HierarchyConfig {
+  std::vector<LevelConfig> levels;
+
+  void validate() const;
+
+  /// Three-level geometry loosely modelled on a Sapphire Rapids core:
+  /// 48 KiB/12-way L1D, 2 MiB/16-way L2, 8 MiB/16-way L3 slice; 64 B lines.
+  /// (The real L3 is larger and shared; a per-core slice keeps simulation
+  /// footprints small while preserving the L2 < footprint < L3 regime.)
+  static HierarchyConfig saphira();
+
+  /// A tiny geometry (256 B / 1 KiB / 4 KiB, 2-way) for fast unit tests.
+  static HierarchyConfig tiny();
+};
+
+}  // namespace catalyst::cachesim

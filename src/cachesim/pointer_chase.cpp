@@ -1,0 +1,85 @@
+#include "cachesim/pointer_chase.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace catalyst::cachesim {
+
+std::vector<std::uint64_t> build_chain(const ChaseConfig& config) {
+  if (config.num_pointers == 0) {
+    throw std::invalid_argument("build_chain: empty chain");
+  }
+  if (config.stride_bytes == 0) {
+    throw std::invalid_argument("build_chain: zero stride");
+  }
+  std::vector<std::uint64_t> order(config.num_pointers);
+  for (std::uint64_t i = 0; i < config.num_pointers; ++i) order[i] = i;
+  if (config.order == ChainOrder::random_cycle) {
+    // Sattolo's algorithm: a uniform random cyclic permutation.  Walking
+    // the resulting order visits every element exactly once per traversal
+    // with no short cycles, mirroring how CAT builds its chase buffer.
+    std::mt19937_64 rng(config.seed);
+    for (std::uint64_t i = config.num_pointers - 1; i > 0; --i) {
+      std::uniform_int_distribution<std::uint64_t> pick(0, i - 1);
+      std::swap(order[i], order[pick(rng)]);
+    }
+  }
+  std::vector<std::uint64_t> addrs(config.num_pointers);
+  for (std::uint64_t i = 0; i < config.num_pointers; ++i) {
+    addrs[i] = config.base_addr + order[i] * config.stride_bytes;
+  }
+  return addrs;
+}
+
+ChaseResult run_chase(CacheHierarchy& hierarchy, const ChaseConfig& config,
+                      TlbHierarchy* tlb) {
+  if (config.warmup_traversals < 0 || config.measured_traversals <= 0) {
+    throw std::invalid_argument("run_chase: bad traversal counts");
+  }
+  const std::vector<std::uint64_t> chain = build_chain(config);
+
+  // Warm up to steady state, snapshot the counters, then diff after the
+  // measured traversals; this leaves cache contents untouched between the
+  // two phases.
+  for (int t = 0; t < config.warmup_traversals; ++t) {
+    for (std::uint64_t a : chain) {
+      if (tlb) tlb->access(a);
+      hierarchy.access(a);
+    }
+  }
+  std::vector<LevelStats> before(hierarchy.num_levels());
+  for (std::size_t i = 0; i < hierarchy.num_levels(); ++i) {
+    before[i] = hierarchy.level(i).stats();
+  }
+  const std::uint64_t mem_before = hierarchy.memory_accesses();
+  const TlbStats tlb_before = tlb ? tlb->stats() : TlbStats{};
+
+  for (int t = 0; t < config.measured_traversals; ++t) {
+    for (std::uint64_t a : chain) {
+      if (tlb) tlb->access(a);
+      hierarchy.access(a);
+    }
+  }
+
+  ChaseResult res;
+  res.level_stats.resize(hierarchy.num_levels());
+  for (std::size_t i = 0; i < hierarchy.num_levels(); ++i) {
+    const LevelStats& now = hierarchy.level(i).stats();
+    res.level_stats[i].demand_hits = now.demand_hits - before[i].demand_hits;
+    res.level_stats[i].demand_misses =
+        now.demand_misses - before[i].demand_misses;
+  }
+  res.memory_accesses = hierarchy.memory_accesses() - mem_before;
+  res.total_accesses = static_cast<std::uint64_t>(config.measured_traversals) *
+                       config.num_pointers;
+  if (tlb) {
+    const TlbStats& now = tlb->stats();
+    res.tlb.l1_hits = now.l1_hits - tlb_before.l1_hits;
+    res.tlb.l1_misses = now.l1_misses - tlb_before.l1_misses;
+    res.tlb.l2_hits = now.l2_hits - tlb_before.l2_hits;
+    res.tlb.walks = now.walks - tlb_before.walks;
+  }
+  return res;
+}
+
+}  // namespace catalyst::cachesim

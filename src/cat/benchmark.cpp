@@ -1,0 +1,20 @@
+#include "cat/benchmark.hpp"
+
+#include <stdexcept>
+
+namespace catalyst::cat {
+
+std::vector<pmu::Activity> Benchmark::single_thread_activities() const {
+  std::vector<pmu::Activity> acts;
+  acts.reserve(slots.size());
+  for (const auto& slot : slots) {
+    if (slot.thread_activities.size() != 1) {
+      throw std::logic_error(name + ": slot " + slot.name +
+                             " is multi-threaded; use per-thread collection");
+    }
+    acts.push_back(slot.thread_activities.front());
+  }
+  return acts;
+}
+
+}  // namespace catalyst::cat

@@ -1,0 +1,64 @@
+// catalyst/cat -- common benchmark abstractions.
+//
+// A CAT benchmark is a sequence of *kernel slots*.  One slot is one
+// measurement unit: a microkernel loop with known, expected behaviour.  Each
+// slot carries
+//   * the ground-truth Activity its execution generates (per thread -- the
+//     data-cache benchmark runs several concurrent threads on disjoint
+//     buffers; compute benchmarks have a single thread),
+//   * a normalizer that converts raw totals into the per-iteration (or
+//     per-access) values the paper's expectation bases are written in.
+//
+// A benchmark also publishes its *expectation basis* E: one column per
+// ideal event, one row per slot, holding the normalized count an ideal
+// event would report for that slot (Section III-B of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+#include "pmu/event.hpp"
+
+namespace catalyst::cat {
+
+/// One measurement unit of a benchmark.
+struct KernelSlot {
+  std::string name;  ///< e.g. "dp_256_fma/loop48" or "dcache/L2/stride64".
+  /// Ground-truth activity per concurrent thread (size >= 1).  Compute
+  /// benchmarks have exactly one entry; the data-cache benchmark has one
+  /// per chase thread, and the analysis takes the median reading.
+  std::vector<pmu::Activity> thread_activities;
+  /// Divisor applied to raw readings to express them per iteration
+  /// (FLOPs/branch benchmarks) or per access (data-cache benchmark).
+  double normalizer = 1.0;
+};
+
+/// The expectation basis of a benchmark: ideal-event labels and the matrix
+/// E whose (slot, ideal-event) entry is the normalized expected count.
+///
+/// `ideal_events` gives each basis dimension as an executable functional
+/// over ground-truth activity (the "ideal event" of Section III-B that may
+/// not exist as a raw counter).  It is the bridge from basis coordinates
+/// back to concrete workloads: the ground-truth value of a metric with
+/// signature s on an activity a is  sum_k s[k] * ideal_events[k].ideal(a).
+/// Invariant (checked by tests): measuring ideal_events over the slots'
+/// normalized activities reproduces the matrix `e` column by column.
+struct ExpectationBasis {
+  std::vector<std::string> labels;  ///< One per column of `e`.
+  linalg::Matrix e;                 ///< slots x ideal-events.
+  std::vector<pmu::EventDefinition> ideal_events;  ///< One per label.
+};
+
+/// A fully-described CAT benchmark.
+struct Benchmark {
+  std::string name;
+  std::vector<KernelSlot> slots;
+  ExpectationBasis basis;
+
+  /// Convenience: the single-thread activities (throws if any slot has more
+  /// than one thread; used by compute benchmarks).
+  std::vector<pmu::Activity> single_thread_activities() const;
+};
+
+}  // namespace catalyst::cat

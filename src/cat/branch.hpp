@@ -1,0 +1,29 @@
+// catalyst/cat -- the branching benchmark (Section III-D, Eq. 3).
+//
+// Eleven microkernels realize the paper's 11-row branching expectation
+// basis over the five ideal events
+//   CE (conditional executed), CR (conditional retired), T (taken),
+//   D (unconditional/direct), M (mispredicted),
+// with per-iteration values copied verbatim from Eq. 3.  Each kernel is a
+// loop of `kBranchIters` iterations over a branch pattern: e.g. row 1 is a
+// body with two conditional branches of which one is taken every other
+// iteration (T = 1.5), row 10 adds an unconditional branch, row 11 is the
+// bare loop backedge.
+#pragma once
+
+#include "cat/benchmark.hpp"
+
+namespace catalyst::cat {
+
+/// Iterations per branching kernel (even, so Eq. 3's half-counts come out
+/// integral).
+inline constexpr double kBranchIters = 1000.0;
+
+/// The 11x5 per-iteration expectation matrix of Eq. 3 (rows: kernels,
+/// columns: CE, CR, T, D, M).
+linalg::Matrix branch_expectation_rows();
+
+/// Builds the branching benchmark: 11 slots and the Eq. 3 basis.
+Benchmark branch_benchmark();
+
+}  // namespace catalyst::cat

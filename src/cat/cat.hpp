@@ -1,0 +1,11 @@
+// catalyst/cat -- umbrella header for the CAT benchmark suite.
+#pragma once
+
+#include "cat/benchmark.hpp" // IWYU pragma: export
+#include "cat/branch.hpp"    // IWYU pragma: export
+#include "cat/cpu_flops.hpp" // IWYU pragma: export
+#include "cat/dcache.hpp"    // IWYU pragma: export
+#include "cat/mixed.hpp"     // IWYU pragma: export
+#include "cat/gpu_flops.hpp" // IWYU pragma: export
+#include "cat/gpu_dcache.hpp"// IWYU pragma: export
+#include "cat/icache.hpp"    // IWYU pragma: export

@@ -1,0 +1,42 @@
+// catalyst/cat -- the CPU-FLOPs benchmark (Section III of the paper).
+//
+// Sixteen microkernels spanning
+//   Space = {scalar, 128, 256, 512} x {FMA, non-FMA} x {SP, DP},
+// each with three loops whose bodies contain a known number of
+// floating-point instructions (Fig. 1 structure: blocks repeated 12/24/48
+// times, two instructions per block for non-FMA kernels and one for FMA
+// kernels, giving per-loop instruction totals of 24/48/96 and 12/24/48).
+//
+// Each slot's activity also carries the loop-header side effects the paper
+// calls out -- integer ops, conditional branches, cycles -- so integer- and
+// branch-counting raw events produce the correlated columns the specialized
+// QR must prune.
+#pragma once
+
+#include "cat/benchmark.hpp"
+
+namespace catalyst::cat {
+
+/// Loop block-repeat counts shared by every FLOPs kernel.
+inline constexpr int kFlopsLoopIters[3] = {12, 24, 48};
+
+/// Which part of the instruction Space the benchmark exercises.  The
+/// default is the paper's full Space; narrowing it matches machines without
+/// some vector widths (e.g. no AVX-512) -- running unsupported kernels
+/// would fault on real hardware, so CAT builds are configured per target.
+struct CpuFlopsOptions {
+  std::vector<std::string> widths{"scalar", "128", "256", "512"};
+  std::vector<std::string> precisions{"sp", "dp"};
+};
+
+/// Builds the CPU-FLOPs benchmark: one kernel per (width, precision,
+/// FMA-ness) in the options' Space, 3 loops each, and the matching
+/// expectation basis (non-FMA dims first, then FMA, precision-major within
+/// each -- Table I's order when the Space is full: 16 kernels, 48 slots).
+Benchmark cpu_flops_benchmark(const CpuFlopsOptions& options = {});
+
+/// Basis-label helper: e.g. cpu_flops_label("256", "dp", true) == "D256_FMA".
+std::string cpu_flops_label(const std::string& width, const std::string& prec,
+                            bool fma);
+
+}  // namespace catalyst::cat

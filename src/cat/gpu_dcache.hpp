@@ -1,0 +1,37 @@
+// catalyst/cat -- the GPU data-movement benchmark (extension category).
+//
+// MI250X-class GPUs expose their L2 ("TCC") hit/miss counters per channel;
+// data-movement metrics (bytes to HBM, L2 hit rate) must be composed from
+// them.  This benchmark pointer-chases buffers across the TCC capacity
+// boundary on a simulated single-level GPU cache and publishes the
+// expectation basis (TCCH, TCCM): per-access TCC hits and misses.
+//
+// Signatures include the derived "HBM Traffic Bytes" = line size x misses,
+// the GPU half of the arithmetic-intensity story.
+#pragma once
+
+#include "cachesim/config.hpp"
+#include "cat/benchmark.hpp"
+
+namespace catalyst::cat {
+
+/// Options for the GPU data-movement benchmark.
+struct GpuDcacheOptions {
+  /// Buffer footprints, two per regime (TCC = 8 MiB default: in-cache and
+  /// memory-resident points).
+  std::vector<std::uint64_t> footprints_bytes = {
+      2u * 1024 * 1024,  4u * 1024 * 1024,   // fit the TCC
+      24u * 1024 * 1024, 32u * 1024 * 1024,  // stream from HBM
+  };
+  std::uint32_t stride_bytes = 64;
+  int warmup_traversals = 1;
+  int measured_traversals = 1;
+  std::uint64_t seed = 4242;
+  /// TCC geometry (8 MiB, 16-way, 64 B lines by default).
+  cachesim::LevelConfig tcc{"TCC", 8u * 1024u * 1024u, 64, 16};
+};
+
+/// Builds the benchmark: one slot per footprint and the 2-column basis.
+Benchmark gpu_dcache_benchmark(const GpuDcacheOptions& options = {});
+
+}  // namespace catalyst::cat

@@ -1,0 +1,19 @@
+// catalyst/cat -- the GPU-FLOPs benchmark (Section III-C of the paper).
+//
+// Fifteen device kernels: {add, sub, mul, sqrt, fma} x {HP, SP, DP}, each
+// with three loop sizes.  The expectation basis uses the paper's symbols
+// TP with T in {A, S, M, SQ, F} and P in {H, S, D}, ordered op-major:
+//   AH AS AD  SH SS SD  MH MS MD  SQH SQS SQD  FH FS FD
+// (the order of Table II's signatures).  Square root maps to the
+// "transcendental" VALU counters on the Tempest machine.
+#pragma once
+
+#include "cat/benchmark.hpp"
+
+namespace catalyst::cat {
+
+/// Builds the GPU-FLOPs benchmark: 15 kernels x 3 loops = 45 slots and the
+/// 15-column expectation basis of Table II.
+Benchmark gpu_flops_benchmark();
+
+}  // namespace catalyst::cat

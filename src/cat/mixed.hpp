@@ -1,0 +1,41 @@
+// catalyst/cat -- mixed validation workloads.
+//
+// The CAT benchmarks stress one concept at a time, which is what makes the
+// analysis solvable -- but a metric definition is only trustworthy if it
+// also holds on code that mixes concepts.  A MixedWorkload is a seeded
+// random superposition of a benchmark's kernel activities (a stand-in for
+// "a real application"), together with enough information to compute the
+// ground-truth value of any metric signature on it via the benchmark's
+// ideal events.
+#pragma once
+
+#include <cstdint>
+
+#include "cat/benchmark.hpp"
+
+namespace catalyst::cat {
+
+/// One synthetic application: a weighted mix of benchmark kernels.
+struct MixedWorkload {
+  std::string name;
+  pmu::Activity activity;          ///< Superposed ground-truth activity.
+  std::vector<double> weights;     ///< One weight per benchmark slot.
+};
+
+/// Ground-truth value of a metric (signature coordinates over the
+/// benchmark's basis) for an arbitrary activity, computed from the ideal
+/// events: sum_k s[k] * ideal_k(activity).
+double ground_truth_metric(const ExpectationBasis& basis,
+                           std::span<const double> signature,
+                           const pmu::Activity& activity);
+
+/// Generates `count` mixed workloads from the benchmark's single-thread
+/// slots: integer weights in [0, max_weight] drawn per slot with roughly
+/// `density` of slots active.  Deterministic in `seed`.
+std::vector<MixedWorkload> random_mixed_workloads(const Benchmark& benchmark,
+                                                  std::size_t count,
+                                                  std::uint64_t seed,
+                                                  int max_weight = 5,
+                                                  double density = 0.4);
+
+}  // namespace catalyst::cat

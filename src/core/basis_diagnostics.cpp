@@ -1,0 +1,70 @@
+#include "core/basis_diagnostics.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace catalyst::core {
+
+BasisDiagnostics diagnose_basis(const cat::ExpectationBasis& basis) {
+  BasisDiagnostics d;
+  const linalg::Matrix& e = basis.e;
+  d.rows = e.rows();
+  d.cols = e.cols();
+  if (e.empty()) return d;
+
+  d.rank = linalg::numerical_rank(e);
+  d.full_rank = d.rank == e.cols();
+  d.condition_number = linalg::cond2(e);
+
+  for (linalg::index_t a = 0; a < e.cols(); ++a) {
+    const double na = linalg::nrm2(e.col(a));
+    if (na == 0.0) continue;
+    for (linalg::index_t b = a + 1; b < e.cols(); ++b) {
+      const double nb = linalg::nrm2(e.col(b));
+      if (nb == 0.0) continue;
+      const double coherence =
+          std::fabs(linalg::dot(e.col(a), e.col(b))) / (na * nb);
+      if (coherence > d.mutual_coherence) {
+        d.mutual_coherence = coherence;
+        d.coherent_pair_a =
+            a < static_cast<linalg::index_t>(basis.labels.size())
+                ? basis.labels[static_cast<std::size_t>(a)]
+                : std::to_string(a);
+        d.coherent_pair_b =
+            b < static_cast<linalg::index_t>(basis.labels.size())
+                ? basis.labels[static_cast<std::size_t>(b)]
+                : std::to_string(b);
+      }
+    }
+  }
+  return d;
+}
+
+std::string basis_verdict(const BasisDiagnostics& d, double max_condition,
+                          double max_coherence) {
+  std::ostringstream os;
+  if (!d.full_rank) {
+    os << "RANK-DEFICIENT: rank " << d.rank << " < " << d.cols
+       << " ideal events -- some dimensions are indistinguishable";
+    return os.str();
+  }
+  if (d.condition_number > max_condition) {
+    os << "ILL-CONDITIONED: cond = " << d.condition_number
+       << " -- projections will amplify measurement noise";
+    return os.str();
+  }
+  if (d.mutual_coherence > max_coherence) {
+    os << "NEAR-COLLINEAR: |cos(" << d.coherent_pair_a << ", "
+       << d.coherent_pair_b << ")| = " << d.mutual_coherence;
+    return os.str();
+  }
+  os << "well-posed (rank " << d.rank << ", cond " << d.condition_number
+     << ", max coherence " << d.mutual_coherence << " between "
+     << d.coherent_pair_a << " and " << d.coherent_pair_b << ")";
+  return os.str();
+}
+
+}  // namespace catalyst::core

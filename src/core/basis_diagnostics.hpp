@@ -1,0 +1,43 @@
+// catalyst/core -- expectation-basis diagnostics.
+//
+// The whole method rests on the expectation basis E being well posed: full
+// column rank (else xe is not unique), a moderate condition number (else
+// the projections amplify measurement noise), and low mutual coherence
+// between ideal events (else two "different" hardware concepts are nearly
+// indistinguishable and the QR selection between their events is fragile).
+// This module quantifies all three so a benchmark author can validate a
+// new kernel set BEFORE collecting data with it.
+#pragma once
+
+#include <string>
+
+#include "cat/benchmark.hpp"
+#include "linalg/matrix.hpp"
+
+namespace catalyst::core {
+
+/// Well-posedness summary of an expectation basis.
+struct BasisDiagnostics {
+  linalg::index_t rows = 0;          ///< Benchmark slots.
+  linalg::index_t cols = 0;          ///< Ideal-event dimensions.
+  linalg::index_t rank = 0;          ///< Numerical rank of E.
+  bool full_rank = false;
+  double condition_number = 0.0;     ///< sigma_max / sigma_min.
+  /// Largest |cosine| between two distinct columns (0 = orthogonal ideal
+  /// events, 1 = two dimensions are collinear).
+  double mutual_coherence = 0.0;
+  /// Labels of the most-coherent column pair.
+  std::string coherent_pair_a;
+  std::string coherent_pair_b;
+};
+
+/// Computes the diagnostics of a benchmark's expectation basis.
+BasisDiagnostics diagnose_basis(const cat::ExpectationBasis& basis);
+
+/// One-line verdict ("well-posed", or what is wrong) used by reports.
+/// `max_condition` / `max_coherence` are acceptance bounds.
+std::string basis_verdict(const BasisDiagnostics& d,
+                          double max_condition = 1e6,
+                          double max_coherence = 0.999);
+
+}  // namespace catalyst::core

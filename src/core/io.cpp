@@ -1,0 +1,163 @@
+#include "core/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/json.hpp"
+
+namespace catalyst::core {
+
+namespace {
+
+constexpr const char* kFormatVersion = "catalyst-measurements-v1";
+
+}  // namespace
+
+MeasurementArchive make_archive(const pmu::Machine& machine,
+                                const cat::Benchmark& benchmark,
+                                const PipelineResult& result) {
+  MeasurementArchive a;
+  a.format_version = kFormatVersion;
+  a.machine_name = machine.name();
+  a.benchmark_name = benchmark.name;
+  for (const auto& slot : benchmark.slots) a.slot_names.push_back(slot.name);
+  a.basis_labels = benchmark.basis.labels;
+  a.expectation = benchmark.basis.e;
+  a.event_names = result.all_event_names;
+  a.measurements = result.measurements;
+  return a;
+}
+
+std::string save_archive(const MeasurementArchive& archive, int indent) {
+  json::Value root = json::Value::object();
+  root["format"] = archive.format_version.empty() ? kFormatVersion
+                                                  : archive.format_version;
+  root["machine"] = archive.machine_name;
+  root["benchmark"] = archive.benchmark_name;
+
+  json::Value slots = json::Value::array();
+  for (const auto& s : archive.slot_names) slots.push_back(s);
+  root["slots"] = std::move(slots);
+
+  json::Value basis = json::Value::object();
+  json::Value labels = json::Value::array();
+  for (const auto& l : archive.basis_labels) labels.push_back(l);
+  basis["labels"] = std::move(labels);
+  json::Value e_rows = json::Value::array();
+  for (linalg::index_t r = 0; r < archive.expectation.rows(); ++r) {
+    json::Value row = json::Value::array();
+    for (linalg::index_t c = 0; c < archive.expectation.cols(); ++c) {
+      row.push_back(archive.expectation(r, c));
+    }
+    e_rows.push_back(std::move(row));
+  }
+  basis["e"] = std::move(e_rows);
+  root["basis"] = std::move(basis);
+
+  json::Value events = json::Value::array();
+  for (const auto& n : archive.event_names) events.push_back(n);
+  root["events"] = std::move(events);
+
+  json::Value meas = json::Value::array();
+  for (const auto& per_event : archive.measurements) {
+    json::Value reps = json::Value::array();
+    for (const auto& per_rep : per_event) {
+      json::Value vec = json::Value::array();
+      for (double v : per_rep) vec.push_back(v);
+      reps.push_back(std::move(vec));
+    }
+    meas.push_back(std::move(reps));
+  }
+  root["measurements"] = std::move(meas);
+
+  return json::dump(root, indent);
+}
+
+MeasurementArchive load_archive(const std::string& json_text) {
+  const json::Value root = json::parse(json_text);
+  MeasurementArchive a;
+  a.format_version = root.at("format").as_string();
+  if (a.format_version != kFormatVersion) {
+    throw std::invalid_argument("load_archive: unsupported format '" +
+                                a.format_version + "'");
+  }
+  a.machine_name = root.at("machine").as_string();
+  a.benchmark_name = root.at("benchmark").as_string();
+  for (const auto& s : root.at("slots").as_array()) {
+    a.slot_names.push_back(s.as_string());
+  }
+  const auto& basis = root.at("basis");
+  for (const auto& l : basis.at("labels").as_array()) {
+    a.basis_labels.push_back(l.as_string());
+  }
+  const auto& e_rows = basis.at("e").as_array();
+  const auto n_rows = static_cast<linalg::index_t>(e_rows.size());
+  const auto n_cols = static_cast<linalg::index_t>(a.basis_labels.size());
+  a.expectation = linalg::Matrix(n_rows, n_cols);
+  for (linalg::index_t r = 0; r < n_rows; ++r) {
+    const auto& row = e_rows[static_cast<std::size_t>(r)].as_array();
+    if (static_cast<linalg::index_t>(row.size()) != n_cols) {
+      throw std::invalid_argument("load_archive: ragged basis matrix");
+    }
+    for (linalg::index_t c = 0; c < n_cols; ++c) {
+      a.expectation(r, c) = row[static_cast<std::size_t>(c)].as_number();
+    }
+  }
+  if (n_rows != static_cast<linalg::index_t>(a.slot_names.size())) {
+    throw std::invalid_argument("load_archive: basis rows != slot count");
+  }
+  for (const auto& n : root.at("events").as_array()) {
+    a.event_names.push_back(n.as_string());
+  }
+  const auto& meas = root.at("measurements").as_array();
+  if (meas.size() != a.event_names.size()) {
+    throw std::invalid_argument(
+        "load_archive: measurements/events count mismatch");
+  }
+  a.measurements.reserve(meas.size());
+  std::size_t reps_expected = 0;
+  for (const auto& per_event : meas) {
+    std::vector<std::vector<double>> reps;
+    for (const auto& per_rep : per_event.as_array()) {
+      std::vector<double> vec;
+      for (const auto& v : per_rep.as_array()) vec.push_back(v.as_number());
+      if (vec.size() != a.slot_names.size()) {
+        throw std::invalid_argument(
+            "load_archive: measurement vector length != slot count");
+      }
+      reps.push_back(std::move(vec));
+    }
+    if (reps_expected == 0) reps_expected = reps.size();
+    if (reps.size() != reps_expected || reps.empty()) {
+      throw std::invalid_argument(
+          "load_archive: inconsistent repetition counts");
+    }
+    a.measurements.push_back(std::move(reps));
+  }
+  return a;
+}
+
+PipelineResult analyze_archive(const MeasurementArchive& archive,
+                               const std::vector<MetricSignature>& signatures,
+                               const PipelineOptions& options) {
+  return analyze_measurements(archive.expectation, archive.event_names,
+                              archive.measurements, signatures, options);
+}
+
+std::string read_text_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+void write_text_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  out << contents;
+  if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+}  // namespace catalyst::core

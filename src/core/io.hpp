@@ -1,0 +1,57 @@
+// catalyst/core -- measurement archives (the offline-analysis workflow).
+//
+// Real CAT runs happen on a supercomputer's compute nodes; the analysis
+// happens wherever is convenient.  This module serializes everything the
+// analysis stages need -- event names, per-repetition normalized
+// measurement vectors, the expectation basis -- into a versioned JSON
+// archive, and re-runs the analysis from a loaded archive via
+// analyze_measurements().
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cat/benchmark.hpp"
+#include "core/pipeline.hpp"
+#include "pmu/machine.hpp"
+
+namespace catalyst::core {
+
+/// Everything needed to analyze a collection offline.
+struct MeasurementArchive {
+  std::string format_version;  ///< "catalyst-measurements-v1".
+  std::string machine_name;
+  std::string benchmark_name;
+  std::vector<std::string> slot_names;
+  std::vector<std::string> basis_labels;
+  linalg::Matrix expectation;  ///< slots x basis dims.
+  std::vector<std::string> event_names;
+  /// measurements[e][r][k]: normalized reading (event, repetition, slot).
+  std::vector<std::vector<std::vector<double>>> measurements;
+};
+
+/// Builds an archive from a pipeline run (uses the result's stage-1..3
+/// artifacts; the analysis stages are NOT stored -- they are recomputed on
+/// load, which is the point).
+MeasurementArchive make_archive(const pmu::Machine& machine,
+                                const cat::Benchmark& benchmark,
+                                const PipelineResult& result);
+
+/// Serializes an archive to JSON (pretty-printed when `indent` > 0).
+std::string save_archive(const MeasurementArchive& archive, int indent = 0);
+
+/// Parses an archive; throws json::JsonError on malformed input and
+/// std::invalid_argument on version/shape problems.
+MeasurementArchive load_archive(const std::string& json_text);
+
+/// Runs the analysis stages on an archive.
+PipelineResult analyze_archive(const MeasurementArchive& archive,
+                               const std::vector<MetricSignature>& signatures,
+                               const PipelineOptions& options = {});
+
+/// Small file helpers used by the CLI (throw std::runtime_error on I/O
+/// failure).
+std::string read_text_file(const std::string& path);
+void write_text_file(const std::string& path, const std::string& contents);
+
+}  // namespace catalyst::core

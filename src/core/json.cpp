@@ -1,0 +1,385 @@
+#include "core/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+
+namespace catalyst::core::json {
+
+// --- accessors -----------------------------------------------------------------
+
+namespace {
+
+[[noreturn]] void wrong_type(const char* want, Value::Type got) {
+  static const char* names[] = {"null", "boolean", "number",
+                                "string", "array", "object"};
+  throw JsonError(std::string("expected ") + want + ", value is " +
+                  names[static_cast<int>(got)]);
+}
+
+}  // namespace
+
+bool Value::as_bool() const {
+  if (type_ != Type::boolean) wrong_type("boolean", type_);
+  return bool_;
+}
+
+double Value::as_number() const {
+  if (type_ != Type::number) wrong_type("number", type_);
+  return num_;
+}
+
+const std::string& Value::as_string() const {
+  if (type_ != Type::string) wrong_type("string", type_);
+  return str_;
+}
+
+const std::vector<Value>& Value::as_array() const {
+  if (type_ != Type::array) wrong_type("array", type_);
+  return arr_;
+}
+
+const std::map<std::string, Value>& Value::as_object() const {
+  if (type_ != Type::object) wrong_type("object", type_);
+  return obj_;
+}
+
+void Value::push_back(Value v) {
+  if (type_ != Type::array) wrong_type("array", type_);
+  arr_.push_back(std::move(v));
+}
+
+const Value& Value::at(std::size_t i) const {
+  if (type_ != Type::array) wrong_type("array", type_);
+  if (i >= arr_.size()) throw JsonError("array index out of range");
+  return arr_[i];
+}
+
+std::size_t Value::size() const {
+  if (type_ == Type::array) return arr_.size();
+  if (type_ == Type::object) return obj_.size();
+  wrong_type("array or object", type_);
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (type_ == Type::null) type_ = Type::object;  // convenient building
+  if (type_ != Type::object) wrong_type("object", type_);
+  return obj_[key];
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (type_ != Type::object) wrong_type("object", type_);
+  auto it = obj_.find(key);
+  if (it == obj_.end()) throw JsonError("missing key: " + key);
+  return it->second;
+}
+
+bool Value::contains(const std::string& key) const {
+  return type_ == Type::object && obj_.count(key) > 0;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.type_ != b.type_) return false;
+  switch (a.type_) {
+    case Value::Type::null: return true;
+    case Value::Type::boolean: return a.bool_ == b.bool_;
+    case Value::Type::number: return a.num_ == b.num_;
+    case Value::Type::string: return a.str_ == b.str_;
+    case Value::Type::array: return a.arr_ == b.arr_;
+    case Value::Type::object: return a.obj_ == b.obj_;
+  }
+  return false;
+}
+
+// --- parser ---------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw JsonError(why + " at offset " + std::to_string(pos_));
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char advance() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (advance() != c) {
+      --pos_;
+      fail(std::string("expected '") + c + "'");
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word) {
+    const std::size_t len = std::char_traits<char>::length(word);
+    if (text_.compare(pos_, len, word) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Value(parse_string());
+      case 't':
+        if (literal("true")) return Value(true);
+        fail("bad literal");
+      case 'f':
+        if (literal("false")) return Value(false);
+        fail("bad literal");
+      case 'n':
+        if (literal("null")) return Value(nullptr);
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      const char c = advance();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20) fail("control char in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char esc = advance();
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // ASCII-only \u escapes; everything else is rejected loudly
+          // rather than silently mangled.
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = advance();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += 10u + static_cast<unsigned>(h - 'a');
+            else if (h >= 'A' && h <= 'F') code += 10u + static_cast<unsigned>(h - 'A');
+            else fail("bad \\u escape");
+          }
+          if (code > 0x7F) fail("non-ASCII \\u escapes are unsupported");
+          out.push_back(static_cast<char>(code));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    double out = 0.0;
+    const auto [ptr, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, out);
+    if (ec != std::errc{} || ptr != text_.data() + pos_ || pos_ == start) {
+      pos_ = start;
+      fail("bad number");
+    }
+    return Value(out);
+  }
+
+  Value parse_array() {
+    expect('[');
+    Value out = Value::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      out.push_back(parse_value());
+      skip_ws();
+      const char c = advance();
+      if (c == ']') return out;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or ']'");
+      }
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Value out = Value::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return out;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      out[key] = parse_value();
+      skip_ws();
+      const char c = advance();
+      if (c == '}') return out;
+      if (c != ',') {
+        --pos_;
+        fail("expected ',' or '}'");
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+// --- writer ---------------------------------------------------------------------
+
+namespace {
+
+void write_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write_number(std::ostringstream& os, double v) {
+  if (!std::isfinite(v)) {
+    throw JsonError("cannot serialize non-finite number");
+  }
+  if (v == std::floor(v) && std::fabs(v) < 1e15) {
+    os << static_cast<long long>(v);
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+    os << buf;
+  }
+}
+
+void write_value(std::ostringstream& os, const Value& v, int indent,
+                 int depth) {
+  const std::string pad =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          (static_cast<std::size_t>(depth) + 1),
+                                      ' ')
+                 : "";
+  const std::string pad_close =
+      indent > 0 ? "\n" + std::string(static_cast<std::size_t>(indent) *
+                                          static_cast<std::size_t>(depth),
+                                      ' ')
+                 : "";
+  switch (v.type()) {
+    case Value::Type::null: os << "null"; break;
+    case Value::Type::boolean: os << (v.as_bool() ? "true" : "false"); break;
+    case Value::Type::number: write_number(os, v.as_number()); break;
+    case Value::Type::string: write_string(os, v.as_string()); break;
+    case Value::Type::array: {
+      const auto& arr = v.as_array();
+      if (arr.empty()) {
+        os << "[]";
+        break;
+      }
+      os << '[';
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        os << (i == 0 ? "" : ",") << pad;
+        write_value(os, arr[i], indent, depth + 1);
+      }
+      os << pad_close << ']';
+      break;
+    }
+    case Value::Type::object: {
+      const auto& obj = v.as_object();
+      if (obj.empty()) {
+        os << "{}";
+        break;
+      }
+      os << '{';
+      bool first = true;
+      for (const auto& [key, val] : obj) {
+        os << (first ? "" : ",") << pad;
+        write_string(os, key);
+        os << (indent > 0 ? ": " : ":");
+        write_value(os, val, indent, depth + 1);
+        first = false;
+      }
+      os << pad_close << '}';
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::string dump(const Value& value, int indent) {
+  std::ostringstream os;
+  write_value(os, value, indent, 0);
+  return os.str();
+}
+
+}  // namespace catalyst::core::json

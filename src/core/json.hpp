@@ -1,0 +1,93 @@
+// catalyst/core -- a minimal JSON value, parser, and writer.
+//
+// Used by the offline-data workflow (core/io.hpp): measurement archives and
+// preset tables are plain JSON so that external tooling (plotting scripts,
+// PAPI importers) can consume them.  The subset implemented is complete
+// standard JSON except for \u escapes beyond ASCII (rejected explicitly);
+// numbers are doubles (adequate for counter values well below 2^53).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace catalyst::core::json {
+
+/// Thrown on malformed input or wrong-type access.
+class JsonError : public std::runtime_error {
+ public:
+  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A JSON value (tagged union over the seven JSON shapes).
+class Value {
+ public:
+  enum class Type { null, boolean, number, string, array, object };
+
+  Value() : type_(Type::null) {}
+  Value(std::nullptr_t) : type_(Type::null) {}  // NOLINT(runtime/explicit)
+  Value(bool b) : type_(Type::boolean), bool_(b) {}  // NOLINT
+  Value(double n) : type_(Type::number), num_(n) {}  // NOLINT
+  Value(int n) : type_(Type::number), num_(n) {}     // NOLINT
+  Value(std::size_t n)                               // NOLINT
+      : type_(Type::number), num_(static_cast<double>(n)) {}
+  Value(const char* s) : type_(Type::string), str_(s) {}  // NOLINT
+  Value(std::string s) : type_(Type::string), str_(std::move(s)) {}  // NOLINT
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::array;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::object;
+    return v;
+  }
+
+  Type type() const noexcept { return type_; }
+  bool is_null() const noexcept { return type_ == Type::null; }
+  bool is_bool() const noexcept { return type_ == Type::boolean; }
+  bool is_number() const noexcept { return type_ == Type::number; }
+  bool is_string() const noexcept { return type_ == Type::string; }
+  bool is_array() const noexcept { return type_ == Type::array; }
+  bool is_object() const noexcept { return type_ == Type::object; }
+
+  // Checked accessors (throw JsonError on type mismatch).
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::map<std::string, Value>& as_object() const;
+
+  // Array building / access.
+  void push_back(Value v);
+  const Value& at(std::size_t i) const;
+  std::size_t size() const;
+
+  // Object building / access.
+  Value& operator[](const std::string& key);
+  const Value& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Type type_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::map<std::string, Value> obj_;
+};
+
+/// Parses a complete JSON document (trailing garbage is an error).
+Value parse(const std::string& text);
+
+/// Serializes compactly; `indent` > 0 pretty-prints with that many spaces.
+std::string dump(const Value& value, int indent = 0);
+
+}  // namespace catalyst::core::json

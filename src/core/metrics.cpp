@@ -1,0 +1,112 @@
+#include "core/metrics.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/lstsq.hpp"
+#include "linalg/qr.hpp"
+
+namespace catalyst::core {
+
+MetricDefinition solve_metric(const linalg::Matrix& xhat,
+                              const std::vector<std::string>& event_names,
+                              const MetricSignature& signature,
+                              double fitness_threshold) {
+  if (static_cast<linalg::index_t>(event_names.size()) != xhat.cols()) {
+    throw std::invalid_argument("solve_metric: name/column count mismatch");
+  }
+  if (static_cast<linalg::index_t>(signature.coordinates.size()) !=
+      xhat.rows()) {
+    throw std::invalid_argument("solve_metric: signature/basis dim mismatch");
+  }
+  MetricDefinition def;
+  def.metric_name = signature.name;
+  const auto ls = linalg::lstsq(xhat, signature.coordinates);
+  def.backward_error = ls.backward_error;
+  def.composable = ls.backward_error <= fitness_threshold;
+  def.terms.reserve(event_names.size());
+  for (std::size_t i = 0; i < event_names.size(); ++i) {
+    def.terms.push_back({event_names[i], ls.x[i]});
+  }
+  def.coefficient_stderrs =
+      coefficient_stderr(xhat, ls.x, signature.coordinates);
+  return def;
+}
+
+std::vector<double> coefficient_stderr(const linalg::Matrix& xhat,
+                                       std::span<const double> y,
+                                       std::span<const double> s) {
+  const linalg::index_t m = xhat.rows();
+  const linalg::index_t n = xhat.cols();
+  if (static_cast<linalg::index_t>(y.size()) != n ||
+      static_cast<linalg::index_t>(s.size()) != m) {
+    throw std::invalid_argument("coefficient_stderr: shape mismatch");
+  }
+  std::vector<double> out(static_cast<std::size_t>(n), 0.0);
+  if (m <= n || n == 0) return out;  // no residual degrees of freedom
+
+  // sigma_hat^2 from the residual.
+  linalg::Vector r(s.begin(), s.end());
+  linalg::gemv(-1.0, xhat, y, 1.0, r);
+  const double rnorm = linalg::nrm2(r);
+  const double sigma2 = rnorm * rnorm / static_cast<double>(m - n);
+
+  // [(Xhat^T Xhat)^{-1}]_ii = ||R^{-T} e_i||^2 with R from QR(Xhat).
+  const linalg::QrFactorization qr(xhat);
+  for (linalg::index_t i = 0; i < n; ++i) {
+    linalg::Vector e(static_cast<std::size_t>(n), 0.0);
+    e[static_cast<std::size_t>(i)] = 1.0;
+    try {
+      linalg::trsv_upper_t(qr.packed(), e);
+    } catch (const linalg::SingularError&) {
+      // Rank-deficient Xhat: the variance of this coefficient is not
+      // identified; report 0 rather than inventing a number.
+      continue;
+    }
+    const double norm = linalg::nrm2(e);
+    out[static_cast<std::size_t>(i)] = std::sqrt(sigma2) * norm;
+  }
+  return out;
+}
+
+std::vector<MetricDefinition> solve_metrics(
+    const linalg::Matrix& xhat, const std::vector<std::string>& event_names,
+    const std::vector<MetricSignature>& signatures,
+    double fitness_threshold) {
+  std::vector<MetricDefinition> defs;
+  defs.reserve(signatures.size());
+  for (const auto& s : signatures) {
+    defs.push_back(solve_metric(xhat, event_names, s, fitness_threshold));
+  }
+  return defs;
+}
+
+std::vector<MetricTerm> round_coefficients(const std::vector<MetricTerm>& terms,
+                                           double rel_tol) {
+  if (rel_tol < 0.0) {
+    throw std::invalid_argument("round_coefficients: negative tolerance");
+  }
+  std::vector<MetricTerm> out = terms;
+  for (auto& t : out) {
+    const double nearest = std::round(t.coefficient);
+    const double diff = std::fabs(t.coefficient - nearest);
+    // Relative closeness for integral targets >= 1 ("within 2% of one"),
+    // absolute closeness for a zero target ("smaller than 5.87e-3").
+    const bool snap = nearest == 0.0
+                          ? diff <= rel_tol
+                          : diff <= rel_tol * std::fabs(nearest);
+    if (snap) t.coefficient = nearest;
+  }
+  return out;
+}
+
+std::vector<MetricTerm> drop_zero_terms(const std::vector<MetricTerm>& terms) {
+  std::vector<MetricTerm> out;
+  for (const auto& t : terms) {
+    if (t.coefficient != 0.0) out.push_back(t);
+  }
+  return out;
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,160 @@
+#include "core/noise_classify.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/noise.hpp"
+
+namespace catalyst::core {
+
+const char* to_string(NoiseClass c) noexcept {
+  switch (c) {
+    case NoiseClass::silent: return "silent";
+    case NoiseClass::deterministic: return "deterministic";
+    case NoiseClass::drifting: return "drifting";
+    case NoiseClass::spiky: return "spiky";
+    case NoiseClass::gaussian: return "gaussian";
+  }
+  return "?";
+}
+
+NoiseProfile classify_noise(const std::vector<std::vector<double>>& reps,
+                            double drift_threshold, double spike_threshold) {
+  if (reps.size() < 2 || reps.front().empty()) {
+    throw std::invalid_argument(
+        "classify_noise: need >= 2 repetitions of non-empty vectors");
+  }
+  const std::size_t n_reps = reps.size();
+  const std::size_t n_slots = reps.front().size();
+  for (const auto& r : reps) {
+    if (r.size() != n_slots) {
+      throw std::invalid_argument("classify_noise: ragged repetitions");
+    }
+  }
+
+  NoiseProfile profile;
+  profile.max_rnmse = max_rnmse(reps);
+
+  // Silent / deterministic fast paths.
+  bool all_zero = true;
+  bool all_identical = true;
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    for (std::size_t k = 0; k < n_slots; ++k) {
+      if (reps[r][k] != 0.0) all_zero = false;
+      if (reps[r][k] != reps[0][k]) all_identical = false;
+    }
+  }
+  if (all_zero) {
+    profile.cls = NoiseClass::silent;
+    return profile;
+  }
+  if (all_identical) {
+    profile.cls = NoiseClass::deterministic;
+    return profile;
+  }
+
+  // Drift: correlate the repetition index with the repetition mean.
+  double grand_mean = 0.0;
+  std::vector<double> rep_means(n_reps, 0.0);
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    for (double v : reps[r]) rep_means[r] += v;
+    rep_means[r] /= static_cast<double>(n_slots);
+    grand_mean += rep_means[r];
+  }
+  grand_mean /= static_cast<double>(n_reps);
+  {
+    const double x_mean = (static_cast<double>(n_reps) - 1.0) / 2.0;
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      const double dx = static_cast<double>(r) - x_mean;
+      const double dy = rep_means[r] - grand_mean;
+      sxy += dx * dy;
+      sxx += dx * dx;
+      syy += dy * dy;
+    }
+    if (sxx > 0.0 && syy > 0.0) {
+      profile.drift_correlation = sxy / std::sqrt(sxx * syy);
+      const double slope = sxy / sxx;
+      if (grand_mean != 0.0) {
+        profile.drift_magnitude =
+            std::fabs(slope * static_cast<double>(n_reps - 1) / grand_mean);
+      }
+    }
+  }
+
+  // Spikes: compare each reading to its slot's across-rep median; a spiky
+  // event has one deviation much larger than the slot's typical one.  The
+  // ratio is computed per slot (deviation scales differ across slots when
+  // counts do) and the worst slot decides.
+  {
+    std::vector<double> column(n_reps);
+    for (std::size_t k = 0; k < n_slots; ++k) {
+      for (std::size_t r = 0; r < n_reps; ++r) column[r] = reps[r][k];
+      const double slot_median = median(column);
+      std::vector<double> deviations(n_reps);
+      double dmax = 0.0;
+      for (std::size_t r = 0; r < n_reps; ++r) {
+        deviations[r] = std::fabs(reps[r][k] - slot_median);
+        dmax = std::max(dmax, deviations[r]);
+      }
+      if (dmax == 0.0) continue;  // slot is perfectly stable
+      const double dmed = median(deviations);
+      // A zero median deviation with a nonzero max means most readings
+      // agree exactly and a few jump: the definition of a spike.
+      const double ratio =
+          dmed > 0.0 ? dmax / dmed : spike_threshold * 2;
+      profile.spike_ratio = std::max(profile.spike_ratio, ratio);
+    }
+  }
+
+  if (std::fabs(profile.drift_correlation) >= drift_threshold &&
+      profile.drift_magnitude > 1e-6) {
+    profile.cls = NoiseClass::drifting;
+  } else if (profile.spike_ratio >= spike_threshold) {
+    profile.cls = NoiseClass::spiky;
+  } else {
+    profile.cls = NoiseClass::gaussian;
+  }
+  return profile;
+}
+
+std::vector<std::vector<double>> detrend_repetitions(
+    const std::vector<std::vector<double>>& reps) {
+  if (reps.size() < 2 || reps.front().empty()) {
+    throw std::invalid_argument(
+        "detrend_repetitions: need >= 2 repetitions of non-empty vectors");
+  }
+  const std::size_t n_reps = reps.size();
+  const std::size_t n_slots = reps.front().size();
+
+  std::vector<double> rep_means(n_reps, 0.0);
+  double grand_mean = 0.0;
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    for (double v : reps[r]) rep_means[r] += v;
+    rep_means[r] /= static_cast<double>(n_slots);
+    grand_mean += rep_means[r];
+  }
+  grand_mean /= static_cast<double>(n_reps);
+  if (grand_mean == 0.0) return reps;  // nothing to scale against
+
+  // Least-squares line through (r, rep_mean/grand_mean).
+  const double x_mean = (static_cast<double>(n_reps) - 1.0) / 2.0;
+  double sxy = 0.0, sxx = 0.0;
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    const double dx = static_cast<double>(r) - x_mean;
+    sxy += dx * (rep_means[r] / grand_mean - 1.0);
+    sxx += dx * dx;
+  }
+  const double slope = sxx > 0.0 ? sxy / sxx : 0.0;
+
+  std::vector<std::vector<double>> out = reps;
+  for (std::size_t r = 0; r < n_reps; ++r) {
+    const double scale = 1.0 + slope * (static_cast<double>(r) - x_mean);
+    if (scale <= 0.0) continue;  // degenerate fit: leave as-is
+    for (double& v : out[r]) v /= scale;
+  }
+  return out;
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,48 @@
+#include "core/normalize.hpp"
+
+#include <stdexcept>
+
+namespace catalyst::core {
+
+NormalizationResult normalize_events(
+    const linalg::Matrix& expectation,
+    const std::vector<std::string>& event_names,
+    const std::vector<std::vector<double>>& measurements,
+    double max_backward_error) {
+  if (event_names.size() != measurements.size()) {
+    throw std::invalid_argument(
+        "normalize_events: names/measurements mismatch");
+  }
+  if (max_backward_error < 0.0) {
+    throw std::invalid_argument("normalize_events: negative threshold");
+  }
+  NormalizationResult result;
+  result.representations.reserve(event_names.size());
+  std::vector<linalg::Vector> x_cols;
+  for (std::size_t e = 0; e < event_names.size(); ++e) {
+    const auto& me = measurements[e];
+    if (static_cast<linalg::index_t>(me.size()) != expectation.rows()) {
+      throw std::invalid_argument("normalize_events: measurement length != "
+                                  "basis rows for " + event_names[e]);
+    }
+    EventRepresentation rep;
+    rep.event_name = event_names[e];
+    const auto ls = linalg::lstsq(expectation, me);
+    rep.xe = ls.x;
+    rep.backward_error = ls.backward_error;
+    rep.representable = ls.backward_error <= max_backward_error;
+    if (rep.representable) {
+      x_cols.push_back(rep.xe);
+      result.x_event_names.push_back(rep.event_name);
+    }
+    result.representations.push_back(std::move(rep));
+  }
+  if (!x_cols.empty()) {
+    result.x = linalg::Matrix::from_columns(x_cols);
+  } else {
+    result.x = linalg::Matrix(expectation.cols(), 0);
+  }
+  return result;
+}
+
+}  // namespace catalyst::core

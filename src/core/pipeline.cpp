@@ -1,0 +1,145 @@
+#include "core/pipeline.hpp"
+
+#include "core/noise_classify.hpp"
+
+#include <stdexcept>
+
+#include "vpapi/collector.hpp"
+
+namespace catalyst::core {
+
+std::optional<std::vector<double>> PipelineResult::averaged_measurement(
+    const std::string& event_name) const {
+  for (std::size_t i = 0; i < noise.kept.size(); ++i) {
+    if (noise.variabilities[noise.kept[i]].event_name == event_name) {
+      return noise.averaged[i];
+    }
+  }
+  return std::nullopt;
+}
+
+PipelineResult run_pipeline(const pmu::Machine& machine,
+                            const cat::Benchmark& benchmark,
+                            const std::vector<MetricSignature>& signatures,
+                            const PipelineOptions& options) {
+  if (options.repetitions < 2) {
+    throw std::invalid_argument(
+        "run_pipeline: need >= 2 repetitions for the RNMSE filter");
+  }
+  if (benchmark.slots.empty()) {
+    throw std::invalid_argument("run_pipeline: benchmark has no slots");
+  }
+  const std::size_t n_threads = benchmark.slots.front().thread_activities.size();
+  for (const auto& slot : benchmark.slots) {
+    if (slot.thread_activities.size() != n_threads) {
+      throw std::invalid_argument(
+          "run_pipeline: inconsistent thread counts across slots");
+    }
+  }
+
+  PipelineResult result;
+  result.all_event_names = machine.event_names();
+  const std::size_t n_events = result.all_event_names.size();
+  const std::size_t n_slots = benchmark.slots.size();
+
+  // --- Stages 1-3: collect per thread, median across threads, normalize ----
+  // One multiplexed collection per benchmark thread; the (repetition,
+  // thread) pair is folded into the collector's repetition coordinate so
+  // each thread's counters see independent noise, as separate hardware
+  // threads would.
+  std::vector<vpapi::CollectionResult> per_thread;
+  per_thread.reserve(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    std::vector<pmu::Activity> acts;
+    acts.reserve(n_slots);
+    for (const auto& slot : benchmark.slots) {
+      acts.push_back(slot.thread_activities[t]);
+    }
+    // collect() runs repetitions internally; shift the repetition base per
+    // thread to decorrelate threads.
+    vpapi::CollectionResult col =
+        vpapi::collect_all(machine, acts, options.repetitions * n_threads,
+                           options.collection_threads);
+    per_thread.push_back(std::move(col));
+  }
+
+  result.measurements.assign(
+      n_events, std::vector<std::vector<double>>(
+                    options.repetitions, std::vector<double>(n_slots, 0.0)));
+  std::vector<double> thread_vals(n_threads);
+  for (std::size_t e = 0; e < n_events; ++e) {
+    for (std::size_t r = 0; r < options.repetitions; ++r) {
+      for (std::size_t k = 0; k < n_slots; ++k) {
+        for (std::size_t t = 0; t < n_threads; ++t) {
+          // Thread t's repetition stream is phase-shifted so that
+          // (r, t) pairs never reuse a noise coordinate.
+          const std::size_t rep_index = r * n_threads + t;
+          thread_vals[t] =
+              per_thread[t].repetitions[rep_index].values[e][k];
+        }
+        const double med = n_threads == 1 ? thread_vals[0]
+                                          : median(thread_vals);
+        result.measurements[e][r][k] = med / benchmark.slots[k].normalizer;
+      }
+    }
+  }
+
+  return analyze_measurements(benchmark.basis.e,
+                              std::move(result.all_event_names),
+                              std::move(result.measurements), signatures,
+                              options);
+}
+
+PipelineResult analyze_measurements(
+    const linalg::Matrix& expectation,
+    const std::vector<std::string>& event_names,
+    std::vector<std::vector<std::vector<double>>> measurements,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options) {
+  PipelineResult result;
+  result.all_event_names = event_names;
+  result.measurements = std::move(measurements);
+
+  // --- Stage 3b (optional): detrend drifting events --------------------------
+  if (options.detrend_drifting) {
+    for (auto& reps : result.measurements) {
+      const auto profile = classify_noise(reps);
+      if (profile.cls == NoiseClass::drifting) {
+        reps = detrend_repetitions(reps);
+      }
+    }
+  }
+
+  // --- Stage 4: noise filter ------------------------------------------------
+  result.noise =
+      filter_noise(result.all_event_names, result.measurements, options.tau);
+
+  // --- Stage 5: expectation-basis projection --------------------------------
+  std::vector<std::string> kept_names;
+  kept_names.reserve(result.noise.kept.size());
+  for (std::size_t idx : result.noise.kept) {
+    kept_names.push_back(result.all_event_names[idx]);
+  }
+  result.projection =
+      normalize_events(expectation, kept_names, result.noise.averaged,
+                       options.projection_max_error);
+
+  // --- Stage 6: specialized QRCP ---------------------------------------------
+  result.qr =
+      specialized_qrcp(result.projection.x, options.alpha, options.pivot_rule);
+  result.xhat = result.projection.x.select_columns(result.qr.selected);
+  result.xhat_events.reserve(result.qr.selected.size());
+  for (linalg::index_t j : result.qr.selected) {
+    result.xhat_events.push_back(
+        result.projection.x_event_names[static_cast<std::size_t>(j)]);
+  }
+
+  // --- Stage 7: metric synthesis ----------------------------------------------
+  if (!result.xhat_events.empty()) {
+    result.metrics = solve_metrics(result.xhat, result.xhat_events, signatures,
+                                   options.fitness_threshold);
+  }
+  return result;
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,108 @@
+// catalyst/core -- the end-to-end analysis pipeline.
+//
+// Chains every stage of the paper on one benchmark + machine pair:
+//
+//   1. COLLECT   all raw events over the benchmark's kernel slots via the
+//                vpapi multiplexed collector, several repetitions, one
+//                collection per concurrent benchmark thread;
+//   2. MEDIAN    across threads per (event, slot, repetition) reading
+//                (Section IV's cache-noise suppressor; a no-op for
+//                single-threaded benchmarks);
+//   3. NORMALIZE readings per slot (per-iteration / per-access units);
+//   4. FILTER    noisy events by max RNMSE against tau (Section IV) and
+//                discard all-zero events;
+//   5. PROJECT   survivors onto the expectation basis, E*xe = me, dropping
+//                events that the basis cannot express (Section III-B);
+//   6. SELECT    independent events with the specialized QRCP, alpha
+//                (Section V), giving X-hat;
+//   7. SOLVE     X-hat * y = s for every requested metric signature
+//                (Section VI) with Eq. 5 fitness.
+//
+// Every stage's artifacts are kept in the result for reporting -- the bench
+// harness regenerates each paper table/figure from them.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cat/benchmark.hpp"
+#include "core/metrics.hpp"
+#include "core/noise.hpp"
+#include "core/normalize.hpp"
+#include "core/qrcp_special.hpp"
+#include "pmu/machine.hpp"
+
+namespace catalyst::core {
+
+/// Tuning knobs of the pipeline; defaults match the paper's choices for the
+/// compute benchmarks (tau = 1e-10, alpha = 5e-4).  The data-cache runs use
+/// tau = 1e-1 and alpha = 5e-2 (Sections IV and V-E).
+struct PipelineOptions {
+  std::size_t repetitions = 3;          ///< Benchmark repetitions (>= 2).
+  double tau = 1e-10;                   ///< Noise threshold (Section IV).
+  double projection_max_error = 1e-2;   ///< E*xe=me fitness cutoff.
+  double alpha = 5e-4;                  ///< QR noise tolerance (Section V).
+  double fitness_threshold = 1e-6;      ///< "Composable" verdict cutoff.
+  /// Pivot rule for the event-selection QR (ablation hook; the default is
+  /// the paper-faithful specialized scheme).
+  PivotRule pivot_rule = PivotRule::original_score;
+  /// OS threads for the multiplexed collection stage (results are
+  /// bit-identical for any value; see vpapi::collect).
+  int collection_threads = 1;
+  /// When true, events classified as drifting (systematic per-repetition
+  /// trend, see core/noise_classify.hpp) are detrended BEFORE the tau
+  /// filter instead of being discarded by it -- the remedy the noise
+  /// classification suggests.  Off by default (the paper discards them).
+  bool detrend_drifting = false;
+};
+
+/// Everything the pipeline produced, stage by stage.
+struct PipelineResult {
+  // Stage 1-3 artifacts.
+  std::vector<std::string> all_event_names;
+  /// measurements[e][r][k]: normalized (and thread-median) reading of event
+  /// e, repetition r, slot k.
+  std::vector<std::vector<std::vector<double>>> measurements;
+
+  // Stage 4.
+  NoiseFilterResult noise;
+
+  // Stage 5 (input events are noise.kept, in that order).
+  NormalizationResult projection;
+
+  // Stage 6.
+  SpecialQrcpResult qr;
+  linalg::Matrix xhat;                    ///< basis-dims x selected events.
+  std::vector<std::string> xhat_events;   ///< Column labels of xhat.
+
+  // Stage 7.
+  std::vector<MetricDefinition> metrics;
+
+  /// Averaged normalized measurement vector of an event that survived the
+  /// noise filter (nullopt otherwise).  Used by the Fig. 3 benches.
+  std::optional<std::vector<double>> averaged_measurement(
+      const std::string& event_name) const;
+};
+
+/// Runs the full pipeline.
+PipelineResult run_pipeline(const pmu::Machine& machine,
+                            const cat::Benchmark& benchmark,
+                            const std::vector<MetricSignature>& signatures,
+                            const PipelineOptions& options = {});
+
+/// Runs stages 4-7 (noise filter -> projection -> QRCP -> metrics) on
+/// already-collected, normalized measurement data: measurements[e][r][k]
+/// keyed by `event_names`, over the expectation basis `expectation`.
+/// This is the offline-analysis entry point (see core/io.hpp): data
+/// collected on one system can be analyzed anywhere.  The returned result
+/// has the collection-stage fields (`all_event_names`, `measurements`)
+/// populated from the arguments.
+PipelineResult analyze_measurements(
+    const linalg::Matrix& expectation,
+    const std::vector<std::string>& event_names,
+    std::vector<std::vector<std::vector<double>>> measurements,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options = {});
+
+}  // namespace catalyst::core

@@ -1,0 +1,66 @@
+// catalyst/core -- PAPI-style preset generation.
+//
+// The paper's stated impact is automating what PAPI's developers do by
+// hand: turning per-architecture raw-event combinations into portable
+// preset definitions (PAPI_DP_OPS, PAPI_BR_MSP, ...).  This module converts
+// pipeline metric definitions into presets, assigns canonical PAPI-like
+// symbols, and serializes the result in two formats: a pipe-separated
+// table (one preset per line) and JSON.  The catalyst::vpapi session can
+// register these presets and read them like events.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "vpapi/vpapi.hpp"
+
+namespace catalyst::core {
+
+/// A portable preset: a named, rounded combination of raw events.
+struct PresetDefinition {
+  std::string symbol;       ///< e.g. "PAPI_DP_OPS".
+  std::string description;  ///< Human-readable metric name.
+  std::vector<MetricTerm> terms;  ///< Rounded, zero-free combination.
+  double fitness = 0.0;     ///< Backward error of the underlying solve.
+};
+
+/// Canonical PAPI-like symbol for a known metric name ("DP Ops." ->
+/// "PAPI_DP_OPS", "L1 Misses." -> "PAPI_L1_DCM", ...); nullopt for metrics
+/// without a canonical symbol.
+std::optional<std::string> canonical_preset_symbol(
+    const std::string& metric_name);
+
+/// Fallback symbol derived from the metric name (uppercased, punctuation
+/// stripped, prefixed "CAT_"): "HP Add and Sub Ops." -> "CAT_HP_ADD_AND_SUB_OPS".
+std::string derived_preset_symbol(const std::string& metric_name);
+
+/// Builds a preset from a composable metric definition: rounds coefficients
+/// (tolerance `round_tol`), drops zero terms, picks the canonical symbol or
+/// the derived fallback.  Returns nullopt when the metric is not composable
+/// (a preset must not exist on machines that cannot support it -- exactly
+/// PAPI's behaviour for unavailable presets).
+std::optional<PresetDefinition> make_preset(const MetricDefinition& metric,
+                                            double round_tol = 0.05);
+
+/// Builds presets for every composable metric of a pipeline run.
+std::vector<PresetDefinition> make_presets(
+    const std::vector<MetricDefinition>& metrics, double round_tol = 0.05);
+
+/// Pipe-separated table, one preset per line:
+///   SYMBOL|description|coeff*EVENT[+coeff*EVENT...]|fitness
+std::string presets_to_table(const std::vector<PresetDefinition>& presets);
+
+/// JSON array of {symbol, description, fitness, terms:[{event, coefficient}]}.
+std::string presets_to_json(const std::vector<PresetDefinition>& presets);
+
+/// Converts a preset into the vpapi derived-event form.
+vpapi::DerivedEvent to_derived_event(const PresetDefinition& preset);
+
+/// Registers every preset into a vpapi session; returns the number
+/// successfully registered (duplicates / invalid ones are skipped).
+std::size_t register_presets(vpapi::Session& session,
+                             const std::vector<PresetDefinition>& presets);
+
+}  // namespace catalyst::core

@@ -1,0 +1,159 @@
+#include "core/qrcp_special.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "linalg/blas.hpp"
+#include "linalg/householder.hpp"
+
+namespace catalyst::core {
+
+double round_to_tolerance(double u, double alpha) {
+  return alpha * std::floor(u / alpha + 0.5);
+}
+
+double score_entry(double v) {
+  if (v == 0.0) return 0.0;
+  if (v >= 1.0) return v;
+  return 1.0 / v;
+}
+
+double column_score(std::span<const double> column, double alpha) {
+  double score = 0.0;
+  for (double u : column) {
+    score += score_entry(std::fabs(round_to_tolerance(u, alpha)));
+  }
+  return score;
+}
+
+namespace {
+
+// Per-column intrinsic properties, computed once on the ORIGINAL matrix:
+// "closeness to the expectation basis" is a property of the event itself,
+// not of its partially-orthogonalized residual -- otherwise a combination
+// column (e.g. taken + unconditional) would masquerade as basis-aligned
+// once some of its components have been eliminated.
+struct ColumnTraits {
+  double score = 0.0;  // Sc-sum of the alpha-rounded original column
+  // 2-norm of the alpha-rounded original column.  Rounding the tie-break
+  // norm keeps measurement noise from deciding between semantically
+  // identical columns (two aliases of the same counter); exact ties then
+  // fall back to input order, which is deterministic.
+  double norm = 0.0;
+};
+
+// get_pivot of Algorithm 2: among the trailing columns [i, n), pick the one
+// whose ORIGINAL column has the minimum score (ties -> smallest original
+// norm, then first in input order).  A candidate is eligible only when the
+// norm of its UPDATED trailing residual (rows [i, m) of the factored
+// matrix) is at least beta: everything already explained by the selected
+// events, or pure noise, is disregarded; -1 means no eligible candidate
+// remains and the factorization terminates.
+linalg::index_t get_pivot(const linalg::Matrix& a,
+                          const std::vector<ColumnTraits>& traits,
+                          const std::vector<linalg::index_t>& perm,
+                          linalg::index_t i, double alpha, double beta,
+                          PivotRule rule) {
+  const linalg::index_t m = a.rows();
+  const linalg::index_t n = a.cols();
+  linalg::index_t best = -1;
+  double best_score = 0.0;
+  double best_norm = 0.0;
+  linalg::index_t best_orig = 0;
+  for (linalg::index_t j = i; j < n; ++j) {
+    const auto col = a.col(j);
+    const auto tail = col.subspan(static_cast<std::size_t>(i),
+                                  static_cast<std::size_t>(m - i));
+    const double tail_norm = linalg::nrm2(tail);
+    if (tail_norm < beta) continue;  // dependent or noise-level
+    const linalg::index_t orig = perm[static_cast<std::size_t>(j)];
+    ColumnTraits t;
+    switch (rule) {
+      case PivotRule::original_score:
+        t = traits[static_cast<std::size_t>(orig)];
+        break;
+      case PivotRule::updated_score:
+        t = {column_score(tail, alpha), tail_norm};
+        break;
+      case PivotRule::max_norm:
+        // Largest norm == smallest negated norm, reusing the min search.
+        t = {-tail_norm, tail_norm};
+        break;
+    }
+    // Full ties (score and rounded norm) resolve to the smallest ORIGINAL
+    // column index; the in-place column swaps scramble scan order, so
+    // first-encountered would not be deterministic in input terms.
+    if (best == -1 || t.score < best_score ||
+        (t.score == best_score &&
+         (t.norm < best_norm ||
+          (t.norm == best_norm && orig < best_orig)))) {
+      best = j;
+      best_score = t.score;
+      best_norm = t.norm;
+      best_orig = orig;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
+                                   PivotRule rule) {
+  if (alpha <= 0.0) {
+    throw std::invalid_argument("specialized_qrcp: alpha must be positive");
+  }
+  SpecialQrcpResult res;
+  linalg::Matrix a = x;  // working copy, factored in place
+  const linalg::index_t m = a.rows();
+  const linalg::index_t n = a.cols();
+  const linalg::index_t kmax = std::min(m, n);
+  // beta = norm of the all-alpha vector of the full column length.
+  const double beta = alpha * std::sqrt(static_cast<double>(m));
+
+  std::vector<linalg::index_t> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), linalg::index_t{0});
+
+  std::vector<ColumnTraits> traits(static_cast<std::size_t>(n));
+  std::vector<double> rounded(static_cast<std::size_t>(m));
+  for (linalg::index_t j = 0; j < n; ++j) {
+    const auto col = x.col(j);
+    for (linalg::index_t i = 0; i < m; ++i) {
+      rounded[static_cast<std::size_t>(i)] =
+          round_to_tolerance(col[static_cast<std::size_t>(i)], alpha);
+    }
+    traits[static_cast<std::size_t>(j)] = {column_score(col, alpha),
+                                           linalg::nrm2(rounded)};
+  }
+
+  for (linalg::index_t i = 0; i < kmax; ++i) {
+    const linalg::index_t pivot =
+        get_pivot(a, traits, perm, i, alpha, beta, rule);
+    if (pivot == -1) break;
+    res.pivot_scores.push_back(
+        traits[static_cast<std::size_t>(
+                   perm[static_cast<std::size_t>(pivot)])]
+            .score);
+    if (pivot != i) {
+      a.swap_cols(i, pivot);
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(pivot)]);
+    }
+    res.selected.push_back(perm[static_cast<std::size_t>(i)]);
+
+    // Orthogonalization step: annihilate below the diagonal of column i and
+    // update the trailing columns, so later scores and the beta cutoff act
+    // on the component NOT already explained by the selected events.
+    auto ci = a.col(i);
+    auto head = ci.subspan(static_cast<std::size_t>(i));
+    const linalg::Reflector h = linalg::make_reflector(head);
+    auto v = head.subspan(1);
+    linalg::apply_reflector_left(a, i, i + 1, v, h.tau);
+    ci[static_cast<std::size_t>(i)] = h.beta;
+  }
+  res.rank = static_cast<linalg::index_t>(res.selected.size());
+  return res;
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,47 @@
+// catalyst/core -- plain-text report rendering for pipeline artifacts.
+//
+// The bench harness prints each paper table/figure from these helpers so
+// every binary formats results the same way.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+
+namespace catalyst::core {
+
+/// "a x EVENT + b x EVENT - c x EVENT" with zero terms dropped; "(none)"
+/// when every coefficient is zero.
+std::string format_combination(const std::vector<MetricTerm>& terms,
+                               int precision = 6);
+
+/// One row per metric: name, combination, backward error -- the layout of
+/// Tables V-VIII.
+std::string format_metric_table(const std::string& title,
+                                const std::vector<MetricDefinition>& metrics,
+                                bool rounded = false,
+                                double round_tol = 0.05);
+
+/// Sorted variability listing (the data behind Fig. 2): one line per event,
+/// "<index> <max RNMSE> <event>"; all-zero events are omitted (they are
+/// discarded before the figure is drawn).
+std::string format_variability_series(const NoiseFilterResult& noise,
+                                      double tau);
+
+/// The events the specialized QRCP selected, one per line with pivot score.
+std::string format_selected_events(const PipelineResult& result);
+
+/// A signature table (the layout of Tables I-IV).
+std::string format_signature_table(const std::string& title,
+                                   const std::vector<std::string>& basis,
+                                   const std::vector<MetricSignature>& sigs);
+
+/// A complete Markdown report of a pipeline run: stage funnel, the selected
+/// events with pivot scores, and a metric table (raw and rounded columns).
+/// `title` becomes the H1 heading.
+std::string format_markdown_report(const std::string& title,
+                                   const PipelineResult& result,
+                                   double round_tol = 0.05);
+
+}  // namespace catalyst::core

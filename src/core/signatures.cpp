@@ -1,0 +1,128 @@
+#include "core/signatures.hpp"
+
+#include <stdexcept>
+
+namespace catalyst::core {
+
+std::vector<MetricSignature> cpu_flops_signatures() {
+  // Table I, verbatim.  Basis order:
+  // SSCAL S128 S256 S512 | DSCAL D128 D256 D512 |
+  // SSCAL_FMA S128_FMA S256_FMA S512_FMA |
+  // DSCAL_FMA D128_FMA D256_FMA D512_FMA
+  return {
+      {"SP Instrs.",
+       {1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0}},
+      {"SP Ops.",
+       {1, 4, 8, 16, 0, 0, 0, 0, 2, 8, 16, 32, 0, 0, 0, 0}},
+      {"SP FMA Instrs.",
+       {0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2, 0, 0, 0, 0}},
+      {"DP Instrs.",
+       {0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0, 2, 2, 2, 2}},
+      {"DP Ops.",
+       {0, 0, 0, 0, 1, 2, 4, 8, 0, 0, 0, 0, 2, 4, 8, 16}},
+      {"DP FMA Instrs.",
+       {0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 2, 2, 2, 2}},
+  };
+}
+
+std::vector<MetricSignature> gpu_flops_signatures() {
+  // Table II, verbatim.  Basis order:
+  // AH AS AD | SH SS SD | MH MS MD | SQH SQS SQD | FH FS FD
+  return {
+      {"HP Add Ops.",
+       {1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+      {"HP Sub Ops.",
+       {0, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+      {"HP Add and Sub Ops.",
+       {1, 0, 0, 1, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0}},
+      {"All HP Ops.",
+       {1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0, 0}},
+      {"All SP Ops.",
+       {0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2, 0}},
+      {"All DP Ops.",
+       {0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 1, 0, 0, 2}},
+  };
+}
+
+std::vector<MetricSignature> branch_signatures() {
+  // Table III, verbatim.  Basis order: CE CR T D M.
+  return {
+      {"Unconditional Branches.", {0, 0, 0, 1, 0}},
+      {"Conditional Branches Taken.", {0, 0, 1, 0, 0}},
+      {"Conditional Branches Not Taken.", {0, 1, -1, 0, 0}},
+      {"Mispredicted Branches.", {0, 0, 0, 0, 1}},
+      {"Correctly Predicted Branches.", {0, 1, 0, 0, -1}},
+      {"Conditional Branches Retired.", {0, 1, 0, 0, 0}},
+      {"Conditional Branches Executed.", {1, 0, 0, 0, 0}},
+  };
+}
+
+std::vector<MetricSignature> dcache_signatures() {
+  // Table IV, verbatim.  Basis order: L1DM L1DH L2DH L3DH.
+  return {
+      {"L1 Misses.", {1, 0, 0, 0}},
+      {"L1 Hits.", {0, 1, 0, 0}},
+      {"L1 Reads.", {1, 1, 0, 0}},
+      {"L2 Hits.", {0, 0, 1, 0}},
+      {"L2 Misses.", {1, 0, -1, 0}},
+      {"L3 Hits.", {0, 0, 0, 1}},
+  };
+}
+
+std::vector<MetricSignature> slice_signatures(
+    const std::vector<MetricSignature>& signatures,
+    const std::vector<std::string>& full_labels,
+    const std::vector<std::string>& subset_labels) {
+  std::vector<std::size_t> index;
+  index.reserve(subset_labels.size());
+  for (const auto& label : subset_labels) {
+    bool found = false;
+    for (std::size_t i = 0; i < full_labels.size(); ++i) {
+      if (full_labels[i] == label) {
+        index.push_back(i);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      throw std::invalid_argument("slice_signatures: unknown label " + label);
+    }
+  }
+  std::vector<MetricSignature> out;
+  out.reserve(signatures.size());
+  for (const auto& s : signatures) {
+    if (s.coordinates.size() != full_labels.size()) {
+      throw std::invalid_argument(
+          "slice_signatures: signature/label dimension mismatch for " +
+          s.name);
+    }
+    MetricSignature sliced{s.name, {}};
+    sliced.coordinates.reserve(index.size());
+    for (std::size_t i : index) sliced.coordinates.push_back(s.coordinates[i]);
+    out.push_back(std::move(sliced));
+  }
+  return out;
+}
+
+std::vector<MetricSignature> icache_signatures() {
+  // Basis order: L1IM L1IH L2IH.
+  return {
+      {"L1I Misses.", {1, 0, 0}},
+      {"L1I Hits.", {0, 1, 0}},
+      {"Instruction Fetches.", {1, 1, 0}},
+      {"L2 Instruction Hits.", {0, 0, 1}},
+      {"L2 Instruction Misses.", {1, 0, -1}},
+  };
+}
+
+std::vector<MetricSignature> gpu_dcache_signatures() {
+  // Basis order: TCCH TCCM.
+  return {
+      {"TCC Hits.", {1, 0}},
+      {"TCC Misses.", {0, 1}},
+      {"TCC Accesses.", {1, 1}},
+      {"HBM Traffic Bytes.", {0, 64}},
+  };
+}
+
+}  // namespace catalyst::core

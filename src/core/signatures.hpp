@@ -1,0 +1,54 @@
+// catalyst/core -- metric signatures (Tables I-IV of the paper).
+//
+// A signature expresses a desired performance metric in the coordinates of
+// a benchmark's expectation basis.  Solving Xhat * y = s then yields the
+// combination of real raw events that realizes the metric (Section VI).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace catalyst::core {
+
+/// A metric and its coordinates in an expectation basis.
+struct MetricSignature {
+  std::string name;
+  linalg::Vector coordinates;  ///< One entry per basis label.
+};
+
+/// Table I: CPU FLOPs signatures over the 16-dim basis
+/// (SSCAL, S128, S256, S512, DSCAL..D512, SSCAL_FMA..S512_FMA,
+///  DSCAL_FMA..D512_FMA).
+std::vector<MetricSignature> cpu_flops_signatures();
+
+/// Table II: GPU FLOPs signatures over the 15-dim basis
+/// (AH, AS, AD, SH, SS, SD, MH, MS, MD, SQH, SQS, SQD, FH, FS, FD).
+std::vector<MetricSignature> gpu_flops_signatures();
+
+/// Table III: branching signatures over (CE, CR, T, D, M).
+std::vector<MetricSignature> branch_signatures();
+
+/// Table IV: data-cache signatures over (L1DM, L1DH, L2DH, L3DH).
+std::vector<MetricSignature> dcache_signatures();
+
+/// Instruction-cache signatures over (L1IM, L1IH, L2IH) -- the library's
+/// fifth category (a CAT benchmark beyond the paper's four).
+std::vector<MetricSignature> icache_signatures();
+
+/// GPU data-movement signatures over (TCCH, TCCM) -- the sixth category.
+/// "HBM Traffic Bytes" scales misses by the 64-byte line size.
+std::vector<MetricSignature> gpu_dcache_signatures();
+
+/// Re-expresses signatures defined over `full_labels` in the coordinate
+/// order of `subset_labels` (a narrowed benchmark Space, e.g. a machine
+/// without AVX-512).  Coordinates of dropped dimensions are simply removed:
+/// instructions the hardware cannot execute contribute nothing on it.
+/// Throws std::invalid_argument if a subset label is not in full_labels.
+std::vector<MetricSignature> slice_signatures(
+    const std::vector<MetricSignature>& signatures,
+    const std::vector<std::string>& full_labels,
+    const std::vector<std::string>& subset_labels);
+
+}  // namespace catalyst::core

@@ -1,0 +1,55 @@
+// catalyst/core -- metric validation on held-out workloads.
+//
+// The pipeline fits metric definitions on the CAT microbenchmarks; this
+// module checks them on *mixed* workloads the fit never saw (the
+// "validating event combinations" direction of the paper's conclusion).
+// For each workload the defined combination is read through a vpapi event
+// set (so counter limits and noise apply, as they would for a user) and
+// compared against the ground truth computed from the benchmark's ideal
+// events.
+#pragma once
+
+#include "cat/mixed.hpp"
+#include "core/metrics.hpp"
+#include "core/presets.hpp"
+#include "pmu/machine.hpp"
+
+namespace catalyst::core {
+
+/// One workload's verdict.
+struct ValidationSample {
+  std::string workload;
+  double predicted = 0.0;   ///< Combination read from (noisy) counters.
+  double ground_truth = 0.0;
+  /// |predicted - truth| / max(|truth|, 1): relative when the truth is
+  /// meaningful, absolute near zero.
+  double relative_error = 0.0;
+};
+
+/// Validation outcome for one metric.
+struct ValidationReport {
+  std::string metric_name;
+  std::vector<ValidationSample> samples;
+  double max_relative_error = 0.0;
+  double mean_relative_error = 0.0;
+};
+
+/// Validates one composed metric on the given workloads.
+/// The combination is measured through a vpapi session (registered as a
+/// preset, read per workload with per-workload noise coordinates).
+/// `signature` must be the metric's coordinates over `benchmark`'s basis.
+ValidationReport validate_metric(const pmu::Machine& machine,
+                                 const cat::Benchmark& benchmark,
+                                 const PresetDefinition& preset,
+                                 std::span<const double> signature,
+                                 const std::vector<cat::MixedWorkload>& mixes);
+
+/// Convenience: validates every composable metric of a pipeline run on
+/// freshly generated mixed workloads.
+std::vector<ValidationReport> validate_all(
+    const pmu::Machine& machine, const cat::Benchmark& benchmark,
+    const std::vector<MetricDefinition>& metrics,
+    const std::vector<MetricSignature>& signatures, std::size_t num_workloads,
+    std::uint64_t seed);
+
+}  // namespace catalyst::core

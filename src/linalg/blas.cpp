@@ -1,0 +1,308 @@
+#include "linalg/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <thread>
+#include <vector>
+
+namespace catalyst::linalg {
+
+namespace {
+
+void check_same_size(std::span<const double> x, std::span<const double> y,
+                     const char* op) {
+  if (x.size() != y.size()) {
+    throw DimensionError(std::string(op) + ": vector length mismatch");
+  }
+}
+
+}  // namespace
+
+// ----- Level 1 --------------------------------------------------------------
+
+double dot(std::span<const double> x, std::span<const double> y) {
+  check_same_size(x, y, "dot");
+  double s = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) s += x[i] * y[i];
+  return s;
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  check_same_size(x, y, "axpy");
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scal(double alpha, std::span<double> x) noexcept {
+  for (double& v : x) v *= alpha;
+}
+
+double nrm2(std::span<const double> x) noexcept {
+  // Scaled accumulation following the classic dnrm2 recurrence so that
+  // vectors with entries near DBL_MAX or DBL_MIN do not overflow/underflow.
+  double scale = 0.0;
+  double ssq = 1.0;
+  for (double v : x) {
+    if (v != 0.0) {
+      const double a = std::fabs(v);
+      if (scale < a) {
+        const double r = scale / a;
+        ssq = 1.0 + ssq * r * r;
+        scale = a;
+      } else {
+        const double r = a / scale;
+        ssq += r * r;
+      }
+    }
+  }
+  return scale * std::sqrt(ssq);
+}
+
+double asum(std::span<const double> x) noexcept {
+  double s = 0.0;
+  for (double v : x) s += std::fabs(v);
+  return s;
+}
+
+index_t iamax(std::span<const double> x) noexcept {
+  if (x.empty()) return -1;
+  index_t best = 0;
+  double best_abs = std::fabs(x[0]);
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    const double a = std::fabs(x[i]);
+    if (a > best_abs) {
+      best_abs = a;
+      best = static_cast<index_t>(i);
+    }
+  }
+  return best;
+}
+
+// ----- Level 2 --------------------------------------------------------------
+
+void gemv(double alpha, const Matrix& a, std::span<const double> x,
+          double beta, std::span<double> y) {
+  if (static_cast<index_t>(x.size()) != a.cols() ||
+      static_cast<index_t>(y.size()) != a.rows()) {
+    throw DimensionError("gemv: shape mismatch");
+  }
+  scal(beta, y);
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double axj = alpha * x[static_cast<std::size_t>(j)];
+    if (axj == 0.0) continue;
+    auto cj = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      y[static_cast<std::size_t>(i)] += axj * cj[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
+            double beta, std::span<double> y) {
+  if (static_cast<index_t>(x.size()) != a.rows() ||
+      static_cast<index_t>(y.size()) != a.cols()) {
+    throw DimensionError("gemv_t: shape mismatch");
+  }
+  for (index_t j = 0; j < a.cols(); ++j) {
+    y[static_cast<std::size_t>(j)] =
+        beta * y[static_cast<std::size_t>(j)] + alpha * dot(a.col(j), x);
+  }
+}
+
+Vector matvec(const Matrix& a, std::span<const double> x) {
+  Vector y(static_cast<std::size_t>(a.rows()), 0.0);
+  gemv(1.0, a, x, 0.0, y);
+  return y;
+}
+
+Vector matvec_t(const Matrix& a, std::span<const double> x) {
+  Vector y(static_cast<std::size_t>(a.cols()), 0.0);
+  gemv_t(1.0, a, x, 0.0, y);
+  return y;
+}
+
+void ger(double alpha, std::span<const double> x, std::span<const double> y,
+         Matrix& a) {
+  if (static_cast<index_t>(x.size()) != a.rows() ||
+      static_cast<index_t>(y.size()) != a.cols()) {
+    throw DimensionError("ger: shape mismatch");
+  }
+  for (index_t j = 0; j < a.cols(); ++j) {
+    const double ayj = alpha * y[static_cast<std::size_t>(j)];
+    if (ayj == 0.0) continue;
+    auto cj = a.col(j);
+    for (index_t i = 0; i < a.rows(); ++i) {
+      cj[static_cast<std::size_t>(i)] += ayj * x[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+// ----- Level 3 --------------------------------------------------------------
+
+namespace {
+
+// Serial kernel computing columns [c0, c1) of C = alpha*op(A)*op(B) + beta*C.
+void gemm_cols(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+               bool trans_b, double beta, Matrix& c, index_t c0, index_t c1) {
+  const index_t m = c.rows();
+  const index_t kdim = trans_a ? a.rows() : a.cols();
+  for (index_t j = c0; j < c1; ++j) {
+    auto cj = c.col(j);
+    scal(beta, cj);
+    for (index_t k = 0; k < kdim; ++k) {
+      const double bkj = trans_b ? b(j, k) : b(k, j);
+      const double f = alpha * bkj;
+      if (f == 0.0) continue;
+      if (!trans_a) {
+        auto ak = a.col(k);
+        for (index_t i = 0; i < m; ++i) {
+          cj[static_cast<std::size_t>(i)] += f * ak[static_cast<std::size_t>(i)];
+        }
+      } else {
+        for (index_t i = 0; i < m; ++i) {
+          cj[static_cast<std::size_t>(i)] += f * a(k, i);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
+          bool trans_b, double beta, Matrix& c, int threads) {
+  const index_t m = trans_a ? a.cols() : a.rows();
+  const index_t ka = trans_a ? a.rows() : a.cols();
+  const index_t kb = trans_b ? b.cols() : b.rows();
+  const index_t n = trans_b ? b.rows() : b.cols();
+  if (ka != kb || c.rows() != m || c.cols() != n) {
+    throw DimensionError("gemm: shape mismatch");
+  }
+  if (threads <= 1 || n < 2) {
+    gemm_cols(alpha, a, trans_a, b, trans_b, beta, c, 0, n);
+    return;
+  }
+  const int nt = std::min<int>(threads, static_cast<int>(n));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nt));
+  const index_t chunk = (n + nt - 1) / nt;
+  for (int t = 0; t < nt; ++t) {
+    const index_t c0 = t * chunk;
+    const index_t c1 = std::min<index_t>(n, c0 + chunk);
+    if (c0 >= c1) break;
+    pool.emplace_back([&, c0, c1] {
+      gemm_cols(alpha, a, trans_a, b, trans_b, beta, c, c0, c1);
+    });
+  }
+  for (auto& th : pool) th.join();
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  gemm(1.0, a, false, b, false, 0.0, c);
+  return c;
+}
+
+Matrix matmul_tn(const Matrix& a, const Matrix& b) {
+  Matrix c(a.cols(), b.cols());
+  gemm(1.0, a, true, b, false, 0.0, c);
+  return c;
+}
+
+// ----- Triangular solves ------------------------------------------------------
+
+void trsv_upper(const Matrix& r, std::span<double> b) {
+  const auto n = static_cast<index_t>(b.size());
+  if (r.rows() < n || r.cols() < n) {
+    throw DimensionError("trsv_upper: matrix smaller than rhs");
+  }
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      s -= r(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    const double d = r(i, i);
+    if (d == 0.0) throw SingularError("trsv_upper: zero diagonal");
+    b[static_cast<std::size_t>(i)] = s / d;
+  }
+}
+
+void trsv_lower(const Matrix& l, std::span<double> b) {
+  const auto n = static_cast<index_t>(b.size());
+  if (l.rows() < n || l.cols() < n) {
+    throw DimensionError("trsv_lower: matrix smaller than rhs");
+  }
+  for (index_t i = 0; i < n; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= l(i, j) * b[static_cast<std::size_t>(j)];
+    }
+    const double d = l(i, i);
+    if (d == 0.0) throw SingularError("trsv_lower: zero diagonal");
+    b[static_cast<std::size_t>(i)] = s / d;
+  }
+}
+
+void trsv_upper_t(const Matrix& r, std::span<double> b) {
+  const auto n = static_cast<index_t>(b.size());
+  if (r.rows() < n || r.cols() < n) {
+    throw DimensionError("trsv_upper_t: matrix smaller than rhs");
+  }
+  // R^T is lower triangular with (R^T)(i,j) = R(j,i); forward substitution.
+  for (index_t i = 0; i < n; ++i) {
+    double s = b[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= r(j, i) * b[static_cast<std::size_t>(j)];
+    }
+    const double d = r(i, i);
+    if (d == 0.0) throw SingularError("trsv_upper_t: zero diagonal");
+    b[static_cast<std::size_t>(i)] = s / d;
+  }
+}
+
+// ----- Norms -----------------------------------------------------------------
+
+double norm_frobenius(const Matrix& a) noexcept { return nrm2(a.data()); }
+
+double norm_one(const Matrix& a) noexcept {
+  double best = 0.0;
+  for (index_t j = 0; j < a.cols(); ++j) best = std::max(best, asum(a.col(j)));
+  return best;
+}
+
+double norm_inf(const Matrix& a) noexcept {
+  double best = 0.0;
+  for (index_t i = 0; i < a.rows(); ++i) {
+    double s = 0.0;
+    for (index_t j = 0; j < a.cols(); ++j) s += std::fabs(a(i, j));
+    best = std::max(best, s);
+  }
+  return best;
+}
+
+double norm_two_estimate(const Matrix& a, int iters, unsigned long seed) {
+  if (a.empty()) return 0.0;
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Vector v(static_cast<std::size_t>(a.cols()));
+  for (double& x : v) x = dist(rng);
+  double nv = nrm2(v);
+  if (nv == 0.0) {
+    v[0] = 1.0;
+    nv = 1.0;
+  }
+  scal(1.0 / nv, v);
+  double sigma = 0.0;
+  for (int it = 0; it < iters; ++it) {
+    Vector av = matvec(a, v);       // A v
+    Vector w = matvec_t(a, av);     // A^T A v
+    const double nw = nrm2(w);
+    if (nw == 0.0) return 0.0;      // v in null space; A has tiny norm anyway
+    sigma = std::sqrt(nw);          // ||A^T A v|| -> sigma_max^2 as v aligns
+    scal(1.0 / nw, w);
+    v = std::move(w);
+  }
+  return sigma;
+}
+
+}  // namespace catalyst::linalg

@@ -1,0 +1,43 @@
+// catalyst/linalg -- error types shared by the dense linear algebra kernels.
+//
+// All precondition violations in catalyst::linalg throw one of the exception
+// types below rather than invoking undefined behaviour.  Numerical
+// breakdowns (rank deficiency, non-convergence) are reported through return
+// values / status structs, never through exceptions, so that callers can
+// implement fallbacks without control-flow surprises.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace catalyst::linalg {
+
+/// Base class for all catalyst::linalg exceptions.
+class LinalgError : public std::runtime_error {
+ public:
+  explicit LinalgError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when operand shapes are incompatible (e.g. gemm with mismatched
+/// inner dimensions, or indexing past the end of a matrix).
+class DimensionError : public LinalgError {
+ public:
+  explicit DimensionError(const std::string& what) : LinalgError(what) {}
+};
+
+/// Thrown when a value argument is outside its documented domain
+/// (e.g. a negative tolerance).
+class ArgumentError : public LinalgError {
+ public:
+  explicit ArgumentError(const std::string& what) : LinalgError(what) {}
+};
+
+/// Thrown when an algorithm is asked to operate on a structurally singular
+/// input where it cannot produce any result (e.g. triangular solve with an
+/// exactly zero diagonal entry).
+class SingularError : public LinalgError {
+ public:
+  explicit SingularError(const std::string& what) : LinalgError(what) {}
+};
+
+}  // namespace catalyst::linalg

@@ -1,0 +1,129 @@
+#include "linalg/lstsq.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace catalyst::linalg {
+
+namespace {
+
+// Solves R x = y for the leading k x k block of packed R, zeroing solution
+// components whose diagonal entry is below tol (basic solution).
+// Returns true if any component was zeroed.
+bool solve_upper_regularized(const Matrix& r, std::span<double> x,
+                             double tol) {
+  bool deficient = false;
+  const auto n = static_cast<index_t>(x.size());
+  for (index_t i = n - 1; i >= 0; --i) {
+    double s = x[static_cast<std::size_t>(i)];
+    for (index_t j = i + 1; j < n; ++j) {
+      s -= r(i, j) * x[static_cast<std::size_t>(j)];
+    }
+    const double d = r(i, i);
+    if (std::fabs(d) <= tol) {
+      x[static_cast<std::size_t>(i)] = 0.0;
+      deficient = true;
+    } else {
+      x[static_cast<std::size_t>(i)] = s / d;
+    }
+  }
+  return deficient;
+}
+
+}  // namespace
+
+LstsqResult lstsq(const Matrix& a, std::span<const double> b, double rcond) {
+  if (a.rows() < a.cols()) {
+    throw DimensionError("lstsq: system is underdetermined; use lstsq_min_norm");
+  }
+  if (static_cast<index_t>(b.size()) != a.rows()) {
+    throw DimensionError("lstsq: rhs length mismatch");
+  }
+  LstsqResult out;
+  QrFactorization qr(a);
+  Vector y(b.begin(), b.end());
+  qr.apply_qt(y);
+
+  const auto diag = qr.r_diagonal_abs();
+  const double dmax =
+      diag.empty() ? 0.0 : *std::max_element(diag.begin(), diag.end());
+  const double tol = rcond * dmax;
+
+  out.x.assign(y.begin(), y.begin() + a.cols());
+  out.rank_deficient = solve_upper_regularized(qr.packed(), out.x, tol);
+
+  // Residual: recompute explicitly (robust even when rank deficient).
+  Vector r(b.begin(), b.end());
+  gemv(-1.0, a, out.x, 1.0, r);
+  out.residual_norm = nrm2(r);
+  out.backward_error = backward_error(a, out.x, b);
+  return out;
+}
+
+LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
+                           double rcond) {
+  if (a.rows() >= a.cols()) {
+    return lstsq(a, b, rcond);
+  }
+  if (static_cast<index_t>(b.size()) != a.rows()) {
+    throw DimensionError("lstsq_min_norm: rhs length mismatch");
+  }
+  LstsqResult out;
+  // A = (QR)^T with A^T = Q R  =>  x = Q R^{-T} b is the minimum-norm
+  // solution of A x = b.
+  QrFactorization qr(a.transposed());
+
+  const auto diag = qr.r_diagonal_abs();
+  const double dmax =
+      diag.empty() ? 0.0 : *std::max_element(diag.begin(), diag.end());
+  const double tol = rcond * dmax;
+
+  // Solve R^T z = b with regularization for tiny diagonals.
+  Vector z(b.begin(), b.end());
+  const auto m = static_cast<index_t>(z.size());
+  for (index_t i = 0; i < m; ++i) {
+    double s = z[static_cast<std::size_t>(i)];
+    for (index_t j = 0; j < i; ++j) {
+      s -= qr.packed()(j, i) * z[static_cast<std::size_t>(j)];
+    }
+    const double d = qr.packed()(i, i);
+    if (std::fabs(d) <= tol) {
+      z[static_cast<std::size_t>(i)] = 0.0;
+      out.rank_deficient = true;
+    } else {
+      z[static_cast<std::size_t>(i)] = s / d;
+    }
+  }
+  // x = Q z (pad z to full length and apply Q).
+  Vector x(static_cast<std::size_t>(a.cols()), 0.0);
+  std::copy(z.begin(), z.end(), x.begin());
+  qr.apply_q(x);
+  out.x = std::move(x);
+
+  Vector r(b.begin(), b.end());
+  gemv(-1.0, a, out.x, 1.0, r);
+  out.residual_norm = nrm2(r);
+  out.backward_error = backward_error(a, out.x, b);
+  return out;
+}
+
+double backward_error(const Matrix& a, std::span<const double> y,
+                      std::span<const double> s) {
+  if (static_cast<index_t>(y.size()) != a.cols() ||
+      static_cast<index_t>(s.size()) != a.rows()) {
+    throw DimensionError("backward_error: shape mismatch");
+  }
+  Vector r(s.begin(), s.end());
+  gemv(-1.0, a, y, 1.0, r);
+  const double num = nrm2(r);
+  const double denom = norm_two_estimate(a) * nrm2(y) + nrm2(s);
+  if (denom == 0.0) {
+    // Zero matrix, zero solution, zero signature: the fit is exact.
+    return num == 0.0 ? 0.0 : 1.0;
+  }
+  return num / denom;
+}
+
+}  // namespace catalyst::linalg

@@ -1,0 +1,46 @@
+// catalyst/linalg -- least-squares solvers and the paper's backward error.
+//
+// The analysis pipeline solves two kinds of systems:
+//   1. E * xe = me  -- project a raw-event measurement onto the expectation
+//      basis (Section III-B of the paper); E is tall (kernels x ideal
+//      events) and well conditioned by construction.
+//   2. Xhat * y = s -- compose a metric signature from the QR-selected
+//      events (Section VI); Xhat is square or tall.
+// Both are solved through Householder QR.  Fitness is reported with the
+// backward error of Eq. 5:  ||A y - s|| / (||A|| * ||y|| + ||s||).
+#pragma once
+
+#include "linalg/matrix.hpp"
+#include "linalg/qr.hpp"
+
+namespace catalyst::linalg {
+
+/// Outcome of a least-squares solve.
+struct LstsqResult {
+  Vector x;                    ///< Solution (length = A.cols()).
+  double residual_norm = 0.0;  ///< ||A x - b||_2.
+  double backward_error = 0.0; ///< Eq. 5 normwise backward error.
+  bool rank_deficient = false; ///< True if a tiny R diagonal was regularized.
+};
+
+/// Solves min_x ||A x - b||_2 for a square or tall A via Householder QR.
+///
+/// Rank handling: diagonal entries of R with magnitude below
+/// `rcond * max_i |R(i,i)|` are treated as zero; the corresponding solution
+/// components are set to zero (a basic rather than minimum-norm solution,
+/// which matches how the paper's pipeline interprets "this event
+/// contributes nothing").
+LstsqResult lstsq(const Matrix& a, std::span<const double> b,
+                  double rcond = 1e-12);
+
+/// Minimum-norm solution of an underdetermined system A x = b (m < n),
+/// via QR of A^T:  x = Q (R^T)^{-1} b.
+LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
+                           double rcond = 1e-12);
+
+/// The paper's Eq. 5: ||A y - s||_2 / (||A||_2 * ||y||_2 + ||s||_2).
+/// ||A||_2 is estimated with power iteration (see norm_two_estimate).
+double backward_error(const Matrix& a, std::span<const double> y,
+                      std::span<const double> s);
+
+}  // namespace catalyst::linalg

@@ -1,0 +1,181 @@
+#include "linalg/qr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/householder.hpp"
+
+namespace catalyst::linalg {
+
+QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
+  const index_t m = qr_.rows();
+  const index_t n = qr_.cols();
+  const index_t k = std::min(m, n);
+  taus_.assign(static_cast<std::size_t>(std::max<index_t>(k, 0)), 0.0);
+  for (index_t j = 0; j < k; ++j) {
+    auto cj = qr_.col(j);
+    auto head = cj.subspan(static_cast<std::size_t>(j));
+    Reflector h = make_reflector(head);
+    taus_[static_cast<std::size_t>(j)] = h.tau;
+    // head[1:] now holds the essential reflector; head[0] must become beta,
+    // but we keep the essential part stored below the diagonal, so write
+    // beta into the diagonal slot after applying the reflector to the
+    // trailing columns.
+    auto v = head.subspan(1);
+    apply_reflector_left(qr_, j, j + 1, v, h.tau);
+    cj[static_cast<std::size_t>(j)] = h.beta;
+  }
+}
+
+QrFactorization::QrFactorization(Matrix a, index_t block_size)
+    : qr_(std::move(a)) {
+  if (block_size <= 0) {
+    throw ArgumentError("QrFactorization: block size must be positive");
+  }
+  const index_t m = qr_.rows();
+  const index_t n = qr_.cols();
+  const index_t kmin = std::min(m, n);
+  taus_.assign(static_cast<std::size_t>(std::max<index_t>(kmin, 0)), 0.0);
+
+  for (index_t k = 0; k < kmin; k += block_size) {
+    const index_t kb = std::min(block_size, kmin - k);
+
+    // --- Factor the panel A[k:m, k:k+kb) unblocked -------------------------
+    for (index_t j = k; j < k + kb; ++j) {
+      auto cj = qr_.col(j);
+      auto head = cj.subspan(static_cast<std::size_t>(j));
+      const Reflector h = make_reflector(head);
+      taus_[static_cast<std::size_t>(j)] = h.tau;
+      auto v = head.subspan(1);
+      // Apply only within the panel here; the trailing matrix gets the
+      // blocked update below.
+      apply_reflector_left_cols(qr_, j, j + 1, k + kb, v, h.tau);
+      cj[static_cast<std::size_t>(j)] = h.beta;
+    }
+    const index_t ntrail = n - (k + kb);
+    if (ntrail <= 0) continue;
+
+    // --- Build V (unit lower trapezoidal) and T (compact WY) ---------------
+    const index_t vm = m - k;
+    Matrix vmat(vm, kb, 0.0);
+    for (index_t j = 0; j < kb; ++j) {
+      vmat(j, j) = 1.0;
+      for (index_t i = j + 1; i < vm; ++i) {
+        vmat(i, j) = qr_(k + i, k + j);
+      }
+    }
+    // dlarft (forward, columnwise): T is kb x kb upper triangular with
+    // T(0:j, j) = -tau_j * T(0:j, 0:j) * (V^T * v_j), T(j, j) = tau_j.
+    Matrix tmat(kb, kb, 0.0);
+    for (index_t j = 0; j < kb; ++j) {
+      const double tau = taus_[static_cast<std::size_t>(k + j)];
+      tmat(j, j) = tau;
+      if (j == 0 || tau == 0.0) continue;
+      // w = V(:, 0:j)^T * v_j  (only rows j.. contribute: v_j is zero above).
+      Vector w(static_cast<std::size_t>(j), 0.0);
+      for (index_t c = 0; c < j; ++c) {
+        double s = 0.0;
+        for (index_t i = j; i < vm; ++i) {
+          s += vmat(i, c) * vmat(i, j);
+        }
+        w[static_cast<std::size_t>(c)] = s;
+      }
+      // T(0:j, j) = -tau * T(0:j, 0:j) * w  (T upper triangular).
+      for (index_t r = 0; r < j; ++r) {
+        double s = 0.0;
+        for (index_t c = r; c < j; ++c) {
+          s += tmat(r, c) * w[static_cast<std::size_t>(c)];
+        }
+        tmat(r, j) = -tau * s;
+      }
+    }
+
+    // --- Blocked trailing update: C <- C - V * T^T * (V^T C) ---------------
+    Matrix c_trail = qr_.block(k, k + kb, vm, ntrail);
+    Matrix w(kb, ntrail);
+    gemm(1.0, vmat, true, c_trail, false, 0.0, w);   // W = V^T C
+    Matrix tw(kb, ntrail);
+    gemm(1.0, tmat, true, w, false, 0.0, tw);        // TW = T^T W
+    gemm(-1.0, vmat, false, tw, false, 1.0, c_trail);// C -= V TW
+    for (index_t j = 0; j < ntrail; ++j) {
+      for (index_t i = 0; i < vm; ++i) {
+        qr_(k + i, k + kb + j) = c_trail(i, j);
+      }
+    }
+  }
+}
+
+Matrix QrFactorization::r() const {
+  const index_t k = reflectors();
+  const index_t n = qr_.cols();
+  Matrix out(k, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t top = std::min<index_t>(j + 1, k);
+    for (index_t i = 0; i < top; ++i) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+Matrix QrFactorization::q_thin() const {
+  const index_t m = qr_.rows();
+  const index_t k = reflectors();
+  Matrix q(m, k);
+  for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
+  // Accumulate Q = H_0 H_1 ... H_{k-1} * I by applying reflectors from the
+  // last to the first.
+  for (index_t j = k - 1; j >= 0; --j) {
+    auto cj = qr_.col(j);
+    auto v = cj.subspan(static_cast<std::size_t>(j + 1));
+    apply_reflector_left(q, j, 0, v, taus_[static_cast<std::size_t>(j)]);
+  }
+  return q;
+}
+
+void QrFactorization::apply_qt(std::span<double> b) const {
+  if (static_cast<index_t>(b.size()) != qr_.rows()) {
+    throw DimensionError("apply_qt: wrong vector length");
+  }
+  for (index_t j = 0; j < reflectors(); ++j) {
+    auto cj = qr_.col(j);
+    auto v = cj.subspan(static_cast<std::size_t>(j + 1));
+    apply_reflector_vec(b, j, v, taus_[static_cast<std::size_t>(j)]);
+  }
+}
+
+void QrFactorization::apply_q(std::span<double> b) const {
+  if (static_cast<index_t>(b.size()) != qr_.rows()) {
+    throw DimensionError("apply_q: wrong vector length");
+  }
+  for (index_t j = reflectors() - 1; j >= 0; --j) {
+    auto cj = qr_.col(j);
+    auto v = cj.subspan(static_cast<std::size_t>(j + 1));
+    apply_reflector_vec(b, j, v, taus_[static_cast<std::size_t>(j)]);
+  }
+}
+
+Vector QrFactorization::solve(std::span<const double> b) const {
+  if (static_cast<index_t>(b.size()) != qr_.rows()) {
+    throw DimensionError("QrFactorization::solve: wrong rhs length");
+  }
+  if (qr_.rows() < qr_.cols()) {
+    throw DimensionError(
+        "QrFactorization::solve: underdetermined system; use "
+        "lstsq_min_norm instead");
+  }
+  Vector y(b.begin(), b.end());
+  apply_qt(y);
+  Vector x(y.begin(), y.begin() + qr_.cols());
+  trsv_upper(qr_, x);
+  return x;
+}
+
+std::vector<double> QrFactorization::r_diagonal_abs() const {
+  std::vector<double> d(static_cast<std::size_t>(reflectors()));
+  for (index_t i = 0; i < reflectors(); ++i) {
+    d[static_cast<std::size_t>(i)] = std::fabs(qr_(i, i));
+  }
+  return d;
+}
+
+}  // namespace catalyst::linalg

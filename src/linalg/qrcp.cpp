@@ -1,0 +1,123 @@
+#include "linalg/qrcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.hpp"
+#include "linalg/householder.hpp"
+
+namespace catalyst::linalg {
+
+Matrix QrcpResult::r() const {
+  const auto k = static_cast<index_t>(taus.size());
+  const index_t n = packed.cols();
+  Matrix out(k, n);
+  for (index_t j = 0; j < n; ++j) {
+    const index_t top = std::min<index_t>(j + 1, k);
+    for (index_t i = 0; i < top; ++i) out(i, j) = packed(i, j);
+  }
+  return out;
+}
+
+std::vector<double> QrcpResult::r_diagonal_abs() const {
+  std::vector<double> d(taus.size());
+  for (std::size_t i = 0; i < taus.size(); ++i) {
+    d[i] = std::fabs(packed(static_cast<index_t>(i), static_cast<index_t>(i)));
+  }
+  return d;
+}
+
+QrcpResult qrcp(Matrix a, double rank_tol_rel) {
+  if (rank_tol_rel < 0.0) {
+    throw ArgumentError("qrcp: negative rank tolerance");
+  }
+  QrcpResult res;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t kmax = std::min(m, n);
+
+  res.permutation.resize(static_cast<std::size_t>(n));
+  std::iota(res.permutation.begin(), res.permutation.end(), index_t{0});
+
+  // Partial column norms and their last exact values, for the LINPACK
+  // downdating formula with the dgeqp3 recomputation safeguard.
+  std::vector<double> pnorm(static_cast<std::size_t>(n));
+  std::vector<double> pnorm_exact(static_cast<std::size_t>(n));
+  double max_initial_norm = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    const double nj = nrm2(a.col(j));
+    pnorm[static_cast<std::size_t>(j)] = nj;
+    pnorm_exact[static_cast<std::size_t>(j)] = nj;
+    max_initial_norm = std::max(max_initial_norm, nj);
+  }
+  const double stop_tol = rank_tol_rel * max_initial_norm;
+
+  res.taus.reserve(static_cast<std::size_t>(kmax));
+  index_t i = 0;
+  for (; i < kmax; ++i) {
+    // Pivot: trailing column with the largest partial norm.
+    index_t pivot = i;
+    for (index_t j = i + 1; j < n; ++j) {
+      if (pnorm[static_cast<std::size_t>(j)] >
+          pnorm[static_cast<std::size_t>(pivot)]) {
+        pivot = j;
+      }
+    }
+    if (pnorm[static_cast<std::size_t>(pivot)] <= stop_tol) {
+      break;  // Remaining columns are numerically negligible.
+    }
+    if (pivot != i) {
+      a.swap_cols(i, pivot);
+      std::swap(res.permutation[static_cast<std::size_t>(i)],
+                res.permutation[static_cast<std::size_t>(pivot)]);
+      std::swap(pnorm[static_cast<std::size_t>(i)],
+                pnorm[static_cast<std::size_t>(pivot)]);
+      std::swap(pnorm_exact[static_cast<std::size_t>(i)],
+                pnorm_exact[static_cast<std::size_t>(pivot)]);
+    }
+
+    auto ci = a.col(i);
+    auto head = ci.subspan(static_cast<std::size_t>(i));
+    Reflector h = make_reflector(head);
+    res.taus.push_back(h.tau);
+    auto v = head.subspan(1);
+    apply_reflector_left(a, i, i + 1, v, h.tau);
+    ci[static_cast<std::size_t>(i)] = h.beta;
+
+    // Downdate the partial norms of the trailing columns:
+    // ||A[i+1:, j]||^2 = ||A[i:, j]||^2 - A(i, j)^2.
+    for (index_t j = i + 1; j < n; ++j) {
+      double& pn = pnorm[static_cast<std::size_t>(j)];
+      if (pn == 0.0) continue;
+      const double t = std::fabs(a(i, j)) / pn;
+      double f = std::max(0.0, (1.0 - t) * (1.0 + t));
+      // dgeqp3 safeguard: when cancellation has eaten too much of the exact
+      // norm, recompute from scratch instead of trusting the recurrence.
+      const double ratio = pn / pnorm_exact[static_cast<std::size_t>(j)];
+      if (f * ratio * ratio <= 1e-14) {
+        const auto cj = a.col(j);
+        pn = nrm2(cj.subspan(static_cast<std::size_t>(i + 1)));
+        pnorm_exact[static_cast<std::size_t>(j)] = pn;
+      } else {
+        pn *= std::sqrt(f);
+      }
+    }
+  }
+  res.rank = i;
+  // Finish the factorization without pivoting so that the packed form is a
+  // complete QR of A*P (needed to reconstruct A for verification).
+  for (; i < kmax; ++i) {
+    auto ci = a.col(i);
+    auto head = ci.subspan(static_cast<std::size_t>(i));
+    Reflector h = make_reflector(head);
+    res.taus.push_back(h.tau);
+    auto v = head.subspan(1);
+    apply_reflector_left(a, i, i + 1, v, h.tau);
+    ci[static_cast<std::size_t>(i)] = h.beta;
+  }
+  res.packed = std::move(a);
+  return res;
+}
+
+}  // namespace catalyst::linalg

@@ -1,0 +1,45 @@
+// catalyst/linalg -- column-pivoted QR (the paper's Algorithm 1).
+//
+// This is the *classic* QRCP: at step i the pivot is the trailing column
+// with the largest partial norm (LAPACK dgeqp3's rule).  The paper's
+// specialized pivoting scheme (Algorithm 2) lives in catalyst::core and is
+// built on top of the same reflector primitives; keeping the classic scheme
+// here lets the benches ablate "classic vs specialized" pivoting directly.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace catalyst::linalg {
+
+/// Result of a column-pivoted QR factorization.
+struct QrcpResult {
+  /// Packed factorization (R above the diagonal, reflectors below),
+  /// of the column-permuted input.
+  Matrix packed;
+  /// Reflector coefficients.
+  std::vector<double> taus;
+  /// Permutation: permutation[i] is the index (into the ORIGINAL matrix) of
+  /// the column that ended up in position i.
+  std::vector<index_t> permutation;
+  /// Numerical rank detected with the tolerance passed to qrcp().
+  index_t rank = 0;
+
+  /// The upper-trapezoidal factor R (min(m,n) x n) of A * P.
+  Matrix r() const;
+  /// |R(i,i)| for each factored step.
+  std::vector<double> r_diagonal_abs() const;
+};
+
+/// Column-pivoted Householder QR with max-norm pivoting and LINPACK-style
+/// partial column-norm downdating (with recomputation when cancellation
+/// would make the downdated value untrustworthy).
+///
+/// `rank_tol_rel`: a column is considered negligible (and the rank scan
+/// stops) when its partial norm falls below rank_tol_rel * (largest initial
+/// column norm).  Pass 0 to factor all min(m, n) steps and report rank as
+/// the number of steps with a nonzero diagonal.
+QrcpResult qrcp(Matrix a, double rank_tol_rel = 1e-12);
+
+}  // namespace catalyst::linalg

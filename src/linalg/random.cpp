@@ -1,0 +1,66 @@
+#include "linalg/random.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace catalyst::linalg {
+
+Matrix random_gaussian(index_t m, index_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::normal_distribution<double> dist(0.0, 1.0);
+  Matrix a(m, n);
+  for (double& v : a.data()) v = dist(rng);
+  return a;
+}
+
+Matrix random_uniform(index_t m, index_t n, double lo, double hi,
+                      std::uint64_t seed) {
+  if (lo > hi) throw ArgumentError("random_uniform: lo > hi");
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(lo, hi);
+  Matrix a(m, n);
+  for (double& v : a.data()) v = dist(rng);
+  return a;
+}
+
+Matrix random_orthonormal(index_t m, index_t n, std::uint64_t seed) {
+  if (n > m) throw ArgumentError("random_orthonormal: need n <= m");
+  QrFactorization qr(random_gaussian(m, n, seed));
+  return qr.q_thin();
+}
+
+Matrix random_rank_deficient(index_t m, index_t n, index_t r,
+                             std::uint64_t seed) {
+  if (r > std::min(m, n)) {
+    throw ArgumentError("random_rank_deficient: r > min(m, n)");
+  }
+  if (r == 0) return Matrix(m, n, 0.0);
+  Matrix u = random_gaussian(m, r, seed);
+  Matrix v = random_gaussian(r, n, seed ^ 0xabcdef1234567890ULL);
+  return matmul(u, v);
+}
+
+Matrix random_with_condition(index_t m, index_t n, double cond,
+                             std::uint64_t seed) {
+  if (cond < 1.0) throw ArgumentError("random_with_condition: cond < 1");
+  const index_t k = std::min(m, n);
+  Matrix u = random_orthonormal(m, k, seed);
+  Matrix v = random_orthonormal(n, k, seed ^ 0x5555aaaa5555aaaaULL);
+  // Scale the columns of U by log-spaced singular values, then multiply.
+  for (index_t j = 0; j < k; ++j) {
+    const double t = (k == 1) ? 0.0
+                              : static_cast<double>(j) /
+                                    static_cast<double>(k - 1);
+    const double sv = std::pow(cond, -t);
+    scal(sv, u.col(j));
+  }
+  Matrix out(m, n);
+  gemm(1.0, u, false, v, true, 0.0, out);
+  return out;
+}
+
+}  // namespace catalyst::linalg

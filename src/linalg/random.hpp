@@ -1,0 +1,33 @@
+// catalyst/linalg -- seeded random matrix generators (tests & benches).
+//
+// Every generator takes an explicit seed; nothing in catalyst draws from a
+// global or time-based source, so all experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "linalg/matrix.hpp"
+
+namespace catalyst::linalg {
+
+/// m x n matrix with i.i.d. standard normal entries.
+Matrix random_gaussian(index_t m, index_t n, std::uint64_t seed);
+
+/// m x n matrix with i.i.d. uniform entries in [lo, hi].
+Matrix random_uniform(index_t m, index_t n, double lo, double hi,
+                      std::uint64_t seed);
+
+/// m x n matrix (m >= n) with orthonormal columns, built by QR of a Gaussian.
+Matrix random_orthonormal(index_t m, index_t n, std::uint64_t seed);
+
+/// m x n matrix of exact rank r (r <= min(m, n)): product of an m x r and an
+/// r x n Gaussian factor.  Useful for rank-detection tests.
+Matrix random_rank_deficient(index_t m, index_t n, index_t r,
+                             std::uint64_t seed);
+
+/// m x n matrix with singular values logarithmically spaced between 1 and
+/// 1/cond; exercises conditioning-sensitive paths.
+Matrix random_with_condition(index_t m, index_t n, double cond,
+                             std::uint64_t seed);
+
+}  // namespace catalyst::linalg

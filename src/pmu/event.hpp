@@ -1,0 +1,82 @@
+// catalyst/pmu -- raw-event definitions and noise models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace catalyst::pmu {
+
+/// Ground-truth activity produced by one kernel execution: signal -> count.
+/// Signals absent from the map are zero.
+using Activity = std::unordered_map<std::string, double>;
+
+/// How a raw event's reading deviates from its ideal (noise-free) value.
+///
+/// The per-measurement perturbation is a deterministic function of
+/// (machine seed, event name, repetition index, kernel index), so repeated
+/// experiments reproduce bit-for-bit while still exhibiting run-to-run
+/// variability across repetition indices -- exactly the structure the
+/// paper's max-RNMSE filter (Section IV) is designed to quantify.
+struct NoiseModel {
+  /// Relative jitter: reading *= (1 + N(0, rel_sigma)).
+  double rel_sigma = 0.0;
+  /// Absolute jitter: reading += N(0, abs_sigma).
+  double abs_sigma = 0.0;
+  /// Sporadic spikes: with probability spike_prob, reading += U(0, 1) *
+  /// spike_magnitude.  Models interrupts/SMM interference.
+  double spike_prob = 0.0;
+  double spike_magnitude = 0.0;
+  /// Systematic per-repetition drift: reading *= (1 + drift_per_rep * rep).
+  /// Models thermal throttling / frequency ramping across benchmark
+  /// repetitions -- run-to-run variability that is NOT zero-mean, the case
+  /// the paper's future work on richer noise measures targets.  The
+  /// max-RNMSE filter still catches it (the first/last repetition pair
+  /// differs by ~drift * reps).
+  double drift_per_rep = 0.0;
+
+  bool is_noise_free() const noexcept {
+    return rel_sigma == 0.0 && abs_sigma == 0.0 && spike_prob == 0.0 &&
+           drift_per_rep == 0.0;
+  }
+
+  static NoiseModel none() { return {}; }
+  static NoiseModel relative(double sigma) { return {sigma, 0.0, 0.0, 0.0}; }
+  static NoiseModel absolute(double sigma) { return {0.0, sigma, 0.0, 0.0}; }
+  static NoiseModel spiky(double prob, double magnitude) {
+    return {0.0, 0.0, prob, magnitude, 0.0};
+  }
+  static NoiseModel drifting(double per_rep) {
+    return {0.0, 0.0, 0.0, 0.0, per_rep};
+  }
+};
+
+/// One term of an event's linear functional: coefficient * signal.
+struct SignalTerm {
+  std::string signal;
+  double coefficient = 1.0;
+};
+
+/// A raw hardware event: a named linear functional over signals, plus noise.
+///
+/// Real PMUs count in integers, so the ideal value is rounded to the nearest
+/// non-negative integer after noise is applied (see measure.hpp).
+struct EventDefinition {
+  std::string name;
+  std::string description;
+  std::vector<SignalTerm> terms;
+  NoiseModel noise;
+
+  /// Ideal (noise-free, unrounded) reading for the given activity.
+  double ideal(const Activity& activity) const {
+    double v = 0.0;
+    for (const auto& t : terms) {
+      auto it = activity.find(t.signal);
+      if (it != activity.end()) v += t.coefficient * it->second;
+    }
+    return v;
+  }
+};
+
+}  // namespace catalyst::pmu

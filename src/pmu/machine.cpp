@@ -1,0 +1,39 @@
+#include "pmu/machine.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+
+namespace catalyst::pmu {
+
+Machine::Machine(std::string name, std::size_t physical_counters,
+                 std::uint64_t noise_seed)
+    : name_(std::move(name)),
+      physical_counters_(physical_counters),
+      noise_seed_(noise_seed) {
+  if (physical_counters_ == 0) {
+    throw std::invalid_argument("Machine: need at least one counter");
+  }
+}
+
+void Machine::add_event(EventDefinition event) {
+  if (find(event.name).has_value()) {
+    throw std::invalid_argument("Machine: duplicate event " + event.name);
+  }
+  events_.push_back(std::move(event));
+}
+
+std::optional<std::size_t> Machine::find(const std::string& name) const {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (events_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> Machine::event_names() const {
+  std::vector<std::string> names;
+  names.reserve(events_.size());
+  for (const auto& e : events_) names.push_back(e.name);
+  return names;
+}
+
+}  // namespace catalyst::pmu

@@ -1,0 +1,73 @@
+// catalyst/pmu -- simulated machine models.
+//
+// A Machine is a named registry of raw events plus the PMU resource limits
+// the collection layer (catalyst::vpapi) must respect.  Two builders ship
+// with the library:
+//   * saphira_cpu()  -- an Intel Sapphire-Rapids-flavoured CPU model,
+//   * tempest_gpu()  -- an AMD MI250X-flavoured GPU model (8 devices).
+// Both are synthetic: names and counting semantics follow the real parts
+// closely enough for the paper's pipeline to face the same structure
+// (aliases, linear combinations, zero columns, huge-norm cycle counters,
+// noisy cache events), but no vendor data is used.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "pmu/event.hpp"
+
+namespace catalyst::pmu {
+
+/// A simulated machine: its raw-event registry and PMU limits.
+class Machine {
+ public:
+  Machine(std::string name, std::size_t physical_counters,
+          std::uint64_t noise_seed);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Number of events that can be measured in a single run.
+  std::size_t physical_counters() const noexcept { return physical_counters_; }
+
+  /// Base seed for all noise on this machine.
+  std::uint64_t noise_seed() const noexcept { return noise_seed_; }
+
+  /// Registers an event; throws std::invalid_argument on duplicate names.
+  void add_event(EventDefinition event);
+
+  std::size_t num_events() const noexcept { return events_.size(); }
+  const std::vector<EventDefinition>& events() const noexcept {
+    return events_;
+  }
+  const EventDefinition& event(std::size_t i) const { return events_.at(i); }
+
+  /// Finds an event by exact name.
+  std::optional<std::size_t> find(const std::string& name) const;
+
+  /// All event names, in registration order.
+  std::vector<std::string> event_names() const;
+
+ private:
+  std::string name_;
+  std::size_t physical_counters_;
+  std::uint64_t noise_seed_;
+  std::vector<EventDefinition> events_;
+};
+
+/// Builds the Sapphire-Rapids-flavoured CPU model (~350 events, 8 counters).
+Machine saphira_cpu();
+
+/// Builds the MI250X-flavoured GPU model (8 devices, ~1200 events).
+/// Only device 0 executes work; events qualified with device=1..7 read zero
+/// (mirroring the paper's footnote that metrics are defined for one device).
+Machine tempest_gpu();
+
+/// Builds the older-AMD-flavoured CPU model (~110 events, 6 counters):
+/// a single combined SSE/AVX FLOPs counter (operations, both precisions),
+/// no separate conditional-taken counter -- the machine on which
+/// per-precision FLOP metrics are provably non-composable.
+Machine vesuvio_cpu();
+
+}  // namespace catalyst::pmu

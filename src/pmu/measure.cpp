@@ -1,0 +1,79 @@
+#include "pmu/measure.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+
+namespace catalyst::pmu {
+
+std::uint64_t fnv1a(const std::string& s) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+double measure_event(const Machine& machine, const EventDefinition& event,
+                     const Activity& activity, std::uint64_t rep,
+                     std::uint64_t kernel_index) {
+  double v = event.ideal(activity);
+  if (event.noise.drift_per_rep != 0.0) {
+    // Deterministic systematic drift; separate from the seeded jitter so
+    // it reproduces across reruns of the same repetition index.
+    v *= 1.0 + event.noise.drift_per_rep * static_cast<double>(rep);
+  }
+  if (!event.noise.is_noise_free()) {
+    const std::uint64_t seed = fnv1a(event.name) ^ machine.noise_seed() ^
+                               mix64(rep + 1) ^ mix64(kernel_index + 0x10001);
+    std::mt19937_64 rng(seed);
+    std::normal_distribution<double> gauss(0.0, 1.0);
+    if (event.noise.rel_sigma > 0.0) {
+      v *= 1.0 + event.noise.rel_sigma * gauss(rng);
+    }
+    if (event.noise.abs_sigma > 0.0) {
+      v += event.noise.abs_sigma * gauss(rng);
+    }
+    if (event.noise.spike_prob > 0.0) {
+      std::uniform_real_distribution<double> uni(0.0, 1.0);
+      if (uni(rng) < event.noise.spike_prob) {
+        v += uni(rng) * event.noise.spike_magnitude;
+      }
+    }
+  }
+  // Hardware counters report non-negative integers.
+  return std::max(0.0, std::round(v));
+}
+
+std::vector<double> measure_vector(const Machine& machine,
+                                   const EventDefinition& event,
+                                   const std::vector<Activity>& activities,
+                                   std::uint64_t rep) {
+  std::vector<double> out;
+  out.reserve(activities.size());
+  for (std::size_t k = 0; k < activities.size(); ++k) {
+    out.push_back(measure_event(machine, event, activities[k], rep, k));
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> measure_all(
+    const Machine& machine, const std::vector<Activity>& activities,
+    std::uint64_t rep) {
+  std::vector<std::vector<double>> out;
+  out.reserve(machine.num_events());
+  for (const auto& e : machine.events()) {
+    out.push_back(measure_vector(machine, e, activities, rep));
+  }
+  return out;
+}
+
+}  // namespace catalyst::pmu

@@ -1,0 +1,48 @@
+// catalyst/pmu -- the measurement engine.
+//
+// Turns (machine, event, kernel activity, repetition index) into the integer
+// counter reading a real PMU would report: ideal linear functional, plus the
+// event's noise model, rounded to a non-negative integer.
+//
+// Determinism: the noise RNG is seeded from
+//   fnv1a(event name) ^ machine seed ^ mix(repetition) ^ mix(kernel index)
+// so any single reading can be reproduced in isolation; there is no hidden
+// global state and no dependence on measurement order.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmu/machine.hpp"
+
+namespace catalyst::pmu {
+
+/// FNV-1a 64-bit hash (stable across platforms, unlike std::hash).
+std::uint64_t fnv1a(const std::string& s) noexcept;
+
+/// SplitMix64 finalizer; decorrelates structured integers (rep/kernel ids).
+std::uint64_t mix64(std::uint64_t x) noexcept;
+
+/// One counter reading for `event` over `activity` at repetition `rep`,
+/// kernel slot `kernel_index`.
+double measure_event(const Machine& machine, const EventDefinition& event,
+                     const Activity& activity, std::uint64_t rep,
+                     std::uint64_t kernel_index);
+
+/// Measurement vector of one event across a sequence of kernel activities
+/// (one entry per activity), at repetition `rep`.
+std::vector<double> measure_vector(const Machine& machine,
+                                   const EventDefinition& event,
+                                   const std::vector<Activity>& activities,
+                                   std::uint64_t rep);
+
+/// Measurement matrix columns for every event of the machine:
+/// result[e][k] = reading of event e over activities[k].
+/// This is the "measure everything at once" shortcut used by tests; the
+/// realistic multiplexed collection path lives in catalyst::vpapi.
+std::vector<std::vector<double>> measure_all(
+    const Machine& machine, const std::vector<Activity>& activities,
+    std::uint64_t rep);
+
+}  // namespace catalyst::pmu

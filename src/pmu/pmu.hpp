@@ -1,0 +1,7 @@
+// catalyst/pmu -- umbrella header for the simulated PMU substrate.
+#pragma once
+
+#include "pmu/event.hpp"   // IWYU pragma: export
+#include "pmu/machine.hpp" // IWYU pragma: export
+#include "pmu/measure.hpp" // IWYU pragma: export
+#include "pmu/signals.hpp" // IWYU pragma: export

@@ -1,0 +1,337 @@
+// catalyst/pmu -- "Saphira", the Sapphire-Rapids-flavoured CPU model.
+//
+// The model registers ~350 raw events with the counting semantics the
+// paper's analysis must survive:
+//
+//   * the eight FP_ARITH_INST_RETIRED events (scalar/128/256/512 x SP/DP),
+//     each counting FMA instructions TWICE (the documented Intel behaviour
+//     that makes "FMA instructions" non-composable in Table V);
+//   * aliased and linearly-combined FP/branch/cache events (duplicate
+//     columns, scaled columns, and linear combinations for the QR to prune);
+//   * cycle and slot counters with enormous norms (the max-norm-pivot trap
+//     of Section II);
+//   * noisy cache events (Fig. 2d) and near-deterministic branch/FP events
+//     (Figs. 2a-2b);
+//   * a long tail of generated "filler" units whose events are plausible
+//     linear functionals of generic pipeline activity with assorted noise
+//     levels, populating the variability continuum of Fig. 2.
+//
+// Everything is synthetic; names follow Intel's naming style so that the
+// reproduced tables read like the paper's.
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "pmu/machine.hpp"
+#include "pmu/signals.hpp"
+
+namespace catalyst::pmu {
+
+namespace {
+
+EventDefinition ev(std::string name, std::string desc,
+                   std::vector<SignalTerm> terms,
+                   NoiseModel noise = NoiseModel::none()) {
+  EventDefinition e;
+  e.name = std::move(name);
+  e.description = std::move(desc);
+  e.terms = std::move(terms);
+  e.noise = noise;
+  return e;
+}
+
+}  // namespace
+
+Machine saphira_cpu() {
+  Machine m("saphira-cpu", /*physical_counters=*/8,
+            /*noise_seed=*/0x5a9B1AC0FFEE1234ULL);
+  // --- Floating point: the ground-truth FP_ARITH family ---------------------
+  struct WidthInfo {
+    const char* tag;     // event-name fragment
+    const char* width;   // signal fragment
+  };
+  const WidthInfo widths[] = {{"SCALAR", "scalar"},
+                              {"128B_PACKED", "128"},
+                              {"256B_PACKED", "256"},
+                              {"512B_PACKED", "512"}};
+  const struct {
+    const char* tag;
+    const char* prec;
+  } precisions[] = {{"SINGLE", "sp"}, {"DOUBLE", "dp"}};
+
+  for (const auto& w : widths) {
+    for (const auto& p : precisions) {
+      // Counts non-FMA instructions once and FMA instructions twice,
+      // mirroring the documented FP_ARITH_INST_RETIRED semantics.
+      m.add_event(ev(
+          std::string("FP_ARITH_INST_RETIRED:") + w.tag + "_" + p.tag,
+          "Retired FP instructions of this width/precision (FMA counts x2)",
+          {{sig::fp(w.width, p.prec, false), 1.0},
+           {sig::fp(w.width, p.prec, true), 2.0}}));
+    }
+  }
+  // Aggregate FP events: linear combinations of the eight base events.
+  {
+    std::vector<SignalTerm> vec_terms;
+    std::vector<SignalTerm> any_terms;
+    std::vector<SignalTerm> sp_terms;
+    std::vector<SignalTerm> dp_terms;
+    for (const auto& w : widths) {
+      for (const auto& p : precisions) {
+        const bool vector_width = std::string(w.width) != "scalar";
+        for (bool fma : {false, true}) {
+          const double c = fma ? 2.0 : 1.0;
+          const std::string s = sig::fp(w.width, p.prec, fma);
+          any_terms.push_back({s, c});
+          if (vector_width) vec_terms.push_back({s, c});
+          if (std::string(p.prec) == "sp") sp_terms.push_back({s, c});
+          if (std::string(p.prec) == "dp") dp_terms.push_back({s, c});
+        }
+      }
+    }
+    m.add_event(ev("FP_ARITH_INST_RETIRED:VECTOR",
+                   "All packed FP instructions (linear combination)",
+                   vec_terms));
+    m.add_event(ev("FP_ARITH_INST_RETIRED:ANY",
+                   "All FP instructions (linear combination)", any_terms));
+    m.add_event(ev("FP_ARITH_INST_RETIRED:ANY_SINGLE",
+                   "All SP FP instructions", sp_terms));
+    m.add_event(ev("FP_ARITH_INST_RETIRED:ANY_DOUBLE",
+                   "All DP FP instructions", dp_terms));
+    // Port-dispatch approximations: same totals smeared across ports with
+    // scheduling noise -- numerically dependent but noisy.
+    m.add_event(ev("FP_ARITH_DISPATCHED:PORT_0", "FP uops on port 0 (~55%)",
+                   [&] {
+                     auto t = any_terms;
+                     for (auto& x : t) x.coefficient *= 0.55;
+                     return t;
+                   }(),
+                   NoiseModel::relative(2e-2)));
+    m.add_event(ev("FP_ARITH_DISPATCHED:PORT_1", "FP uops on port 1 (~45%)",
+                   [&] {
+                     auto t = any_terms;
+                     for (auto& x : t) x.coefficient *= 0.45;
+                     return t;
+                   }(),
+                   NoiseModel::relative(2e-2)));
+  }
+  m.add_event(ev("ASSISTS:FP", "FP assists (never fires in CAT kernels)", {},
+                 NoiseModel::spiky(0.01, 3.0)));
+
+  // --- Branching -------------------------------------------------------------
+  m.add_event(ev("BR_INST_RETIRED:ALL_BRANCHES",
+                 "All retired branches (conditional + unconditional)",
+                 {{sig::branch_cond_retired, 1.0}, {sig::branch_uncond, 1.0}}));
+  m.add_event(ev("BR_INST_RETIRED:COND", "Retired conditional branches",
+                 {{sig::branch_cond_retired, 1.0}}));
+  m.add_event(ev("BR_INST_RETIRED:COND_TAKEN",
+                 "Retired conditional branches, taken",
+                 {{sig::branch_cond_taken, 1.0}}));
+  m.add_event(ev("BR_INST_RETIRED:COND_NTAKEN",
+                 "Retired conditional branches, not taken",
+                 {{sig::branch_cond_retired, 1.0},
+                  {sig::branch_cond_taken, -1.0}}));
+  m.add_event(ev("BR_INST_RETIRED:NEAR_TAKEN",
+                 "All taken branches (cond taken + unconditional)",
+                 {{sig::branch_cond_taken, 1.0}, {sig::branch_uncond, 1.0}}));
+  m.add_event(ev("BR_INST_RETIRED:NEAR_CALL", "Near calls (quiet here)", {}));
+  m.add_event(ev("BR_INST_RETIRED:NEAR_RETURN", "Near returns (quiet)", {}));
+  m.add_event(ev("BR_INST_RETIRED:FAR_BRANCH", "Far branches (quiet)", {},
+                 NoiseModel::spiky(0.02, 5.0)));
+  m.add_event(ev("BR_MISP_RETIRED", "Mispredicted retired branches",
+                 {{sig::branch_mispredicted, 1.0}}));
+  m.add_event(ev("BR_MISP_RETIRED:ALL_BRANCHES",
+                 "Mispredicted retired branches (alias)",
+                 {{sig::branch_mispredicted, 1.0}}));
+  m.add_event(ev("BR_MISP_RETIRED:COND",
+                 "Mispredicted conditional branches (alias here)",
+                 {{sig::branch_mispredicted, 1.0}}));
+  m.add_event(ev("BR_MISP_RETIRED:COND_TAKEN",
+                 "Mispredicted cond. branches resolving taken (~half, noisy)",
+                 {{sig::branch_mispredicted, 0.5}},
+                 NoiseModel::relative(5e-2)));
+  m.add_event(ev("BACLEARS:ANY", "Front-end re-steers (noisy fraction)",
+                 {{sig::branch_mispredicted, 0.3}},
+                 NoiseModel::relative(1e-1)));
+  // NOTE: deliberately no event measures branch.cond.executed -- Table VII's
+  // "Conditional Branches Executed" must come out NON-composable (error 1).
+
+  // --- Data caches -------------------------------------------------------------
+  // Cache events carry multiplicative noise: Fig. 2d's continuum.
+  const NoiseModel cache_noise = NoiseModel::relative(8e-3);
+  const NoiseModel cache_noise_l23 = NoiseModel::relative(2e-2);
+  m.add_event(ev("MEM_LOAD_RETIRED:L1_HIT", "Demand loads hitting L1D",
+                 {{sig::l1d_demand_hit, 1.0}}, cache_noise));
+  m.add_event(ev("MEM_LOAD_RETIRED:L1_MISS", "Demand loads missing L1D",
+                 {{sig::l1d_demand_miss, 1.0}}, cache_noise));
+  m.add_event(ev("MEM_LOAD_RETIRED:L2_HIT", "Demand loads hitting L2",
+                 {{sig::l2d_demand_hit, 1.0}}, cache_noise_l23));
+  m.add_event(ev("MEM_LOAD_RETIRED:L2_MISS", "Demand loads missing L2",
+                 {{sig::l2d_demand_miss, 1.0}}, cache_noise_l23));
+  m.add_event(ev("MEM_LOAD_RETIRED:L3_HIT", "Demand loads hitting L3",
+                 {{sig::l3d_demand_hit, 1.0}}, cache_noise_l23));
+  m.add_event(ev("MEM_LOAD_RETIRED:L3_MISS", "Demand loads missing L3",
+                 {{sig::l3d_demand_miss, 1.0}}, cache_noise_l23));
+  m.add_event(ev("MEM_LOAD_RETIRED:FB_HIT",
+                 "Loads merged into an in-flight fill buffer (noisy)",
+                 {{sig::l1d_demand_miss, 0.12}}, NoiseModel::relative(3e-1)));
+  m.add_event(ev("L2_RQSTS:DEMAND_DATA_RD_HIT", "L2 demand data-read hits",
+                 {{sig::l2d_demand_hit, 1.0}}, cache_noise_l23));
+  m.add_event(ev("L2_RQSTS:DEMAND_DATA_RD_MISS", "L2 demand data-read misses",
+                 {{sig::l2d_demand_miss, 1.0}}, cache_noise_l23));
+  m.add_event(ev("L2_RQSTS:ALL_DEMAND_DATA_RD", "All L2 demand data reads",
+                 {{sig::l2d_demand_hit, 1.0}, {sig::l2d_demand_miss, 1.0}},
+                 cache_noise_l23));
+  m.add_event(ev("L2_RQSTS:ALL_DEMAND_MISS", "All L2 demand misses",
+                 {{sig::l2d_demand_miss, 1.0}}, cache_noise_l23));
+  m.add_event(ev("L2_RQSTS:REFERENCES", "All L2 references (incl. prefetch)",
+                 {{sig::l2d_demand_hit, 1.0},
+                  {sig::l2d_demand_miss, 1.0},
+                  {sig::l1d_demand_miss, 0.25}},
+                 NoiseModel::relative(8e-2)));
+  m.add_event(ev("LONGEST_LAT_CACHE:MISS", "LLC misses",
+                 {{sig::l3d_demand_miss, 1.0}}, cache_noise_l23));
+  m.add_event(ev("LONGEST_LAT_CACHE:REFERENCE", "LLC references",
+                 {{sig::l3d_demand_hit, 1.0}, {sig::l3d_demand_miss, 1.0}},
+                 cache_noise_l23));
+  m.add_event(ev("OFFCORE_REQUESTS:DEMAND_DATA_RD",
+                 "Demand data reads leaving the core",
+                 {{sig::l2d_demand_miss, 1.0}}, NoiseModel::relative(5e-2)));
+  m.add_event(ev("OFFCORE_REQUESTS:ALL_REQUESTS",
+                 "All offcore requests (incl. prefetch traffic, noisy)",
+                 {{sig::l2d_demand_miss, 1.35}}, NoiseModel::relative(2e-1)));
+  m.add_event(ev("SW_PREFETCH_ACCESS:ANY", "SW prefetches (quiet)", {}));
+
+  // --- Cycles / instructions / slots: the huge-norm columns ---------------------
+  m.add_event(ev("INST_RETIRED:ANY", "Retired instructions (fixed counter)",
+                 {{sig::instructions, 1.0}}));
+  m.add_event(ev("INST_RETIRED:ANY_P", "Retired instructions (programmable)",
+                 {{sig::instructions, 1.0}}));
+  // Core cycles drift upward across repetitions (thermal/frequency ramp) on
+  // top of the per-run jitter -- the systematic-noise case of Section IV.
+  m.add_event(ev("CPU_CLK_UNHALTED:THREAD", "Core cycles",
+                 {{sig::cycles, 1.0}},
+                 NoiseModel{3e-3, 0.0, 0.0, 0.0, 2e-3}));
+  m.add_event(ev("CPU_CLK_UNHALTED:REF_TSC", "Reference cycles (~0.8x core)",
+                 {{sig::cycles, 0.8}}, NoiseModel::relative(3e-3)));
+  m.add_event(ev("CPU_CLK_UNHALTED:DISTRIBUTED", "Cycles (SMT-distributed)",
+                 {{sig::cycles, 1.0}}, NoiseModel::relative(5e-3)));
+  m.add_event(ev("TOPDOWN:SLOTS", "Pipeline slots (6 per cycle)",
+                 {{sig::cycles, 6.0}}, NoiseModel::relative(3e-3)));
+  m.add_event(ev("UOPS_ISSUED:ANY", "Issued uops",
+                 {{sig::uops, 1.0}}, NoiseModel::relative(1e-3)));
+  m.add_event(ev("UOPS_RETIRED:SLOTS", "Retired uop slots",
+                 {{sig::uops, 1.0}}, NoiseModel::relative(1e-3)));
+  m.add_event(ev("UOPS_EXECUTED:THREAD", "Executed uops (incl. replay)",
+                 {{sig::uops, 1.05}}, NoiseModel::relative(8e-3)));
+  m.add_event(ev("MEM_INST_RETIRED:ALL_LOADS", "All retired loads",
+                 {{sig::loads, 1.0}}));
+  m.add_event(ev("MEM_INST_RETIRED:ALL_STORES", "All retired stores",
+                 {{sig::stores, 1.0}}));
+  m.add_event(ev("ARITH:DIV_ACTIVE", "Divider active cycles (quiet)", {},
+                 NoiseModel::spiky(0.02, 10.0)));
+
+  // --- Instruction cache ---------------------------------------------------------
+  const NoiseModel icache_noise = NoiseModel::relative(1.2e-2);
+  m.add_event(ev("ICACHE_64B:IFTAG_HIT", "Instruction fetches hitting L1I",
+                 {{sig::l1i_hit, 1.0}}, icache_noise));
+  m.add_event(ev("ICACHE_64B:IFTAG_MISS", "Instruction fetches missing L1I",
+                 {{sig::l1i_miss, 1.0}}, icache_noise));
+  m.add_event(ev("FRONTEND_RETIRED:L1I_MISS",
+                 "Retired instructions after an L1I miss (alias here)",
+                 {{sig::l1i_miss, 1.0}}, icache_noise));
+  m.add_event(ev("FRONTEND_RETIRED:L2I_HIT",
+                 "Instruction fetches served by L2",
+                 {{sig::l2i_hit, 1.0}}, icache_noise));
+  m.add_event(ev("FRONTEND_RETIRED:L2_MISS",
+                 "Instruction fetches missing L2",
+                 {{sig::l2i_miss, 1.0}}, icache_noise));
+  m.add_event(ev("ICACHE_64B:IFTAG_ALL", "All instruction-fetch tag lookups",
+                 {{sig::l1i_hit, 1.0}, {sig::l1i_miss, 1.0}}, icache_noise));
+  m.add_event(ev("ICACHE_16B:IFDATA_STALL",
+                 "Cycles stalled on L1I misses (noisy, ~30/miss)",
+                 {{sig::l1i_miss, 30.0}}, NoiseModel::relative(9e-2)));
+
+  // --- TLBs -------------------------------------------------------------------
+  // Data-TLB events read the TLB-simulator signals (driven by the data-
+  // cache benchmark; zero during compute kernels, the Section II example of
+  // irrelevant all-zero columns).  Instruction-TLB events stay spiky
+  // background.
+  const NoiseModel tlb_noise = NoiseModel::relative(3e-2);
+  m.add_event(ev("DTLB_LOAD_MISSES:MISS_CAUSES_A_WALK",
+                 "Load translations missing both TLB levels",
+                 {{sig::dtlb_walk, 1.0}}, tlb_noise));
+  m.add_event(ev("DTLB_LOAD_MISSES:WALK_COMPLETED",
+                 "Completed page walks (alias of walks here)",
+                 {{sig::dtlb_walk, 1.0}}, tlb_noise));
+  m.add_event(ev("DTLB_LOAD_MISSES:WALK_ACTIVE",
+                 "Cycles a walk was active (~26 per walk, noisy)",
+                 {{sig::dtlb_walk, 26.0}}, NoiseModel::relative(8e-2)));
+  m.add_event(ev("DTLB_LOAD_MISSES:STLB_HIT",
+                 "First-level DTLB misses that hit the STLB",
+                 {{sig::stlb_hit, 1.0}}, tlb_noise));
+  m.add_event(ev("DTLB_LOAD_ACCESS:ANY", "All load translations",
+                 {{sig::dtlb_hit, 1.0}, {sig::dtlb_miss, 1.0}}, tlb_noise));
+  for (const char* n :
+       {"DTLB_STORE_MISSES:MISS_CAUSES_A_WALK",
+        "DTLB_STORE_MISSES:WALK_COMPLETED", "ITLB_MISSES:MISS_CAUSES_A_WALK",
+        "ITLB_MISSES:WALK_COMPLETED", "ITLB_MISSES:WALK_ACTIVE"}) {
+    m.add_event(ev(n, "TLB walk activity (spiky background)", {},
+                   NoiseModel::spiky(0.03, 20.0)));
+  }
+
+  // --- Generated filler units ------------------------------------------------
+  // A long tail of plausible events: linear functionals over generic
+  // pipeline signals with log-uniform noise levels.  Deterministic: the
+  // generator RNG is fixed, so the machine is identical in every process.
+  std::mt19937_64 gen(0xCAFEBABEDEADBEEFULL);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const char* units[] = {"IDQ",          "LSD",           "DSB2MITE",
+                         "FRONTEND",     "ICACHE_DATA",   "ICACHE_TAG",
+                         "DECODE",       "RESOURCE_STALLS", "EXE_ACTIVITY",
+                         "CYCLE_ACTIVITY", "PARTIAL_RAT_STALLS", "RS_EVENTS",
+                         "ROB_MISC",     "LD_BLOCKS",     "STORE_FORWARD",
+                         "MACHINE_CLEARS", "OTHER_ASSISTS", "UOPS_DISPATCHED",
+                         "PORT_UTIL",    "SERIALIZATION", "L1D_PEND_MISS",
+                         "DSB_FILL",     "SQ_MISC",       "XSNP_RESPONSES",
+                         "CORE_POWER",   "PKG_ENERGY",    "MISC_RETIRED",
+                         "TX_MEM",       "TX_EXEC",       "UNC_ARB",
+                         "UNC_CHA",      "UNC_IMC",       "MEM_TRANS_RETIRED",
+                         "FRONTEND_RETIRED", "BE_BOUND",  "FE_BOUND"}; // 36
+  const char* subs[] = {"CORE", "ANY", "CYCLES", "STALLS", "OCCUPANCY",
+                        "COUNT", "THRESH_1", "THRESH_4"};  // 8
+  for (const char* u : units) {
+    for (const char* s : subs) {
+      const double shape = uni(gen);
+      std::vector<SignalTerm> terms;
+      NoiseModel noise;
+      if (shape < 0.25) {
+        // Cycle-proportional stall/occupancy counter, fairly noisy.
+        terms = {{sig::cycles, 0.05 + 0.9 * uni(gen)}};
+        noise = NoiseModel::relative(std::pow(10.0, -1.0 - 3.0 * uni(gen)));
+      } else if (shape < 0.5) {
+        // Uop/instruction-proportional counter, mildly noisy.
+        terms = {{sig::uops, 0.1 + 0.8 * uni(gen)},
+                 {sig::instructions, 0.1 + 0.4 * uni(gen)}};
+        noise = NoiseModel::relative(std::pow(10.0, -2.0 - 4.0 * uni(gen)));
+      } else if (shape < 0.65) {
+        // Load/store-derived counter.
+        terms = {{sig::loads, 0.2 + 0.8 * uni(gen)},
+                 {sig::stores, uni(gen)}};
+        noise = NoiseModel::relative(std::pow(10.0, -2.0 - 3.0 * uni(gen)));
+      } else if (shape < 0.85) {
+        // Background/spiky counter: zero ideal value, sporadic spikes.
+        noise = NoiseModel::spiky(0.01 + 0.05 * uni(gen), 5.0 + 50.0 * uni(gen));
+      } else {
+        // Dead counter: never fires under CAT kernels (discarded as
+        // irrelevant by the zero-measurement rule).
+      }
+      m.add_event(ev(std::string(u) + ":" + s,
+                     "Generated filler event (synthetic tail)", terms, noise));
+    }
+  }
+  return m;
+}
+
+}  // namespace catalyst::pmu

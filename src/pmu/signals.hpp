@@ -1,0 +1,76 @@
+// catalyst/pmu -- canonical micro-architectural signal names.
+//
+// A *signal* is a ground-truth quantity produced by executing a kernel on
+// the simulated machine (e.g. "number of DP AVX-256 FMA instructions
+// retired").  Raw hardware events are linear functionals over signals plus
+// noise; benchmarks report the signals their kernels generate.  Keeping the
+// names in one header prevents the silent mismatch of a benchmark emitting
+// "fp.sp.scalar" while an event reads "fp.scalar.sp".
+#pragma once
+
+#include <string>
+
+namespace catalyst::pmu::sig {
+
+// --- CPU floating point ------------------------------------------------------
+// Instruction counts by vector width / FMA-ness / precision.
+// width in {scalar, 128, 256, 512}; prec in {sp, dp}; fma in {fma, nonfma}.
+inline std::string fp(const std::string& width, const std::string& prec,
+                      bool fma) {
+  return "fp." + width + "." + prec + (fma ? ".fma" : ".nonfma");
+}
+
+// --- GPU floating point ------------------------------------------------------
+// op in {add, sub, mul, trans, fma}; prec in {f16, f32, f64}.
+inline std::string gpu_valu(const std::string& op, const std::string& prec) {
+  return "gpu.valu." + op + "." + prec;
+}
+
+// --- Branching ---------------------------------------------------------------
+inline const std::string branch_cond_exec = "branch.cond.executed";
+inline const std::string branch_cond_retired = "branch.cond.retired";
+inline const std::string branch_cond_taken = "branch.cond.taken";
+inline const std::string branch_uncond = "branch.uncond";
+inline const std::string branch_mispredicted = "branch.mispredicted";
+
+// --- Data caches -------------------------------------------------------------
+inline const std::string l1d_demand_miss = "dcache.l1.demand_miss";
+inline const std::string l1d_demand_hit = "dcache.l1.demand_hit";
+inline const std::string l2d_demand_hit = "dcache.l2.demand_hit";
+inline const std::string l2d_demand_miss = "dcache.l2.demand_miss";
+inline const std::string l3d_demand_hit = "dcache.l3.demand_hit";
+inline const std::string l3d_demand_miss = "dcache.l3.demand_miss";
+
+// --- Instruction caches -----------------------------------------------------------
+inline const std::string l1i_hit = "icache.l1i.hit";
+inline const std::string l1i_miss = "icache.l1i.miss";
+inline const std::string l2i_hit = "icache.l2.hit";
+inline const std::string l2i_miss = "icache.l2.miss";
+
+// --- TLBs ----------------------------------------------------------------------
+inline const std::string dtlb_hit = "dtlb.l1.hit";
+inline const std::string dtlb_miss = "dtlb.l1.miss";
+inline const std::string stlb_hit = "dtlb.stlb.hit";
+inline const std::string dtlb_walk = "dtlb.walk";
+
+// --- Generic pipeline activity ------------------------------------------------
+inline const std::string cycles = "core.cycles";
+inline const std::string instructions = "core.instructions";
+inline const std::string uops = "core.uops";
+inline const std::string int_ops = "core.int_ops";
+inline const std::string loads = "core.loads";
+inline const std::string stores = "core.stores";
+
+// --- GPU L2 (TCC) ----------------------------------------------------------------
+inline const std::string gpu_tcc_hit = "gpu.tcc.hit";
+inline const std::string gpu_tcc_miss = "gpu.tcc.miss";
+
+// --- GPU generic ---------------------------------------------------------------
+inline const std::string gpu_waves = "gpu.waves";
+inline const std::string gpu_cycles = "gpu.cycles";
+inline const std::string gpu_valu_total = "gpu.valu.total";
+inline const std::string gpu_salu_total = "gpu.salu.total";
+inline const std::string gpu_vmem = "gpu.vmem";
+inline const std::string gpu_smem = "gpu.smem";
+
+}  // namespace catalyst::pmu::sig

@@ -1,0 +1,141 @@
+// catalyst/pmu -- "Vesuvio", an older-AMD-flavoured CPU model.
+//
+// The third machine model exists to exercise the paper's motivating
+// portability scenario: its floating-point unit exposes only a combined
+// RETIRED_SSE_AVX_FLOPS counter that already counts OPERATIONS (not
+// instructions) and cannot distinguish precisions -- so per-precision FLOP
+// metrics are provably non-composable here while the combined metric is
+// exact, and branch metrics compose from a different (smaller) event set
+// than on Saphira.  The model is deliberately lighter (~120 events): older
+// parts simply have fewer counters.
+#include <cmath>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "pmu/machine.hpp"
+#include "pmu/signals.hpp"
+
+namespace catalyst::pmu {
+
+namespace {
+
+// Operations per instruction for a width/precision/FMA combination.
+double ops_per_instr(const std::string& width, const std::string& prec,
+                     bool fma) {
+  double elems = 1.0;
+  if (width == "128") elems = prec == "sp" ? 4.0 : 2.0;
+  if (width == "256") elems = prec == "sp" ? 8.0 : 4.0;
+  if (width == "512") elems = prec == "sp" ? 16.0 : 8.0;
+  return elems * (fma ? 2.0 : 1.0);
+}
+
+}  // namespace
+
+Machine vesuvio_cpu() {
+  Machine m("vesuvio-cpu", /*physical_counters=*/6,
+            /*noise_seed=*/0x0E50B102024ULL);
+
+  // --- Floating point: ONE combined operations counter (plus an alias) ------
+  std::vector<SignalTerm> all_flops;
+  for (const char* width : {"scalar", "128", "256", "512"}) {
+    for (const char* prec : {"sp", "dp"}) {
+      for (bool fma : {false, true}) {
+        all_flops.push_back(
+            {sig::fp(width, prec, fma), ops_per_instr(width, prec, fma)});
+      }
+    }
+  }
+  m.add_event({"RETIRED_SSE_AVX_FLOPS:ALL",
+               "All SSE/AVX floating-point operations, both precisions",
+               all_flops, NoiseModel::none()});
+  m.add_event({"RETIRED_SSE_AVX_FLOPS:ANY", "Alias of :ALL", all_flops,
+               NoiseModel::none()});
+
+  // --- Branching: no separate taken counter ----------------------------------
+  m.add_event({"RETIRED_BRANCH_INSTRUCTIONS", "All retired branches",
+               {{sig::branch_cond_retired, 1.0}, {sig::branch_uncond, 1.0}},
+               NoiseModel::none()});
+  m.add_event({"RETIRED_CONDITIONAL_BRANCH_INSTRUCTIONS",
+               "Retired conditional branches",
+               {{sig::branch_cond_retired, 1.0}}, NoiseModel::none()});
+  m.add_event({"RETIRED_BRANCH_INSTRUCTIONS_MISPREDICTED",
+               "Mispredicted retired branches",
+               {{sig::branch_mispredicted, 1.0}}, NoiseModel::none()});
+  m.add_event({"RETIRED_TAKEN_BRANCH_INSTRUCTIONS",
+               "Taken branches (cond taken + unconditional)",
+               {{sig::branch_cond_taken, 1.0}, {sig::branch_uncond, 1.0}},
+               NoiseModel::none()});
+
+  // --- Caches -------------------------------------------------------------------
+  const NoiseModel cache_noise = NoiseModel::relative(1.5e-2);
+  m.add_event({"DATA_CACHE_ACCESSES", "All DC accesses",
+               {{sig::l1d_demand_hit, 1.0}, {sig::l1d_demand_miss, 1.0}},
+               cache_noise});
+  m.add_event({"DATA_CACHE_MISSES", "DC misses",
+               {{sig::l1d_demand_miss, 1.0}}, cache_noise});
+  m.add_event({"DATA_CACHE_REFILLS_FROM_L2", "DC refills served by L2",
+               {{sig::l2d_demand_hit, 1.0}}, cache_noise});
+  m.add_event({"DATA_CACHE_REFILLS_FROM_SYSTEM",
+               "DC refills from beyond L2",
+               {{sig::l2d_demand_miss, 1.0}}, cache_noise});
+  m.add_event({"L2_CACHE_MISS", "L2 misses", {{sig::l2d_demand_miss, 1.0}},
+               cache_noise});
+  m.add_event({"L3_CACHE_ACCESSES", "L3 lookups",
+               {{sig::l3d_demand_hit, 1.0}, {sig::l3d_demand_miss, 1.0}},
+               cache_noise});
+  m.add_event({"L3_MISSES", "L3 misses", {{sig::l3d_demand_miss, 1.0}},
+               cache_noise});
+
+  // --- Pipeline ------------------------------------------------------------------
+  m.add_event({"RETIRED_INSTRUCTIONS", "Retired instructions",
+               {{sig::instructions, 1.0}}, NoiseModel::none()});
+  m.add_event({"RETIRED_UOPS", "Retired micro-ops", {{sig::uops, 1.0}},
+               NoiseModel::relative(1e-3)});
+  m.add_event({"CYCLES_NOT_IN_HALT", "Core cycles", {{sig::cycles, 1.0}},
+               NoiseModel::relative(2e-3)});
+  m.add_event({"APERF", "Actual performance clock", {{sig::cycles, 1.0}},
+               NoiseModel::relative(2e-3)});
+  m.add_event({"MPERF", "Max performance clock", {{sig::cycles, 0.8}},
+               NoiseModel::relative(2e-3)});
+  m.add_event({"LS_DISPATCH:LOADS", "Dispatched loads", {{sig::loads, 1.0}},
+               NoiseModel::relative(5e-3)});
+  m.add_event({"LS_DISPATCH:STORES", "Dispatched stores",
+               {{sig::stores, 1.0}}, NoiseModel::relative(5e-3)});
+  m.add_event({"SMI_RECEIVED", "System-management interrupts (spiky)", {},
+               NoiseModel::spiky(0.02, 4.0)});
+
+  // --- Generated filler tail -------------------------------------------------------
+  std::mt19937_64 gen(0xA0DA0DA0DULL);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const char* units[] = {"DE_DIS_STALL", "EX_RET", "FP_SCHED", "IC_FETCH",
+                         "IC_MISS", "L2_PF", "LS_STLF", "LS_MAB",
+                         "BP_REDIRECT", "DE_OPQ", "EX_DIV", "L2_LATENCY",
+                         "XI_SYS", "PROBE_RESP", "CCX_LINK", "DF_CS"};
+  const char* subs[] = {"ALL", "CYCLES", "CMP", "THRESHOLD", "BUSY",
+                        "STALL"};
+  for (const char* u : units) {
+    for (const char* s : subs) {
+      const double shape = uni(gen);
+      std::vector<SignalTerm> terms;
+      NoiseModel noise;
+      if (shape < 0.3) {
+        terms = {{sig::cycles, 0.05 + 0.8 * uni(gen)}};
+        noise = NoiseModel::relative(std::pow(10.0, -1.0 - 3.0 * uni(gen)));
+      } else if (shape < 0.55) {
+        terms = {{sig::uops, 0.2 + 0.7 * uni(gen)},
+                 {sig::instructions, 0.1 + 0.3 * uni(gen)}};
+        noise = NoiseModel::relative(std::pow(10.0, -2.0 - 4.0 * uni(gen)));
+      } else if (shape < 0.8) {
+        noise = NoiseModel::spiky(0.01 + 0.04 * uni(gen),
+                                  5.0 + 40.0 * uni(gen));
+      }
+      // else: dead counter.
+      m.add_event({std::string(u) + ":" + s,
+                   "Generated filler event (synthetic tail)", terms, noise});
+    }
+  }
+  return m;
+}
+
+}  // namespace catalyst::pmu

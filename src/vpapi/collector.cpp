@@ -1,0 +1,180 @@
+#include "vpapi/collector.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace catalyst::vpapi {
+
+std::vector<std::vector<std::string>> schedule_groups(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names) {
+  const std::size_t budget = machine.physical_counters();
+  std::vector<std::vector<std::string>> groups;
+  for (const auto& name : event_names) {
+    if (groups.empty() || groups.back().size() >= budget) {
+      groups.emplace_back();
+    }
+    groups.back().push_back(name);
+  }
+  return groups;
+}
+
+namespace {
+
+// Runs one (repetition, group) unit: a fresh session measuring the group's
+// events over the full kernel sequence, writing results into the
+// caller-owned slices of `data` starting at `event_offset`.
+void run_unit(const pmu::Machine& machine,
+              const std::vector<std::string>& group,
+              const std::vector<pmu::Activity>& activities,
+              std::uint64_t run_id, std::size_t event_offset,
+              RepetitionData& data) {
+  Session session(machine);
+  const int set = session.create_eventset();
+  for (const auto& name : group) {
+    const Status s = session.add_event(set, name);
+    if (s != Status::ok) {
+      throw std::runtime_error("collect: add_event failed: " + to_string(s));
+    }
+  }
+  // Read counters per kernel slot: start/run/stop/read/reset around each
+  // kernel, the way CAT instruments its microkernels.
+  std::vector<std::vector<double>> per_kernel(group.size());
+  for (auto& v : per_kernel) v.reserve(activities.size());
+  std::vector<double> vals;
+  for (std::size_t k = 0; k < activities.size(); ++k) {
+    session.start(set);
+    session.run_kernel(activities[k], run_id, k);
+    session.stop(set);
+    session.read(set, vals);
+    session.reset(set);
+    for (std::size_t e = 0; e < vals.size(); ++e) {
+      per_kernel[e].push_back(vals[e]);
+    }
+  }
+  for (std::size_t e = 0; e < group.size(); ++e) {
+    data.values[event_offset + e] = std::move(per_kernel[e]);
+  }
+}
+
+}  // namespace
+
+CollectionResult collect(const pmu::Machine& machine,
+                         const std::vector<std::string>& event_names,
+                         const std::vector<pmu::Activity>& activities,
+                         std::size_t repetitions, int threads) {
+  if (repetitions == 0) {
+    throw std::invalid_argument("collect: need at least one repetition");
+  }
+  if (threads < 1) {
+    throw std::invalid_argument("collect: need at least one thread");
+  }
+  for (const auto& name : event_names) {
+    if (!machine.find(name)) {
+      throw std::invalid_argument("collect: unknown event " + name);
+    }
+  }
+  CollectionResult result;
+  result.event_names = event_names;
+  const auto groups = schedule_groups(machine, event_names);
+  result.runs_per_repetition = groups.size();
+
+  // Flatten event offsets per group.
+  std::vector<std::size_t> group_offset(groups.size(), 0);
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
+  }
+
+  result.repetitions.resize(repetitions);
+  for (auto& rep : result.repetitions) {
+    rep.values.resize(event_names.size());
+  }
+
+  // Work list: all (repetition, group) units; each writes a disjoint slice
+  // of the result, so workers need no synchronization beyond the cursor.
+  const std::size_t total_units = repetitions * groups.size();
+  auto do_unit = [&](std::size_t unit) {
+    const std::size_t rep = unit / groups.size();
+    const std::size_t g = unit % groups.size();
+    const std::uint64_t run_id = rep * groups.size() + g;
+    run_unit(machine, groups[g], activities, run_id, group_offset[g],
+             result.repetitions[rep]);
+  };
+
+  if (threads == 1 || total_units < 2) {
+    for (std::size_t unit = 0; unit < total_units; ++unit) do_unit(unit);
+    return result;
+  }
+
+  std::atomic<std::size_t> cursor{0};
+  std::vector<std::thread> pool;
+  const int nt = std::min<int>(threads, static_cast<int>(total_units));
+  pool.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t unit = cursor.fetch_add(1);
+        if (unit >= total_units) break;
+        do_unit(unit);
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  return result;
+}
+
+CollectionResult collect_all(const pmu::Machine& machine,
+                             const std::vector<pmu::Activity>& activities,
+                             std::size_t repetitions, int threads) {
+  return collect(machine, machine.event_names(), activities, repetitions,
+                 threads);
+}
+
+CollectionResult collect_multiplexed(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names,
+    const std::vector<pmu::Activity>& activities, std::size_t repetitions) {
+  if (repetitions == 0) {
+    throw std::invalid_argument(
+        "collect_multiplexed: need at least one repetition");
+  }
+  CollectionResult result;
+  result.event_names = event_names;
+  result.runs_per_repetition = 1;
+
+  for (std::size_t rep = 0; rep < repetitions; ++rep) {
+    Session session(machine);
+    const int set = session.create_eventset();
+    Status s = session.enable_multiplexing(set);
+    if (s != Status::ok) {
+      throw std::runtime_error("collect_multiplexed: " + to_string(s));
+    }
+    for (const auto& name : event_names) {
+      s = session.add_event(set, name);
+      if (s != Status::ok) {
+        throw std::invalid_argument("collect_multiplexed: add_event '" +
+                                    name + "': " + to_string(s));
+      }
+    }
+    RepetitionData data;
+    data.values.assign(event_names.size(), {});
+    std::vector<double> prev(event_names.size(), 0.0);
+    std::vector<double> now;
+    session.start(set);
+    for (std::size_t k = 0; k < activities.size(); ++k) {
+      session.run_kernel(activities[k], rep, k);
+      session.read(set, now);
+      // The multiplexed set keeps running across kernels (stopping would
+      // reset the duty-cycle schedule); per-kernel values are consecutive
+      // differences of the extrapolated totals.
+      for (std::size_t e = 0; e < event_names.size(); ++e) {
+        data.values[e].push_back(now[e] - prev[e]);
+      }
+      prev = now;
+    }
+    session.stop(set);
+    result.repetitions.push_back(std::move(data));
+  }
+  return result;
+}
+
+}  // namespace catalyst::vpapi

@@ -1,0 +1,74 @@
+// catalyst/vpapi -- multiplexed whole-machine data collection.
+//
+// There are hundreds to thousands of raw events and only a handful of
+// physical counters, so measuring "every event over every kernel" requires
+// scheduling events into counter-sized groups and re-running the benchmark
+// once per group.  This is exactly how CAT gathers its data, and the
+// grouping is why run-to-run noise shows up *between* events measured in
+// different runs -- the effect the paper's repetition-based RNMSE filter
+// targets.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vpapi/vpapi.hpp"
+
+namespace catalyst::vpapi {
+
+/// One benchmark repetition's worth of measurements.
+/// values[e][k] = reading of event e on kernel slot k.
+struct RepetitionData {
+  std::vector<std::vector<double>> values;
+};
+
+/// Full collection result across repetitions.
+struct CollectionResult {
+  std::vector<std::string> event_names;      ///< Row labels of `repetitions`.
+  std::vector<RepetitionData> repetitions;   ///< One per benchmark repetition.
+  std::size_t runs_per_repetition = 0;       ///< Benchmark re-runs needed.
+};
+
+/// Splits `event_names` into groups no larger than the machine's physical
+/// counter budget (simple greedy first-fit, preserving order).
+std::vector<std::vector<std::string>> schedule_groups(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names);
+
+/// Measures every named event over the kernel sequence `activities`,
+/// `repetitions` times, multiplexing event groups across re-runs of the
+/// whole sequence.  Each (repetition, group) pair is a distinct run and so
+/// sees distinct noise; kernel slots within a run share the run.
+///
+/// `threads` > 1 simulates the independent (repetition, group) runs
+/// concurrently on that many OS threads.  Because every reading's noise is
+/// a pure function of its (event, repetition-run, kernel) coordinates, the
+/// result is bit-identical to the serial collection regardless of thread
+/// count or scheduling.
+///
+/// Throws std::invalid_argument on unknown event names.
+CollectionResult collect(const pmu::Machine& machine,
+                         const std::vector<std::string>& event_names,
+                         const std::vector<pmu::Activity>& activities,
+                         std::size_t repetitions, int threads = 1);
+
+/// Convenience: collect() over all events of the machine.
+CollectionResult collect_all(const pmu::Machine& machine,
+                             const std::vector<pmu::Activity>& activities,
+                             std::size_t repetitions, int threads = 1);
+
+/// The alternative CAT deliberately avoids: ONE time-division-multiplexed
+/// event set holding every event, one benchmark run per repetition.  Far
+/// fewer runs (1 instead of ceil(events/counters)), but each reading is a
+/// duty-cycle extrapolation from the slices its counter happened to be
+/// live -- an estimation error that scales with how bursty the kernel
+/// sequence is.  Provided so the methodology benches can quantify the
+/// trade-off against grouped collection.
+///
+/// Per-kernel readings are obtained by reading the running set after every
+/// kernel and differencing consecutive totals.
+CollectionResult collect_multiplexed(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names,
+    const std::vector<pmu::Activity>& activities, std::size_t repetitions);
+
+}  // namespace catalyst::vpapi

@@ -1,0 +1,285 @@
+#include "vpapi/vpapi.hpp"
+
+#include <algorithm>
+
+namespace catalyst::vpapi {
+
+std::string to_string(Status s) {
+  switch (s) {
+    case Status::ok: return "ok";
+    case Status::no_such_event: return "no such event";
+    case Status::conflict: return "event set full (counter conflict)";
+    case Status::already_added: return "event already in set";
+    case Status::is_running: return "event set is running";
+    case Status::not_running: return "event set has no data";
+    case Status::no_such_eventset: return "no such event set";
+    case Status::invalid_preset: return "invalid preset definition";
+  }
+  return "unknown status";
+}
+
+Session::Session(const pmu::Machine& machine) : machine_(&machine) {}
+
+bool Session::query_event(const std::string& name) const {
+  return machine_->find(name).has_value() || find_preset(name) != nullptr;
+}
+
+std::vector<std::string> Session::enumerate_events() const {
+  return machine_->event_names();
+}
+
+std::vector<std::string> Session::enumerate_presets() const {
+  std::vector<std::string> names;
+  names.reserve(presets_.size());
+  for (const auto& p : presets_) names.push_back(p.name);
+  return names;
+}
+
+std::string Session::event_description(const std::string& name) const {
+  if (auto idx = machine_->find(name)) {
+    return machine_->event(*idx).description;
+  }
+  if (const DerivedEvent* p = find_preset(name)) return p->description;
+  return {};
+}
+
+const DerivedEvent* Session::find_preset(const std::string& name) const {
+  for (const auto& p : presets_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+Status Session::register_preset(const DerivedEvent& preset) {
+  if (preset.name.empty() || preset.terms.empty()) {
+    return Status::invalid_preset;
+  }
+  if (machine_->find(preset.name) || find_preset(preset.name)) {
+    return Status::already_added;
+  }
+  for (const auto& t : preset.terms) {
+    if (!machine_->find(t.event_name)) return Status::invalid_preset;
+  }
+  presets_.push_back(preset);
+  return Status::ok;
+}
+
+int Session::create_eventset() {
+  sets_.emplace_back();
+  return static_cast<int>(sets_.size() - 1);
+}
+
+Session::EventSet* Session::get(int set) {
+  if (set < 0 || static_cast<std::size_t>(set) >= sets_.size()) return nullptr;
+  EventSet* es = &sets_[static_cast<std::size_t>(set)];
+  return es->destroyed ? nullptr : es;
+}
+
+const Session::EventSet* Session::get(int set) const {
+  if (set < 0 || static_cast<std::size_t>(set) >= sets_.size()) return nullptr;
+  const EventSet* es = &sets_[static_cast<std::size_t>(set)];
+  return es->destroyed ? nullptr : es;
+}
+
+Session::Slot* Session::find_slot(EventSet& es, std::size_t machine_index) {
+  for (auto& s : es.slots) {
+    if (s.machine_index == machine_index) return &s;
+  }
+  return nullptr;
+}
+
+const Session::Slot* Session::find_slot(const EventSet& es,
+                                        std::size_t machine_index) {
+  for (const auto& s : es.slots) {
+    if (s.machine_index == machine_index) return &s;
+  }
+  return nullptr;
+}
+
+Status Session::enable_multiplexing(int set) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  es->multiplexed = true;
+  return Status::ok;
+}
+
+bool Session::is_multiplexed(int set) const {
+  const EventSet* es = get(set);
+  return es != nullptr && es->multiplexed;
+}
+
+Status Session::destroy_eventset(int set) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  es->destroyed = true;
+  return Status::ok;
+}
+
+Status Session::add_event(int set, const std::string& name) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  for (const auto& item : es->items) {
+    if (item.name == name) return Status::already_added;
+  }
+
+  // Resolve the name to its constituent (raw event, coefficient) parts.
+  std::vector<Part> parts;
+  if (auto idx = machine_->find(name)) {
+    parts.push_back({*idx, 1.0});
+  } else if (const DerivedEvent* p = find_preset(name)) {
+    for (const auto& t : p->terms) {
+      auto raw = machine_->find(t.event_name);
+      if (!raw) return Status::invalid_preset;  // registry was validated,
+                                                // but stay defensive
+      parts.push_back({*raw, t.coefficient});
+    }
+  } else {
+    return Status::no_such_event;
+  }
+
+  // Count the new counters this item needs (constituents may share slots
+  // with events already in the set, and a preset may reference the same
+  // raw event twice).
+  std::vector<std::size_t> new_raws;
+  for (const auto& part : parts) {
+    if (find_slot(*es, part.machine_index)) continue;
+    if (std::find(new_raws.begin(), new_raws.end(), part.machine_index) ==
+        new_raws.end()) {
+      new_raws.push_back(part.machine_index);
+    }
+  }
+  if (!es->multiplexed &&
+      es->slots.size() + new_raws.size() > machine_->physical_counters()) {
+    return Status::conflict;
+  }
+  for (std::size_t raw : new_raws) {
+    es->slots.push_back(Slot{raw, 0.0, 0, 0});
+  }
+  for (const auto& part : parts) {
+    find_slot(*es, part.machine_index)->refs += 1;
+  }
+  es->items.push_back(Item{name, std::move(parts)});
+  return Status::ok;
+}
+
+Status Session::remove_event(int set, const std::string& name) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  auto it = std::find_if(es->items.begin(), es->items.end(),
+                         [&](const Item& item) { return item.name == name; });
+  if (it == es->items.end()) return Status::no_such_event;
+  for (const auto& part : it->parts) {
+    Slot* slot = find_slot(*es, part.machine_index);
+    slot->refs -= 1;
+  }
+  es->items.erase(it);
+  // Free counters no longer referenced by any item.
+  std::erase_if(es->slots, [](const Slot& s) { return s.refs <= 0; });
+  return Status::ok;
+}
+
+std::vector<std::string> Session::list_events(int set) const {
+  const EventSet* es = get(set);
+  std::vector<std::string> names;
+  if (!es) return names;
+  names.reserve(es->items.size());
+  for (const auto& item : es->items) names.push_back(item.name);
+  return names;
+}
+
+std::size_t Session::counters_in_use(int set) const {
+  const EventSet* es = get(set);
+  return es ? es->slots.size() : 0;
+}
+
+Status Session::start(int set) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  es->running = true;
+  es->ever_started = true;
+  return Status::ok;
+}
+
+Status Session::stop(int set) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (!es->running) return Status::not_running;
+  es->running = false;
+  return Status::ok;
+}
+
+Status Session::reset(int set) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  for (auto& slot : es->slots) {
+    slot.count = 0.0;
+    slot.slices = 0;
+  }
+  es->slices_total = 0;
+  return Status::ok;
+}
+
+void Session::run_kernel(const pmu::Activity& activity,
+                         std::uint64_t repetition,
+                         std::uint64_t kernel_index) {
+  for (auto& es : sets_) {
+    if (es.destroyed || !es.running) continue;
+    const std::size_t n_slots = es.slots.size();
+    if (!es.multiplexed || n_slots <= machine_->physical_counters()) {
+      for (auto& slot : es.slots) {
+        const auto& event = machine_->event(slot.machine_index);
+        slot.count += pmu::measure_event(*machine_, event, activity,
+                                         repetition, kernel_index);
+        ++slot.slices;
+      }
+      ++es.slices_total;
+      continue;
+    }
+    // Time-sliced counting: only a rotating window of physical_counters
+    // slots is live for this kernel; the others miss this slice and their
+    // reading must later be extrapolated.
+    const std::size_t window = machine_->physical_counters();
+    for (std::size_t w = 0; w < window; ++w) {
+      Slot& slot = es.slots[(es.mux_cursor + w) % n_slots];
+      const auto& event = machine_->event(slot.machine_index);
+      slot.count += pmu::measure_event(*machine_, event, activity, repetition,
+                                       kernel_index);
+      ++slot.slices;
+    }
+    es.mux_cursor = (es.mux_cursor + window) % n_slots;
+    ++es.slices_total;
+  }
+}
+
+Status Session::read(int set, std::vector<double>& values) const {
+  const EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (!es->ever_started) return Status::not_running;
+  values.clear();
+  values.reserve(es->items.size());
+  for (const auto& item : es->items) {
+    double v = 0.0;
+    for (const auto& part : item.parts) {
+      const Slot* slot = find_slot(*es, part.machine_index);
+      double count = slot->count;
+      // Multiplexed slots were counting only part of the time: scale by
+      // the inverse duty cycle to estimate the full-run value (PAPI's
+      // multiplex estimation).
+      if (es->multiplexed && slot->slices > 0 &&
+          slot->slices < es->slices_total) {
+        count *= static_cast<double>(es->slices_total) /
+                 static_cast<double>(slot->slices);
+      }
+      v += part.coefficient * count;
+    }
+    values.push_back(v);
+  }
+  return Status::ok;
+}
+
+}  // namespace catalyst::vpapi

@@ -1,0 +1,166 @@
+// catalyst/vpapi -- a PAPI-flavoured access layer over the simulated PMU.
+//
+// The paper collects event data "the PAPI way": create an event set, add up
+// to `physical_counters` events, start, run the benchmark, stop, read.
+// Because there are orders of magnitude more events than counters, the full
+// event list must be multiplexed over many repeated benchmark runs -- the
+// exact constraint that makes the paper's automated analysis necessary.
+//
+// Like PAPI, the session also supports *derived events* (presets): named
+// linear combinations of raw events (PAPI_DP_OPS-style).  Adding a preset
+// to an event set allocates one physical counter per distinct constituent
+// raw event; raw events already counted in the set are shared rather than
+// double-allocated, exactly as PAPI schedules preset constituents.
+//
+// The API mirrors PAPI's shape (integer event sets, status codes, explicit
+// start/stop) without copying its C interface verbatim; it is a C++ layer
+// with RAII ownership of event sets inside a Session.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmu/pmu.hpp"
+
+namespace catalyst::vpapi {
+
+/// PAPI-style status codes.
+enum class Status {
+  ok = 0,
+  no_such_event,    ///< Name is neither a raw event nor a registered preset.
+  conflict,         ///< Not enough physical counters left in the set.
+  already_added,    ///< Event already in the set.
+  is_running,       ///< Operation illegal while the set is running.
+  not_running,      ///< stop/read require a started set.
+  no_such_eventset, ///< Bad event-set handle.
+  invalid_preset,   ///< Preset references unknown raw events / bad shape.
+};
+
+/// Human-readable form of a status code.
+std::string to_string(Status s);
+
+/// One term of a derived event: coefficient x raw event.
+struct DerivedTerm {
+  std::string event_name;
+  double coefficient = 0.0;
+};
+
+/// A derived event (preset): a named linear combination of raw events.
+struct DerivedEvent {
+  std::string name;
+  std::string description;
+  std::vector<DerivedTerm> terms;
+};
+
+/// A measurement session against one simulated machine.
+///
+/// Lifecycle per event set:
+///   create_eventset -> add_event* -> start -> run_kernel* -> stop -> read
+/// `run_kernel` stands in for "the instrumented code executed"; it accrues
+/// counts for every counter of each *running* set, applying the machine's
+/// per-event noise for the given (repetition, kernel) coordinates.
+class Session {
+ public:
+  explicit Session(const pmu::Machine& machine);
+
+  const pmu::Machine& machine() const noexcept { return *machine_; }
+
+  // --- Event queries -------------------------------------------------------
+  /// True for raw events and registered presets alike.
+  bool query_event(const std::string& name) const;
+  /// Raw events of the machine (presets are listed separately).
+  std::vector<std::string> enumerate_events() const;
+  /// Registered preset names.
+  std::vector<std::string> enumerate_presets() const;
+  /// Description of a raw event or preset; empty if unknown.
+  std::string event_description(const std::string& name) const;
+
+  // --- Presets ----------------------------------------------------------------
+  /// Registers a derived event.  Fails with invalid_preset when the preset
+  /// has no terms or references unknown raw events, with already_added when
+  /// the name is taken (by a raw event or another preset).
+  Status register_preset(const DerivedEvent& preset);
+
+  // --- Event sets -----------------------------------------------------------
+  /// Creates an empty event set and returns its handle.
+  int create_eventset();
+
+  /// Enables PAPI-style time-division multiplexing on a (non-running,
+  /// still raw-counter-feasible) event set: more counters than the machine
+  /// physically has may then be allocated; each run_kernel time-slice
+  /// counts only `physical_counters` of them (round-robin) and the reading
+  /// is scaled by the inverse duty cycle.  Readings become ESTIMATES whose
+  /// error shrinks with the number of kernels run -- the multiplexing noise
+  /// that motivates collecting each event group in its own run when
+  /// accuracy matters (as the CAT collector does).
+  Status enable_multiplexing(int set);
+
+  /// True if multiplexing was enabled on the set.
+  bool is_multiplexed(int set) const;
+
+  /// Destroys a (non-running) event set.
+  Status destroy_eventset(int set);
+
+  /// Adds a raw event or preset.  Presets allocate counters for their
+  /// constituent raw events, sharing counters with constituents already in
+  /// the set.
+  Status add_event(int set, const std::string& name);
+  Status remove_event(int set, const std::string& name);
+
+  /// Names currently in the set, in add order (presets by preset name).
+  std::vector<std::string> list_events(int set) const;
+
+  /// Physical counters currently allocated in the set.
+  std::size_t counters_in_use(int set) const;
+
+  Status start(int set);
+  Status stop(int set);
+  Status reset(int set);
+
+  /// Accrues counts on all running sets for one kernel execution.
+  void run_kernel(const pmu::Activity& activity, std::uint64_t repetition,
+                  std::uint64_t kernel_index);
+
+  /// Reads accumulated values, one per added event in list_events order;
+  /// preset entries return their linear combination.
+  Status read(int set, std::vector<double>& values) const;
+
+ private:
+  struct Slot {
+    std::size_t machine_index = 0;  ///< Raw event backing this counter.
+    double count = 0.0;
+    int refs = 0;                   ///< Items referencing this slot.
+    std::uint64_t slices = 0;       ///< Time-slices this slot was counting.
+  };
+  struct Part {
+    std::size_t machine_index = 0;
+    double coefficient = 1.0;
+  };
+  struct Item {
+    std::string name;
+    std::vector<Part> parts;  ///< Raw item: single part with coefficient 1.
+  };
+  struct EventSet {
+    std::vector<Slot> slots;
+    std::vector<Item> items;
+    bool running = false;
+    bool ever_started = false;
+    bool destroyed = false;
+    bool multiplexed = false;
+    std::size_t mux_cursor = 0;      ///< Round-robin slice position.
+    std::uint64_t slices_total = 0;  ///< run_kernel calls while running.
+  };
+
+  EventSet* get(int set);
+  const EventSet* get(int set) const;
+  const DerivedEvent* find_preset(const std::string& name) const;
+  static Slot* find_slot(EventSet& es, std::size_t machine_index);
+  static const Slot* find_slot(const EventSet& es, std::size_t machine_index);
+
+  const pmu::Machine* machine_;
+  std::vector<EventSet> sets_;
+  std::vector<DerivedEvent> presets_;
+};
+
+}  // namespace catalyst::vpapi

@@ -1,0 +1,82 @@
+// Tests for expectation-basis diagnostics, including the verdicts on the
+// four shipped benchmark bases and on deliberately broken ones.
+#include "core/basis_diagnostics.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cat/cat.hpp"
+
+namespace catalyst::core {
+namespace {
+
+TEST(BasisDiagnostics, AllShippedBasesAreWellPosed) {
+  cat::DcacheOptions dopt;
+  dopt.threads = 1;
+  dopt.hierarchy = cachesim::HierarchyConfig::tiny();
+  dopt.strides = {32};
+  const cat::Benchmark benches[] = {
+      cat::cpu_flops_benchmark(), cat::gpu_flops_benchmark(),
+      cat::branch_benchmark(), cat::dcache_benchmark(dopt),
+      cat::icache_benchmark()};
+  for (const auto& bench : benches) {
+    const auto d = diagnose_basis(bench.basis);
+    EXPECT_TRUE(d.full_rank) << bench.name;
+    EXPECT_LT(d.condition_number, 100.0) << bench.name;
+    EXPECT_LT(d.mutual_coherence, 0.999) << bench.name;
+    EXPECT_EQ(basis_verdict(d).rfind("well-posed", 0), 0u)
+        << bench.name << ": " << basis_verdict(d);
+  }
+}
+
+TEST(BasisDiagnostics, OrthogonalBasisHasZeroCoherence) {
+  cat::ExpectationBasis basis;
+  basis.labels = {"X", "Y"};
+  basis.e = linalg::Matrix{{1, 0}, {0, 1}, {0, 0}};
+  const auto d = diagnose_basis(basis);
+  EXPECT_TRUE(d.full_rank);
+  EXPECT_DOUBLE_EQ(d.mutual_coherence, 0.0);
+  EXPECT_DOUBLE_EQ(d.condition_number, 1.0);
+}
+
+TEST(BasisDiagnostics, DetectsRankDeficiency) {
+  cat::ExpectationBasis basis;
+  basis.labels = {"A", "B", "A+B"};
+  basis.e = linalg::Matrix{{1, 0, 1}, {0, 1, 1}, {2, 0, 2}};
+  const auto d = diagnose_basis(basis);
+  EXPECT_FALSE(d.full_rank);
+  EXPECT_EQ(d.rank, 2);
+  EXPECT_EQ(basis_verdict(d).rfind("RANK-DEFICIENT", 0), 0u);
+}
+
+TEST(BasisDiagnostics, DetectsNearCollinearPair) {
+  cat::ExpectationBasis basis;
+  basis.labels = {"P", "Q"};
+  // Q = P + tiny perturbation: numerically rank 2 but coherence ~1.
+  basis.e = linalg::Matrix{{1, 1.0001}, {1, 1.0}, {1, 0.9999}};
+  const auto d = diagnose_basis(basis);
+  EXPECT_TRUE(d.full_rank);
+  EXPECT_GT(d.mutual_coherence, 0.9999);
+  EXPECT_EQ(d.coherent_pair_a, "P");
+  EXPECT_EQ(d.coherent_pair_b, "Q");
+  const auto verdict = basis_verdict(d);
+  EXPECT_EQ(verdict.rfind("NEAR-COLLINEAR", 0), 0u) << verdict;
+}
+
+TEST(BasisDiagnostics, DetectsIllConditioning) {
+  cat::ExpectationBasis basis;
+  basis.labels = {"big", "small"};
+  basis.e = linalg::Matrix{{1e8, 0}, {0, 1e-4}};
+  const auto d = diagnose_basis(basis);
+  EXPECT_GT(d.condition_number, 1e10);
+  EXPECT_EQ(basis_verdict(d).rfind("ILL-CONDITIONED", 0), 0u);
+}
+
+TEST(BasisDiagnostics, EmptyBasis) {
+  cat::ExpectationBasis basis;
+  const auto d = diagnose_basis(basis);
+  EXPECT_EQ(d.rank, 0);
+  EXPECT_FALSE(d.full_rank);
+}
+
+}  // namespace
+}  // namespace catalyst::core

@@ -1,0 +1,121 @@
+// Tests for measurement archives: roundtrip fidelity and the key property
+// that OFFLINE analysis of an archive equals the ONLINE pipeline run.
+#include "core/io.hpp"
+
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "cat/cat.hpp"
+#include "core/signatures.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::core {
+namespace {
+
+class ArchiveFixture : public ::testing::Test {
+ protected:
+  static const pmu::Machine& machine() {
+    static const pmu::Machine m = pmu::saphira_cpu();
+    return m;
+  }
+  static const cat::Benchmark& bench() {
+    static const cat::Benchmark b = cat::branch_benchmark();
+    return b;
+  }
+  static const PipelineResult& online() {
+    static const PipelineResult r =
+        run_pipeline(machine(), bench(), branch_signatures());
+    return r;
+  }
+};
+
+TEST_F(ArchiveFixture, RoundTripPreservesEverything) {
+  const auto archive = make_archive(machine(), bench(), online());
+  const auto text = save_archive(archive);
+  const auto loaded = load_archive(text);
+
+  EXPECT_EQ(loaded.format_version, archive.format_version);
+  EXPECT_EQ(loaded.machine_name, "saphira-cpu");
+  EXPECT_EQ(loaded.benchmark_name, "cat-branch");
+  EXPECT_EQ(loaded.slot_names, archive.slot_names);
+  EXPECT_EQ(loaded.basis_labels, archive.basis_labels);
+  EXPECT_EQ(loaded.event_names, archive.event_names);
+  EXPECT_LT(linalg::Matrix::max_abs_diff(loaded.expectation,
+                                         archive.expectation),
+            1e-15);
+  ASSERT_EQ(loaded.measurements.size(), archive.measurements.size());
+  EXPECT_EQ(loaded.measurements, archive.measurements);
+}
+
+TEST_F(ArchiveFixture, PrettyPrintedArchiveLoadsToo) {
+  const auto archive = make_archive(machine(), bench(), online());
+  const auto loaded = load_archive(save_archive(archive, 2));
+  EXPECT_EQ(loaded.measurements, archive.measurements);
+}
+
+TEST_F(ArchiveFixture, OfflineAnalysisEqualsOnlinePipeline) {
+  const auto archive = make_archive(machine(), bench(), online());
+  const auto offline =
+      analyze_archive(load_archive(save_archive(archive)),
+                      branch_signatures());
+  EXPECT_EQ(offline.xhat_events, online().xhat_events);
+  ASSERT_EQ(offline.metrics.size(), online().metrics.size());
+  for (std::size_t i = 0; i < offline.metrics.size(); ++i) {
+    EXPECT_EQ(offline.metrics[i].composable, online().metrics[i].composable);
+    EXPECT_NEAR(offline.metrics[i].backward_error,
+                online().metrics[i].backward_error, 1e-12);
+    for (std::size_t t = 0; t < offline.metrics[i].terms.size(); ++t) {
+      EXPECT_NEAR(offline.metrics[i].terms[t].coefficient,
+                  online().metrics[i].terms[t].coefficient, 1e-9);
+    }
+  }
+}
+
+TEST_F(ArchiveFixture, LoadRejectsCorruptedArchives) {
+  const auto archive = make_archive(machine(), bench(), online());
+  auto text = save_archive(archive);
+
+  // Wrong version.
+  auto bad = text;
+  bad.replace(bad.find("catalyst-measurements-v1"), 24,
+              "catalyst-measurements-v9");
+  EXPECT_THROW(load_archive(bad), std::invalid_argument);
+
+  // Not JSON at all.
+  EXPECT_THROW(load_archive("not json"), json::JsonError);
+
+  // Missing key.
+  EXPECT_THROW(load_archive(R"({"format": "catalyst-measurements-v1"})"),
+               json::JsonError);
+}
+
+TEST_F(ArchiveFixture, LoadRejectsShapeMismatches) {
+  // Hand-build a tiny structurally-broken archive: 2 slots but a
+  // measurement vector of length 1.
+  const std::string bad = R"({
+    "format": "catalyst-measurements-v1",
+    "machine": "m", "benchmark": "b",
+    "slots": ["s1", "s2"],
+    "basis": {"labels": ["X"], "e": [[1], [2]]},
+    "events": ["E"],
+    "measurements": [[[1.0]]]
+  })";
+  EXPECT_THROW(load_archive(bad), std::invalid_argument);
+}
+
+TEST(ArchiveFiles, WriteAndReadBack) {
+  const std::string path = "/tmp/catalyst_io_test.json";
+  write_text_file(path, "{\"x\": 1}");
+  EXPECT_EQ(read_text_file(path), "{\"x\": 1}");
+  std::remove(path.c_str());
+  EXPECT_THROW(read_text_file("/nonexistent/dir/file.json"),
+               std::runtime_error);
+  EXPECT_THROW(write_text_file("/nonexistent/dir/file.json", "x"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace catalyst::core

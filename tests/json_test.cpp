@@ -1,0 +1,168 @@
+// Unit tests for the minimal JSON value / parser / writer.
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace catalyst::core::json {
+namespace {
+
+// --- value type -----------------------------------------------------------------
+
+TEST(JsonValue, TypePredicatesAndAccessors) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(3.5).is_number());
+  EXPECT_TRUE(Value(7).is_number());
+  EXPECT_TRUE(Value("s").is_string());
+  EXPECT_TRUE(Value::array().is_array());
+  EXPECT_TRUE(Value::object().is_object());
+
+  EXPECT_EQ(Value(true).as_bool(), true);
+  EXPECT_DOUBLE_EQ(Value(2.5).as_number(), 2.5);
+  EXPECT_EQ(Value("hi").as_string(), "hi");
+}
+
+TEST(JsonValue, WrongTypeAccessThrows) {
+  EXPECT_THROW(Value(1.0).as_string(), JsonError);
+  EXPECT_THROW(Value("x").as_number(), JsonError);
+  EXPECT_THROW(Value().as_array(), JsonError);
+  EXPECT_THROW(Value(true).at("k"), JsonError);
+  EXPECT_THROW(Value(true).at(0), JsonError);
+}
+
+TEST(JsonValue, ArrayBuilding) {
+  Value a = Value::array();
+  a.push_back(1);
+  a.push_back("two");
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.at(0).as_number(), 1.0);
+  EXPECT_EQ(a.at(1).as_string(), "two");
+  EXPECT_THROW(a.at(2), JsonError);
+}
+
+TEST(JsonValue, ObjectBuildingAndNullPromotion) {
+  Value o;  // null
+  o["k"] = 5;  // promotes to object
+  EXPECT_TRUE(o.is_object());
+  EXPECT_TRUE(o.contains("k"));
+  EXPECT_FALSE(o.contains("missing"));
+  EXPECT_THROW(o.at("missing"), JsonError);
+}
+
+// --- parser ---------------------------------------------------------------------
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(parse("null").is_null());
+  EXPECT_EQ(parse("true").as_bool(), true);
+  EXPECT_EQ(parse("false").as_bool(), false);
+  EXPECT_DOUBLE_EQ(parse("42").as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(parse("-3.25e2").as_number(), -325.0);
+  EXPECT_EQ(parse("\"hello\"").as_string(), "hello");
+}
+
+TEST(JsonParse, Whitespace) {
+  const Value v = parse("  {\n\t\"a\" : [ 1 ,\r\n 2 ] }  ");
+  EXPECT_EQ(v.at("a").size(), 2u);
+}
+
+TEST(JsonParse, NestedStructures) {
+  const Value v = parse(R"({"a": {"b": [1, [2, {"c": null}]]}})");
+  EXPECT_TRUE(v.at("a").at("b").at(1).at(1).at("c").is_null());
+}
+
+TEST(JsonParse, StringEscapes) {
+  EXPECT_EQ(parse(R"("a\"b\\c\/d\n\t")").as_string(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parse(R"("Az")").as_string(), "Az");
+}
+
+TEST(JsonParse, EmptyContainers) {
+  EXPECT_EQ(parse("[]").size(), 0u);
+  EXPECT_EQ(parse("{}").size(), 0u);
+}
+
+TEST(JsonParse, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "[1 2]", "{\"a\" 1}", "{\"a\":}", "tru", "01a",
+        "\"unterminated", "[1],", "{\"a\":1,}", R"("\q")", R"("\u00ZZ")",
+        "nan", "[1]]"}) {
+    EXPECT_THROW(parse(bad), JsonError) << bad;
+  }
+}
+
+TEST(JsonParse, RejectsNonAsciiUnicodeEscapes) {
+  // é is beyond ASCII: rejected loudly rather than silently mangled.
+  EXPECT_THROW(parse("\"\\u00e9\""), JsonError);
+  // ASCII \u escapes decode.
+  EXPECT_EQ(parse("\"\\u0041\"").as_string(), "A");
+  // Raw UTF-8 bytes pass through untouched.
+  EXPECT_EQ(parse("\"\xc3\xa9\"").as_string(), "\xc3\xa9");
+}
+
+TEST(JsonParse, RejectsControlCharactersInStrings) {
+  EXPECT_THROW(parse("\"a\nb\""), JsonError);
+}
+
+// --- writer ---------------------------------------------------------------------
+
+TEST(JsonDump, CompactForm) {
+  Value o = Value::object();
+  o["b"] = true;
+  o["n"] = 1.5;
+  o["s"] = "x";
+  Value arr = Value::array();
+  arr.push_back(1);
+  arr.push_back(2);
+  o["a"] = std::move(arr);
+  EXPECT_EQ(dump(o), R"({"a":[1,2],"b":true,"n":1.5,"s":"x"})");
+}
+
+TEST(JsonDump, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(dump(Value(42.0)), "42");
+  EXPECT_EQ(dump(Value(-7)), "-7");
+}
+
+TEST(JsonDump, EscapesSpecialCharacters) {
+  EXPECT_EQ(dump(Value("a\"b\\c\nd")), R"("a\"b\\c\nd")");
+}
+
+TEST(JsonDump, RejectsNonFiniteNumbers) {
+  EXPECT_THROW(dump(Value(std::numeric_limits<double>::infinity())),
+               JsonError);
+}
+
+TEST(JsonDump, PrettyPrintedFormReparses) {
+  Value o = Value::object();
+  o["nested"] = Value::array();
+  o["nested"].push_back(Value::object());
+  o["x"] = 1;
+  const std::string pretty = dump(o, 2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(parse(pretty), o);
+}
+
+class JsonRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JsonRoundTrip, ParseDumpParseIsIdentity) {
+  const Value v1 = parse(GetParam());
+  const Value v2 = parse(dump(v1));
+  EXPECT_EQ(v1, v2) << GetParam();
+  const Value v3 = parse(dump(v1, 2));
+  EXPECT_EQ(v1, v3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Documents, JsonRoundTrip,
+    ::testing::Values(
+        "null", "true", "[1,2.5,-3e-4,\"s\",null,{}]",
+        R"({"a":{"b":{"c":[[[1]]]}},"d":""})",
+        R"([{"event":"FP_ARITH","coefficient":0.123456789012345}])",
+        "[1e300,-1e-300,0]"));
+
+TEST(JsonRoundTrip, PreservesDoublePrecision) {
+  const double v = 0.1234567890123456789;  // more digits than a double holds
+  const Value parsed = parse(dump(Value(v)));
+  EXPECT_DOUBLE_EQ(parsed.as_number(), v);
+}
+
+}  // namespace
+}  // namespace catalyst::core::json

@@ -1,0 +1,154 @@
+// Unit + property tests for the classic column-pivoted QR (Algorithm 1).
+#include "linalg/qrcp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/blas.hpp"
+#include "linalg/random.hpp"
+
+namespace catalyst::linalg {
+namespace {
+
+// Reconstructs A from a QrcpResult: A = Q R P^T, i.e. column i of A*P is
+// column permutation[i] of A.
+Matrix reconstruct(const QrcpResult& res) {
+  // Build Q from the packed reflectors.
+  const index_t m = res.packed.rows();
+  const auto k = static_cast<index_t>(res.taus.size());
+  Matrix q(m, k);
+  for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
+  for (index_t j = k - 1; j >= 0; --j) {
+    auto cj = res.packed.col(j);
+    std::vector<double> v(cj.begin() + j + 1, cj.end());
+    // Inline reflector application (same math as apply_reflector_left).
+    for (index_t col = 0; col < q.cols(); ++col) {
+      auto qc = q.col(col);
+      double w = qc[static_cast<std::size_t>(j)];
+      for (index_t i = j + 1; i < m; ++i) {
+        w += v[static_cast<std::size_t>(i - j - 1)] *
+             qc[static_cast<std::size_t>(i)];
+      }
+      w *= res.taus[static_cast<std::size_t>(j)];
+      qc[static_cast<std::size_t>(j)] -= w;
+      for (index_t i = j + 1; i < m; ++i) {
+        qc[static_cast<std::size_t>(i)] -=
+            w * v[static_cast<std::size_t>(i - j - 1)];
+      }
+    }
+  }
+  Matrix ap = matmul(q, res.r());
+  // Undo the permutation: column res.permutation[i] of A is column i of AP.
+  Matrix a(ap.rows(), ap.cols());
+  for (index_t i = 0; i < ap.cols(); ++i) {
+    a.set_col(res.permutation[static_cast<std::size_t>(i)], ap.col(i));
+  }
+  return a;
+}
+
+TEST(Qrcp, PermutationIsAPermutation) {
+  Matrix a = random_gaussian(8, 6, 17);
+  auto res = qrcp(a);
+  std::vector<index_t> p = res.permutation;
+  std::sort(p.begin(), p.end());
+  std::vector<index_t> expect(6);
+  std::iota(expect.begin(), expect.end(), index_t{0});
+  EXPECT_EQ(p, expect);
+}
+
+TEST(Qrcp, FullRankRandom) {
+  Matrix a = random_gaussian(10, 6, 23);
+  auto res = qrcp(a);
+  EXPECT_EQ(res.rank, 6);
+  EXPECT_LT(Matrix::max_abs_diff(reconstruct(res), a), 1e-11);
+}
+
+TEST(Qrcp, DiagonalOfRIsNonIncreasing) {
+  // Max-norm pivoting guarantees |R(0,0)| >= |R(1,1)| >= ... (weakly, up to
+  // roundoff) for the factored steps.
+  Matrix a = random_gaussian(30, 20, 29);
+  auto res = qrcp(a);
+  auto d = res.r_diagonal_abs();
+  for (std::size_t i = 1; i < static_cast<std::size_t>(res.rank); ++i) {
+    EXPECT_LE(d[i], d[i - 1] * (1 + 1e-10));
+  }
+}
+
+class QrcpRankDetection : public ::testing::TestWithParam<int> {};
+
+TEST_P(QrcpRankDetection, DetectsExactRank) {
+  const int r = GetParam();
+  Matrix a = random_rank_deficient(20, 12, r, 1000 + r);
+  auto res = qrcp(a, 1e-10);
+  EXPECT_EQ(res.rank, r);
+}
+
+INSTANTIATE_TEST_SUITE_P(RankSweep, QrcpRankDetection,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 12));
+
+TEST(Qrcp, ZeroMatrixHasRankZero) {
+  Matrix a(5, 4, 0.0);
+  auto res = qrcp(a);
+  EXPECT_EQ(res.rank, 0);
+}
+
+TEST(Qrcp, DuplicateColumnsDetected) {
+  // Two copies of the same column plus one independent column: rank 2.
+  Matrix a = Matrix::from_columns({{1, 2, 3}, {1, 2, 3}, {0, 1, 0}});
+  auto res = qrcp(a, 1e-10);
+  EXPECT_EQ(res.rank, 2);
+}
+
+TEST(Qrcp, ScaledColumnDetected) {
+  Matrix a = Matrix::from_columns({{1, 2, 3}, {2, 4, 6}, {1, 0, 0}});
+  auto res = qrcp(a, 1e-10);
+  EXPECT_EQ(res.rank, 2);
+}
+
+TEST(Qrcp, LinearCombinationDetected) {
+  // c2 = c0 + c1.
+  Matrix a = Matrix::from_columns({{1, 0, 1}, {0, 1, 1}, {1, 1, 2}});
+  auto res = qrcp(a, 1e-10);
+  EXPECT_EQ(res.rank, 2);
+}
+
+TEST(Qrcp, MaxNormPivotPicksLargestColumnFirst) {
+  // The paper's motivating failure: a "cycles"-like huge column is chosen
+  // first by the classic rule even though it is analytically irrelevant.
+  Matrix a = Matrix::from_columns(
+      {{1, 0, 0}, {0, 1, 0}, {1e6, 1e6, 1e6}});
+  auto res = qrcp(a);
+  EXPECT_EQ(res.permutation[0], 2);
+}
+
+TEST(Qrcp, ReconstructionWithRankDeficiency) {
+  Matrix a = random_rank_deficient(15, 10, 4, 77);
+  auto res = qrcp(a);
+  EXPECT_LT(Matrix::max_abs_diff(reconstruct(res), a), 1e-10);
+}
+
+TEST(Qrcp, NegativeToleranceThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW(qrcp(a, -1.0), ArgumentError);
+}
+
+TEST(Qrcp, WideMatrix) {
+  Matrix a = random_gaussian(4, 9, 31);
+  auto res = qrcp(a);
+  EXPECT_EQ(res.rank, 4);
+  EXPECT_LT(Matrix::max_abs_diff(reconstruct(res), a), 1e-11);
+}
+
+TEST(Qrcp, NearDependentColumnsNeedLooserTolerance) {
+  // (1, 1) vs (0.99, 1.01): numerically independent, semantically noise.
+  // With a tight tolerance QRCP reports rank 2; with a 2% tolerance rank 1.
+  Matrix a = Matrix::from_columns({{1, 1}, {0.99, 1.01}});
+  EXPECT_EQ(qrcp(a, 1e-12).rank, 2);
+  EXPECT_EQ(qrcp(a, 2e-2).rank, 1);
+}
+
+}  // namespace
+}  // namespace catalyst::linalg

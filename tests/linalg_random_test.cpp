@@ -1,0 +1,68 @@
+// Tests for the seeded random-matrix generators (the foundation of every
+// property test in the suite, so their own contracts deserve checks).
+#include "linalg/random.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+#include "linalg/svd.hpp"
+
+namespace catalyst::linalg {
+namespace {
+
+TEST(RandomGaussian, DeterministicPerSeed) {
+  EXPECT_EQ(random_gaussian(5, 4, 42), random_gaussian(5, 4, 42));
+  EXPECT_NE(random_gaussian(5, 4, 42), random_gaussian(5, 4, 43));
+}
+
+TEST(RandomGaussian, MomentsRoughlyStandardNormal) {
+  const Matrix a = random_gaussian(200, 50, 7);
+  double sum = 0.0, sumsq = 0.0;
+  for (double v : a.data()) {
+    sum += v;
+    sumsq += v * v;
+  }
+  const auto n = static_cast<double>(a.data().size());
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.05);
+}
+
+TEST(RandomUniform, RangeRespected) {
+  const Matrix a = random_uniform(30, 30, -2.0, 5.0, 11);
+  for (double v : a.data()) {
+    EXPECT_GE(v, -2.0);
+    EXPECT_LE(v, 5.0);
+  }
+  EXPECT_THROW(random_uniform(2, 2, 1.0, -1.0, 0), ArgumentError);
+}
+
+TEST(RandomOrthonormal, ColumnsOrthonormal) {
+  const Matrix q = random_orthonormal(20, 8, 3);
+  const Matrix qtq = matmul_tn(q, q);
+  EXPECT_LT(Matrix::max_abs_diff(qtq, Matrix::identity(8)), 1e-12);
+  EXPECT_THROW(random_orthonormal(4, 5, 0), ArgumentError);
+}
+
+TEST(RandomRankDeficient, RankIsExact) {
+  EXPECT_EQ(numerical_rank(random_rank_deficient(12, 9, 4, 5)), 4);
+  EXPECT_EQ(numerical_rank(random_rank_deficient(12, 9, 0, 5)), 0);
+  EXPECT_THROW(random_rank_deficient(4, 4, 5, 0), ArgumentError);
+}
+
+TEST(RandomWithCondition, SpectrumEndpoints) {
+  const double cond = 1e8;
+  const auto sv = svd(random_with_condition(25, 10, cond, 17)).singular_values;
+  EXPECT_NEAR(sv.front(), 1.0, 1e-8);
+  EXPECT_NEAR(sv.back() * cond, 1.0, 1e-4);
+  EXPECT_THROW(random_with_condition(4, 4, 0.5, 0), ArgumentError);
+}
+
+TEST(RandomWithCondition, SingleColumnEdgeCase) {
+  const Matrix a = random_with_condition(6, 1, 100.0, 9);
+  EXPECT_NEAR(nrm2(a.col(0)), 1.0, 1e-12);  // single sv = cond^0 = 1
+}
+
+}  // namespace
+}  // namespace catalyst::linalg

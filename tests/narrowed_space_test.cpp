@@ -1,0 +1,90 @@
+// Tests for configurable CPU-FLOPs kernel Spaces (machines without some
+// vector widths) and the signature-slicing utility.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cat/cat.hpp"
+#include "core/pipeline.hpp"
+#include "core/report.hpp"
+#include "core/signatures.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::core {
+namespace {
+
+TEST(NarrowedSpace, BenchmarkShapeFollowsOptions) {
+  cat::CpuFlopsOptions opt;
+  opt.widths = {"scalar", "128", "256"};  // no AVX-512
+  const auto b = cat::cpu_flops_benchmark(opt);
+  EXPECT_EQ(b.basis.labels.size(), 12u);
+  EXPECT_EQ(b.slots.size(), 36u);
+  EXPECT_EQ(std::find(b.basis.labels.begin(), b.basis.labels.end(), "S512"),
+            b.basis.labels.end());
+}
+
+TEST(NarrowedSpace, RejectsBadSpace) {
+  cat::CpuFlopsOptions opt;
+  opt.widths = {};
+  EXPECT_THROW(cat::cpu_flops_benchmark(opt), std::invalid_argument);
+  cat::CpuFlopsOptions opt2;
+  opt2.widths = {"1024"};
+  EXPECT_THROW(cat::cpu_flops_benchmark(opt2), std::invalid_argument);
+  cat::CpuFlopsOptions opt3;
+  opt3.precisions = {"hp"};
+  EXPECT_THROW(cat::cpu_flops_benchmark(opt3), std::invalid_argument);
+}
+
+TEST(SliceSignatures, ProjectsOntoSubsetOrder) {
+  const std::vector<std::string> full{"A", "B", "C"};
+  const std::vector<MetricSignature> sigs{{"m", {1, 2, 3}}};
+  const auto sliced = slice_signatures(sigs, full, {"C", "A"});
+  ASSERT_EQ(sliced.size(), 1u);
+  EXPECT_EQ(sliced[0].coordinates, (linalg::Vector{3, 1}));
+}
+
+TEST(SliceSignatures, Validates) {
+  const std::vector<std::string> full{"A"};
+  const std::vector<MetricSignature> sigs{{"m", {1}}};
+  EXPECT_THROW(slice_signatures(sigs, full, {"Z"}), std::invalid_argument);
+  const std::vector<MetricSignature> bad{{"m", {1, 2}}};
+  EXPECT_THROW(slice_signatures(bad, full, {"A"}), std::invalid_argument);
+}
+
+TEST(NarrowedSpace, PipelineOnAvx512LessSpace) {
+  // Analyze Saphira with the 512-bit kernels removed: the 512 events are
+  // never exercised (all-zero -> discarded) and DP Ops composes from the
+  // remaining three DP events.
+  cat::CpuFlopsOptions opt;
+  opt.widths = {"scalar", "128", "256"};
+  const auto bench = cat::cpu_flops_benchmark(opt);
+  const auto full_bench_labels = cat::cpu_flops_benchmark().basis.labels;
+  const auto signatures = slice_signatures(
+      cpu_flops_signatures(), full_bench_labels, bench.basis.labels);
+
+  const auto result =
+      run_pipeline(pmu::saphira_cpu(), bench, signatures);
+  ASSERT_EQ(result.xhat_events.size(), 6u)
+      << format_selected_events(result);
+  for (const auto& e : result.xhat_events) {
+    EXPECT_EQ(e.find("512B"), std::string::npos) << e;
+  }
+  for (const auto& m : result.metrics) {
+    if (m.metric_name != "DP Ops.") continue;
+    EXPECT_TRUE(m.composable) << m.backward_error;
+    double c128 = 0.0, c256 = 0.0;
+    for (const auto& t : m.terms) {
+      if (t.event_name == "FP_ARITH_INST_RETIRED:128B_PACKED_DOUBLE") {
+        c128 = t.coefficient;
+      }
+      if (t.event_name == "FP_ARITH_INST_RETIRED:256B_PACKED_DOUBLE") {
+        c256 = t.coefficient;
+      }
+    }
+    EXPECT_NEAR(c128, 2.0, 1e-6);
+    EXPECT_NEAR(c256, 4.0, 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace catalyst::core

@@ -1,0 +1,162 @@
+// Tests for the Vesuvio machine model and the cross-architecture
+// pipeline behaviour it exists to exercise.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cat/cat.hpp"
+#include "core/core.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst {
+namespace {
+
+TEST(Vesuvio, HasExpectedScale) {
+  const pmu::Machine m = pmu::vesuvio_cpu();
+  EXPECT_GE(m.num_events(), 80u);
+  EXPECT_LE(m.num_events(), 200u);
+  EXPECT_EQ(m.physical_counters(), 6u);
+}
+
+TEST(Vesuvio, CombinedFlopsCounterCountsOperations) {
+  const pmu::Machine m = pmu::vesuvio_cpu();
+  const auto& e = m.event(*m.find("RETIRED_SSE_AVX_FLOPS:ALL"));
+  // One 256-bit DP FMA instruction = 4 lanes x 2 ops = 8 operations.
+  pmu::Activity fma256dp{{pmu::sig::fp("256", "dp", true), 1.0}};
+  EXPECT_DOUBLE_EQ(e.ideal(fma256dp), 8.0);
+  // One scalar SP non-FMA instruction = 1 operation.
+  pmu::Activity scal{{pmu::sig::fp("scalar", "sp", false), 1.0}};
+  EXPECT_DOUBLE_EQ(e.ideal(scal), 1.0);
+}
+
+TEST(Vesuvio, NoPerPrecisionFpEvents) {
+  // Every FP-sensitive event must touch BOTH precisions (that is the whole
+  // point of this model).
+  const pmu::Machine m = pmu::vesuvio_cpu();
+  for (const auto& e : m.events()) {
+    bool sp = false, dp = false;
+    for (const auto& t : e.terms) {
+      if (t.signal.rfind("fp.", 0) != 0) continue;
+      if (t.signal.find(".sp.") != std::string::npos) sp = true;
+      if (t.signal.find(".dp.") != std::string::npos) dp = true;
+    }
+    EXPECT_EQ(sp, dp) << e.name << " separates precisions";
+  }
+}
+
+TEST(Vesuvio, BuildIsDeterministic) {
+  const pmu::Machine a = pmu::vesuvio_cpu();
+  const pmu::Machine b = pmu::vesuvio_cpu();
+  EXPECT_EQ(a.event_names(), b.event_names());
+}
+
+class VesuvioFlopsPipeline : public ::testing::Test {
+ protected:
+  static const core::PipelineResult& result() {
+    static const core::PipelineResult res = [] {
+      auto signatures = core::cpu_flops_signatures();
+      core::MetricSignature both{"SP+DP Ops.", linalg::Vector(16, 0.0)};
+      for (const auto& s : signatures) {
+        if (s.name == "SP Ops." || s.name == "DP Ops.") {
+          for (std::size_t i = 0; i < 16; ++i) {
+            both.coordinates[i] += s.coordinates[i];
+          }
+        }
+      }
+      signatures.push_back(both);
+      return core::run_pipeline(pmu::vesuvio_cpu(),
+                                cat::cpu_flops_benchmark(), signatures,
+                                core::PipelineOptions{});
+    }();
+    return res;
+  }
+
+  static const core::MetricDefinition& metric(const std::string& name) {
+    for (const auto& m : result().metrics) {
+      if (m.metric_name == name) return m;
+    }
+    throw std::runtime_error("metric not found: " + name);
+  }
+};
+
+TEST_F(VesuvioFlopsPipeline, SelectsTheCombinedCounterAndNothingFpRelated) {
+  // The only FP-capable event on this machine is the combined counter; the
+  // QR may additionally keep a loop-control branch counter (an independent
+  // "iterations" direction on this machine), but never a second FP event.
+  const auto& events = result().xhat_events;
+  ASSERT_LE(events.size(), 2u) << core::format_selected_events(result());
+  EXPECT_NE(std::find(events.begin(), events.end(),
+                      "RETIRED_SSE_AVX_FLOPS:ALL"),
+            events.end());
+  EXPECT_EQ(std::find(events.begin(), events.end(),
+                      "RETIRED_SSE_AVX_FLOPS:ANY"),
+            events.end());
+}
+
+TEST_F(VesuvioFlopsPipeline, PerPrecisionMetricsNotComposable) {
+  for (const char* name : {"SP Ops.", "DP Ops.", "SP Instrs.", "DP Instrs.",
+                           "SP FMA Instrs.", "DP FMA Instrs."}) {
+    EXPECT_FALSE(metric(name).composable) << name;
+    EXPECT_GT(metric(name).backward_error, 0.02) << name;
+  }
+}
+
+TEST_F(VesuvioFlopsPipeline, CombinedPrecisionMetricIsExact) {
+  const auto& m = metric("SP+DP Ops.");
+  EXPECT_TRUE(m.composable) << m.backward_error;
+  double flops_coeff = 0.0;
+  for (const auto& t : m.terms) {
+    if (t.event_name == "RETIRED_SSE_AVX_FLOPS:ALL") {
+      flops_coeff = t.coefficient;
+    }
+  }
+  EXPECT_NEAR(flops_coeff, 1.0, 1e-6);
+}
+
+class VesuvioBranchPipeline : public ::testing::Test {
+ protected:
+  static const core::PipelineResult& result() {
+    static const core::PipelineResult res = core::run_pipeline(
+        pmu::vesuvio_cpu(), cat::branch_benchmark(),
+        core::branch_signatures(), core::PipelineOptions{});
+    return res;
+  }
+
+  static const core::MetricDefinition& metric(const std::string& name) {
+    for (const auto& m : result().metrics) {
+      if (m.metric_name == name) return m;
+    }
+    throw std::runtime_error("metric not found: " + name);
+  }
+};
+
+TEST_F(VesuvioBranchPipeline, TakenComposesDifferentlyThanOnSaphira) {
+  // Vesuvio has no conditional-taken counter, but TAKEN = cond taken +
+  // uncond and ALL/COND exist, so Conditional Branches Taken composes as
+  // TAKEN - (ALL - COND): the pipeline must find *some* exact combination.
+  const auto& taken = metric("Conditional Branches Taken.");
+  EXPECT_TRUE(taken.composable) << taken.backward_error;
+  // And it must involve the taken counter.
+  bool uses_taken = false;
+  for (const auto& t : taken.terms) {
+    if (t.event_name == "RETIRED_TAKEN_BRANCH_INSTRUCTIONS" &&
+        std::abs(t.coefficient) > 0.5) {
+      uses_taken = true;
+    }
+  }
+  EXPECT_TRUE(uses_taken);
+}
+
+TEST_F(VesuvioBranchPipeline, MispredictionsCompose) {
+  const auto& m = metric("Mispredicted Branches.");
+  EXPECT_TRUE(m.composable);
+}
+
+TEST_F(VesuvioBranchPipeline, BranchesExecutedStillImpossible) {
+  const auto& m = metric("Conditional Branches Executed.");
+  EXPECT_FALSE(m.composable);
+  EXPECT_NEAR(m.backward_error, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -1,0 +1,188 @@
+// Cross-module property sweeps:
+//   * the specialized QRCP must recover a planted clean event set from
+//     randomized measurement matrices (duplicates + combinations + noise
+//     columns + a huge-norm column), for any seed;
+//   * the set-associative LRU cache must agree, access by access, with an
+//     executable reference model on random traces;
+//   * the QR least-squares solver must agree with an SVD-based
+//     pseudo-inverse solve.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <random>
+
+#include "cachesim/cachesim.hpp"
+#include "core/qrcp_special.hpp"
+#include "linalg/linalg.hpp"
+
+namespace catalyst {
+namespace {
+
+// --- planted-structure QRCP sweep ---------------------------------------------
+
+class PlantedQrcp : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PlantedQrcp, RecoversExactlyThePlantedCleanColumns) {
+  const std::uint64_t seed = GetParam();
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<int> dim_dist(4, 10);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+  const int dims = dim_dist(rng);
+
+  // Planted clean columns: basis vectors (with noise far below alpha),
+  // several per dimension -- any copy is an equally valid pick, so the
+  // column's TYPE carries the invariant: the algorithm must select only
+  // basis-aligned columns, one per dimension, never a combination, a noise
+  // column, or the huge-norm trap.
+  std::vector<linalg::Vector> columns;
+  std::vector<int> column_dim;  // >= 0: unit column of that dim; -1: pollution
+  std::normal_distribution<double> tiny(0.0, 5e-6);
+  auto noisy_unit = [&](int dim) {
+    linalg::Vector v(static_cast<std::size_t>(dims), 0.0);
+    for (auto& x : v) x = tiny(rng);
+    v[static_cast<std::size_t>(dim)] += 1.0;
+    return v;
+  };
+  for (int copy = 0; copy < 2; ++copy) {
+    for (int d = 0; d < dims; ++d) {
+      columns.push_back(noisy_unit(d));
+      column_dim.push_back(d);
+    }
+  }
+  // Pollution: pairwise combinations, pure noise columns, one huge column.
+  for (int k = 0; k + 1 < dims; ++k) {
+    linalg::Vector combo = noisy_unit(k);
+    const auto other = noisy_unit(k + 1);
+    for (std::size_t i = 0; i < combo.size(); ++i) combo[i] += other[i];
+    columns.push_back(combo);  // combination (score 2)
+    column_dim.push_back(-1);
+  }
+  for (int k = 0; k < 3; ++k) {
+    linalg::Vector noise(static_cast<std::size_t>(dims));
+    for (auto& x : noise) x = tiny(rng);
+    columns.push_back(noise);  // below beta
+    column_dim.push_back(-1);
+  }
+  {
+    linalg::Vector huge(static_cast<std::size_t>(dims), 1e5);
+    columns.push_back(huge);  // the max-norm trap
+    column_dim.push_back(-1);
+  }
+  // Shuffle so position carries no information.
+  std::vector<std::size_t> order(columns.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::shuffle(order.begin(), order.end(), rng);
+  std::vector<linalg::Vector> shuffled(columns.size());
+  std::vector<int> shuffled_dim(columns.size());
+  for (std::size_t pos = 0; pos < order.size(); ++pos) {
+    shuffled[pos] = columns[order[pos]];
+    shuffled_dim[pos] = column_dim[order[pos]];
+  }
+
+  const auto x = linalg::Matrix::from_columns(shuffled);
+  const auto res = core::specialized_qrcp(x, 5e-4);
+
+  ASSERT_EQ(res.rank, dims) << "seed " << seed;
+  std::vector<bool> covered(static_cast<std::size_t>(dims), false);
+  for (linalg::index_t sel : res.selected) {
+    const int dim = shuffled_dim[static_cast<std::size_t>(sel)];
+    ASSERT_GE(dim, 0) << "seed " << seed << " picked polluted column "
+                      << sel;
+    EXPECT_FALSE(covered[static_cast<std::size_t>(dim)])
+        << "seed " << seed << " picked dimension " << dim << " twice";
+    covered[static_cast<std::size_t>(dim)] = true;
+  }
+  EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
+                          [](bool c) { return c; }))
+      << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PlantedQrcp,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+// --- cache reference model ----------------------------------------------------
+
+// Executable specification: per-set LRU as an ordered deque of tags.
+class ReferenceLru {
+ public:
+  ReferenceLru(std::uint64_t sets, std::uint32_t ways, std::uint32_t line)
+      : sets_(sets), ways_(ways), line_(line) {}
+
+  bool access(std::uint64_t addr) {
+    const std::uint64_t tag = addr / line_;
+    auto& set = sets_map_[tag % sets_];
+    auto it = std::find(set.begin(), set.end(), tag);
+    if (it != set.end()) {
+      set.erase(it);
+      set.push_front(tag);
+      return true;
+    }
+    set.push_front(tag);
+    if (set.size() > ways_) set.pop_back();
+    return false;
+  }
+
+ private:
+  std::uint64_t sets_;
+  std::uint32_t ways_;
+  std::uint32_t line_;
+  std::map<std::uint64_t, std::deque<std::uint64_t>> sets_map_;
+};
+
+class CacheVsReference : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacheVsReference, HitMissSequencesAgreeOnRandomTraces) {
+  const std::uint64_t seed = GetParam();
+  cachesim::LevelConfig cfg{"T", 2048, 64, 4};  // 8 sets x 4 ways
+  cachesim::CacheLevel cache(cfg);
+  ReferenceLru reference(cfg.num_sets(), cfg.associativity, cfg.line_bytes);
+
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::uint64_t> addr(0, 64 * 1024);
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t a = addr(rng);
+    EXPECT_EQ(cache.access(a), reference.access(a))
+        << "seed " << seed << " access " << i << " addr " << a;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacheVsReference,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+// --- lstsq vs SVD pseudo-inverse ------------------------------------------------
+
+class LstsqVsSvd : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LstsqVsSvd, SolutionsAgreeOnFullRankSystems) {
+  const std::uint64_t seed = GetParam();
+  const auto a = linalg::random_gaussian(24, 7, seed);
+  linalg::Vector b(24);
+  std::mt19937_64 rng(seed ^ 0xb0b);
+  std::normal_distribution<double> gauss(0.0, 1.0);
+  for (auto& v : b) v = gauss(rng);
+
+  const auto qr_solution = linalg::lstsq(a, b).x;
+
+  // Pseudo-inverse solve: x = V * diag(1/sigma) * U^T b.
+  const auto svd = linalg::svd(a);
+  linalg::Vector utb = linalg::matvec_t(svd.u, b);
+  for (std::size_t i = 0; i < utb.size(); ++i) {
+    utb[i] /= svd.singular_values[i];
+  }
+  const linalg::Vector svd_solution = linalg::matvec(svd.v, utb);
+
+  ASSERT_EQ(qr_solution.size(), svd_solution.size());
+  for (std::size_t i = 0; i < qr_solution.size(); ++i) {
+    EXPECT_NEAR(qr_solution[i], svd_solution[i], 1e-9) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LstsqVsSvd,
+                         ::testing::Values(101, 202, 303, 404, 505, 606));
+
+}  // namespace
+}  // namespace catalyst

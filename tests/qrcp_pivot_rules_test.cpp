@@ -1,0 +1,104 @@
+// Tests for the pivot-rule ablation hooks of the specialized QRCP.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cat/cat.hpp"
+#include "core/pipeline.hpp"
+#include "core/qrcp_special.hpp"
+#include "core/report.hpp"
+#include "core/signatures.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::core {
+namespace {
+
+// X modeled on the branch situation: clean basis columns plus a
+// combination column, where the rules disagree about the 4th pick.
+linalg::Matrix branch_like_x() {
+  return linalg::Matrix::from_columns({
+      {0.0, 1.0, 0.0, 1.0, 0.0},  // ALL = CR + D (registered first)
+      {0.0, 1.0, 0.0, 0.0, 0.0},  // CR
+      {0.0, 0.0, 1.0, 0.0, 0.0},  // T
+      {0.0, 0.0, 1.0, 1.0, 0.0},  // NEAR_TAKEN = T + D
+      {0.0, 0.0, 0.0, 0.0, 1.0},  // M
+  });
+}
+
+TEST(PivotRules, OriginalScorePrefersEarlierCombinationOnTies) {
+  auto res = specialized_qrcp(branch_like_x(), 5e-4,
+                              PivotRule::original_score);
+  ASSERT_EQ(res.rank, 4);
+  // Picks CR, T, M (score 1) then the D dimension via the earliest
+  // registered combination: column 0 (ALL).
+  EXPECT_NE(std::find(res.selected.begin(), res.selected.end(), 0),
+            res.selected.end());
+  EXPECT_EQ(std::find(res.selected.begin(), res.selected.end(), 3),
+            res.selected.end());
+}
+
+TEST(PivotRules, AllRulesAgreeOnRank) {
+  for (auto rule : {PivotRule::original_score, PivotRule::updated_score,
+                    PivotRule::max_norm}) {
+    auto res = specialized_qrcp(branch_like_x(), 5e-4, rule);
+    EXPECT_EQ(res.rank, 4) << static_cast<int>(rule);
+  }
+}
+
+TEST(PivotRules, MaxNormPicksLargestColumnFirst) {
+  linalg::Matrix x = linalg::Matrix::from_columns({
+      {1.0, 0.0, 0.0},
+      {0.0, 1.0, 0.0},
+      {50.0, 50.0, 50.0},  // cycles-like
+  });
+  auto special = specialized_qrcp(x, 1e-3, PivotRule::original_score);
+  EXPECT_NE(special.selected[0], 2);
+  auto classic = specialized_qrcp(x, 1e-3, PivotRule::max_norm);
+  EXPECT_EQ(classic.selected[0], 2);
+}
+
+TEST(PivotRules, UpdatedScoreCanMistakeCombinationForBasisColumn) {
+  // After eliminating T, the NEAR_TAKEN residual looks like a pure D
+  // column to the updated-score rule, so it can win the tie against ALL
+  // even though ALL registered first.  (This documents WHY the default
+  // scores original columns.)
+  linalg::Matrix x = linalg::Matrix::from_columns({
+      {0.0, 1.0, 1.0},    // combo: CR + D (first)
+      {0.0, 1.0, 0.0},    // CR
+      {1.0, 0.0, 0.0},    // T
+      {1.0, 0.0, 1.0},    // combo: T + D
+  });
+  auto updated = specialized_qrcp(x, 5e-4, PivotRule::updated_score);
+  auto original = specialized_qrcp(x, 5e-4, PivotRule::original_score);
+  EXPECT_EQ(original.rank, 3);
+  EXPECT_EQ(updated.rank, 3);
+  // Original rule: third pick is column 0 (ties resolve to input order on
+  // the ORIGINAL columns).
+  EXPECT_NE(std::find(original.selected.begin(), original.selected.end(), 0),
+            original.selected.end());
+}
+
+TEST(PivotRules, PipelinePlumbing) {
+  // The max_norm rule through the full CPU pipeline must select aggregate
+  // events that the default rule excludes.
+  const pmu::Machine machine = pmu::saphira_cpu();
+  const cat::Benchmark bench = cat::cpu_flops_benchmark();
+  PipelineOptions opt;
+  opt.pivot_rule = PivotRule::max_norm;
+  const auto result =
+      run_pipeline(machine, bench, cpu_flops_signatures(), opt);
+  const auto& ev = result.xhat_events;
+  const bool has_aggregate =
+      std::find(ev.begin(), ev.end(), "FP_ARITH_INST_RETIRED:ANY") !=
+          ev.end() ||
+      std::find(ev.begin(), ev.end(), "FP_ARITH_INST_RETIRED:VECTOR") !=
+          ev.end() ||
+      std::find(ev.begin(), ev.end(), "FP_ARITH_INST_RETIRED:ANY_SINGLE") !=
+          ev.end() ||
+      std::find(ev.begin(), ev.end(), "FP_ARITH_INST_RETIRED:ANY_DOUBLE") !=
+          ev.end();
+  EXPECT_TRUE(has_aggregate) << format_selected_events(result);
+}
+
+}  // namespace
+}  // namespace catalyst::core

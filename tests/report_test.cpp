@@ -1,0 +1,88 @@
+// Tests for report rendering: the variability series (Fig. 2 data), the
+// selected-event listing, and the Markdown report.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "cat/cat.hpp"
+#include "core/signatures.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::core {
+namespace {
+
+const PipelineResult& branch_result() {
+  static const PipelineResult r = run_pipeline(
+      pmu::saphira_cpu(), cat::branch_benchmark(), branch_signatures());
+  return r;
+}
+
+TEST(Report, VariabilitySeriesIsSortedAndDropsAllZero) {
+  const auto text =
+      format_variability_series(branch_result().noise, 1e-10);
+  // Header plus one line per non-zero event.
+  std::size_t lines = 0;
+  double prev = -1.0;
+  std::istringstream is(text);
+  std::string line;
+  std::getline(is, line);  // header
+  EXPECT_EQ(line.front(), '#');
+  while (std::getline(is, line)) {
+    ++lines;
+    std::istringstream ls(line);
+    std::size_t idx;
+    double rnmse;
+    ls >> idx >> rnmse;
+    EXPECT_GE(rnmse, prev) << "series not sorted at line " << lines;
+    prev = rnmse;
+  }
+  std::size_t nonzero = 0;
+  for (const auto& v : branch_result().noise.variabilities) {
+    if (!v.all_zero) ++nonzero;
+  }
+  EXPECT_EQ(lines, nonzero);
+}
+
+TEST(Report, SelectedEventsListsAllWithScores) {
+  const auto text = format_selected_events(branch_result());
+  for (const auto& e : branch_result().xhat_events) {
+    EXPECT_NE(text.find(e), std::string::npos) << e;
+  }
+  EXPECT_NE(text.find("pivot score"), std::string::npos);
+}
+
+TEST(Report, MarkdownReportStructure) {
+  const auto md = format_markdown_report("Branch run", branch_result());
+  EXPECT_EQ(md.rfind("# Branch run", 0), 0u);
+  EXPECT_NE(md.find("## Stage funnel"), std::string::npos);
+  EXPECT_NE(md.find("## Selected events"), std::string::npos);
+  EXPECT_NE(md.find("## Metrics"), std::string::npos);
+  // Every metric row present, non-composable ones bolded.
+  for (const auto& m : branch_result().metrics) {
+    EXPECT_NE(md.find("| " + m.metric_name + " |"), std::string::npos)
+        << m.metric_name;
+  }
+  EXPECT_NE(md.find("**no**"), std::string::npos);  // Branches Executed
+  // Markdown tables: every non-heading, non-blank line is a table row.
+  std::istringstream is(md);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.front(), '|') << line;
+  }
+}
+
+TEST(Report, MarkdownRoundsCoefficients) {
+  const auto md = format_markdown_report("r", branch_result());
+  // The Unconditional-Branches row must show the clean +-1 combination,
+  // not 17-digit raw coefficients.
+  EXPECT_NE(md.find("-1 x BR_INST_RETIRED:COND + 1 x "
+                    "BR_INST_RETIRED:ALL_BRANCHES"),
+            std::string::npos)
+      << md;
+}
+
+}  // namespace
+}  // namespace catalyst::core

@@ -1,0 +1,367 @@
+// catalyst -- command-line front end for the analysis library.
+//
+//   catalyst list-machines
+//   catalyst list-events <machine> [--filter SUBSTR]
+//   catalyst signatures <category>
+//   catalyst analyze <category> [--machine M] [--tau X] [--alpha Y]
+//                    [--reps N] [--rounded] [--presets] [--json]
+//   catalyst analyze --from FILE <category> [...]   (offline, from archive)
+//   catalyst collect <category> [--machine M] [--reps N] --out FILE
+//   catalyst validate <category> [--machine M] [--workloads N]
+//
+// Categories: cpu_flops | gpu_flops | branch | dcache | icache.
+// Machines:   saphira | tempest | vesuvio (default depends on category).
+//
+// The collect/analyze split mirrors real CAT usage: `collect` runs the
+// benchmarks and saves a measurement archive (JSON); `analyze --from`
+// re-runs only the mathematical stages on the archived data.
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cat/cat.hpp"
+#include "core/core.hpp"
+#include "pmu/pmu.hpp"
+
+namespace {
+
+using namespace catalyst;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key[=value] or --key value
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        args.options[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.options[a.substr(2)] = argv[++i];
+      } else {
+        args.options[a.substr(2)] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+std::optional<pmu::Machine> machine_by_name(const std::string& name) {
+  if (name == "saphira") return pmu::saphira_cpu();
+  if (name == "tempest") return pmu::tempest_gpu();
+  if (name == "vesuvio") return pmu::vesuvio_cpu();
+  return std::nullopt;
+}
+
+struct CategorySetup {
+  cat::Benchmark benchmark;
+  std::vector<core::MetricSignature> signatures;
+  core::PipelineOptions options;
+  std::string default_machine;
+};
+
+std::optional<CategorySetup> category_setup(const std::string& category) {
+  CategorySetup s;
+  if (category == "cpu_flops") {
+    s.benchmark = cat::cpu_flops_benchmark();
+    s.signatures = core::cpu_flops_signatures();
+    s.default_machine = "saphira";
+  } else if (category == "gpu_flops") {
+    s.benchmark = cat::gpu_flops_benchmark();
+    s.signatures = core::gpu_flops_signatures();
+    s.default_machine = "tempest";
+  } else if (category == "branch") {
+    s.benchmark = cat::branch_benchmark();
+    s.signatures = core::branch_signatures();
+    s.default_machine = "saphira";
+  } else if (category == "gpu_dcache") {
+    s.benchmark = cat::gpu_dcache_benchmark();
+    s.signatures = core::gpu_dcache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "tempest";
+  } else if (category == "icache") {
+    s.benchmark = cat::icache_benchmark();
+    s.signatures = core::icache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "saphira";
+  } else if (category == "dcache") {
+    cat::DcacheOptions chase;
+    chase.threads = 3;
+    s.benchmark = cat::dcache_benchmark(chase);
+    s.signatures = core::dcache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "saphira";
+  } else {
+    return std::nullopt;
+  }
+  return s;
+}
+
+int usage() {
+  std::cerr <<
+      "usage:\n"
+      "  catalyst list-machines\n"
+      "  catalyst list-events <machine> [--filter SUBSTR]\n"
+      "  catalyst signatures <category>\n"
+      "  catalyst analyze <category> [--machine M] [--tau X] [--alpha Y]\n"
+      "                   [--reps N] [--rounded] [--presets] [--json]\n"
+      "                   [--from ARCHIVE] [--detrend]\n"
+      "  catalyst collect <category> [--machine M] [--reps N] --out FILE\n"
+      "  catalyst full-report [--machine M] [--out FILE] [--presets FILE]\n"
+      "  catalyst validate <category> [--machine M] [--workloads N]\n"
+      "categories: cpu_flops | gpu_flops | branch | dcache | icache |\n"
+      "            gpu_dcache\n"
+      "machines:   saphira | tempest | vesuvio\n";
+  return 2;
+}
+
+int cmd_list_machines() {
+  for (const auto* name : {"saphira", "tempest", "vesuvio"}) {
+    const auto m = machine_by_name(name);
+    std::cout << name << ": " << m->name() << ", " << m->num_events()
+              << " events, " << m->physical_counters()
+              << " physical counters\n";
+  }
+  return 0;
+}
+
+int cmd_list_events(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto machine = machine_by_name(args.positional[1]);
+  if (!machine) {
+    std::cerr << "unknown machine " << args.positional[1] << "\n";
+    return 2;
+  }
+  const std::string filter = args.get("filter", "");
+  std::size_t shown = 0;
+  for (const auto& e : machine->events()) {
+    if (!filter.empty() && e.name.find(filter) == std::string::npos) continue;
+    std::cout << e.name << "  --  " << e.description << "\n";
+    ++shown;
+  }
+  std::cout << "(" << shown << " events)\n";
+  return 0;
+}
+
+int cmd_signatures(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  const auto setup = category_setup(args.positional[1]);
+  if (!setup) {
+    std::cerr << "unknown category " << args.positional[1] << "\n";
+    return 2;
+  }
+  std::cout << core::format_signature_table("signatures: " + args.positional[1],
+                                            setup->benchmark.basis.labels,
+                                            setup->signatures);
+  return 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  auto setup = category_setup(args.positional[1]);
+  if (!setup) {
+    std::cerr << "unknown category " << args.positional[1] << "\n";
+    return 2;
+  }
+  const std::string machine_name =
+      args.get("machine", setup->default_machine);
+  const auto machine = machine_by_name(machine_name);
+  if (!machine) {
+    std::cerr << "unknown machine " << machine_name << "\n";
+    return 2;
+  }
+  setup->options.tau = args.get_double("tau", setup->options.tau);
+  setup->options.alpha = args.get_double("alpha", setup->options.alpha);
+  setup->options.repetitions = static_cast<std::size_t>(
+      args.get_double("reps", double(setup->options.repetitions)));
+  if (args.has("detrend")) setup->options.detrend_drifting = true;
+
+  core::PipelineResult result;
+  std::string source;
+  if (args.has("from")) {
+    const auto archive =
+        core::load_archive(core::read_text_file(args.get("from", "")));
+    result = core::analyze_archive(archive, setup->signatures,
+                                   setup->options);
+    source = "archive " + args.get("from", "") + " (" +
+             archive.machine_name + ")";
+  } else {
+    result = core::run_pipeline(*machine, setup->benchmark,
+                                setup->signatures, setup->options);
+    source = "machine " + machine->name();
+  }
+  if (args.has("markdown")) {
+    std::cout << core::format_markdown_report(
+        source + " / " + setup->benchmark.name, result);
+  } else {
+    std::cout << source << ", benchmark " << setup->benchmark.name << ": "
+              << result.all_event_names.size() << " events -> "
+              << result.noise.kept.size() << " after noise filter -> "
+              << result.projection.x_event_names.size()
+              << " representable -> " << result.xhat_events.size()
+              << " selected\n\n";
+    std::cout << core::format_selected_events(result) << "\n";
+    std::cout << core::format_metric_table("metrics", result.metrics,
+                                           args.has("rounded"));
+  }
+  if (args.has("presets")) {
+    const auto presets = core::make_presets(result.metrics);
+    std::cout << "\n"
+              << (args.has("json") ? core::presets_to_json(presets)
+                                   : core::presets_to_table(presets));
+  }
+  return 0;
+}
+
+int cmd_collect(const Args& args) {
+  if (args.positional.size() < 2 || !args.has("out")) return usage();
+  auto setup = category_setup(args.positional[1]);
+  if (!setup) {
+    std::cerr << "unknown category " << args.positional[1] << "\n";
+    return 2;
+  }
+  const auto machine =
+      machine_by_name(args.get("machine", setup->default_machine));
+  if (!machine) return usage();
+  setup->options.repetitions = static_cast<std::size_t>(
+      args.get_double("reps", double(setup->options.repetitions)));
+
+  const auto result = core::run_pipeline(*machine, setup->benchmark,
+                                         setup->signatures, setup->options);
+  const auto archive = core::make_archive(*machine, setup->benchmark, result);
+  core::write_text_file(args.get("out", ""), core::save_archive(archive));
+  std::cout << "wrote " << archive.event_names.size() << " events x "
+            << setup->options.repetitions << " repetitions x "
+            << archive.slot_names.size() << " slots to "
+            << args.get("out", "") << "\n";
+  return 0;
+}
+
+int cmd_full_report(const Args& args) {
+  const std::string machine_name = args.get("machine", "saphira");
+  const auto machine = machine_by_name(machine_name);
+  if (!machine) {
+    std::cerr << "unknown machine " << machine_name << "\n";
+    return 2;
+  }
+  // Run every category whose benchmarks this machine can host (the GPU
+  // categories only make sense on the GPU model and vice versa).
+  std::vector<std::string> categories;
+  if (machine_name == "tempest") {
+    categories = {"gpu_flops", "gpu_dcache"};
+  } else {
+    categories = {"cpu_flops", "branch", "dcache", "icache"};
+  }
+
+  std::ostringstream report;
+  report << "# Event-to-metric report for " << machine->name() << "\n\n"
+         << machine->num_events() << " raw events, "
+         << machine->physical_counters() << " physical counters.\n\n";
+  std::vector<core::PresetDefinition> all_presets;
+  for (const auto& category : categories) {
+    auto setup = category_setup(category);
+    const auto result = core::run_pipeline(*machine, setup->benchmark,
+                                           setup->signatures, setup->options);
+    report << core::format_markdown_report(
+                  "Category: " + category, result)
+           << "\nBasis: "
+           << core::basis_verdict(
+                  core::diagnose_basis(setup->benchmark.basis))
+           << "\n\n";
+    auto presets = core::make_presets(result.metrics);
+    all_presets.insert(all_presets.end(), presets.begin(), presets.end());
+  }
+  report << "# Combined preset table\n\n```\n"
+         << core::presets_to_table(all_presets) << "```\n";
+
+  if (args.has("out")) {
+    core::write_text_file(args.get("out", ""), report.str());
+    std::cout << "wrote report (" << all_presets.size() << " presets, "
+              << categories.size() << " categories) to "
+              << args.get("out", "") << "\n";
+  } else {
+    std::cout << report.str();
+  }
+  if (args.has("presets")) {
+    core::write_text_file(args.get("presets", ""),
+                          core::presets_to_json(all_presets));
+    std::cout << "wrote " << all_presets.size() << " presets to "
+              << args.get("presets", "") << "\n";
+  }
+  return 0;
+}
+
+int cmd_validate(const Args& args) {
+  if (args.positional.size() < 2) return usage();
+  auto setup = category_setup(args.positional[1]);
+  if (!setup) {
+    std::cerr << "unknown category " << args.positional[1] << "\n";
+    return 2;
+  }
+  const auto machine =
+      machine_by_name(args.get("machine", setup->default_machine));
+  if (!machine) return usage();
+  const auto workloads =
+      static_cast<std::size_t>(args.get_double("workloads", 10));
+
+  const auto result = core::run_pipeline(*machine, setup->benchmark,
+                                         setup->signatures, setup->options);
+  const auto reports =
+      core::validate_all(*machine, setup->benchmark, result.metrics,
+                         setup->signatures, workloads, 0xC11);
+  for (const auto& r : reports) {
+    std::cout << r.metric_name << ": mean rel. error "
+              << r.mean_relative_error << ", max " << r.max_relative_error
+              << " over " << r.samples.size() << " workloads\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) return usage();
+  const std::string& cmd = args.positional[0];
+  try {
+    if (cmd == "list-machines") return cmd_list_machines();
+    if (cmd == "list-events") return cmd_list_events(args);
+    if (cmd == "signatures") return cmd_signatures(args);
+    if (cmd == "analyze") return cmd_analyze(args);
+    if (cmd == "collect") return cmd_collect(args);
+    if (cmd == "full-report") return cmd_full_report(args);
+    if (cmd == "validate") return cmd_validate(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
