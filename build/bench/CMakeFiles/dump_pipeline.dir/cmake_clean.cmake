@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dump_pipeline.dir/dump_pipeline.cpp.o"
+  "CMakeFiles/dump_pipeline.dir/dump_pipeline.cpp.o.d"
+  "dump_pipeline"
+  "dump_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dump_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

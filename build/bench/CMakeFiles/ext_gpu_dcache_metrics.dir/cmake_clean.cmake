@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_gpu_dcache_metrics.dir/ext_gpu_dcache_metrics.cpp.o"
+  "CMakeFiles/ext_gpu_dcache_metrics.dir/ext_gpu_dcache_metrics.cpp.o.d"
+  "ext_gpu_dcache_metrics"
+  "ext_gpu_dcache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_gpu_dcache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

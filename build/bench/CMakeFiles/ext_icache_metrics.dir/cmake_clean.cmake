@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_icache_metrics.dir/ext_icache_metrics.cpp.o"
+  "CMakeFiles/ext_icache_metrics.dir/ext_icache_metrics.cpp.o.d"
+  "ext_icache_metrics"
+  "ext_icache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_icache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

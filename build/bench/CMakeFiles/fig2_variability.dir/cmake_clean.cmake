@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_variability.dir/fig2_variability.cpp.o"
+  "CMakeFiles/fig2_variability.dir/fig2_variability.cpp.o.d"
+  "fig2_variability"
+  "fig2_variability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_variability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_dcache_approx.dir/fig3_dcache_approx.cpp.o"
+  "CMakeFiles/fig3_dcache_approx.dir/fig3_dcache_approx.cpp.o.d"
+  "fig3_dcache_approx"
+  "fig3_dcache_approx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_dcache_approx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

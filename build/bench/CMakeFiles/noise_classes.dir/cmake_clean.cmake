@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noise_classes.dir/noise_classes.cpp.o"
+  "CMakeFiles/noise_classes.dir/noise_classes.cpp.o.d"
+  "noise_classes"
+  "noise_classes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noise_classes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

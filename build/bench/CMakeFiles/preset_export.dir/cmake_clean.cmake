@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/preset_export.dir/preset_export.cpp.o"
+  "CMakeFiles/preset_export.dir/preset_export.cpp.o.d"
+  "preset_export"
+  "preset_export.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/preset_export.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

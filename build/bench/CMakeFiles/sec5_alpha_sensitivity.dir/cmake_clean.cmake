@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_alpha_sensitivity.dir/sec5_alpha_sensitivity.cpp.o"
+  "CMakeFiles/sec5_alpha_sensitivity.dir/sec5_alpha_sensitivity.cpp.o.d"
+  "sec5_alpha_sensitivity"
+  "sec5_alpha_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_alpha_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

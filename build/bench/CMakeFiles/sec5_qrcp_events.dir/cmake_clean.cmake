@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec5_qrcp_events.dir/sec5_qrcp_events.cpp.o"
+  "CMakeFiles/sec5_qrcp_events.dir/sec5_qrcp_events.cpp.o.d"
+  "sec5_qrcp_events"
+  "sec5_qrcp_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec5_qrcp_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

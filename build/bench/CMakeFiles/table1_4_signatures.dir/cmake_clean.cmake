@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_4_signatures.dir/table1_4_signatures.cpp.o"
+  "CMakeFiles/table1_4_signatures.dir/table1_4_signatures.cpp.o.d"
+  "table1_4_signatures"
+  "table1_4_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_4_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_gpu_flops_metrics.dir/table6_gpu_flops_metrics.cpp.o"
+  "CMakeFiles/table6_gpu_flops_metrics.dir/table6_gpu_flops_metrics.cpp.o.d"
+  "table6_gpu_flops_metrics"
+  "table6_gpu_flops_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_gpu_flops_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table6_gpu_flops_metrics.
+# This may be replaced when dependencies are built.

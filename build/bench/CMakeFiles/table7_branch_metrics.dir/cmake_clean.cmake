@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_branch_metrics.dir/table7_branch_metrics.cpp.o"
+  "CMakeFiles/table7_branch_metrics.dir/table7_branch_metrics.cpp.o.d"
+  "table7_branch_metrics"
+  "table7_branch_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_branch_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

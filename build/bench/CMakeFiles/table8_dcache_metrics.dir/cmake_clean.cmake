@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table8_dcache_metrics.dir/table8_dcache_metrics.cpp.o"
+  "CMakeFiles/table8_dcache_metrics.dir/table8_dcache_metrics.cpp.o.d"
+  "table8_dcache_metrics"
+  "table8_dcache_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table8_dcache_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

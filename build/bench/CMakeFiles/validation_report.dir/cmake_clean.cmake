@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_report.dir/validation_report.cpp.o"
+  "CMakeFiles/validation_report.dir/validation_report.cpp.o.d"
+  "validation_report"
+  "validation_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arithmetic_intensity.dir/arithmetic_intensity.cpp.o"
+  "CMakeFiles/arithmetic_intensity.dir/arithmetic_intensity.cpp.o.d"
+  "arithmetic_intensity"
+  "arithmetic_intensity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arithmetic_intensity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for arithmetic_intensity.
+# This may be replaced when dependencies are built.

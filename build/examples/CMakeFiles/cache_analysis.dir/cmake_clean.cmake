@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cache_analysis.dir/cache_analysis.cpp.o"
+  "CMakeFiles/cache_analysis.dir/cache_analysis.cpp.o.d"
+  "cache_analysis"
+  "cache_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cache_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpu_metrics.dir/gpu_metrics.cpp.o"
+  "CMakeFiles/gpu_metrics.dir/gpu_metrics.cpp.o.d"
+  "gpu_metrics"
+  "gpu_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpu_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/papi_presets.dir/papi_presets.cpp.o"
+  "CMakeFiles/papi_presets.dir/papi_presets.cpp.o.d"
+  "papi_presets"
+  "papi_presets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/papi_presets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

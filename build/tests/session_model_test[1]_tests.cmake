@@ -1,0 +1,3 @@
+add_test([=[SessionModel.RandomOperationSequencesMatchReference]=]  /root/repo/build/tests/session_model_test [==[--gtest_filter=SessionModel.RandomOperationSequencesMatchReference]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[SessionModel.RandomOperationSequencesMatchReference]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  session_model_test_TESTS SessionModel.RandomOperationSequencesMatchReference)
