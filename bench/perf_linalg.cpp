@@ -2,6 +2,8 @@
 // the kernels on the analysis hot path (QR, QRCP, least squares) plus the
 // specialized pivoting scheme, across the matrix shapes the pipeline
 // actually produces (tall measurement matrices, small basis systems).
+// scripts/run_bench.sh runs this binary with --benchmark_out and records the
+// JSON at the repo root (BENCH_linalg.json) for per-PR perf tracking.
 #include <benchmark/benchmark.h>
 
 #include "core/qrcp_special.hpp"

@@ -1,5 +1,8 @@
 // google-benchmark macrobenchmarks for the analysis pipeline: collection,
 // noise filtering, per-stage costs, and each category end to end.
+//
+// scripts/run_bench.sh runs this binary with --benchmark_out and records the
+// JSON at the repo root (BENCH_pipeline.json) for per-PR perf tracking.
 #include <benchmark/benchmark.h>
 
 #include "cachesim/cachesim.hpp"
@@ -34,6 +37,47 @@ void BM_MultiplexedCollection(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MultiplexedCollection);
+
+void BM_CollectionThreads(benchmark::State& state) {
+  const pmu::Machine machine = pmu::saphira_cpu();
+  const auto acts = cat::cpu_flops_benchmark().single_thread_activities();
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = vpapi::collect_all(machine, acts, 4, threads);
+    benchmark::DoNotOptimize(res.repetitions.data());
+  }
+}
+BENCHMARK(BM_CollectionThreads)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_TimeDivisionMultiplexing(benchmark::State& state) {
+  // One PAPI-style time-division-multiplexed set holding every event: the
+  // duty-cycle bookkeeping (O(1) slot lookup in read()) dominates here.
+  const pmu::Machine machine = pmu::saphira_cpu();
+  const auto acts = cat::cpu_flops_benchmark().single_thread_activities();
+  const auto names = machine.event_names();
+  for (auto _ : state) {
+    auto res = vpapi::collect_multiplexed(machine, names, acts, 1);
+    benchmark::DoNotOptimize(res.repetitions.data());
+  }
+}
+BENCHMARK(BM_TimeDivisionMultiplexing)->Unit(benchmark::kMillisecond);
+
+void BM_SessionEventSetSetup(benchmark::State& state) {
+  // Event-set construction: name resolution (Machine::find) plus counter
+  // allocation (find_slot), once per (repetition x group) collection unit.
+  const pmu::Machine machine = pmu::saphira_cpu();
+  const auto names = machine.event_names();
+  for (auto _ : state) {
+    vpapi::Session session(machine);
+    const int set = session.create_eventset();
+    session.enable_multiplexing(set);
+    for (const auto& name : names) session.add_event(set, name);
+    benchmark::DoNotOptimize(session.counters_in_use(set));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(names.size()));
+}
+BENCHMARK(BM_SessionEventSetSetup);
 
 void BM_NoiseFilter(benchmark::State& state) {
   const pmu::Machine machine = pmu::saphira_cpu();

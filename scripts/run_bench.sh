@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark perf binaries and records their JSON output at
+# the repo root for per-PR performance trajectory tracking:
+#   BENCH_pipeline.json  <- bench/perf_pipeline (collection + pipeline)
+#   BENCH_linalg.json    <- bench/perf_linalg   (QR / QRCP / LS kernels)
+#
+# Usage: scripts/run_bench.sh [build-dir] [extra google-benchmark args...]
+#   scripts/run_bench.sh                       # default ./build
+#   scripts/run_bench.sh build --benchmark_filter=BM_Measure
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+if [ $# -gt 0 ]; then shift; fi
+
+for name in pipeline linalg; do
+  bin="$build_dir/bench/perf_$name"
+  if [ ! -x "$bin" ]; then
+    echo "error: $bin not built (configure with -DCATALYST_BUILD_BENCH=ON \
+and run: cmake --build $build_dir)" >&2
+    exit 1
+  fi
+  out="$repo_root/BENCH_$name.json"
+  echo "== perf_$name -> $out"
+  "$bin" --benchmark_out="$out" --benchmark_out_format=json "$@"
+done

@@ -66,20 +66,28 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
   result.measurements.assign(
       n_events, std::vector<std::vector<double>>(
                     options.repetitions, std::vector<double>(n_slots, 0.0)));
+  // Per-slot normalization is a multiply in the hot loop, not a divide.
+  std::vector<double> inv_normalizer(n_slots);
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    inv_normalizer[k] = 1.0 / benchmark.slots[k].normalizer;
+  }
   std::vector<double> thread_vals(n_threads);
-  for (std::size_t e = 0; e < n_events; ++e) {
-    for (std::size_t r = 0; r < options.repetitions; ++r) {
+  std::vector<const vpapi::RepetitionData*> rep_data(n_threads);
+  for (std::size_t r = 0; r < options.repetitions; ++r) {
+    for (std::size_t t = 0; t < n_threads; ++t) {
+      // Thread t's repetition stream is phase-shifted so that (r, t) pairs
+      // never reuse a noise coordinate.
+      rep_data[t] = &per_thread[t].repetitions[r * n_threads + t];
+    }
+    for (std::size_t e = 0; e < n_events; ++e) {
+      std::vector<double>& out = result.measurements[e][r];
       for (std::size_t k = 0; k < n_slots; ++k) {
         for (std::size_t t = 0; t < n_threads; ++t) {
-          // Thread t's repetition stream is phase-shifted so that
-          // (r, t) pairs never reuse a noise coordinate.
-          const std::size_t rep_index = r * n_threads + t;
-          thread_vals[t] =
-              per_thread[t].repetitions[rep_index].values[e][k];
+          thread_vals[t] = rep_data[t]->values[e][k];
         }
         const double med = n_threads == 1 ? thread_vals[0]
                                           : median(thread_vals);
-        result.measurements[e][r][k] = med / benchmark.slots[k].normalizer;
+        out[k] = med * inv_normalizer[k];
       }
     }
   }

@@ -67,6 +67,11 @@ struct EventDefinition {
   std::string description;
   std::vector<SignalTerm> terms;
   NoiseModel noise;
+  /// fnv1a(name), filled by Machine::add_event so the measurement hot path
+  /// never re-hashes the name.  0 means "not yet cached" (fnv1a never maps a
+  /// real name to 0); measure_from_ideal falls back to hashing on the fly so
+  /// free-standing EventDefinitions keep the same noise stream.
+  std::uint64_t name_hash = 0;
 
   /// Ideal (noise-free, unrounded) reading for the given activity.
   double ideal(const Activity& activity) const {

@@ -1,7 +1,8 @@
 #include "pmu/machine.hpp"
 
 #include <stdexcept>
-#include <unordered_set>
+
+#include "pmu/measure.hpp"
 
 namespace catalyst::pmu {
 
@@ -16,17 +17,18 @@ Machine::Machine(std::string name, std::size_t physical_counters,
 }
 
 void Machine::add_event(EventDefinition event) {
-  if (find(event.name).has_value()) {
+  event.name_hash = fnv1a(event.name);
+  const auto [it, inserted] = index_.try_emplace(event.name, events_.size());
+  if (!inserted) {
     throw std::invalid_argument("Machine: duplicate event " + event.name);
   }
   events_.push_back(std::move(event));
 }
 
 std::optional<std::size_t> Machine::find(const std::string& name) const {
-  for (std::size_t i = 0; i < events_.size(); ++i) {
-    if (events_[i].name == name) return i;
-  }
-  return std::nullopt;
+  const auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
 }
 
 std::vector<std::string> Machine::event_names() const {

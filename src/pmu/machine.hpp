@@ -14,6 +14,7 @@
 #include <cstddef>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "pmu/event.hpp"
@@ -35,6 +36,8 @@ class Machine {
   std::uint64_t noise_seed() const noexcept { return noise_seed_; }
 
   /// Registers an event; throws std::invalid_argument on duplicate names.
+  /// Also caches fnv1a(name) on the event so the measurement hot path never
+  /// re-hashes, and indexes the name for O(1) find().
   void add_event(EventDefinition event);
 
   std::size_t num_events() const noexcept { return events_.size(); }
@@ -43,7 +46,9 @@ class Machine {
   }
   const EventDefinition& event(std::size_t i) const { return events_.at(i); }
 
-  /// Finds an event by exact name.
+  /// Finds an event by exact name.  O(1): backed by a name -> index map
+  /// maintained by add_event (hot in vpapi::Session::add_event, which runs
+  /// once per (repetition x group) collection unit).
   std::optional<std::size_t> find(const std::string& name) const;
 
   /// All event names, in registration order.
@@ -54,6 +59,7 @@ class Machine {
   std::size_t physical_counters_;
   std::uint64_t noise_seed_;
   std::vector<EventDefinition> events_;
+  std::unordered_map<std::string, std::size_t> index_;  ///< name -> events_ i.
 };
 
 /// Builds the Sapphire-Rapids-flavoured CPU model (~350 events, 8 counters).

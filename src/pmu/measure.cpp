@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <random>
 
 namespace catalyst::pmu {
 
@@ -22,35 +21,119 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
-double measure_event(const Machine& machine, const EventDefinition& event,
-                     const Activity& activity, std::uint64_t rep,
-                     std::uint64_t kernel_index) {
-  double v = event.ideal(activity);
+namespace {
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+constexpr double kTwoPi = 6.28318530717958647692528676655900577;
+
+// Stateless counter-based uniform/normal stream: draw i is
+// mix64(key + i * kGolden), i.e. the splitmix64 sequence seeded at `key`.
+// Construction costs nothing, which is the property the per-sample hot path
+// needs -- a std::mt19937_64 here costs a 312-word seeding pass (~2.5 KB of
+// state) for the two or three draws a noise model actually consumes.
+class NoiseRng {
+ public:
+  explicit NoiseRng(std::uint64_t key) noexcept : key_(key) {}
+
+  std::uint64_t next_u64() noexcept { return mix64(key_ + kGolden * ctr_++); }
+
+  /// Uniform in [0, 1), 53-bit resolution.
+  double uniform() noexcept {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box-Muller; a pair shares two uniform draws.
+  double normal() noexcept {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    // u1 in (0, 1] keeps the log finite.
+    const double u1 = static_cast<double>((next_u64() >> 11) + 1) * 0x1.0p-53;
+    const double u2 = uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    spare_ = r * std::sin(kTwoPi * u2);
+    have_spare_ = true;
+    return r * std::cos(kTwoPi * u2);
+  }
+
+ private:
+  std::uint64_t key_;
+  std::uint64_t ctr_ = 0;
+  double spare_ = 0.0;
+  bool have_spare_ = false;
+};
+
+}  // namespace
+
+double measure_from_ideal(const Machine& machine, const EventDefinition& event,
+                          double ideal, std::uint64_t rep,
+                          std::uint64_t kernel_index) {
+  double v = ideal;
   if (event.noise.drift_per_rep != 0.0) {
     // Deterministic systematic drift; separate from the seeded jitter so
     // it reproduces across reruns of the same repetition index.
     v *= 1.0 + event.noise.drift_per_rep * static_cast<double>(rep);
   }
   if (!event.noise.is_noise_free()) {
-    const std::uint64_t seed = fnv1a(event.name) ^ machine.noise_seed() ^
-                               mix64(rep + 1) ^ mix64(kernel_index + 0x10001);
-    std::mt19937_64 rng(seed);
-    std::normal_distribution<double> gauss(0.0, 1.0);
+    const std::uint64_t name_hash =
+        event.name_hash != 0 ? event.name_hash : fnv1a(event.name);
+    NoiseRng rng(name_hash ^ machine.noise_seed() ^ mix64(rep + 1) ^
+                 mix64(kernel_index + 0x10001));
     if (event.noise.rel_sigma > 0.0) {
-      v *= 1.0 + event.noise.rel_sigma * gauss(rng);
+      v *= 1.0 + event.noise.rel_sigma * rng.normal();
     }
     if (event.noise.abs_sigma > 0.0) {
-      v += event.noise.abs_sigma * gauss(rng);
+      v += event.noise.abs_sigma * rng.normal();
     }
     if (event.noise.spike_prob > 0.0) {
-      std::uniform_real_distribution<double> uni(0.0, 1.0);
-      if (uni(rng) < event.noise.spike_prob) {
-        v += uni(rng) * event.noise.spike_magnitude;
+      if (rng.uniform() < event.noise.spike_prob) {
+        v += rng.uniform() * event.noise.spike_magnitude;
       }
     }
   }
   // Hardware counters report non-negative integers.
   return std::max(0.0, std::round(v));
+}
+
+double measure_event(const Machine& machine, const EventDefinition& event,
+                     const Activity& activity, std::uint64_t rep,
+                     std::uint64_t kernel_index) {
+  return measure_from_ideal(machine, event, event.ideal(activity), rep,
+                            kernel_index);
+}
+
+void IdealTable::fill_row(const Machine& machine,
+                          const std::vector<Activity>& activities,
+                          std::size_t event_index) {
+  const EventDefinition& event = machine.event(event_index);
+  std::vector<double>& row = rows_[event_index];
+  row.reserve(activities.size());
+  for (const Activity& act : activities) {
+    row.push_back(event.ideal(act));
+  }
+  present_[event_index] = 1;
+}
+
+IdealTable::IdealTable(const Machine& machine,
+                       const std::vector<Activity>& activities)
+    : rows_(machine.num_events()),
+      present_(machine.num_events(), 0),
+      num_kernels_(activities.size()) {
+  for (std::size_t e = 0; e < machine.num_events(); ++e) {
+    fill_row(machine, activities, e);
+  }
+}
+
+IdealTable::IdealTable(const Machine& machine,
+                       const std::vector<Activity>& activities,
+                       const std::vector<std::size_t>& event_indices)
+    : rows_(machine.num_events()),
+      present_(machine.num_events(), 0),
+      num_kernels_(activities.size()) {
+  for (std::size_t e : event_indices) {
+    if (!present_[e]) fill_row(machine, activities, e);
+  }
 }
 
 std::vector<double> measure_vector(const Machine& machine,

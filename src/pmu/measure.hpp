@@ -4,10 +4,15 @@
 // counter reading a real PMU would report: ideal linear functional, plus the
 // event's noise model, rounded to a non-negative integer.
 //
-// Determinism: the noise RNG is seeded from
+// Determinism contract: every noise draw comes from a stateless counter-based
+// stream keyed on
 //   fnv1a(event name) ^ machine seed ^ mix(repetition) ^ mix(kernel index)
 // so any single reading can be reproduced in isolation; there is no hidden
-// global state and no dependence on measurement order.
+// global state and no dependence on measurement order or thread scheduling.
+// A reading changes if and only if one of those four coordinates changes --
+// in particular it does NOT depend on whether the ideal value was evaluated
+// fresh or served from an IdealTable, nor on which event set or session
+// performed the measurement.
 #pragma once
 
 #include <cstdint>
@@ -29,6 +34,55 @@ std::uint64_t mix64(std::uint64_t x) noexcept;
 double measure_event(const Machine& machine, const EventDefinition& event,
                      const Activity& activity, std::uint64_t rep,
                      std::uint64_t kernel_index);
+
+/// Same reading, but with the ideal (noise-free, unrounded) value already in
+/// hand.  `measure_event(m, e, act, r, k)` is exactly
+/// `measure_from_ideal(m, e, e.ideal(act), r, k)`; collection paths that
+/// revisit the same (event, kernel) pair across repetitions use this with an
+/// IdealTable so the repetition-invariant functional is evaluated once.
+double measure_from_ideal(const Machine& machine, const EventDefinition& event,
+                          double ideal, std::uint64_t rep,
+                          std::uint64_t kernel_index);
+
+/// Precomputed ideal readings over a kernel sequence:
+/// `ideal(e, k)` = machine event e's noise-free functional over
+/// activities[k].  Ideal values are repetition-invariant, so one table built
+/// up front serves every (repetition, group) unit of a collection sweep --
+/// and, being immutable after construction, can be shared across worker
+/// threads without synchronization.
+class IdealTable {
+ public:
+  IdealTable() = default;
+
+  /// Eagerly evaluates every event of the machine over `activities`.
+  IdealTable(const Machine& machine, const std::vector<Activity>& activities);
+
+  /// Eagerly evaluates only the listed machine event indices; lookups for
+  /// other events report !has() and callers fall back to evaluating fresh.
+  IdealTable(const Machine& machine, const std::vector<Activity>& activities,
+             const std::vector<std::size_t>& event_indices);
+
+  /// True when `event_index` has a precomputed row.
+  bool has(std::size_t event_index) const noexcept {
+    return event_index < present_.size() && present_[event_index] != 0;
+  }
+
+  /// Precomputed ideal of event `event_index` over activities[kernel_index].
+  /// Only valid when has(event_index) and kernel_index < num_kernels().
+  double ideal(std::size_t event_index, std::size_t kernel_index) const {
+    return rows_[event_index][kernel_index];
+  }
+
+  std::size_t num_kernels() const noexcept { return num_kernels_; }
+
+ private:
+  void fill_row(const Machine& machine, const std::vector<Activity>& activities,
+                std::size_t event_index);
+
+  std::vector<std::vector<double>> rows_;  ///< [event][kernel], sparse rows.
+  std::vector<char> present_;              ///< Row computed?
+  std::size_t num_kernels_ = 0;
+};
 
 /// Measurement vector of one event across a sequence of kernel activities
 /// (one entry per activity), at repetition `rep`.

@@ -1,6 +1,7 @@
 #include "vpapi/collector.hpp"
 
 #include <atomic>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -23,12 +24,14 @@ namespace {
 
 // Runs one (repetition, group) unit: a fresh session measuring the group's
 // events over the full kernel sequence, writing results into the
-// caller-owned slices of `data` starting at `event_offset`.
+// caller-owned slices of `data` starting at `event_offset`.  `ideals` is the
+// sweep-wide (event, kernel) ideal-value table; it is immutable and shared
+// by every unit (and worker thread) of the collection.
 void run_unit(const pmu::Machine& machine,
               const std::vector<std::string>& group,
               const std::vector<pmu::Activity>& activities,
-              std::uint64_t run_id, std::size_t event_offset,
-              RepetitionData& data) {
+              const pmu::IdealTable& ideals, std::uint64_t run_id,
+              std::size_t event_offset, RepetitionData& data) {
   Session session(machine);
   const int set = session.create_eventset();
   for (const auto& name : group) {
@@ -44,7 +47,7 @@ void run_unit(const pmu::Machine& machine,
   std::vector<double> vals;
   for (std::size_t k = 0; k < activities.size(); ++k) {
     session.start(set);
-    session.run_kernel(activities[k], run_id, k);
+    session.run_kernel(activities[k], run_id, k, &ideals);
     session.stop(set);
     session.read(set, vals);
     session.reset(set);
@@ -55,6 +58,23 @@ void run_unit(const pmu::Machine& machine,
   for (std::size_t e = 0; e < group.size(); ++e) {
     data.values[event_offset + e] = std::move(per_kernel[e]);
   }
+}
+
+// Resolves event names to machine indices, throwing on unknown names.
+std::vector<std::size_t> resolve_events(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names,
+    const char* caller) {
+  std::vector<std::size_t> indices;
+  indices.reserve(event_names.size());
+  for (const auto& name : event_names) {
+    const auto idx = machine.find(name);
+    if (!idx) {
+      throw std::invalid_argument(std::string(caller) + ": unknown event " +
+                                  name);
+    }
+    indices.push_back(*idx);
+  }
+  return indices;
 }
 
 }  // namespace
@@ -69,15 +89,19 @@ CollectionResult collect(const pmu::Machine& machine,
   if (threads < 1) {
     throw std::invalid_argument("collect: need at least one thread");
   }
-  for (const auto& name : event_names) {
-    if (!machine.find(name)) {
-      throw std::invalid_argument("collect: unknown event " + name);
-    }
-  }
+  const std::vector<std::size_t> event_indices =
+      resolve_events(machine, event_names, "collect");
   CollectionResult result;
   result.event_names = event_names;
   const auto groups = schedule_groups(machine, event_names);
   result.runs_per_repetition = groups.size();
+
+  // An event's ideal reading over a kernel is repetition-invariant, so the
+  // (event, kernel) table is evaluated once and shared by all
+  // repetitions x groups units below instead of being recomputed inside
+  // every time slice.  The table is immutable from here on, so worker
+  // threads read it without synchronization.
+  const pmu::IdealTable ideals(machine, activities, event_indices);
 
   // Flatten event offsets per group.
   std::vector<std::size_t> group_offset(groups.size(), 0);
@@ -97,7 +121,7 @@ CollectionResult collect(const pmu::Machine& machine,
     const std::size_t rep = unit / groups.size();
     const std::size_t g = unit % groups.size();
     const std::uint64_t run_id = rep * groups.size() + g;
-    run_unit(machine, groups[g], activities, run_id, group_offset[g],
+    run_unit(machine, groups[g], activities, ideals, run_id, group_offset[g],
              result.repetitions[rep]);
   };
 
@@ -106,7 +130,13 @@ CollectionResult collect(const pmu::Machine& machine,
     return result;
   }
 
+  // A throw from a worker must reach the caller, not std::terminate: the
+  // first exception is captured, the remaining units are abandoned, and the
+  // exception is rethrown after the join.
   std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
   std::vector<std::thread> pool;
   const int nt = std::min<int>(threads, static_cast<int>(total_units));
   pool.reserve(static_cast<std::size_t>(nt));
@@ -114,12 +144,22 @@ CollectionResult collect(const pmu::Machine& machine,
     pool.emplace_back([&] {
       for (;;) {
         const std::size_t unit = cursor.fetch_add(1);
-        if (unit >= total_units) break;
-        do_unit(unit);
+        if (unit >= total_units ||
+            failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        try {
+          do_unit(unit);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
       }
     });
   }
   for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
   return result;
 }
 
@@ -137,6 +177,9 @@ CollectionResult collect_multiplexed(
     throw std::invalid_argument(
         "collect_multiplexed: need at least one repetition");
   }
+  const std::vector<std::size_t> event_indices =
+      resolve_events(machine, event_names, "collect_multiplexed");
+  const pmu::IdealTable ideals(machine, activities, event_indices);
   CollectionResult result;
   result.event_names = event_names;
   result.runs_per_repetition = 1;
@@ -157,11 +200,12 @@ CollectionResult collect_multiplexed(
     }
     RepetitionData data;
     data.values.assign(event_names.size(), {});
+    for (auto& v : data.values) v.reserve(activities.size());
     std::vector<double> prev(event_names.size(), 0.0);
     std::vector<double> now;
     session.start(set);
     for (std::size_t k = 0; k < activities.size(); ++k) {
-      session.run_kernel(activities[k], rep, k);
+      session.run_kernel(activities[k], rep, k, &ideals);
       session.read(set, now);
       // The multiplexed set keeps running across kernels (stopping would
       // reset the duty-cycle schedule); per-kernel values are consecutive
@@ -169,7 +213,9 @@ CollectionResult collect_multiplexed(
       for (std::size_t e = 0; e < event_names.size(); ++e) {
         data.values[e].push_back(now[e] - prev[e]);
       }
-      prev = now;
+      // read() clears its output before filling, so the buffers can just
+      // trade places instead of copying every total per kernel.
+      std::swap(prev, now);
     }
     session.stop(set);
     result.repetitions.push_back(std::move(data));

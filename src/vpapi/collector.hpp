@@ -44,9 +44,12 @@ std::vector<std::vector<std::string>> schedule_groups(
 /// concurrently on that many OS threads.  Because every reading's noise is
 /// a pure function of its (event, repetition-run, kernel) coordinates, the
 /// result is bit-identical to the serial collection regardless of thread
-/// count or scheduling.
+/// count or scheduling.  The (event, kernel) ideal-value table is computed
+/// once up front and shared read-only by all units.
 ///
-/// Throws std::invalid_argument on unknown event names.
+/// Throws std::invalid_argument on unknown event names.  Exceptions raised
+/// inside worker threads are captured and rethrown on the calling thread
+/// (the first one wins; remaining units are abandoned).
 CollectionResult collect(const pmu::Machine& machine,
                          const std::vector<std::string>& event_names,
                          const std::vector<pmu::Activity>& activities,

@@ -82,18 +82,16 @@ const Session::EventSet* Session::get(int set) const {
 }
 
 Session::Slot* Session::find_slot(EventSet& es, std::size_t machine_index) {
-  for (auto& s : es.slots) {
-    if (s.machine_index == machine_index) return &s;
-  }
-  return nullptr;
+  if (machine_index >= es.slot_of.size()) return nullptr;
+  const std::int32_t i = es.slot_of[machine_index];
+  return i < 0 ? nullptr : &es.slots[static_cast<std::size_t>(i)];
 }
 
 const Session::Slot* Session::find_slot(const EventSet& es,
                                         std::size_t machine_index) {
-  for (const auto& s : es.slots) {
-    if (s.machine_index == machine_index) return &s;
-  }
-  return nullptr;
+  if (machine_index >= es.slot_of.size()) return nullptr;
+  const std::int32_t i = es.slot_of[machine_index];
+  return i < 0 ? nullptr : &es.slots[static_cast<std::size_t>(i)];
 }
 
 Status Session::enable_multiplexing(int set) {
@@ -155,7 +153,14 @@ Status Session::add_event(int set, const std::string& name) {
       es->slots.size() + new_raws.size() > machine_->physical_counters()) {
     return Status::conflict;
   }
+  if (es->slot_of.size() < machine_->num_events()) {
+    es->slot_of.assign(machine_->num_events(), -1);
+    for (std::size_t i = 0; i < es->slots.size(); ++i) {
+      es->slot_of[es->slots[i].machine_index] = static_cast<std::int32_t>(i);
+    }
+  }
   for (std::size_t raw : new_raws) {
+    es->slot_of[raw] = static_cast<std::int32_t>(es->slots.size());
     es->slots.push_back(Slot{raw, 0.0, 0, 0});
   }
   for (const auto& part : parts) {
@@ -177,8 +182,13 @@ Status Session::remove_event(int set, const std::string& name) {
     slot->refs -= 1;
   }
   es->items.erase(it);
-  // Free counters no longer referenced by any item.
+  // Free counters no longer referenced by any item, then rebuild the O(1)
+  // lookup table (slot indices shift after the erase).
   std::erase_if(es->slots, [](const Slot& s) { return s.refs <= 0; });
+  std::fill(es->slot_of.begin(), es->slot_of.end(), -1);
+  for (std::size_t i = 0; i < es->slots.size(); ++i) {
+    es->slot_of[es->slots[i].machine_index] = static_cast<std::int32_t>(i);
+  }
   return Status::ok;
 }
 
@@ -226,15 +236,26 @@ Status Session::reset(int set) {
 
 void Session::run_kernel(const pmu::Activity& activity,
                          std::uint64_t repetition,
-                         std::uint64_t kernel_index) {
+                         std::uint64_t kernel_index,
+                         const pmu::IdealTable* ideals) {
+  // The reading is the same either way; the table only skips re-evaluating
+  // the repetition-invariant linear functional.
+  const bool table_usable =
+      ideals != nullptr && kernel_index < ideals->num_kernels();
+  auto measure = [&](const Slot& slot) {
+    const auto& event = machine_->event(slot.machine_index);
+    const double ideal = table_usable && ideals->has(slot.machine_index)
+                             ? ideals->ideal(slot.machine_index, kernel_index)
+                             : event.ideal(activity);
+    return pmu::measure_from_ideal(*machine_, event, ideal, repetition,
+                                   kernel_index);
+  };
   for (auto& es : sets_) {
     if (es.destroyed || !es.running) continue;
     const std::size_t n_slots = es.slots.size();
     if (!es.multiplexed || n_slots <= machine_->physical_counters()) {
       for (auto& slot : es.slots) {
-        const auto& event = machine_->event(slot.machine_index);
-        slot.count += pmu::measure_event(*machine_, event, activity,
-                                         repetition, kernel_index);
+        slot.count += measure(slot);
         ++slot.slices;
       }
       ++es.slices_total;
@@ -246,9 +267,7 @@ void Session::run_kernel(const pmu::Activity& activity,
     const std::size_t window = machine_->physical_counters();
     for (std::size_t w = 0; w < window; ++w) {
       Slot& slot = es.slots[(es.mux_cursor + w) % n_slots];
-      const auto& event = machine_->event(slot.machine_index);
-      slot.count += pmu::measure_event(*machine_, event, activity, repetition,
-                                       kernel_index);
+      slot.count += measure(slot);
       ++slot.slices;
     }
     es.mux_cursor = (es.mux_cursor + window) % n_slots;

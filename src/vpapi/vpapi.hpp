@@ -119,8 +119,17 @@ class Session {
   Status reset(int set);
 
   /// Accrues counts on all running sets for one kernel execution.
+  ///
+  /// When `ideals` is given and holds a row for a counted event (with
+  /// `kernel_index` inside its kernel range), the event's repetition-
+  /// invariant ideal value is taken from the table instead of being
+  /// re-evaluated from `activity`; the reading is bit-identical either way
+  /// (see pmu::measure_from_ideal).  Collection sweeps that revisit the same
+  /// kernel sequence across repetitions build the table once and pass it
+  /// here.
   void run_kernel(const pmu::Activity& activity, std::uint64_t repetition,
-                  std::uint64_t kernel_index);
+                  std::uint64_t kernel_index,
+                  const pmu::IdealTable* ideals = nullptr);
 
   /// Reads accumulated values, one per added event in list_events order;
   /// preset entries return their linear combination.
@@ -144,6 +153,11 @@ class Session {
   struct EventSet {
     std::vector<Slot> slots;
     std::vector<Item> items;
+    /// machine index -> index into `slots` (-1 = no slot), sized to the
+    /// machine's event count on first add_event; makes find_slot O(1)
+    /// instead of a scan over the allocated slots (hot in read() for
+    /// multiplexed sets, where every event of the machine owns a slot).
+    std::vector<std::int32_t> slot_of;
     bool running = false;
     bool ever_started = false;
     bool destroyed = false;

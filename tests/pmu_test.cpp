@@ -56,6 +56,21 @@ TEST(Hashing, Fnv1aMatchesKnownVectors) {
   EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
 }
 
+TEST(Hashing, MachineCachesEventNameHash) {
+  // add_event must stamp fnv1a(name) on the stored event so the measurement
+  // hot path never re-hashes; a free-standing copy with the cache cleared
+  // must still land in the same noise stream (fallback hashing).
+  Machine m("test", 4, 99);
+  m.add_event(EventDefinition{"E1", "", {{"x", 1.0}},
+                              NoiseModel::relative(1e-2)});
+  EXPECT_EQ(m.event(0).name_hash, fnv1a("E1"));
+  EventDefinition uncached = m.event(0);
+  uncached.name_hash = 0;
+  Activity act{{"x", 1e6}};
+  EXPECT_DOUBLE_EQ(measure_event(m, m.event(0), act, 2, 3),
+                   measure_event(m, uncached, act, 2, 3));
+}
+
 TEST(Measure, NoiseFreeEventIsExactAndInteger) {
   Machine m("test", 4, 99);
   m.add_event(EventDefinition{"E", "", {{"x", 2.0}}, NoiseModel::none()});
