@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cachesim/cache.cpp" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/cache.cpp.o" "gcc" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/cache.cpp.o.d"
+  "/root/repo/src/cachesim/config.cpp" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/config.cpp.o" "gcc" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/config.cpp.o.d"
+  "/root/repo/src/cachesim/pointer_chase.cpp" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/pointer_chase.cpp.o" "gcc" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/pointer_chase.cpp.o.d"
+  "/root/repo/src/cachesim/tlb.cpp" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/tlb.cpp.o" "gcc" "src/cachesim/CMakeFiles/catalyst_cachesim.dir/tlb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_cachesim.dir/cache.cpp.o"
+  "CMakeFiles/catalyst_cachesim.dir/cache.cpp.o.d"
+  "CMakeFiles/catalyst_cachesim.dir/config.cpp.o"
+  "CMakeFiles/catalyst_cachesim.dir/config.cpp.o.d"
+  "CMakeFiles/catalyst_cachesim.dir/pointer_chase.cpp.o"
+  "CMakeFiles/catalyst_cachesim.dir/pointer_chase.cpp.o.d"
+  "CMakeFiles/catalyst_cachesim.dir/tlb.cpp.o"
+  "CMakeFiles/catalyst_cachesim.dir/tlb.cpp.o.d"
+  "libcatalyst_cachesim.a"
+  "libcatalyst_cachesim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_cachesim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cat/benchmark.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/benchmark.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/benchmark.cpp.o.d"
+  "/root/repo/src/cat/branch.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/branch.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/branch.cpp.o.d"
+  "/root/repo/src/cat/cpu_flops.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/cpu_flops.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/cpu_flops.cpp.o.d"
+  "/root/repo/src/cat/dcache.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/dcache.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/dcache.cpp.o.d"
+  "/root/repo/src/cat/gpu_dcache.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/gpu_dcache.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/gpu_dcache.cpp.o.d"
+  "/root/repo/src/cat/gpu_flops.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/gpu_flops.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/gpu_flops.cpp.o.d"
+  "/root/repo/src/cat/icache.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/icache.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/icache.cpp.o.d"
+  "/root/repo/src/cat/mixed.cpp" "src/cat/CMakeFiles/catalyst_cat.dir/mixed.cpp.o" "gcc" "src/cat/CMakeFiles/catalyst_cat.dir/mixed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/catalyst_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pmu/CMakeFiles/catalyst_pmu.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cachesim/CMakeFiles/catalyst_cachesim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_cat.dir/benchmark.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/benchmark.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/branch.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/branch.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/cpu_flops.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/cpu_flops.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/dcache.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/dcache.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/gpu_dcache.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/gpu_dcache.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/gpu_flops.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/gpu_flops.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/icache.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/icache.cpp.o.d"
+  "CMakeFiles/catalyst_cat.dir/mixed.cpp.o"
+  "CMakeFiles/catalyst_cat.dir/mixed.cpp.o.d"
+  "libcatalyst_cat.a"
+  "libcatalyst_cat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_cat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for catalyst_cat.
+# This may be replaced when dependencies are built.

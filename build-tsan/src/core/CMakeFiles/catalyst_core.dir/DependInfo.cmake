@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/basis_diagnostics.cpp" "src/core/CMakeFiles/catalyst_core.dir/basis_diagnostics.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/basis_diagnostics.cpp.o.d"
+  "/root/repo/src/core/io.cpp" "src/core/CMakeFiles/catalyst_core.dir/io.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/io.cpp.o.d"
+  "/root/repo/src/core/json.cpp" "src/core/CMakeFiles/catalyst_core.dir/json.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/json.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/catalyst_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/noise.cpp" "src/core/CMakeFiles/catalyst_core.dir/noise.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/noise.cpp.o.d"
+  "/root/repo/src/core/noise_classify.cpp" "src/core/CMakeFiles/catalyst_core.dir/noise_classify.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/noise_classify.cpp.o.d"
+  "/root/repo/src/core/normalize.cpp" "src/core/CMakeFiles/catalyst_core.dir/normalize.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/normalize.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/catalyst_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/presets.cpp" "src/core/CMakeFiles/catalyst_core.dir/presets.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/presets.cpp.o.d"
+  "/root/repo/src/core/qrcp_special.cpp" "src/core/CMakeFiles/catalyst_core.dir/qrcp_special.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/qrcp_special.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/catalyst_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/report.cpp.o.d"
+  "/root/repo/src/core/signatures.cpp" "src/core/CMakeFiles/catalyst_core.dir/signatures.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/signatures.cpp.o.d"
+  "/root/repo/src/core/validate.cpp" "src/core/CMakeFiles/catalyst_core.dir/validate.cpp.o" "gcc" "src/core/CMakeFiles/catalyst_core.dir/validate.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/linalg/CMakeFiles/catalyst_linalg.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cat/CMakeFiles/catalyst_cat.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/vpapi/CMakeFiles/catalyst_vpapi.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/cachesim/CMakeFiles/catalyst_cachesim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/pmu/CMakeFiles/catalyst_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

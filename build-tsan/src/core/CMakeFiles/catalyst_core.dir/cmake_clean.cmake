@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_core.dir/basis_diagnostics.cpp.o"
+  "CMakeFiles/catalyst_core.dir/basis_diagnostics.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/io.cpp.o"
+  "CMakeFiles/catalyst_core.dir/io.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/json.cpp.o"
+  "CMakeFiles/catalyst_core.dir/json.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/metrics.cpp.o"
+  "CMakeFiles/catalyst_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/noise.cpp.o"
+  "CMakeFiles/catalyst_core.dir/noise.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/noise_classify.cpp.o"
+  "CMakeFiles/catalyst_core.dir/noise_classify.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/normalize.cpp.o"
+  "CMakeFiles/catalyst_core.dir/normalize.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/pipeline.cpp.o"
+  "CMakeFiles/catalyst_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/presets.cpp.o"
+  "CMakeFiles/catalyst_core.dir/presets.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/qrcp_special.cpp.o"
+  "CMakeFiles/catalyst_core.dir/qrcp_special.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/report.cpp.o"
+  "CMakeFiles/catalyst_core.dir/report.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/signatures.cpp.o"
+  "CMakeFiles/catalyst_core.dir/signatures.cpp.o.d"
+  "CMakeFiles/catalyst_core.dir/validate.cpp.o"
+  "CMakeFiles/catalyst_core.dir/validate.cpp.o.d"
+  "libcatalyst_core.a"
+  "libcatalyst_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/blas.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/blas.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/blas.cpp.o.d"
+  "/root/repo/src/linalg/householder.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/householder.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/householder.cpp.o.d"
+  "/root/repo/src/linalg/lstsq.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/lstsq.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/lstsq.cpp.o.d"
+  "/root/repo/src/linalg/matrix.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/matrix.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/matrix.cpp.o.d"
+  "/root/repo/src/linalg/qr.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/qr.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/qr.cpp.o.d"
+  "/root/repo/src/linalg/qrcp.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/qrcp.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/qrcp.cpp.o.d"
+  "/root/repo/src/linalg/random.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/random.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/random.cpp.o.d"
+  "/root/repo/src/linalg/svd.cpp" "src/linalg/CMakeFiles/catalyst_linalg.dir/svd.cpp.o" "gcc" "src/linalg/CMakeFiles/catalyst_linalg.dir/svd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

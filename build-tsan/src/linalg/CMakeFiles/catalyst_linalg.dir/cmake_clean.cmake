@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_linalg.dir/blas.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/blas.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/householder.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/householder.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/lstsq.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/lstsq.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/qr.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/qrcp.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/qrcp.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/random.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/random.cpp.o.d"
+  "CMakeFiles/catalyst_linalg.dir/svd.cpp.o"
+  "CMakeFiles/catalyst_linalg.dir/svd.cpp.o.d"
+  "libcatalyst_linalg.a"
+  "libcatalyst_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmu/machine.cpp" "src/pmu/CMakeFiles/catalyst_pmu.dir/machine.cpp.o" "gcc" "src/pmu/CMakeFiles/catalyst_pmu.dir/machine.cpp.o.d"
+  "/root/repo/src/pmu/measure.cpp" "src/pmu/CMakeFiles/catalyst_pmu.dir/measure.cpp.o" "gcc" "src/pmu/CMakeFiles/catalyst_pmu.dir/measure.cpp.o.d"
+  "/root/repo/src/pmu/saphira.cpp" "src/pmu/CMakeFiles/catalyst_pmu.dir/saphira.cpp.o" "gcc" "src/pmu/CMakeFiles/catalyst_pmu.dir/saphira.cpp.o.d"
+  "/root/repo/src/pmu/tempest.cpp" "src/pmu/CMakeFiles/catalyst_pmu.dir/tempest.cpp.o" "gcc" "src/pmu/CMakeFiles/catalyst_pmu.dir/tempest.cpp.o.d"
+  "/root/repo/src/pmu/vesuvio.cpp" "src/pmu/CMakeFiles/catalyst_pmu.dir/vesuvio.cpp.o" "gcc" "src/pmu/CMakeFiles/catalyst_pmu.dir/vesuvio.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

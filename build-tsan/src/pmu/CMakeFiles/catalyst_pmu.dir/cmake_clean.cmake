@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_pmu.dir/machine.cpp.o"
+  "CMakeFiles/catalyst_pmu.dir/machine.cpp.o.d"
+  "CMakeFiles/catalyst_pmu.dir/measure.cpp.o"
+  "CMakeFiles/catalyst_pmu.dir/measure.cpp.o.d"
+  "CMakeFiles/catalyst_pmu.dir/saphira.cpp.o"
+  "CMakeFiles/catalyst_pmu.dir/saphira.cpp.o.d"
+  "CMakeFiles/catalyst_pmu.dir/tempest.cpp.o"
+  "CMakeFiles/catalyst_pmu.dir/tempest.cpp.o.d"
+  "CMakeFiles/catalyst_pmu.dir/vesuvio.cpp.o"
+  "CMakeFiles/catalyst_pmu.dir/vesuvio.cpp.o.d"
+  "libcatalyst_pmu.a"
+  "libcatalyst_pmu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_pmu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

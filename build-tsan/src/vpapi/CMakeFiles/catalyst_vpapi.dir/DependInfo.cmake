@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpapi/collector.cpp" "src/vpapi/CMakeFiles/catalyst_vpapi.dir/collector.cpp.o" "gcc" "src/vpapi/CMakeFiles/catalyst_vpapi.dir/collector.cpp.o.d"
+  "/root/repo/src/vpapi/vpapi.cpp" "src/vpapi/CMakeFiles/catalyst_vpapi.dir/vpapi.cpp.o" "gcc" "src/vpapi/CMakeFiles/catalyst_vpapi.dir/vpapi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/pmu/CMakeFiles/catalyst_pmu.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

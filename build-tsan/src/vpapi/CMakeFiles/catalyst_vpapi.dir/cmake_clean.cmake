@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst_vpapi.dir/collector.cpp.o"
+  "CMakeFiles/catalyst_vpapi.dir/collector.cpp.o.d"
+  "CMakeFiles/catalyst_vpapi.dir/vpapi.cpp.o"
+  "CMakeFiles/catalyst_vpapi.dir/vpapi.cpp.o.d"
+  "libcatalyst_vpapi.a"
+  "libcatalyst_vpapi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst_vpapi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

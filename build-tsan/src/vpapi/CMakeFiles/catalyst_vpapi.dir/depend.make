@@ -1,0 +1,2 @@
+# Empty dependencies file for catalyst_vpapi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/basis_diagnostics_test.dir/basis_diagnostics_test.cpp.o"
+  "CMakeFiles/basis_diagnostics_test.dir/basis_diagnostics_test.cpp.o.d"
+  "basis_diagnostics_test"
+  "basis_diagnostics_test.pdb"
+  "basis_diagnostics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/basis_diagnostics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

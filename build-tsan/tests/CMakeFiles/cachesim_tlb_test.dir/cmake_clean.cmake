@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cachesim_tlb_test.dir/cachesim_tlb_test.cpp.o"
+  "CMakeFiles/cachesim_tlb_test.dir/cachesim_tlb_test.cpp.o.d"
+  "cachesim_tlb_test"
+  "cachesim_tlb_test.pdb"
+  "cachesim_tlb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cachesim_tlb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

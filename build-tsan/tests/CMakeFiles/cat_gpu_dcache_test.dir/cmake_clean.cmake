@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cat_gpu_dcache_test.dir/cat_gpu_dcache_test.cpp.o"
+  "CMakeFiles/cat_gpu_dcache_test.dir/cat_gpu_dcache_test.cpp.o.d"
+  "cat_gpu_dcache_test"
+  "cat_gpu_dcache_test.pdb"
+  "cat_gpu_dcache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cat_gpu_dcache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for cat_gpu_dcache_test.
+# This may be replaced when dependencies are built.

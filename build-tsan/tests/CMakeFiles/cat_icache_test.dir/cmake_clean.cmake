@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cat_icache_test.dir/cat_icache_test.cpp.o"
+  "CMakeFiles/cat_icache_test.dir/cat_icache_test.cpp.o.d"
+  "cat_icache_test"
+  "cat_icache_test.pdb"
+  "cat_icache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cat_icache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

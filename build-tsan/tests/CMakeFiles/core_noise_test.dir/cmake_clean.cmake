@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_noise_test.dir/core_noise_test.cpp.o"
+  "CMakeFiles/core_noise_test.dir/core_noise_test.cpp.o.d"
+  "core_noise_test"
+  "core_noise_test.pdb"
+  "core_noise_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_noise_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

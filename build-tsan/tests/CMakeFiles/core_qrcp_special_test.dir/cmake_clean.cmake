@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_qrcp_special_test.dir/core_qrcp_special_test.cpp.o"
+  "CMakeFiles/core_qrcp_special_test.dir/core_qrcp_special_test.cpp.o.d"
+  "core_qrcp_special_test"
+  "core_qrcp_special_test.pdb"
+  "core_qrcp_special_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_qrcp_special_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_blas_test.dir/linalg_blas_test.cpp.o"
+  "CMakeFiles/linalg_blas_test.dir/linalg_blas_test.cpp.o.d"
+  "linalg_blas_test"
+  "linalg_blas_test.pdb"
+  "linalg_blas_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_blas_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

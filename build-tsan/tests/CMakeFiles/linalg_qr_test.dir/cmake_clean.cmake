@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_qr_test.dir/linalg_qr_test.cpp.o"
+  "CMakeFiles/linalg_qr_test.dir/linalg_qr_test.cpp.o.d"
+  "linalg_qr_test"
+  "linalg_qr_test.pdb"
+  "linalg_qr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_qr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

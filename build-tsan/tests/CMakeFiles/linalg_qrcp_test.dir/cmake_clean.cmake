@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_qrcp_test.dir/linalg_qrcp_test.cpp.o"
+  "CMakeFiles/linalg_qrcp_test.dir/linalg_qrcp_test.cpp.o.d"
+  "linalg_qrcp_test"
+  "linalg_qrcp_test.pdb"
+  "linalg_qrcp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_qrcp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_random_test.dir/linalg_random_test.cpp.o"
+  "CMakeFiles/linalg_random_test.dir/linalg_random_test.cpp.o.d"
+  "linalg_random_test"
+  "linalg_random_test.pdb"
+  "linalg_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/linalg_svd_test.dir/linalg_svd_test.cpp.o"
+  "CMakeFiles/linalg_svd_test.dir/linalg_svd_test.cpp.o.d"
+  "linalg_svd_test"
+  "linalg_svd_test.pdb"
+  "linalg_svd_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/linalg_svd_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/measure_stats_test.dir/measure_stats_test.cpp.o"
+  "CMakeFiles/measure_stats_test.dir/measure_stats_test.cpp.o.d"
+  "measure_stats_test"
+  "measure_stats_test.pdb"
+  "measure_stats_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/measure_stats_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/narrowed_space_test.dir/narrowed_space_test.cpp.o"
+  "CMakeFiles/narrowed_space_test.dir/narrowed_space_test.cpp.o.d"
+  "narrowed_space_test"
+  "narrowed_space_test.pdb"
+  "narrowed_space_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/narrowed_space_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

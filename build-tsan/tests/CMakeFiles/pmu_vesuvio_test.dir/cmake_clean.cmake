@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pmu_vesuvio_test.dir/pmu_vesuvio_test.cpp.o"
+  "CMakeFiles/pmu_vesuvio_test.dir/pmu_vesuvio_test.cpp.o.d"
+  "pmu_vesuvio_test"
+  "pmu_vesuvio_test.pdb"
+  "pmu_vesuvio_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pmu_vesuvio_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/presets_test.dir/presets_test.cpp.o"
+  "CMakeFiles/presets_test.dir/presets_test.cpp.o.d"
+  "presets_test"
+  "presets_test.pdb"
+  "presets_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/presets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qrcp_pivot_rules_test.dir/qrcp_pivot_rules_test.cpp.o"
+  "CMakeFiles/qrcp_pivot_rules_test.dir/qrcp_pivot_rules_test.cpp.o.d"
+  "qrcp_pivot_rules_test"
+  "qrcp_pivot_rules_test.pdb"
+  "qrcp_pivot_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qrcp_pivot_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

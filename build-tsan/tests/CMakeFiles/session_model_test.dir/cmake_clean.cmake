@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/session_model_test.dir/session_model_test.cpp.o"
+  "CMakeFiles/session_model_test.dir/session_model_test.cpp.o.d"
+  "session_model_test"
+  "session_model_test.pdb"
+  "session_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/session_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

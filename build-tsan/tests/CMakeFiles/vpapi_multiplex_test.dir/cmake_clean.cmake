@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpapi_multiplex_test.dir/vpapi_multiplex_test.cpp.o"
+  "CMakeFiles/vpapi_multiplex_test.dir/vpapi_multiplex_test.cpp.o.d"
+  "vpapi_multiplex_test"
+  "vpapi_multiplex_test.pdb"
+  "vpapi_multiplex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpapi_multiplex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

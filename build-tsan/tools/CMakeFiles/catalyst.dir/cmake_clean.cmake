@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalyst.dir/catalyst_cli.cpp.o"
+  "CMakeFiles/catalyst.dir/catalyst_cli.cpp.o.d"
+  "catalyst"
+  "catalyst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalyst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for catalyst.
+# This may be replaced when dependencies are built.
