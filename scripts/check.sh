@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# catalyst correctness-analysis driver.
+#
+# Runs the full verification matrix in order of increasing cost:
+#
+#   1. catalyst-lint        repo-specific static checks (tools/catalyst_lint.py)
+#   2. Release build + ctest    the default configuration users get
+#   3. ASan+UBSan build + ctest heap/UB errors the Release build hides
+#   4. TSan build + ctest       data races in the threaded gemm/collector
+#   5. clang-tidy               if clang-tidy is installed (skipped otherwise)
+#
+# Exits non-zero on the first failing stage.  Stages can be selected:
+#   scripts/check.sh              # everything
+#   scripts/check.sh lint release # just those stages
+#
+# Build trees go to build-check-<stage> so they never collide with a
+# developer's ./build.
+
+set -u
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+FAILURES=0
+
+note() { printf '\n==== %s ====\n' "$*"; }
+
+run_stage() {
+    local name="$1"; shift
+    note "$name"
+    if "$@"; then
+        printf '==== %s: OK ====\n' "$name"
+    else
+        printf '==== %s: FAILED ====\n' "$name" >&2
+        FAILURES=$((FAILURES + 1))
+    fi
+}
+
+build_and_test() {
+    local dir="$1"; shift
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . "$@" > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    (cd "$dir" && ctest --output-on-failure -j "$JOBS" --timeout 300)
+}
+
+stage_lint() {
+    python3 tools/catalyst_lint.py
+}
+
+stage_release() {
+    build_and_test build-check-release -DCMAKE_BUILD_TYPE=Release
+}
+
+stage_asan_ubsan() {
+    build_and_test build-check-asan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCATALYST_ASAN=ON -DCATALYST_UBSAN=ON
+}
+
+stage_tsan() {
+    build_and_test build-check-tsan \
+        -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCATALYST_TSAN=ON
+}
+
+stage_tidy() {
+    if ! command -v clang-tidy > /dev/null 2>&1; then
+        echo "clang-tidy not installed; skipping (install it to enable)"
+        return 0
+    fi
+    local dir=build-check-tidy
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    # Headers are covered through HeaderFilterRegex in .clang-tidy.
+    find src -name '*.cpp' -print0 \
+        | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
+}
+
+ALL_STAGES="lint release asan_ubsan tsan tidy"
+STAGES="${*:-$ALL_STAGES}"
+
+for stage in $STAGES; do
+    case "$stage" in
+        lint)       run_stage "catalyst-lint" stage_lint ;;
+        release)    run_stage "Release build + tests" stage_release ;;
+        asan_ubsan) run_stage "ASan+UBSan build + tests" stage_asan_ubsan ;;
+        tsan)       run_stage "TSan build + tests" stage_tsan ;;
+        tidy)       run_stage "clang-tidy" stage_tidy ;;
+        *)
+            echo "unknown stage: $stage (choose from: $ALL_STAGES)" >&2
+            exit 2
+            ;;
+    esac
+done
+
+if [ "$FAILURES" -ne 0 ]; then
+    printf '\n%d stage(s) failed\n' "$FAILURES" >&2
+    exit 1
+fi
+printf '\nall stages passed\n'

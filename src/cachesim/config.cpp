@@ -1,5 +1,7 @@
 #include "cachesim/config.hpp"
 
+#include "core/contract.hpp"
+
 namespace catalyst::cachesim {
 
 namespace {
@@ -9,34 +11,30 @@ bool is_pow2(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
 }  // namespace
 
 void LevelConfig::validate() const {
-  if (size_bytes == 0 || line_bytes == 0 || associativity == 0) {
-    throw ConfigError(name + ": zero-sized geometry field");
-  }
-  if (!is_pow2(line_bytes)) {
-    throw ConfigError(name + ": line size must be a power of two");
-  }
+  CATALYST_REQUIRE_AS(size_bytes != 0 && line_bytes != 0 && associativity != 0,
+                      ConfigError, name + ": zero-sized geometry field");
+  CATALYST_REQUIRE_AS(is_pow2(line_bytes), ConfigError,
+                      name + ": line size must be a power of two");
   const std::uint64_t way_bytes =
       static_cast<std::uint64_t>(line_bytes) * associativity;
-  if (size_bytes % way_bytes != 0) {
-    throw ConfigError(name + ": capacity not divisible by line*assoc");
-  }
-  if (!is_pow2(num_sets())) {
-    throw ConfigError(name + ": number of sets must be a power of two");
-  }
+  CATALYST_REQUIRE_AS(size_bytes % way_bytes == 0, ConfigError,
+                      name + ": capacity not divisible by line*assoc");
+  CATALYST_REQUIRE_AS(is_pow2(num_sets()), ConfigError,
+                      name + ": number of sets must be a power of two");
 }
 
 void HierarchyConfig::validate() const {
-  if (levels.empty()) throw ConfigError("hierarchy has no levels");
+  CATALYST_REQUIRE_AS(!levels.empty(), ConfigError, "hierarchy has no levels");
   for (const auto& l : levels) l.validate();
   for (std::size_t i = 1; i < levels.size(); ++i) {
-    if (levels[i].size_bytes < levels[i - 1].size_bytes) {
-      throw ConfigError(levels[i].name +
-                        ": outer level smaller than inner level");
-    }
-    if (levels[i].line_bytes != levels[0].line_bytes) {
-      throw ConfigError(levels[i].name +
-                        ": mixed line sizes are not supported");
-    }
+    CATALYST_REQUIRE_AS(levels[i].size_bytes >= levels[i - 1].size_bytes,
+                        ConfigError,
+                        levels[i].name +
+                            ": outer level smaller than inner level");
+    CATALYST_REQUIRE_AS(levels[i].line_bytes == levels[0].line_bytes,
+                        ConfigError,
+                        levels[i].name +
+                            ": mixed line sizes are not supported");
   }
 }
 

@@ -1,6 +1,9 @@
 #include "cat/benchmark.hpp"
 
+#include <cmath>
 #include <stdexcept>
+
+#include "core/contract.hpp"
 
 namespace catalyst::cat {
 
@@ -15,6 +18,39 @@ std::vector<pmu::Activity> Benchmark::single_thread_activities() const {
     acts.push_back(slot.thread_activities.front());
   }
   return acts;
+}
+
+void Benchmark::validate() const {
+  CATALYST_REQUIRE_AS(!slots.empty(), std::invalid_argument,
+                      "benchmark '" + name + "' has no kernel slots");
+  for (const auto& slot : slots) {
+    CATALYST_REQUIRE_AS(!slot.thread_activities.empty(), std::invalid_argument,
+                        "benchmark '" + name + "': slot '" + slot.name +
+                            "' has no thread activities");
+    CATALYST_REQUIRE_AS(
+        std::isfinite(slot.normalizer) && slot.normalizer > 0.0,
+        std::invalid_argument,
+        "benchmark '" + name + "': slot '" + slot.name +
+            "' has a non-positive or non-finite normalizer");
+  }
+  const auto n_slots = static_cast<linalg::index_t>(slots.size());
+  CATALYST_REQUIRE_AS(basis.e.rows() == n_slots, std::invalid_argument,
+                      "benchmark '" + name +
+                          "': expectation basis row count does not match the "
+                          "slot count");
+  const auto n_ideal = static_cast<std::size_t>(basis.e.cols());
+  CATALYST_REQUIRE_AS(basis.labels.size() == n_ideal, std::invalid_argument,
+                      "benchmark '" + name +
+                          "': one label per expectation-basis column required");
+  CATALYST_REQUIRE_AS(basis.ideal_events.size() == n_ideal,
+                      std::invalid_argument,
+                      "benchmark '" + name +
+                          "': one ideal event per expectation-basis column "
+                          "required");
+  CATALYST_REQUIRE_AS(catalyst::contract::all_finite(basis.e.data()),
+                      std::invalid_argument,
+                      "benchmark '" + name +
+                          "': expectation basis has NaN/Inf entries");
 }
 
 }  // namespace catalyst::cat

@@ -59,6 +59,14 @@ struct Benchmark {
   /// Convenience: the single-thread activities (throws if any slot has more
   /// than one thread; used by compute benchmarks).
   std::vector<pmu::Activity> single_thread_activities() const;
+
+  /// Structural contract of a well-formed benchmark: non-empty slots, every
+  /// slot with at least one thread activity and a positive finite
+  /// normalizer, and an expectation basis whose row count matches the slot
+  /// count with one finite column per label/ideal event.  Violations report
+  /// through the contract layer (std::invalid_argument under the default
+  /// throw policy).  Called by core::run_pipeline before collection.
+  void validate() const;
 };
 
 }  // namespace catalyst::cat

@@ -1,0 +1,180 @@
+// catalyst/contract -- repo-wide precondition / postcondition / invariant
+// checking with a runtime-configurable violation policy.
+//
+// The analysis pipeline is only trustworthy if every stage preserves its
+// numerical assumptions (finite measurement vectors, consistent shapes,
+// QR pivot consistency, ...).  These macros give every subsystem one way to
+// state those assumptions:
+//
+//   CATALYST_REQUIRE(cond, msg)        -- precondition on inputs
+//   CATALYST_ENSURE(cond, msg)         -- postcondition on results
+//   CATALYST_INVARIANT(cond, msg)      -- internal consistency mid-algorithm
+//   CATALYST_ASSUME_FINITE(value, msg) -- no NaN/Inf in a scalar or range
+//
+// Each macro has an `_AS(cond, ExcType, msg)` variant that throws a caller
+// chosen exception type under the throw policy, so migrated legacy checks
+// keep their documented exception types (linalg::DimensionError,
+// std::invalid_argument, cachesim::ConfigError, ...).  The `msg` expression
+// is evaluated only on violation, so string building costs nothing on the
+// success path.
+//
+// What happens on violation is decided at runtime (see ViolationPolicy):
+//   * throw_exception  -- throw ExcType(message)               [default]
+//   * abort_with_trace -- print message + stack trace, abort()
+//   * log_and_continue -- print message to stderr, keep going
+// The policy can also be set through the CATALYST_CONTRACT_POLICY
+// environment variable ("throw", "abort", "log") before first use.
+//
+// Zero-cost compiled-out mode: building with -DCATALYST_CONTRACTS_DISABLED
+// (CMake: -DCATALYST_CONTRACTS=OFF) expands every macro to a no-op that does
+// not even evaluate the condition.  That build trades all input validation
+// for speed and is only for trusted, pre-validated inputs; the default build
+// keeps contracts on everywhere, including Release.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace catalyst::contract {
+
+/// What a failed contract check does.  One process-wide setting; the
+/// default is throw_exception (safe for library use and unit-testable).
+enum class ViolationPolicy {
+  throw_exception,   ///< Throw the check's exception type.
+  abort_with_trace,  ///< Print the violation + stack trace, std::abort().
+  log_and_continue,  ///< Print the violation to stderr and proceed.
+};
+
+/// Default exception type thrown by the un-suffixed macros.
+class ContractViolation : public std::runtime_error {
+ public:
+  explicit ContractViolation(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Current process-wide policy.  First call honours the
+/// CATALYST_CONTRACT_POLICY environment variable.
+ViolationPolicy violation_policy() noexcept;
+
+/// Overrides the process-wide policy (takes effect immediately, thread-safe).
+void set_violation_policy(ViolationPolicy policy) noexcept;
+
+/// Number of violations swallowed so far under log_and_continue; lets tests
+/// (and health checks) observe that a logged violation actually fired.
+std::size_t logged_violation_count() noexcept;
+
+/// RAII policy override, restoring the previous policy on scope exit.
+class PolicyGuard {
+ public:
+  explicit PolicyGuard(ViolationPolicy policy) noexcept
+      : previous_(violation_policy()) {
+    set_violation_policy(policy);
+  }
+  ~PolicyGuard() { set_violation_policy(previous_); }
+  PolicyGuard(const PolicyGuard&) = delete;
+  PolicyGuard& operator=(const PolicyGuard&) = delete;
+
+ private:
+  ViolationPolicy previous_;
+};
+
+// ----- Numeric helpers shared by contract call sites -------------------------
+
+/// True when every element of the range is neither NaN nor +/-Inf.
+inline bool all_finite(std::span<const double> values) noexcept {
+  for (double v : values) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+inline bool all_finite(const std::vector<double>& values) noexcept {
+  return all_finite(std::span<const double>(values));
+}
+
+inline bool all_finite(double value) noexcept { return std::isfinite(value); }
+
+/// Scaled singularity tolerance for an n x n triangular solve: a diagonal
+/// entry d is treated as singular when |d| <= singular_tolerance(n, dmax)
+/// with dmax = max_i |R(i,i)|.  The classic n*eps*dmax bound: anything that
+/// small is indistinguishable from rounding noise of the factorization, and
+/// dividing by it turns noise into the answer.
+inline double singular_tolerance(std::ptrdiff_t n, double max_abs_diag) noexcept {
+  return static_cast<double>(n > 0 ? n : 1) *
+         std::numeric_limits<double>::epsilon() * max_abs_diag;
+}
+
+namespace detail {
+
+/// Builds the "<kind> violated at file:line: `expr` -- msg" message.
+std::string format_violation(const char* kind, const char* expr,
+                             const char* file, int line,
+                             const std::string& msg);
+
+/// Applies the current policy to a violation.  Returns true when the caller
+/// should throw (throw_exception policy); aborts under abort_with_trace;
+/// logs and returns false under log_and_continue.
+bool report_violation(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& msg);
+
+}  // namespace detail
+}  // namespace catalyst::contract
+
+// ----- The macros ------------------------------------------------------------
+
+#ifdef CATALYST_CONTRACTS_DISABLED
+
+// Compiled-out mode: no-ops that do not evaluate the condition or message.
+// sizeof keeps both expressions as unevaluated operands, so variables that
+// exist only to feed a contract stay odr-referenced (no -Wunused-variable)
+// and the expressions stay type-checked, without generating any code.
+#define CATALYST_CONTRACT_CHECK_AS(kind, cond, ExcType, msg) \
+  ((void)sizeof((cond) ? 1 : 0), (void)sizeof(msg))
+
+#else
+
+#define CATALYST_CONTRACT_CHECK_AS(kind, cond, ExcType, msg)                 \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      const ::std::string catalyst_contract_msg_ = (msg);                    \
+      if (::catalyst::contract::detail::report_violation(                    \
+              kind, #cond, __FILE__, __LINE__, catalyst_contract_msg_)) {    \
+        throw ExcType(::catalyst::contract::detail::format_violation(        \
+            kind, #cond, __FILE__, __LINE__, catalyst_contract_msg_));       \
+      }                                                                      \
+    }                                                                        \
+  } while (0)
+
+#endif  // CATALYST_CONTRACTS_DISABLED
+
+/// Precondition: validates caller-supplied inputs.
+#define CATALYST_REQUIRE_AS(cond, ExcType, msg) \
+  CATALYST_CONTRACT_CHECK_AS("precondition", cond, ExcType, msg)
+#define CATALYST_REQUIRE(cond, msg) \
+  CATALYST_REQUIRE_AS(cond, ::catalyst::contract::ContractViolation, msg)
+
+/// Postcondition: validates results before returning them.
+#define CATALYST_ENSURE_AS(cond, ExcType, msg) \
+  CATALYST_CONTRACT_CHECK_AS("postcondition", cond, ExcType, msg)
+#define CATALYST_ENSURE(cond, msg) \
+  CATALYST_ENSURE_AS(cond, ::catalyst::contract::ContractViolation, msg)
+
+/// Invariant: internal consistency that must hold mid-algorithm.
+#define CATALYST_INVARIANT_AS(cond, ExcType, msg) \
+  CATALYST_CONTRACT_CHECK_AS("invariant", cond, ExcType, msg)
+#define CATALYST_INVARIANT(cond, msg) \
+  CATALYST_INVARIANT_AS(cond, ::catalyst::contract::ContractViolation, msg)
+
+/// Finite-value assumption over a double, std::vector<double> or
+/// std::span<const double>: rejects NaN and +/-Inf.
+#define CATALYST_ASSUME_FINITE_AS(value, ExcType, msg)       \
+  CATALYST_CONTRACT_CHECK_AS("finite-assumption",            \
+                             ::catalyst::contract::all_finite(value), \
+                             ExcType, msg)
+#define CATALYST_ASSUME_FINITE(value, msg) \
+  CATALYST_ASSUME_FINITE_AS(value, ::catalyst::contract::ContractViolation, msg)

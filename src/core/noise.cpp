@@ -5,14 +5,15 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contract.hpp"
 #include "linalg/blas.hpp"
 
 namespace catalyst::core {
 
 double rnmse(std::span<const double> mi, std::span<const double> mj) {
-  if (mi.size() != mj.size() || mi.empty()) {
-    throw std::invalid_argument("rnmse: vectors must be non-empty and equal");
-  }
+  CATALYST_REQUIRE_AS(mi.size() == mj.size() && !mi.empty(),
+                      std::invalid_argument,
+                      "rnmse: vectors must be non-empty and equal");
   const auto n = static_cast<double>(mi.size());
   double diff_sq = 0.0;
   double sum_i = 0.0;
@@ -32,13 +33,17 @@ double rnmse(std::span<const double> mi, std::span<const double> mj) {
     // handles separately via the all-zero discard.
     return diff_sq == 0.0 && sum_i == 0.0 && sum_j == 0.0 ? 0.0 : 1.0;
   }
-  return std::sqrt(diff_sq / denom_sq);
+  const double out = std::sqrt(diff_sq / denom_sq);
+  // RNMSE is not bounded by 1 (disjoint supports give values above it), but a
+  // negative or non-finite value means the accumulation itself broke.
+  CATALYST_ENSURE(std::isfinite(out) && out >= 0.0,
+                  "rnmse: non-finite or negative result");
+  return out;
 }
 
 double max_rnmse(const std::vector<std::vector<double>>& reps) {
-  if (reps.size() < 2) {
-    throw std::invalid_argument("max_rnmse: need at least two repetitions");
-  }
+  CATALYST_REQUIRE_AS(reps.size() >= 2, std::invalid_argument,
+                      "max_rnmse: need at least two repetitions");
   double worst = 0.0;
   for (std::size_t i = 0; i < reps.size(); ++i) {
     for (std::size_t j = i + 1; j < reps.size(); ++j) {
@@ -52,12 +57,11 @@ NoiseFilterResult filter_noise(
     const std::vector<std::string>& event_names,
     const std::vector<std::vector<std::vector<double>>>& measurements,
     double tau) {
-  if (event_names.size() != measurements.size()) {
-    throw std::invalid_argument("filter_noise: names/measurements mismatch");
-  }
-  if (tau < 0.0) {
-    throw std::invalid_argument("filter_noise: negative tau");
-  }
+  CATALYST_REQUIRE_AS(event_names.size() == measurements.size(),
+                      std::invalid_argument,
+                      "filter_noise: names/measurements mismatch");
+  CATALYST_REQUIRE_AS(tau >= 0.0, std::invalid_argument,
+                      "filter_noise: negative tau");
   NoiseFilterResult result;
   result.variabilities.reserve(event_names.size());
   for (std::size_t e = 0; e < event_names.size(); ++e) {
@@ -93,7 +97,8 @@ NoiseFilterResult filter_noise(
 }
 
 double median(std::vector<double> values) {
-  if (values.empty()) throw std::invalid_argument("median: empty input");
+  CATALYST_REQUIRE_AS(!values.empty(), std::invalid_argument,
+                      "median: empty input");
   const std::size_t mid = values.size() / 2;
   std::nth_element(values.begin(), values.begin() + mid, values.end());
   double hi = values[mid];

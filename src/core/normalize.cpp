@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "core/contract.hpp"
+
 namespace catalyst::core {
 
 NormalizationResult normalize_events(
@@ -9,22 +11,21 @@ NormalizationResult normalize_events(
     const std::vector<std::string>& event_names,
     const std::vector<std::vector<double>>& measurements,
     double max_backward_error) {
-  if (event_names.size() != measurements.size()) {
-    throw std::invalid_argument(
-        "normalize_events: names/measurements mismatch");
-  }
-  if (max_backward_error < 0.0) {
-    throw std::invalid_argument("normalize_events: negative threshold");
-  }
+  CATALYST_REQUIRE_AS(event_names.size() == measurements.size(),
+                      std::invalid_argument,
+                      "normalize_events: names/measurements mismatch");
+  CATALYST_REQUIRE_AS(max_backward_error >= 0.0, std::invalid_argument,
+                      "normalize_events: negative threshold");
   NormalizationResult result;
   result.representations.reserve(event_names.size());
   std::vector<linalg::Vector> x_cols;
   for (std::size_t e = 0; e < event_names.size(); ++e) {
     const auto& me = measurements[e];
-    if (static_cast<linalg::index_t>(me.size()) != expectation.rows()) {
-      throw std::invalid_argument("normalize_events: measurement length != "
-                                  "basis rows for " + event_names[e]);
-    }
+    CATALYST_REQUIRE_AS(
+        static_cast<linalg::index_t>(me.size()) == expectation.rows(),
+        std::invalid_argument,
+        "normalize_events: measurement length != basis rows for " +
+            event_names[e]);
     EventRepresentation rep;
     rep.event_name = event_names[e];
     const auto ls = linalg::lstsq(expectation, me);

@@ -4,6 +4,7 @@
 
 #include <stdexcept>
 
+#include "core/contract.hpp"
 #include "vpapi/collector.hpp"
 
 namespace catalyst::core {
@@ -22,19 +23,20 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
                             const cat::Benchmark& benchmark,
                             const std::vector<MetricSignature>& signatures,
                             const PipelineOptions& options) {
-  if (options.repetitions < 2) {
-    throw std::invalid_argument(
-        "run_pipeline: need >= 2 repetitions for the RNMSE filter");
-  }
-  if (benchmark.slots.empty()) {
-    throw std::invalid_argument("run_pipeline: benchmark has no slots");
-  }
+  CATALYST_REQUIRE_AS(options.repetitions >= 2, std::invalid_argument,
+                      "run_pipeline: need >= 2 repetitions for the RNMSE "
+                      "filter");
+  CATALYST_REQUIRE_AS(!benchmark.slots.empty(), std::invalid_argument,
+                      "run_pipeline: benchmark has no slots");
+  benchmark.validate();
+  CATALYST_REQUIRE_AS(!machine.events().empty(), std::invalid_argument,
+                      "run_pipeline: machine publishes no events");
   const std::size_t n_threads = benchmark.slots.front().thread_activities.size();
   for (const auto& slot : benchmark.slots) {
-    if (slot.thread_activities.size() != n_threads) {
-      throw std::invalid_argument(
-          "run_pipeline: inconsistent thread counts across slots");
-    }
+    CATALYST_REQUIRE_AS(slot.thread_activities.size() == n_threads,
+                        std::invalid_argument,
+                        "run_pipeline: inconsistent thread counts across "
+                        "slots");
   }
 
   PipelineResult result;
@@ -108,6 +110,23 @@ PipelineResult analyze_measurements(
   result.all_event_names = event_names;
   result.measurements = std::move(measurements);
 
+  // --- Stage 0: measurement sanity -------------------------------------------
+  // A NaN/Inf reading must be rejected here, at the pipeline boundary; past
+  // this point it would flow silently through the RNMSE filter (NaN
+  // comparisons are false, so the event is *kept*) and poison the QR stage.
+  CATALYST_REQUIRE_AS(result.measurements.size() ==
+                          result.all_event_names.size(),
+                      std::invalid_argument,
+                      "analyze_measurements: one measurement block per event "
+                      "name required");
+  for (std::size_t e = 0; e < result.measurements.size(); ++e) {
+    for (const std::vector<double>& rep : result.measurements[e]) {
+      CATALYST_ASSUME_FINITE(
+          rep, "analyze_measurements: event '" + result.all_event_names[e] +
+                   "' has a non-finite measurement");
+    }
+  }
+
   // --- Stage 3b (optional): detrend drifting events --------------------------
   if (options.detrend_drifting) {
     for (auto& reps : result.measurements) {
@@ -135,9 +154,16 @@ PipelineResult analyze_measurements(
   // --- Stage 6: specialized QRCP ---------------------------------------------
   result.qr =
       specialized_qrcp(result.projection.x, options.alpha, options.pivot_rule);
+  CATALYST_ENSURE(static_cast<linalg::index_t>(result.qr.selected.size()) <=
+                      result.projection.x.cols(),
+                  "analyze_measurements: QRCP selected more columns than X "
+                  "has");
   result.xhat = result.projection.x.select_columns(result.qr.selected);
   result.xhat_events.reserve(result.qr.selected.size());
   for (linalg::index_t j : result.qr.selected) {
+    CATALYST_ENSURE(j >= 0 && j < result.projection.x.cols(),
+                    "analyze_measurements: QRCP selected column out of "
+                    "range");
     result.xhat_events.push_back(
         result.projection.x_event_names[static_cast<std::size_t>(j)]);
   }

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "core/contract.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
 
@@ -101,9 +102,10 @@ linalg::index_t get_pivot(const linalg::Matrix& a,
 
 SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
                                    PivotRule rule) {
-  if (alpha <= 0.0) {
-    throw std::invalid_argument("specialized_qrcp: alpha must be positive");
-  }
+  CATALYST_REQUIRE_AS(alpha > 0.0, std::invalid_argument,
+                      "specialized_qrcp: alpha must be positive");
+  CATALYST_ASSUME_FINITE_AS(x.data(), std::invalid_argument,
+                            "specialized_qrcp: X has NaN/Inf entries");
   SpecialQrcpResult res;
   linalg::Matrix a = x;  // working copy, factored in place
   const linalg::index_t m = a.rows();
@@ -153,6 +155,21 @@ SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
     ci[static_cast<std::size_t>(i)] = h.beta;
   }
   res.rank = static_cast<linalg::index_t>(res.selected.size());
+  // Pivot-consistency postconditions: the selected original-column indices
+  // must be unique, in range, and as many as the reported rank.
+  std::vector<bool> seen(static_cast<std::size_t>(n), false);
+  for (linalg::index_t j : res.selected) {
+    CATALYST_ENSURE(j >= 0 && j < n,
+                    "specialized_qrcp: selected column out of range");
+    CATALYST_ENSURE(!seen[static_cast<std::size_t>(j)],
+                    "specialized_qrcp: column selected twice");
+    seen[static_cast<std::size_t>(j)] = true;
+  }
+  CATALYST_ENSURE(res.rank == static_cast<linalg::index_t>(res.selected.size()),
+                  "specialized_qrcp: rank != number of selected columns");
+  CATALYST_ENSURE(res.pivot_scores.size() == res.selected.size(),
+                  "specialized_qrcp: one pivot score per selected column "
+                  "required");
   return res;
 }
 

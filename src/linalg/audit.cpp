@@ -1,0 +1,159 @@
+#include "linalg/audit.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+
+#include "core/contract.hpp"
+#include "linalg/blas.hpp"
+#include "linalg/qr.hpp"
+
+namespace catalyst::linalg::audit {
+
+namespace {
+
+bool enabled_from_env() noexcept {
+  const char* env = std::getenv("CATALYST_AUDIT");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
+std::atomic<bool>& enabled_slot() noexcept {
+  static std::atomic<bool> on{enabled_from_env()};
+  return on;
+}
+
+struct AtomicCounts {
+  std::atomic<std::size_t> orthogonality{0};
+  std::atomic<std::size_t> triangularity{0};
+  std::atomic<std::size_t> factorization{0};
+  std::atomic<std::size_t> lstsq{0};
+};
+
+AtomicCounts& count_slots() noexcept {
+  static AtomicCounts counts;
+  return counts;
+}
+
+// Factorization-accuracy tolerance: rounding error of a Householder QR of an
+// m x n matrix grows like O(max(m, n) * eps); the factor 100 absorbs the
+// constants without letting genuine breakage through.
+double accuracy_tol(index_t m, index_t n) noexcept {
+  const auto dim = static_cast<double>(std::max<index_t>({m, n, 1}));
+  return 100.0 * dim * std::numeric_limits<double>::epsilon();
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_slot().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_slot().store(on, std::memory_order_relaxed);
+}
+
+AuditCounts counts() noexcept {
+  const AtomicCounts& c = count_slots();
+  return {c.orthogonality.load(), c.triangularity.load(),
+          c.factorization.load(), c.lstsq.load()};
+}
+
+void reset_counts() noexcept {
+  AtomicCounts& c = count_slots();
+  c.orthogonality = 0;
+  c.triangularity = 0;
+  c.factorization = 0;
+  c.lstsq = 0;
+}
+
+double orthogonality_error(const Matrix& q) {
+  const Matrix qtq = matmul_tn(q, q);
+  return norm_frobenius(qtq - Matrix::identity(q.cols()));
+}
+
+double max_below_diagonal(const Matrix& r) {
+  double worst = 0.0;
+  for (index_t j = 0; j < r.cols(); ++j) {
+    for (index_t i = j + 1; i < r.rows(); ++i) {
+      worst = std::max(worst, std::fabs(r(i, j)));
+    }
+  }
+  return worst;
+}
+
+double normal_equations_residual(const Matrix& a, std::span<const double> x,
+                                 std::span<const double> b) {
+  CATALYST_REQUIRE_AS(static_cast<index_t>(x.size()) == a.cols() &&
+                          static_cast<index_t>(b.size()) == a.rows(),
+                      DimensionError,
+                      "normal_equations_residual: shape mismatch");
+  Vector r(b.begin(), b.end());
+  gemv(-1.0, a, x, 1.0, r);  // r = b - A x
+  return nrm2(matvec_t(a, r));
+}
+
+void check_orthonormal(const Matrix& q) {
+  count_slots().orthogonality.fetch_add(1, std::memory_order_relaxed);
+  const double err = orthogonality_error(q);
+  const double tol = accuracy_tol(q.rows(), q.cols());
+  CATALYST_INVARIANT_AS(err <= tol, AuditError,
+                        "audit: ||Q^T Q - I||_F = " + std::to_string(err) +
+                            " exceeds " + std::to_string(tol));
+}
+
+void check_upper_triangular(const Matrix& r) {
+  count_slots().triangularity.fetch_add(1, std::memory_order_relaxed);
+  const double below = max_below_diagonal(r);
+  CATALYST_INVARIANT_AS(below == 0.0, AuditError,
+                        "audit: R has a below-diagonal entry of magnitude " +
+                            std::to_string(below));
+}
+
+void check_factorization(const Matrix& original_permuted, const Matrix& q,
+                         const Matrix& r) {
+  count_slots().factorization.fetch_add(1, std::memory_order_relaxed);
+  CATALYST_REQUIRE_AS(q.cols() == r.rows() &&
+                          q.rows() == original_permuted.rows() &&
+                          r.cols() == original_permuted.cols(),
+                      DimensionError, "check_factorization: shape mismatch");
+  const Matrix residual = original_permuted - matmul(q, r);
+  const double err = norm_frobenius(residual);
+  const double tol = accuracy_tol(original_permuted.rows(),
+                                  original_permuted.cols()) *
+                     std::max(norm_frobenius(original_permuted), 1.0);
+  CATALYST_INVARIANT_AS(err <= tol, AuditError,
+                        "audit: ||A P - Q R||_F = " + std::to_string(err) +
+                            " exceeds " + std::to_string(tol));
+}
+
+void check_lstsq_optimal(const Matrix& a, std::span<const double> x,
+                         std::span<const double> b) {
+  count_slots().lstsq.fetch_add(1, std::memory_order_relaxed);
+  const double grad = normal_equations_residual(a, x, b);
+  // At the minimizer, A^T r is pure rounding noise: bounded by the scale of
+  // the quantities that produced it, ||A|| * (||A|| ||x|| + ||b||), times
+  // factorization accuracy.
+  const double na = norm_frobenius(a);
+  const double scale = na * (na * nrm2(x) + nrm2(b));
+  const double tol = accuracy_tol(a.rows(), a.cols()) * std::max(scale, 1.0);
+  CATALYST_INVARIANT_AS(
+      grad <= tol, AuditError,
+      "audit: least-squares gradient ||A^T (b - A x)|| = " +
+          std::to_string(grad) + " exceeds " + std::to_string(tol) +
+          "; the solution does not minimize the residual");
+}
+
+void check_qr(const Matrix& original, const QrFactorization& qr) {
+  const Matrix q = qr.q_thin();
+  const Matrix r = qr.r();
+  check_orthonormal(q);
+  check_upper_triangular(r);
+  check_factorization(original, q, r);
+}
+
+}  // namespace catalyst::linalg::audit

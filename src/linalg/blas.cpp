@@ -6,15 +6,26 @@
 #include <thread>
 #include <vector>
 
+#include "core/contract.hpp"
+
 namespace catalyst::linalg {
 
 namespace {
 
 void check_same_size(std::span<const double> x, std::span<const double> y,
                      const char* op) {
-  if (x.size() != y.size()) {
-    throw DimensionError(std::string(op) + ": vector length mismatch");
-  }
+  CATALYST_REQUIRE_AS(x.size() == y.size(), DimensionError,
+                      std::string(op) + ": vector length mismatch");
+}
+
+// Shared singularity guard for the triangular solves: a diagonal entry is
+// unusable not only when exactly zero but whenever it is at rounding-noise
+// scale relative to the largest diagonal entry -- dividing by it would
+// amplify noise into the solution (see contract::singular_tolerance).
+double triangular_diag_tolerance(const Matrix& m, index_t n) {
+  double dmax = 0.0;
+  for (index_t i = 0; i < n; ++i) dmax = std::max(dmax, std::fabs(m(i, i)));
+  return contract::singular_tolerance(n, dmax);
 }
 
 }  // namespace
@@ -82,10 +93,9 @@ index_t iamax(std::span<const double> x) noexcept {
 
 void gemv(double alpha, const Matrix& a, std::span<const double> x,
           double beta, std::span<double> y) {
-  if (static_cast<index_t>(x.size()) != a.cols() ||
-      static_cast<index_t>(y.size()) != a.rows()) {
-    throw DimensionError("gemv: shape mismatch");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(x.size()) == a.cols() &&
+                          static_cast<index_t>(y.size()) == a.rows(),
+                      DimensionError, "gemv: shape mismatch");
   scal(beta, y);
   for (index_t j = 0; j < a.cols(); ++j) {
     const double axj = alpha * x[static_cast<std::size_t>(j)];
@@ -99,10 +109,9 @@ void gemv(double alpha, const Matrix& a, std::span<const double> x,
 
 void gemv_t(double alpha, const Matrix& a, std::span<const double> x,
             double beta, std::span<double> y) {
-  if (static_cast<index_t>(x.size()) != a.rows() ||
-      static_cast<index_t>(y.size()) != a.cols()) {
-    throw DimensionError("gemv_t: shape mismatch");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(x.size()) == a.rows() &&
+                          static_cast<index_t>(y.size()) == a.cols(),
+                      DimensionError, "gemv_t: shape mismatch");
   for (index_t j = 0; j < a.cols(); ++j) {
     y[static_cast<std::size_t>(j)] =
         beta * y[static_cast<std::size_t>(j)] + alpha * dot(a.col(j), x);
@@ -123,10 +132,9 @@ Vector matvec_t(const Matrix& a, std::span<const double> x) {
 
 void ger(double alpha, std::span<const double> x, std::span<const double> y,
          Matrix& a) {
-  if (static_cast<index_t>(x.size()) != a.rows() ||
-      static_cast<index_t>(y.size()) != a.cols()) {
-    throw DimensionError("ger: shape mismatch");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(x.size()) == a.rows() &&
+                          static_cast<index_t>(y.size()) == a.cols(),
+                      DimensionError, "ger: shape mismatch");
   for (index_t j = 0; j < a.cols(); ++j) {
     const double ayj = alpha * y[static_cast<std::size_t>(j)];
     if (ayj == 0.0) continue;
@@ -175,9 +183,8 @@ void gemm(double alpha, const Matrix& a, bool trans_a, const Matrix& b,
   const index_t ka = trans_a ? a.rows() : a.cols();
   const index_t kb = trans_b ? b.cols() : b.rows();
   const index_t n = trans_b ? b.rows() : b.cols();
-  if (ka != kb || c.rows() != m || c.cols() != n) {
-    throw DimensionError("gemm: shape mismatch");
-  }
+  CATALYST_REQUIRE_AS(ka == kb && c.rows() == m && c.cols() == n,
+                      DimensionError, "gemm: shape mismatch");
   if (threads <= 1 || n < 2) {
     gemm_cols(alpha, a, trans_a, b, trans_b, beta, c, 0, n);
     return;
@@ -213,41 +220,47 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b) {
 
 void trsv_upper(const Matrix& r, std::span<double> b) {
   const auto n = static_cast<index_t>(b.size());
-  if (r.rows() < n || r.cols() < n) {
-    throw DimensionError("trsv_upper: matrix smaller than rhs");
-  }
+  CATALYST_REQUIRE_AS(r.rows() >= n && r.cols() >= n, DimensionError,
+                      "trsv_upper: matrix smaller than rhs");
+  const double dtol = triangular_diag_tolerance(r, n);
   for (index_t i = n - 1; i >= 0; --i) {
     double s = b[static_cast<std::size_t>(i)];
     for (index_t j = i + 1; j < n; ++j) {
       s -= r(i, j) * b[static_cast<std::size_t>(j)];
     }
     const double d = r(i, i);
-    if (d == 0.0) throw SingularError("trsv_upper: zero diagonal");
+    if (std::fabs(d) <= dtol) {
+      throw SingularError("trsv_upper: diagonal entry " + std::to_string(i) +
+                          " is at or below noise scale");
+    }
     b[static_cast<std::size_t>(i)] = s / d;
   }
 }
 
 void trsv_lower(const Matrix& l, std::span<double> b) {
   const auto n = static_cast<index_t>(b.size());
-  if (l.rows() < n || l.cols() < n) {
-    throw DimensionError("trsv_lower: matrix smaller than rhs");
-  }
+  CATALYST_REQUIRE_AS(l.rows() >= n && l.cols() >= n, DimensionError,
+                      "trsv_lower: matrix smaller than rhs");
+  const double dtol = triangular_diag_tolerance(l, n);
   for (index_t i = 0; i < n; ++i) {
     double s = b[static_cast<std::size_t>(i)];
     for (index_t j = 0; j < i; ++j) {
       s -= l(i, j) * b[static_cast<std::size_t>(j)];
     }
     const double d = l(i, i);
-    if (d == 0.0) throw SingularError("trsv_lower: zero diagonal");
+    if (std::fabs(d) <= dtol) {
+      throw SingularError("trsv_lower: diagonal entry " + std::to_string(i) +
+                          " is at or below noise scale");
+    }
     b[static_cast<std::size_t>(i)] = s / d;
   }
 }
 
 void trsv_upper_t(const Matrix& r, std::span<double> b) {
   const auto n = static_cast<index_t>(b.size());
-  if (r.rows() < n || r.cols() < n) {
-    throw DimensionError("trsv_upper_t: matrix smaller than rhs");
-  }
+  CATALYST_REQUIRE_AS(r.rows() >= n && r.cols() >= n, DimensionError,
+                      "trsv_upper_t: matrix smaller than rhs");
+  const double dtol = triangular_diag_tolerance(r, n);
   // R^T is lower triangular with (R^T)(i,j) = R(j,i); forward substitution.
   for (index_t i = 0; i < n; ++i) {
     double s = b[static_cast<std::size_t>(i)];
@@ -255,7 +268,10 @@ void trsv_upper_t(const Matrix& r, std::span<double> b) {
       s -= r(j, i) * b[static_cast<std::size_t>(j)];
     }
     const double d = r(i, i);
-    if (d == 0.0) throw SingularError("trsv_upper_t: zero diagonal");
+    if (std::fabs(d) <= dtol) {
+      throw SingularError("trsv_upper_t: diagonal entry " + std::to_string(i) +
+                          " is at or below noise scale");
+    }
     b[static_cast<std::size_t>(i)] = s / d;
   }
 }

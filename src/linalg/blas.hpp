@@ -72,7 +72,9 @@ Matrix matmul_tn(const Matrix& a, const Matrix& b);
 
 /// Solves R * x = b in place (b becomes x) for upper-triangular R (uses the
 /// leading n x n block of `r`, where n = b.size()).  Throws SingularError on
-/// an exactly-zero diagonal.
+/// a diagonal entry at or below the noise scale n * eps * max_i |r(i, i)|
+/// (an exactly-zero test would accept diagonals that are pure rounding
+/// debris and amplify them into garbage solutions).
 void trsv_upper(const Matrix& r, std::span<double> b);
 
 /// Solves L * x = b in place for lower-triangular L.

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contract.hpp"
+#include "linalg/audit.hpp"
 #include "linalg/blas.hpp"
 
 namespace catalyst::linalg {
@@ -35,12 +37,14 @@ bool solve_upper_regularized(const Matrix& r, std::span<double> x,
 }  // namespace
 
 LstsqResult lstsq(const Matrix& a, std::span<const double> b, double rcond) {
-  if (a.rows() < a.cols()) {
-    throw DimensionError("lstsq: system is underdetermined; use lstsq_min_norm");
-  }
-  if (static_cast<index_t>(b.size()) != a.rows()) {
-    throw DimensionError("lstsq: rhs length mismatch");
-  }
+  CATALYST_REQUIRE_AS(a.rows() >= a.cols(), DimensionError,
+                      "lstsq: system is underdetermined; use lstsq_min_norm");
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == a.rows(),
+                      DimensionError, "lstsq: rhs length mismatch");
+  CATALYST_ASSUME_FINITE_AS(a.data(), ArgumentError,
+                            "lstsq: matrix has NaN/Inf entries");
+  CATALYST_ASSUME_FINITE_AS(b, ArgumentError,
+                            "lstsq: rhs has NaN/Inf entries");
   LstsqResult out;
   QrFactorization qr(a);
   Vector y(b.begin(), b.end());
@@ -59,6 +63,13 @@ LstsqResult lstsq(const Matrix& a, std::span<const double> b, double rcond) {
   gemv(-1.0, a, out.x, 1.0, r);
   out.residual_norm = nrm2(r);
   out.backward_error = backward_error(a, out.x, b);
+  CATALYST_ENSURE(std::isfinite(out.residual_norm) &&
+                      out.residual_norm >= 0.0 &&
+                      std::isfinite(out.backward_error),
+                  "lstsq: non-finite residual or backward error");
+  if (audit::enabled() && !out.rank_deficient) {
+    audit::check_lstsq_optimal(a, out.x, b);
+  }
   return out;
 }
 
@@ -67,9 +78,8 @@ LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
   if (a.rows() >= a.cols()) {
     return lstsq(a, b, rcond);
   }
-  if (static_cast<index_t>(b.size()) != a.rows()) {
-    throw DimensionError("lstsq_min_norm: rhs length mismatch");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == a.rows(),
+                      DimensionError, "lstsq_min_norm: rhs length mismatch");
   LstsqResult out;
   // A = (QR)^T with A^T = Q R  =>  x = Q R^{-T} b is the minimum-norm
   // solution of A x = b.
@@ -106,15 +116,17 @@ LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
   gemv(-1.0, a, out.x, 1.0, r);
   out.residual_norm = nrm2(r);
   out.backward_error = backward_error(a, out.x, b);
+  CATALYST_ENSURE(std::isfinite(out.residual_norm) &&
+                      std::isfinite(out.backward_error),
+                  "lstsq_min_norm: non-finite residual or backward error");
   return out;
 }
 
 double backward_error(const Matrix& a, std::span<const double> y,
                       std::span<const double> s) {
-  if (static_cast<index_t>(y.size()) != a.cols() ||
-      static_cast<index_t>(s.size()) != a.rows()) {
-    throw DimensionError("backward_error: shape mismatch");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(y.size()) == a.cols() &&
+                          static_cast<index_t>(s.size()) == a.rows(),
+                      DimensionError, "backward_error: shape mismatch");
   Vector r(s.begin(), s.end());
   gemv(-1.0, a, y, 1.0, r);
   const double num = nrm2(r);

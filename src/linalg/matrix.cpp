@@ -5,6 +5,8 @@
 #include <ostream>
 #include <sstream>
 
+#include "core/contract.hpp"
+
 namespace catalyst::linalg {
 
 namespace {
@@ -21,9 +23,8 @@ namespace {
 
 Matrix::Matrix(index_t rows, index_t cols, double fill)
     : rows_(rows), cols_(cols) {
-  if (rows < 0 || cols < 0) {
-    throw ArgumentError("Matrix: negative dimension");
-  }
+  CATALYST_REQUIRE_AS(rows >= 0 && cols >= 0, ArgumentError,
+                      "Matrix: negative dimension");
   data_.assign(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
                fill);
 }
@@ -106,13 +107,15 @@ double Matrix::at(index_t i, index_t j) const {
 }
 
 std::span<double> Matrix::col(index_t j) {
-  if (j < 0 || j >= cols_) throw DimensionError("Matrix::col: out of range");
+  CATALYST_REQUIRE_AS(j >= 0 && j < cols_, DimensionError,
+                      "Matrix::col: out of range");
   return std::span<double>(data_.data() + j * rows_,
                            static_cast<std::size_t>(rows_));
 }
 
 std::span<const double> Matrix::col(index_t j) const {
-  if (j < 0 || j >= cols_) throw DimensionError("Matrix::col: out of range");
+  CATALYST_REQUIRE_AS(j >= 0 && j < cols_, DimensionError,
+                      "Matrix::col: out of range");
   return std::span<const double>(data_.data() + j * rows_,
                                  static_cast<std::size_t>(rows_));
 }
@@ -130,17 +133,16 @@ Vector Matrix::row_copy(index_t i) const {
 }
 
 void Matrix::set_col(index_t j, std::span<const double> v) {
-  if (static_cast<index_t>(v.size()) != rows_) {
-    throw DimensionError("Matrix::set_col: wrong length");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(v.size()) == rows_,
+                      DimensionError, "Matrix::set_col: wrong length");
   std::ranges::copy(v, col(j).begin());
 }
 
 void Matrix::set_row(index_t i, std::span<const double> v) {
-  if (i < 0 || i >= rows_) throw DimensionError("Matrix::set_row: range");
-  if (static_cast<index_t>(v.size()) != cols_) {
-    throw DimensionError("Matrix::set_row: wrong length");
-  }
+  CATALYST_REQUIRE_AS(i >= 0 && i < rows_, DimensionError,
+                      "Matrix::set_row: range");
+  CATALYST_REQUIRE_AS(static_cast<index_t>(v.size()) == cols_,
+                      DimensionError, "Matrix::set_row: wrong length");
   for (index_t j = 0; j < cols_; ++j) {
     (*this)(i, j) = v[static_cast<std::size_t>(j)];
   }
@@ -164,10 +166,9 @@ Matrix Matrix::transposed() const {
 }
 
 Matrix Matrix::block(index_t r0, index_t c0, index_t nr, index_t nc) const {
-  if (r0 < 0 || c0 < 0 || nr < 0 || nc < 0 || r0 + nr > rows_ ||
-      c0 + nc > cols_) {
-    throw DimensionError("Matrix::block: range out of bounds");
-  }
+  CATALYST_REQUIRE_AS(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0 &&
+                          r0 + nr <= rows_ && c0 + nc <= cols_,
+                      DimensionError, "Matrix::block: range out of bounds");
   Matrix b(nr, nc);
   for (index_t j = 0; j < nc; ++j) {
     for (index_t i = 0; i < nr; ++i) {
@@ -181,9 +182,8 @@ Matrix Matrix::select_columns(std::span<const index_t> indices) const {
   Matrix s(rows_, static_cast<index_t>(indices.size()));
   for (index_t j = 0; j < s.cols_; ++j) {
     const index_t src = indices[static_cast<std::size_t>(j)];
-    if (src < 0 || src >= cols_) {
-      throw DimensionError("select_columns: index out of range");
-    }
+    CATALYST_REQUIRE_AS(src >= 0 && src < cols_, DimensionError,
+                        "select_columns: index out of range");
     s.set_col(j, col(src));
   }
   return s;

@@ -3,12 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contract.hpp"
+#include "linalg/audit.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
 
 namespace catalyst::linalg {
 
 QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
+  Matrix original;
+  if (audit::enabled()) original = qr_;
   const index_t m = qr_.rows();
   const index_t n = qr_.cols();
   const index_t k = std::min(m, n);
@@ -26,13 +30,15 @@ QrFactorization::QrFactorization(Matrix a) : qr_(std::move(a)) {
     apply_reflector_left(qr_, j, j + 1, v, h.tau);
     cj[static_cast<std::size_t>(j)] = h.beta;
   }
+  if (audit::enabled()) audit::check_qr(original, *this);
 }
 
 QrFactorization::QrFactorization(Matrix a, index_t block_size)
     : qr_(std::move(a)) {
-  if (block_size <= 0) {
-    throw ArgumentError("QrFactorization: block size must be positive");
-  }
+  CATALYST_REQUIRE_AS(block_size > 0, ArgumentError,
+                      "QrFactorization: block size must be positive");
+  Matrix original;
+  if (audit::enabled()) original = qr_;
   const index_t m = qr_.rows();
   const index_t n = qr_.cols();
   const index_t kmin = std::min(m, n);
@@ -104,6 +110,7 @@ QrFactorization::QrFactorization(Matrix a, index_t block_size)
       }
     }
   }
+  if (audit::enabled()) audit::check_qr(original, *this);
 }
 
 Matrix QrFactorization::r() const {
@@ -133,9 +140,8 @@ Matrix QrFactorization::q_thin() const {
 }
 
 void QrFactorization::apply_qt(std::span<double> b) const {
-  if (static_cast<index_t>(b.size()) != qr_.rows()) {
-    throw DimensionError("apply_qt: wrong vector length");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == qr_.rows(),
+                      DimensionError, "apply_qt: wrong vector length");
   for (index_t j = 0; j < reflectors(); ++j) {
     auto cj = qr_.col(j);
     auto v = cj.subspan(static_cast<std::size_t>(j + 1));
@@ -144,9 +150,8 @@ void QrFactorization::apply_qt(std::span<double> b) const {
 }
 
 void QrFactorization::apply_q(std::span<double> b) const {
-  if (static_cast<index_t>(b.size()) != qr_.rows()) {
-    throw DimensionError("apply_q: wrong vector length");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == qr_.rows(),
+                      DimensionError, "apply_q: wrong vector length");
   for (index_t j = reflectors() - 1; j >= 0; --j) {
     auto cj = qr_.col(j);
     auto v = cj.subspan(static_cast<std::size_t>(j + 1));
@@ -155,14 +160,12 @@ void QrFactorization::apply_q(std::span<double> b) const {
 }
 
 Vector QrFactorization::solve(std::span<const double> b) const {
-  if (static_cast<index_t>(b.size()) != qr_.rows()) {
-    throw DimensionError("QrFactorization::solve: wrong rhs length");
-  }
-  if (qr_.rows() < qr_.cols()) {
-    throw DimensionError(
-        "QrFactorization::solve: underdetermined system; use "
-        "lstsq_min_norm instead");
-  }
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == qr_.rows(),
+                      DimensionError,
+                      "QrFactorization::solve: wrong rhs length");
+  CATALYST_REQUIRE_AS(qr_.rows() >= qr_.cols(), DimensionError,
+                      "QrFactorization::solve: underdetermined system; use "
+                      "lstsq_min_norm instead");
   Vector y(b.begin(), b.end());
   apply_qt(y);
   Vector x(y.begin(), y.begin() + qr_.cols());

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "core/contract.hpp"
+#include "linalg/audit.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
 
@@ -29,9 +31,14 @@ std::vector<double> QrcpResult::r_diagonal_abs() const {
 }
 
 QrcpResult qrcp(Matrix a, double rank_tol_rel) {
-  if (rank_tol_rel < 0.0) {
-    throw ArgumentError("qrcp: negative rank tolerance");
-  }
+  CATALYST_REQUIRE_AS(rank_tol_rel >= 0.0, ArgumentError,
+                      "qrcp: negative rank tolerance");
+  CATALYST_ASSUME_FINITE_AS(a.data(), ArgumentError,
+                            "qrcp: input matrix has NaN/Inf entries");
+  // Opt-in numerical audit needs the pre-factorization matrix to verify the
+  // reconstruction A*P = Q*R afterwards.
+  Matrix original;
+  if (audit::enabled()) original = a;
   QrcpResult res;
   const index_t m = a.rows();
   const index_t n = a.cols();
@@ -117,6 +124,25 @@ QrcpResult qrcp(Matrix a, double rank_tol_rel) {
     ci[static_cast<std::size_t>(i)] = h.beta;
   }
   res.packed = std::move(a);
+  CATALYST_ENSURE(res.rank >= 0 && res.rank <= kmax,
+                  "qrcp: rank outside [0, min(m, n)]");
+  if (audit::enabled()) {
+    // Reform Q from the packed reflectors (same accumulation as
+    // QrFactorization::q_thin) and verify orthonormality, triangularity of
+    // R, and the reconstruction against the pivoted input.
+    const auto k = static_cast<index_t>(res.taus.size());
+    Matrix q(m, k);
+    for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
+    for (index_t j = k - 1; j >= 0; --j) {
+      auto cj = res.packed.col(j);
+      auto v = cj.subspan(static_cast<std::size_t>(j + 1));
+      apply_reflector_left(q, j, 0, v, res.taus[static_cast<std::size_t>(j)]);
+    }
+    audit::check_orthonormal(q);
+    audit::check_upper_triangular(res.r());
+    audit::check_factorization(original.select_columns(res.permutation), q,
+                               res.r());
+  }
   return res;
 }
 

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "core/contract.hpp"
 #include "pmu/measure.hpp"
 
 namespace catalyst::pmu {
@@ -11,17 +12,19 @@ Machine::Machine(std::string name, std::size_t physical_counters,
     : name_(std::move(name)),
       physical_counters_(physical_counters),
       noise_seed_(noise_seed) {
-  if (physical_counters_ == 0) {
-    throw std::invalid_argument("Machine: need at least one counter");
-  }
+  CATALYST_REQUIRE_AS(physical_counters_ > 0, std::invalid_argument,
+                      "Machine: need at least one counter");
+  CATALYST_REQUIRE_AS(!name_.empty(), std::invalid_argument,
+                      "Machine: empty machine name");
 }
 
 void Machine::add_event(EventDefinition event) {
   event.name_hash = fnv1a(event.name);
+  CATALYST_REQUIRE_AS(!event.name.empty(), std::invalid_argument,
+                      "Machine::add_event: empty event name");
   const auto [it, inserted] = index_.try_emplace(event.name, events_.size());
-  if (!inserted) {
-    throw std::invalid_argument("Machine: duplicate event " + event.name);
-  }
+  CATALYST_REQUIRE_AS(inserted, std::invalid_argument,
+                      "Machine: duplicate event " + event.name);
   events_.push_back(std::move(event));
 }
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/contract.hpp"
+
 namespace catalyst::pmu {
 
 std::uint64_t fnv1a(const std::string& s) noexcept {
@@ -69,6 +71,11 @@ class NoiseRng {
 double measure_from_ideal(const Machine& machine, const EventDefinition& event,
                           double ideal, std::uint64_t rep,
                           std::uint64_t kernel_index) {
+  // A non-finite ideal means the event functional (or an upstream signal)
+  // is broken; rounding it below would silently turn it into garbage
+  // readings, so reject it at the source.
+  CATALYST_ASSUME_FINITE(ideal, "measure_from_ideal: event '" + event.name +
+                                    "' has a non-finite ideal value");
   double v = ideal;
   if (event.noise.drift_per_rep != 0.0) {
     // Deterministic systematic drift; separate from the seeded jitter so
@@ -93,7 +100,11 @@ double measure_from_ideal(const Machine& machine, const EventDefinition& event,
     }
   }
   // Hardware counters report non-negative integers.
-  return std::max(0.0, std::round(v));
+  const double reading = std::max(0.0, std::round(v));
+  CATALYST_ENSURE(std::isfinite(reading),
+                  "measure_from_ideal: non-finite reading for event '" +
+                      event.name + "'");
+  return reading;
 }
 
 double measure_event(const Machine& machine, const EventDefinition& event,

@@ -1,5 +1,7 @@
 #include "vpapi/collector.hpp"
 
+#include "core/contract.hpp"
+
 #include <atomic>
 #include <mutex>
 #include <stdexcept>
@@ -83,12 +85,10 @@ CollectionResult collect(const pmu::Machine& machine,
                          const std::vector<std::string>& event_names,
                          const std::vector<pmu::Activity>& activities,
                          std::size_t repetitions, int threads) {
-  if (repetitions == 0) {
-    throw std::invalid_argument("collect: need at least one repetition");
-  }
-  if (threads < 1) {
-    throw std::invalid_argument("collect: need at least one thread");
-  }
+  CATALYST_REQUIRE_AS(repetitions != 0, std::invalid_argument,
+                      "collect: need at least one repetition");
+  CATALYST_REQUIRE_AS(threads >= 1, std::invalid_argument,
+                      "collect: need at least one thread");
   const std::vector<std::size_t> event_indices =
       resolve_events(machine, event_names, "collect");
   CollectionResult result;
@@ -173,10 +173,8 @@ CollectionResult collect_all(const pmu::Machine& machine,
 CollectionResult collect_multiplexed(
     const pmu::Machine& machine, const std::vector<std::string>& event_names,
     const std::vector<pmu::Activity>& activities, std::size_t repetitions) {
-  if (repetitions == 0) {
-    throw std::invalid_argument(
-        "collect_multiplexed: need at least one repetition");
-  }
+  CATALYST_REQUIRE_AS(repetitions != 0, std::invalid_argument,
+                      "collect_multiplexed: need at least one repetition");
   const std::vector<std::size_t> event_indices =
       resolve_events(machine, event_names, "collect_multiplexed");
   const pmu::IdealTable ideals(machine, activities, event_indices);

@@ -1,0 +1,64 @@
+// Compiled-out contract mode: this translation unit is built with
+// CATALYST_CONTRACTS_DISABLED (see tests/CMakeLists.txt), so every contract
+// macro must be a true no-op -- no throw, no evaluation of the condition or
+// the message expression.  The contract *runtime* (policy, helpers) stays
+// available; only the checks vanish.
+#include "core/contract.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#ifndef CATALYST_CONTRACTS_DISABLED
+#error "this test must be compiled with CATALYST_CONTRACTS_DISABLED"
+#endif
+
+namespace catalyst {
+namespace {
+
+TEST(ContractsDisabled, FailingChecksDoNotThrow) {
+  EXPECT_NO_THROW(CATALYST_REQUIRE(false, "compiled out"));
+  EXPECT_NO_THROW(CATALYST_ENSURE(false, "compiled out"));
+  EXPECT_NO_THROW(CATALYST_INVARIANT(false, "compiled out"));
+  EXPECT_NO_THROW(
+      CATALYST_REQUIRE_AS(false, std::invalid_argument, "compiled out"));
+  EXPECT_NO_THROW(CATALYST_ASSUME_FINITE(std::nan(""), "compiled out"));
+}
+
+TEST(ContractsDisabled, ConditionIsNotEvaluated) {
+  int evaluations = 0;
+  auto probe = [&evaluations]() {
+    ++evaluations;
+    return false;
+  };
+  CATALYST_REQUIRE(probe(), "must not run");
+  CATALYST_ENSURE(probe(), "must not run");
+  CATALYST_INVARIANT(probe(), "must not run");
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsDisabled, MessageIsNotEvaluated) {
+  int evaluations = 0;
+  auto message = [&evaluations]() {
+    ++evaluations;
+    return std::string("expensive");
+  };
+  CATALYST_REQUIRE(false, message());
+  EXPECT_EQ(evaluations, 0);
+}
+
+TEST(ContractsDisabled, HelpersStillWork) {
+  // all_finite and singular_tolerance are plain functions, not macros; the
+  // compiled-out mode must not take them away (audits and callers use them
+  // directly).
+  EXPECT_TRUE(contract::all_finite(1.0));
+  EXPECT_FALSE(contract::all_finite(std::nan("")));
+  EXPECT_GT(contract::singular_tolerance(3, 1.0), 0.0);
+  const std::vector<double> v{1.0, 2.0};
+  EXPECT_TRUE(contract::all_finite(v));
+}
+
+}  // namespace
+}  // namespace catalyst

@@ -178,6 +178,31 @@ TEST(Trsv, SingularThrows) {
   EXPECT_THROW(trsv_upper(r, b), SingularError);
 }
 
+TEST(Trsv, NearSingularDiagonalAtNoiseScaleThrows) {
+  // A diagonal entry at rounding-noise scale relative to the largest one
+  // must be treated as singular: dividing by it would amplify factorization
+  // debris into the solution.  The old exact `d == 0.0` test accepted this.
+  const double eps = std::numeric_limits<double>::epsilon();
+  Matrix r{{1.0, 1.0}, {0.0, 0.5 * eps}};
+  Vector b{1, 1};
+  EXPECT_THROW(trsv_upper(r, b), SingularError);
+  Vector bl{1, 1};
+  Matrix l{{0.5 * eps, 0.0}, {1.0, 1.0}};
+  EXPECT_THROW(trsv_lower(l, bl), SingularError);
+  Vector bt{1, 1};
+  EXPECT_THROW(trsv_upper_t(r, bt), SingularError);
+}
+
+TEST(Trsv, DiagonalAboveNoiseScaleStillSolves) {
+  // Small-but-honest diagonals (well above n * eps * max|diag|) must keep
+  // working; the tolerance is scaled, not absolute.
+  Matrix r{{1.0, 0.0}, {0.0, 1e-8}};
+  Vector b{3.0, 2e-8};
+  EXPECT_NO_THROW(trsv_upper(r, b));
+  EXPECT_DOUBLE_EQ(b[0], 3.0);
+  EXPECT_DOUBLE_EQ(b[1], 2.0);
+}
+
 TEST(Norms, FrobeniusOneInf) {
   Matrix a{{1, -2}, {-3, 4}};
   EXPECT_DOUBLE_EQ(norm_frobenius(a), std::sqrt(30.0));

@@ -1,0 +1,328 @@
+#!/usr/bin/env python3
+"""catalyst-lint: repo-specific static checks for the catalyst sources.
+
+Rules (each can be suppressed per line with `// catalyst-lint: allow(<rule>)`
+or per file via the allowlists below):
+
+  rng-in-hot-path   No rand()/std::mt19937 in src/ outside the allow-listed
+                    generators.  Measurement reproducibility depends on the
+                    counter-based noise RNG; an ambient PRNG hidden in a hot
+                    path silently breaks the pure-function-of-coordinates
+                    contract (machine seed, event, repetition, kernel).
+  using-namespace-in-header
+                    No `using namespace` at namespace scope in headers.
+  pragma-once       Every header starts its preprocessor life with
+                    `#pragma once`.
+  float-equality    No ==/!= against non-zero floating-point literals.
+                    Comparisons to exact 0.0 are an accepted sparsity /
+                    sentinel idiom in this codebase; anything else must be a
+                    tolerance test (see contract::singular_tolerance).
+  linalg-shape-contracts
+                    Every public src/linalg entry point validates its input
+                    shapes through the contract layer (CATALYST_REQUIRE*,
+                    CATALYST_ASSUME_FINITE*) or a shared checker before
+                    touching data.
+
+Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
+Run from anywhere: paths resolve relative to the repository root (parent of
+this script's directory).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+
+# Files allowed to own a general-purpose PRNG: machine-model construction
+# (seeded once, not per measurement), the linalg test-matrix generators, the
+# norm estimator's start vector, pointer-chase shuffling, and the mixed
+# benchmark's signature shuffling.  Everything else must use the
+# counter-based noise RNG.
+RNG_ALLOWED = {
+    "src/pmu/tempest.cpp",
+    "src/pmu/saphira.cpp",
+    "src/pmu/vesuvio.cpp",
+    "src/linalg/random.cpp",
+    "src/linalg/blas.cpp",
+    "src/cachesim/pointer_chase.cpp",
+    "src/cat/mixed.cpp",
+}
+
+# Files allowed to compare floating-point values with ==/!= beyond the
+# exact-zero idiom (none currently; add sparingly and justify).
+FLOAT_EQ_ALLOWED: set[str] = set()
+
+# Public src/linalg entry points that must validate shapes before computing.
+# Maps source file -> function names whose definitions are checked.
+LINALG_PUBLIC_ENTRIES = {
+    "src/linalg/blas.cpp": [
+        "gemv", "gemv_t", "ger", "gemm",
+        "trsv_upper", "trsv_lower", "trsv_upper_t",
+    ],
+    "src/linalg/qrcp.cpp": ["qrcp"],
+    "src/linalg/lstsq.cpp": ["lstsq", "lstsq_min_norm", "backward_error"],
+}
+
+# Evidence that a function body validates its inputs: a contract macro or one
+# of the shared checkers that are themselves contract-based.
+VALIDATION_RE = re.compile(
+    r"CATALYST_(REQUIRE|ASSUME_FINITE|ENSURE|INVARIANT)(_AS)?\s*\("
+    r"|check_same_size\s*\("
+    r"|check_matrix_vector\s*\("
+)
+
+SUPPRESS_RE = re.compile(r"//\s*catalyst-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+
+
+class Finding:
+    def __init__(self, rule: str, path: Path, line: int, message: str):
+        self.rule = rule
+        self.path = path
+        self.line = line
+        self.message = message
+
+    def __str__(self) -> str:
+        rel = self.path.relative_to(REPO_ROOT)
+        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks out comments and string/char literals, preserving line structure
+    so reported line numbers match the file."""
+    out = []
+    i, n = 0, len(text)
+    mode = "code"  # code | line_comment | block_comment | string | char
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if mode == "code":
+            if c == "/" and nxt == "/":
+                mode = "line_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == "/" and nxt == "*":
+                mode = "block_comment"
+                out.append("  ")
+                i += 2
+                continue
+            if c == '"':
+                mode = "string"
+                out.append(" ")
+                i += 1
+                continue
+            if c == "'":
+                mode = "char"
+                out.append(" ")
+                i += 1
+                continue
+            out.append(c)
+        elif mode == "line_comment":
+            if c == "\n":
+                mode = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+        elif mode == "block_comment":
+            if c == "*" and nxt == "/":
+                mode = "code"
+                out.append("  ")
+                i += 2
+                continue
+            out.append("\n" if c == "\n" else " ")
+        elif mode in ("string", "char"):
+            quote = '"' if mode == "string" else "'"
+            if c == "\\":
+                out.append("  ")
+                i += 2
+                continue
+            if c == quote:
+                mode = "code"
+                out.append(" ")
+            else:
+                out.append("\n" if c == "\n" else " ")
+        i += 1
+    return "".join(out)
+
+
+def line_suppressions(raw_lines: list[str], lineno: int) -> set[str]:
+    """Rules suppressed on this 1-based line (same line or the one above)."""
+    rules: set[str] = set()
+    for idx in (lineno - 1, lineno - 2):
+        if 0 <= idx < len(raw_lines):
+            m = SUPPRESS_RE.search(raw_lines[idx])
+            if m:
+                rules.update(r.strip() for r in m.group(1).split(","))
+    return rules
+
+
+def iter_source_files() -> list[Path]:
+    return sorted(
+        p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp") and p.is_file()
+    )
+
+
+def relpath(path: Path) -> str:
+    return path.relative_to(REPO_ROOT).as_posix()
+
+
+RNG_RE = re.compile(r"\bstd::mt19937(_64)?\b|(?<![\w.])\brand\s*\(\s*\)")
+USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+# ==/!= where either side is a float literal other than 0.0 / 0. / .0
+FLOAT_LIT = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
+FLOAT_EQ_RE = re.compile(rf"(?:[=!]=\s*({FLOAT_LIT}))|(?:({FLOAT_LIT})\s*[=!]=)")
+ZERO_RE = re.compile(r"^(?:0+\.0*|\.0+)(?:[eE][+-]?\d+)?[fFlL]?$")
+
+
+def check_rng(path: Path, code: str, raw_lines: list[str], findings: list[Finding]):
+    if relpath(path) in RNG_ALLOWED:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if RNG_RE.search(line):
+            if "rng-in-hot-path" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "rng-in-hot-path", path, lineno,
+                "general-purpose PRNG outside the allow-listed generators; "
+                "use the counter-based noise RNG or add a justified "
+                "allowlist entry"))
+
+
+def check_using_namespace(path: Path, code: str, raw_lines: list[str],
+                          findings: list[Finding]):
+    if path.suffix != ".hpp":
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if USING_NS_RE.search(line):
+            if "using-namespace-in-header" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "using-namespace-in-header", path, lineno,
+                "`using namespace` in a header leaks into every includer"))
+
+
+def check_pragma_once(path: Path, code: str, findings: list[Finding]):
+    if path.suffix != ".hpp":
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#pragma") and "once" in stripped:
+            return
+        findings.append(Finding(
+            "pragma-once", path, lineno,
+            "first preprocessor/code line of a header must be #pragma once"))
+        return
+    findings.append(Finding("pragma-once", path, 1, "header has no #pragma once"))
+
+
+def check_float_equality(path: Path, code: str, raw_lines: list[str],
+                         findings: list[Finding]):
+    if relpath(path) in FLOAT_EQ_ALLOWED:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        for m in FLOAT_EQ_RE.finditer(line):
+            lit = m.group(1) or m.group(2)
+            if ZERO_RE.match(lit):
+                continue  # exact-zero sparsity/sentinel idiom
+            if "float-equality" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "float-equality", path, lineno,
+                f"floating-point ==/!= against {lit}; use a tolerance "
+                "(contract::singular_tolerance or an explicit eps)"))
+
+
+def find_function_body(code: str, name: str) -> tuple[int, str] | None:
+    """Finds `name(...) ... {body}` at file scope; returns (line, body)."""
+    for m in re.finditer(rf"(?<![\w:.])({re.escape(name)})\s*\(", code):
+        # Reject declarations inside other words / member calls; crude but
+        # adequate for this codebase's formatting.
+        open_paren = m.end() - 1
+        depth = 1
+        i = open_paren + 1
+        while i < len(code) and depth:
+            if code[i] == "(":
+                depth += 1
+            elif code[i] == ")":
+                depth -= 1
+            i += 1
+        # Skip whitespace/noexcept/specifiers to find '{' (definition) or ';'.
+        j = i
+        while j < len(code) and code[j] not in "{;":
+            j += 1
+        if j >= len(code) or code[j] == ";":
+            continue  # declaration or call
+        # Extract the brace-balanced body.
+        depth = 1
+        k = j + 1
+        while k < len(code) and depth:
+            if code[k] == "{":
+                depth += 1
+            elif code[k] == "}":
+                depth -= 1
+            k += 1
+        line = code.count("\n", 0, m.start()) + 1
+        return line, code[j:k]
+    return None
+
+
+def check_linalg_shape_contracts(findings: list[Finding]):
+    for rel, names in LINALG_PUBLIC_ENTRIES.items():
+        path = REPO_ROOT / rel
+        if not path.is_file():
+            findings.append(Finding("linalg-shape-contracts", path, 1,
+                                    "expected source file is missing"))
+            continue
+        code = strip_comments_and_strings(path.read_text())
+        for name in names:
+            found = find_function_body(code, name)
+            if found is None:
+                findings.append(Finding(
+                    "linalg-shape-contracts", path, 1,
+                    f"public entry `{name}` has no definition here"))
+                continue
+            line, body = found
+            if not VALIDATION_RE.search(body):
+                findings.append(Finding(
+                    "linalg-shape-contracts", path, line,
+                    f"public entry `{name}` does not validate its inputs "
+                    "through the contract layer"))
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 1:
+        print(__doc__)
+        return 0 if argv[1] in ("-h", "--help") else 2
+    if not SRC.is_dir():
+        print(f"catalyst-lint: source tree not found at {SRC}", file=sys.stderr)
+        return 2
+
+    findings: list[Finding] = []
+    for path in iter_source_files():
+        raw = path.read_text()
+        raw_lines = raw.splitlines()
+        code = strip_comments_and_strings(raw)
+        check_rng(path, code, raw_lines, findings)
+        check_using_namespace(path, code, raw_lines, findings)
+        check_pragma_once(path, code, findings)
+        check_float_equality(path, code, raw_lines, findings)
+    check_linalg_shape_contracts(findings)
+
+    for f in findings:
+        print(f)
+    n_files = len(iter_source_files())
+    if findings:
+        print(f"catalyst-lint: {len(findings)} finding(s) in {n_files} files")
+        return 1
+    print(f"catalyst-lint: clean ({n_files} files checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
