@@ -7,7 +7,9 @@
 #   2. Release build + ctest    the default configuration users get
 #   3. ASan+UBSan build + ctest heap/UB errors the Release build hides
 #   4. TSan build + ctest       data races in the threaded gemm/collector
-#   5. clang-tidy               if clang-tidy is installed (skipped otherwise)
+#   5. fault_pipeline           Tables V-VIII pipeline under the canonical
+#                               mid-rate FaultPlan vs the clean goldens
+#   6. clang-tidy               if clang-tidy is installed (skipped otherwise)
 #
 # Exits non-zero on the first failing stage.  Stages can be selected:
 #   scripts/check.sh              # everything
@@ -66,6 +68,19 @@ stage_tsan() {
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCATALYST_TSAN=ON
 }
 
+stage_fault_pipeline() {
+    # The full paper pipeline under the canonical mid-rate fault plan must
+    # reproduce the clean kept events + rounded coefficients (the resilient
+    # driver's bit-identity claim, end to end).  Reuses the release tree.
+    local dir=build-check-release
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    (cd "$dir" && ctest --output-on-failure -R '^fault_pipeline$' --timeout 300)
+}
+
 stage_tidy() {
     if ! command -v clang-tidy > /dev/null 2>&1; then
         echo "clang-tidy not installed; skipping (install it to enable)"
@@ -81,7 +96,7 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint release asan_ubsan tsan tidy"
+ALL_STAGES="lint release asan_ubsan tsan fault_pipeline tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
@@ -90,6 +105,9 @@ for stage in $STAGES; do
         release)    run_stage "Release build + tests" stage_release ;;
         asan_ubsan) run_stage "ASan+UBSan build + tests" stage_asan_ubsan ;;
         tsan)       run_stage "TSan build + tests" stage_tsan ;;
+        fault_pipeline)
+                    run_stage "fault-injected pipeline vs clean goldens" \
+                              stage_fault_pipeline ;;
         tidy)       run_stage "clang-tidy" stage_tidy ;;
         *)
             echo "unknown stage: $stage (choose from: $ALL_STAGES)" >&2

@@ -1,0 +1,371 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/contract.hpp"
+#include "core/json.hpp"
+#include "core/noise.hpp"
+
+namespace catalyst::core {
+
+const char* const kCheckpointFormat = "catalyst-checkpoint-v1";
+
+std::string campaign_config_key(const pmu::Machine& machine,
+                                const cat::Benchmark& benchmark,
+                                const CampaignOptions& options) {
+  std::ostringstream os;
+  os << machine.name() << '|' << benchmark.name
+     << "|reps=" << options.pipeline.repetitions
+     << "|bthreads=" << benchmark.slots.front().thread_activities.size()
+     << "|slots=" << benchmark.slots.size()
+     << "|events=" << machine.events().size() << "|plan="
+     << (options.fault_plan != nullptr ? faults::describe(*options.fault_plan)
+                                       : std::string("off"))
+     << "|max_retries=" << options.resilience.max_retries;
+  return os.str();
+}
+
+namespace {
+
+/// One completed batch: repetition r's thread-median, normalized readings
+/// for the events that survived it.
+struct Batch {
+  std::vector<std::string> events;  ///< Kept events, machine order.
+  /// measurements[e][k]: thread-median, normalized reading.
+  std::vector<std::vector<double>> measurements;
+  std::vector<std::string> quarantined;  ///< This batch's casualties.
+  vpapi::CollectionReport report;        ///< Merged across benchmark threads.
+};
+
+std::string checkpoint_path(const std::string& directory, std::size_t batch) {
+  std::ostringstream os;
+  os << directory << "/batch-" << batch << ".json";
+  return os.str();
+}
+
+/// Additively folds `src` (possibly sparse, e.g. loaded from JSON) into the
+/// per-name accumulator map.  Dispositions are resolved later, from the
+/// campaign-wide quarantine union.
+void merge_report_into(
+    std::unordered_map<std::string, vpapi::EventReport>& by_name,
+    const vpapi::CollectionReport& src) {
+  for (const auto& e : src.events) {
+    vpapi::EventReport& acc = by_name[e.name];
+    acc.name = e.name;
+    acc.read_attempts += e.read_attempts;
+    acc.retries += e.retries;
+    acc.wraps_corrected += e.wraps_corrected;
+    for (std::size_t i = 0; i < acc.faults.size(); ++i) {
+      acc.faults[i] += e.faults[i];
+    }
+  }
+}
+
+json::Value batch_to_json(const Batch& batch, const std::string& config_key,
+                          std::size_t index) {
+  json::Value root = json::Value::object();
+  root["format"] = kCheckpointFormat;
+  root["config"] = config_key;
+  root["batch"] = static_cast<double>(index);
+  json::Value events = json::Value::array();
+  for (const auto& n : batch.events) events.push_back(n);
+  root["events"] = std::move(events);
+  json::Value meas = json::Value::array();
+  for (const auto& per_event : batch.measurements) {
+    json::Value row = json::Value::array();
+    for (double v : per_event) row.push_back(v);
+    meas.push_back(std::move(row));
+  }
+  root["measurements"] = std::move(meas);
+  json::Value q = json::Value::array();
+  for (const auto& n : batch.quarantined) q.push_back(n);
+  root["quarantined"] = std::move(q);
+  root["report"] = collection_report_to_json(batch.report);
+  return root;
+}
+
+/// Parses and validates one checkpoint file's text.  Throws (JsonError or
+/// std::invalid_argument) on anything suspicious; the caller treats every
+/// throw as "batch not done" and re-collects.
+Batch batch_from_json(const std::string& text, const std::string& config_key,
+                      std::size_t index, std::size_t n_slots) {
+  const json::Value root = json::parse(text);
+  if (root.at("format").as_string() != kCheckpointFormat) {
+    throw std::invalid_argument("checkpoint: unsupported format");
+  }
+  if (root.at("config").as_string() != config_key) {
+    throw std::invalid_argument("checkpoint: campaign config mismatch");
+  }
+  if (static_cast<std::size_t>(root.at("batch").as_number()) != index) {
+    throw std::invalid_argument("checkpoint: batch index mismatch");
+  }
+  Batch b;
+  for (const auto& n : root.at("events").as_array()) {
+    b.events.push_back(n.as_string());
+  }
+  const auto& meas = root.at("measurements").as_array();
+  if (meas.size() != b.events.size()) {
+    throw std::invalid_argument("checkpoint: measurements/events mismatch");
+  }
+  for (const auto& row : meas) {
+    std::vector<double> vec;
+    for (const auto& v : row.as_array()) vec.push_back(v.as_number());
+    if (vec.size() != n_slots) {
+      throw std::invalid_argument("checkpoint: measurement row width");
+    }
+    b.measurements.push_back(std::move(vec));
+  }
+  for (const auto& n : root.at("quarantined").as_array()) {
+    b.quarantined.push_back(n.as_string());
+  }
+  b.report = collection_report_from_json(root.at("report"));
+  return b;
+}
+
+/// Collects batch `r` live: one resilient collection per benchmark thread
+/// at the repetition offsets the uninterrupted campaign would use, then the
+/// thread-median + normalization of run_pipeline stages 2-3.
+Batch collect_batch(const pmu::Machine& machine,
+                    const cat::Benchmark& benchmark,
+                    const std::vector<std::string>& all_events,
+                    const std::vector<std::vector<pmu::Activity>>& thread_acts,
+                    const std::vector<double>& inv_normalizer, std::size_t r,
+                    const CampaignOptions& options) {
+  const std::size_t n_threads = thread_acts.size();
+  const std::size_t n_slots = benchmark.slots.size();
+
+  std::vector<vpapi::ResilientCollectionResult> per_thread;
+  per_thread.reserve(n_threads);
+  std::unordered_set<std::string> quarantined_set;
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    per_thread.push_back(vpapi::collect_resilient(
+        machine, all_events, thread_acts[t], /*repetitions=*/1,
+        options.fault_plan, options.resilience,
+        /*repetition_offset=*/r * n_threads + t));
+    for (const auto& q : per_thread[t].report.quarantined) {
+      quarantined_set.insert(q);
+    }
+  }
+
+  Batch batch;
+  for (const auto& name : all_events) {
+    if (quarantined_set.count(name) == 0) {
+      batch.events.push_back(name);
+    } else {
+      batch.quarantined.push_back(name);
+    }
+  }
+
+  // Per-thread row index of every kept event (rows of quarantined events
+  // are absent from a thread's data, shifting the ones after them).
+  std::vector<std::unordered_map<std::string, std::size_t>> row_of(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    const auto& names = per_thread[t].data.event_names;
+    for (std::size_t e = 0; e < names.size(); ++e) row_of[t][names[e]] = e;
+  }
+
+  batch.measurements.assign(batch.events.size(),
+                            std::vector<double>(n_slots, 0.0));
+  std::vector<double> thread_vals(n_threads);
+  for (std::size_t e = 0; e < batch.events.size(); ++e) {
+    for (std::size_t k = 0; k < n_slots; ++k) {
+      for (std::size_t t = 0; t < n_threads; ++t) {
+        const auto it = row_of[t].find(batch.events[e]);
+        CATALYST_ENSURE(it != row_of[t].end(),
+                        "collect_batch: kept event missing from a thread's "
+                        "data");
+        thread_vals[t] =
+            per_thread[t].data.repetitions[0].values[it->second][k];
+      }
+      const double med =
+          n_threads == 1 ? thread_vals[0] : median(thread_vals);
+      batch.measurements[e][k] = med * inv_normalizer[k];
+    }
+  }
+
+  std::unordered_map<std::string, vpapi::EventReport> by_name;
+  for (const auto& rt : per_thread) {
+    merge_report_into(by_name, rt.report);
+    batch.report.total_retries += rt.report.total_retries;
+    batch.report.start_retries += rt.report.start_retries;
+  }
+  for (const auto& name : all_events) {
+    const auto it = by_name.find(name);
+    vpapi::EventReport e = it != by_name.end() ? it->second
+                                               : vpapi::EventReport{};
+    e.name = name;
+    e.disposition = quarantined_set.count(name) != 0
+                        ? vpapi::EventDisposition::quarantined
+                    : e.total_faults() != 0 || e.retries != 0 ||
+                            e.wraps_corrected != 0
+                        ? vpapi::EventDisposition::recovered
+                        : vpapi::EventDisposition::clean;
+    batch.report.events.push_back(std::move(e));
+  }
+  batch.report.quarantined = batch.quarantined;
+  return batch;
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const pmu::Machine& machine,
+                            const cat::Benchmark& benchmark,
+                            const std::vector<MetricSignature>& signatures,
+                            const CampaignOptions& options) {
+  CATALYST_REQUIRE_AS(options.pipeline.repetitions >= 2, std::invalid_argument,
+                      "run_campaign: need >= 2 repetitions for the RNMSE "
+                      "filter");
+  CATALYST_REQUIRE_AS(!benchmark.slots.empty(), std::invalid_argument,
+                      "run_campaign: benchmark has no slots");
+  benchmark.validate();
+  CATALYST_REQUIRE_AS(!machine.events().empty(), std::invalid_argument,
+                      "run_campaign: machine publishes no events");
+  const std::size_t n_threads =
+      benchmark.slots.front().thread_activities.size();
+  for (const auto& slot : benchmark.slots) {
+    CATALYST_REQUIRE_AS(slot.thread_activities.size() == n_threads,
+                        std::invalid_argument,
+                        "run_campaign: inconsistent thread counts across "
+                        "slots");
+  }
+
+  const std::vector<std::string> all_events = machine.event_names();
+  const std::size_t n_slots = benchmark.slots.size();
+  std::vector<std::vector<pmu::Activity>> thread_acts(n_threads);
+  for (std::size_t t = 0; t < n_threads; ++t) {
+    thread_acts[t].reserve(n_slots);
+    for (const auto& slot : benchmark.slots) {
+      thread_acts[t].push_back(slot.thread_activities[t]);
+    }
+  }
+  std::vector<double> inv_normalizer(n_slots);
+  for (std::size_t k = 0; k < n_slots; ++k) {
+    inv_normalizer[k] = 1.0 / benchmark.slots[k].normalizer;
+  }
+
+  const std::string config_key =
+      campaign_config_key(machine, benchmark, options);
+  const bool checkpointing = !options.checkpoint.directory.empty();
+  if (checkpointing) {
+    std::filesystem::create_directories(options.checkpoint.directory);
+  }
+
+  CampaignResult out;
+  out.batches_total = options.pipeline.repetitions;
+  std::vector<Batch> batches;
+  batches.reserve(out.batches_total);
+  for (std::size_t r = 0; r < out.batches_total; ++r) {
+    bool resumed = false;
+    if (checkpointing && options.checkpoint.resume) {
+      const std::string path =
+          checkpoint_path(options.checkpoint.directory, r);
+      try {
+        batches.push_back(
+            batch_from_json(read_text_file(path), config_key, r, n_slots));
+        resumed = true;
+      } catch (const std::exception&) {
+        // Missing, truncated, corrupt, or mismatched checkpoint: the batch
+        // is simply not done yet.  Re-collecting it is always safe because
+        // readings are pure functions of their coordinates.
+      }
+    }
+    if (!resumed) {
+      batches.push_back(collect_batch(machine, benchmark, all_events,
+                                      thread_acts, inv_normalizer, r,
+                                      options));
+      if (checkpointing) {
+        write_text_file_atomic(
+            checkpoint_path(options.checkpoint.directory, r),
+            json::dump(batch_to_json(batches.back(), config_key, r)));
+      }
+    } else {
+      ++out.batches_resumed;
+    }
+  }
+
+  // --- merge: quarantine union, surviving events, report ---------------------
+  std::unordered_set<std::string> quarantined_set;
+  for (const auto& b : batches) {
+    for (const auto& q : b.quarantined) quarantined_set.insert(q);
+  }
+  std::vector<std::string> final_events;
+  std::vector<std::string> quarantined_ordered;
+  for (const auto& name : all_events) {
+    (quarantined_set.count(name) == 0 ? final_events : quarantined_ordered)
+        .push_back(name);
+  }
+
+  std::vector<std::vector<std::vector<double>>> measurements(
+      final_events.size(),
+      std::vector<std::vector<double>>(out.batches_total));
+  for (std::size_t r = 0; r < out.batches_total; ++r) {
+    std::unordered_map<std::string, std::size_t> row_of;
+    for (std::size_t e = 0; e < batches[r].events.size(); ++e) {
+      row_of[batches[r].events[e]] = e;
+    }
+    for (std::size_t e = 0; e < final_events.size(); ++e) {
+      const auto it = row_of.find(final_events[e]);
+      CATALYST_ENSURE(it != row_of.end(),
+                      "run_campaign: surviving event missing from a batch");
+      measurements[e][r] = batches[r].measurements[it->second];
+    }
+  }
+
+  vpapi::CollectionReport merged;
+  std::unordered_map<std::string, vpapi::EventReport> by_name;
+  for (const auto& b : batches) {
+    merge_report_into(by_name, b.report);
+    merged.total_retries += b.report.total_retries;
+    merged.start_retries += b.report.start_retries;
+  }
+  for (const auto& name : all_events) {
+    const auto it = by_name.find(name);
+    vpapi::EventReport e =
+        it != by_name.end() ? it->second : vpapi::EventReport{};
+    e.name = name;
+    e.disposition = quarantined_set.count(name) != 0
+                        ? vpapi::EventDisposition::quarantined
+                    : e.total_faults() != 0 || e.retries != 0 ||
+                            e.wraps_corrected != 0
+                        ? vpapi::EventDisposition::recovered
+                        : vpapi::EventDisposition::clean;
+    merged.events.push_back(std::move(e));
+  }
+  merged.quarantined = quarantined_ordered;
+
+  out.result = analyze_measurements(benchmark.basis.e, final_events,
+                                    std::move(measurements), signatures,
+                                    options.pipeline);
+  out.result.quarantined_events = quarantined_ordered;
+  out.result.collection = merged;
+
+  out.archive = make_archive(machine, benchmark, out.result);
+  out.archive.quarantined = quarantined_ordered;
+  out.archive.collection_report = std::move(merged);
+  if (!out.archive.quarantined.empty() ||
+      out.archive.collection_report.has_value()) {
+    // Let save_archive pick the v2 format marker.
+    out.archive.format_version.clear();
+  }
+  return out;
+}
+
+PipelineResult run_pipeline_resilient(
+    const pmu::Machine& machine, const cat::Benchmark& benchmark,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options, const faults::FaultPlan* plan,
+    const vpapi::ResilienceOptions& resilience) {
+  CampaignOptions campaign;
+  campaign.pipeline = options;
+  campaign.fault_plan = plan;
+  campaign.resilience = resilience;
+  return std::move(run_campaign(machine, benchmark, signatures, campaign)
+                       .result);
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,93 @@
+// catalyst/core -- checkpointed, fault-tolerant collection campaigns.
+//
+// A campaign is run_pipeline() rebuilt on the resilient collector: the
+// collection stage is split into per-repetition BATCHES, each batch is
+// collected with vpapi::collect_resilient (retry / quarantine / wrap
+// correction, see vpapi/collector.hpp) and optionally persisted as an
+// atomic JSON checkpoint, so an interrupted campaign can `--resume` from
+// the last completed batch without re-executing finished work.
+//
+// Bit-identity guarantees (all consequences of counter-keyed noise/faults):
+//   * faults disabled: measurements identical to run_pipeline();
+//   * interrupted + resumed: identical to the uninterrupted campaign --
+//     batch b, benchmark-thread t collects with repetition_offset
+//     b*n_threads + t, reproducing the exact run ids of one long run;
+//   * any worker thread count: per-unit decisions are pure functions of
+//     coordinates and the cross-batch merge is additive/set-union.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cat/benchmark.hpp"
+#include "core/io.hpp"
+#include "core/pipeline.hpp"
+#include "faults/faults.hpp"
+#include "pmu/machine.hpp"
+#include "vpapi/collector.hpp"
+
+namespace catalyst::core {
+
+/// Where (and whether) to persist per-batch checkpoints.
+struct CheckpointOptions {
+  /// Directory for batch-NNN.json files; empty disables checkpointing.
+  /// Created if missing.  Every file is written atomically
+  /// (write-temp-then-rename), so a crash never leaves a torn checkpoint.
+  std::string directory;
+  /// Reuse completed, matching checkpoints instead of re-collecting.
+  /// Corrupt / truncated / mismatched files are treated as not-done.
+  bool resume = false;
+};
+
+/// Everything a campaign needs beyond the machine + benchmark pair.
+struct CampaignOptions {
+  PipelineOptions pipeline;
+  /// Fault injection; nullptr (or a disabled plan) runs clean.
+  const faults::FaultPlan* fault_plan = nullptr;
+  vpapi::ResilienceOptions resilience;
+  CheckpointOptions checkpoint;
+};
+
+struct CampaignResult {
+  /// Full analysis over the surviving (non-quarantined) events, with
+  /// `quarantined_events` and `collection` populated.
+  PipelineResult result;
+  /// v2 measurement archive of the same data, ready to save.
+  MeasurementArchive archive;
+  std::size_t batches_total = 0;
+  std::size_t batches_resumed = 0;  ///< Batches satisfied from checkpoints.
+};
+
+/// The checkpoint format marker ("catalyst-checkpoint-v1").
+extern const char* const kCheckpointFormat;
+
+/// Identity of a campaign's configuration; resume refuses checkpoints whose
+/// stored key differs (different machine, benchmark, repetition count,
+/// fault plan, ... would make the cached batch silently wrong).
+std::string campaign_config_key(const pmu::Machine& machine,
+                                const cat::Benchmark& benchmark,
+                                const CampaignOptions& options);
+
+/// Runs the collection in per-repetition batches (checkpointing + resuming
+/// per CampaignOptions::checkpoint), merges them, and runs the analysis
+/// stages on the surviving events.  Throws std::runtime_error (via
+/// analyze_measurements) if every event ends up quarantined.
+CampaignResult run_campaign(const pmu::Machine& machine,
+                            const cat::Benchmark& benchmark,
+                            const std::vector<MetricSignature>& signatures,
+                            const CampaignOptions& options = {});
+
+/// run_pipeline() on the resilient collector, no checkpointing: quarantined
+/// events are dropped before the noise filter and the collection report is
+/// attached to the result.  With `plan` null/disabled this is bit-identical
+/// to run_pipeline().
+PipelineResult run_pipeline_resilient(
+    const pmu::Machine& machine, const cat::Benchmark& benchmark,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options = {},
+    const faults::FaultPlan* plan = nullptr,
+    const vpapi::ResilienceOptions& resilience = {});
+
+}  // namespace catalyst::core

@@ -3,6 +3,7 @@
 #pragma once
 
 #include "core/basis_diagnostics.hpp" // IWYU pragma: export
+#include "core/campaign.hpp"     // IWYU pragma: export
 #include "core/io.hpp"           // IWYU pragma: export
 #include "core/json.hpp"         // IWYU pragma: export
 #include "core/metrics.hpp"      // IWYU pragma: export

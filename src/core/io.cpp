@@ -1,16 +1,16 @@
 #include "core/io.hpp"
 
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
-
-#include "core/json.hpp"
 
 namespace catalyst::core {
 
 namespace {
 
 constexpr const char* kFormatVersion = "catalyst-measurements-v1";
+constexpr const char* kFormatVersionV2 = "catalyst-measurements-v2";
 
 }  // namespace
 
@@ -30,9 +30,12 @@ MeasurementArchive make_archive(const pmu::Machine& machine,
 }
 
 std::string save_archive(const MeasurementArchive& archive, int indent) {
+  const bool v2 =
+      !archive.quarantined.empty() || archive.collection_report.has_value();
   json::Value root = json::Value::object();
-  root["format"] = archive.format_version.empty() ? kFormatVersion
-                                                  : archive.format_version;
+  root["format"] = !archive.format_version.empty() ? archive.format_version
+                   : v2                            ? kFormatVersionV2
+                                                   : kFormatVersion;
   root["machine"] = archive.machine_name;
   root["benchmark"] = archive.benchmark_name;
 
@@ -71,14 +74,27 @@ std::string save_archive(const MeasurementArchive& archive, int indent) {
   }
   root["measurements"] = std::move(meas);
 
+  if (v2) {
+    json::Value q = json::Value::array();
+    for (const auto& n : archive.quarantined) q.push_back(n);
+    root["quarantined"] = std::move(q);
+    if (archive.collection_report.has_value()) {
+      root["collection_report"] =
+          collection_report_to_json(*archive.collection_report);
+    }
+  }
+
   return json::dump(root, indent);
 }
 
-MeasurementArchive load_archive(const std::string& json_text) {
+namespace {
+
+MeasurementArchive load_archive_impl(const std::string& json_text) {
   const json::Value root = json::parse(json_text);
   MeasurementArchive a;
   a.format_version = root.at("format").as_string();
-  if (a.format_version != kFormatVersion) {
+  if (a.format_version != kFormatVersion &&
+      a.format_version != kFormatVersionV2) {
     throw std::invalid_argument("load_archive: unsupported format '" +
                                 a.format_version + "'");
   }
@@ -135,7 +151,31 @@ MeasurementArchive load_archive(const std::string& json_text) {
     }
     a.measurements.push_back(std::move(reps));
   }
+  if (root.contains("quarantined")) {
+    for (const auto& n : root.at("quarantined").as_array()) {
+      a.quarantined.push_back(n.as_string());
+    }
+  }
+  if (root.contains("collection_report")) {
+    a.collection_report =
+        collection_report_from_json(root.at("collection_report"));
+  }
   return a;
+}
+
+}  // namespace
+
+MeasurementArchive load_archive(const std::string& json_text) {
+  try {
+    return load_archive_impl(json_text);
+  } catch (const ArchiveError&) {
+    throw;
+  } catch (const json::JsonError& e) {
+    // Truncated/corrupt input: surface the byte offset as a typed error so
+    // callers (CLI, resume logic) can distinguish "damaged file" from
+    // "wrong shape" without string-matching.
+    throw ArchiveError(std::string("load_archive: ") + e.what(), e.offset());
+  }
 }
 
 PipelineResult analyze_archive(const MeasurementArchive& archive,
@@ -158,6 +198,83 @@ void write_text_file(const std::string& path, const std::string& contents) {
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
   out << contents;
   if (!out) throw std::runtime_error("write failed: " + path);
+}
+
+void write_text_file_atomic(const std::string& path,
+                            const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot open for writing: " + tmp);
+    out << contents;
+    out.flush();
+    if (!out) throw std::runtime_error("write failed: " + tmp);
+  }
+  // rename(2) within one directory is atomic on POSIX: a crash between the
+  // write and the rename leaves only the .tmp file, never a torn `path`.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    throw std::runtime_error("atomic rename failed: " + tmp + " -> " + path);
+  }
+}
+
+json::Value collection_report_to_json(const vpapi::CollectionReport& report) {
+  json::Value v = json::Value::object();
+  v["total_retries"] = report.total_retries;
+  v["start_retries"] = report.start_retries;
+  json::Value q = json::Value::array();
+  for (const auto& n : report.quarantined) q.push_back(n);
+  v["quarantined"] = std::move(q);
+  json::Value events = json::Value::array();
+  for (const auto& e : report.events) {
+    // Untouched events are implicit (disposition "clean", all counts zero):
+    // storing only the eventful rows keeps reports/checkpoints small.
+    if (e.disposition == vpapi::EventDisposition::clean &&
+        e.read_attempts == 0) {
+      continue;
+    }
+    json::Value je = json::Value::object();
+    je["name"] = e.name;
+    je["read_attempts"] = e.read_attempts;
+    je["retries"] = e.retries;
+    je["wraps_corrected"] = e.wraps_corrected;
+    je["disposition"] = vpapi::to_string(e.disposition);
+    json::Value jf = json::Value::array();
+    for (const std::uint64_t f : e.faults) jf.push_back(f);
+    je["faults"] = std::move(jf);
+    events.push_back(std::move(je));
+  }
+  v["events"] = std::move(events);
+  return v;
+}
+
+vpapi::CollectionReport collection_report_from_json(const json::Value& v) {
+  vpapi::CollectionReport report;
+  report.total_retries =
+      static_cast<std::uint64_t>(v.at("total_retries").as_number());
+  report.start_retries =
+      static_cast<std::uint64_t>(v.at("start_retries").as_number());
+  for (const auto& n : v.at("quarantined").as_array()) {
+    report.quarantined.push_back(n.as_string());
+  }
+  for (const auto& je : v.at("events").as_array()) {
+    vpapi::EventReport e;
+    e.name = je.at("name").as_string();
+    e.read_attempts =
+        static_cast<std::uint64_t>(je.at("read_attempts").as_number());
+    e.retries = static_cast<std::uint64_t>(je.at("retries").as_number());
+    e.wraps_corrected =
+        static_cast<std::uint64_t>(je.at("wraps_corrected").as_number());
+    const std::string d = je.at("disposition").as_string();
+    e.disposition = d == "quarantined" ? vpapi::EventDisposition::quarantined
+                    : d == "recovered" ? vpapi::EventDisposition::recovered
+                                       : vpapi::EventDisposition::clean;
+    const auto& jf = je.at("faults").as_array();
+    for (std::size_t i = 0; i < jf.size() && i < e.faults.size(); ++i) {
+      e.faults[i] = static_cast<std::uint64_t>(jf[i].as_number());
+    }
+    report.events.push_back(std::move(e));
+  }
+  return report;
 }
 
 }  // namespace catalyst::core

@@ -8,18 +8,38 @@
 // analyze_measurements().
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cat/benchmark.hpp"
+#include "core/json.hpp"
 #include "core/pipeline.hpp"
 #include "pmu/machine.hpp"
+#include "vpapi/collector.hpp"
 
 namespace catalyst::core {
 
+/// Typed archive rejection.  For truncated or otherwise malformed JSON,
+/// `offset()` is the byte offset at which the input stopped making sense
+/// (std::string::npos for structural problems in well-formed JSON).
+/// Derives from json::JsonError so callers catching low-level JSON errors
+/// keep working.
+class ArchiveError : public json::JsonError {
+ public:
+  explicit ArchiveError(const std::string& what,
+                        std::size_t offset = std::string::npos)
+      : json::JsonError(what, offset) {}
+};
+
 /// Everything needed to analyze a collection offline.
+///
+/// Format versions: "catalyst-measurements-v1" is the original archive;
+/// "catalyst-measurements-v2" adds the robustness payload (quarantined
+/// events + the resilient driver's CollectionReport).  The loader accepts
+/// both; the writer emits v2 exactly when a robustness payload is present.
 struct MeasurementArchive {
-  std::string format_version;  ///< "catalyst-measurements-v1".
+  std::string format_version;  ///< "catalyst-measurements-v{1,2}".
   std::string machine_name;
   std::string benchmark_name;
   std::vector<std::string> slot_names;
@@ -28,6 +48,10 @@ struct MeasurementArchive {
   std::vector<std::string> event_names;
   /// measurements[e][r][k]: normalized reading (event, repetition, slot).
   std::vector<std::vector<std::vector<double>>> measurements;
+  /// v2: events the resilient driver quarantined (their rows are absent
+  /// from `measurements`), and the full per-event collection report.
+  std::vector<std::string> quarantined;
+  std::optional<vpapi::CollectionReport> collection_report;
 };
 
 /// Builds an archive from a pipeline run (uses the result's stage-1..3
@@ -40,8 +64,9 @@ MeasurementArchive make_archive(const pmu::Machine& machine,
 /// Serializes an archive to JSON (pretty-printed when `indent` > 0).
 std::string save_archive(const MeasurementArchive& archive, int indent = 0);
 
-/// Parses an archive; throws json::JsonError on malformed input and
-/// std::invalid_argument on version/shape problems.
+/// Parses an archive; throws ArchiveError (naming the byte offset) on
+/// truncated/malformed input and std::invalid_argument on version/shape
+/// problems in otherwise well-formed JSON.
 MeasurementArchive load_archive(const std::string& json_text);
 
 /// Runs the analysis stages on an archive.
@@ -53,5 +78,17 @@ PipelineResult analyze_archive(const MeasurementArchive& archive,
 /// failure).
 std::string read_text_file(const std::string& path);
 void write_text_file(const std::string& path, const std::string& contents);
+
+/// Crash-safe file replacement: writes to `path + ".tmp"` and renames over
+/// `path`, so readers only ever observe a missing file or a complete one.
+/// The checkpointing campaign driver writes every batch this way.
+void write_text_file_atomic(const std::string& path,
+                            const std::string& contents);
+
+// --- JSON (de)serialization of the collection report ------------------------
+// Shared by v2 archives and campaign checkpoints.
+
+json::Value collection_report_to_json(const vpapi::CollectionReport& report);
+vpapi::CollectionReport collection_report_from_json(const json::Value& v);
 
 }  // namespace catalyst::core

@@ -109,7 +109,7 @@ class Parser {
 
  private:
   [[noreturn]] void fail(const std::string& why) const {
-    throw JsonError(why + " at offset " + std::to_string(pos_));
+    throw JsonError(why + " at byte offset " + std::to_string(pos_), pos_);
   }
 
   char peek() {

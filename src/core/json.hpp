@@ -16,10 +16,19 @@
 
 namespace catalyst::core::json {
 
-/// Thrown on malformed input or wrong-type access.
+/// Thrown on malformed input or wrong-type access.  Parse failures carry
+/// the byte offset of the offending input position; errors raised outside
+/// the parser (type mismatches, missing keys) report npos.
 class JsonError : public std::runtime_error {
  public:
-  explicit JsonError(const std::string& what) : std::runtime_error(what) {}
+  explicit JsonError(const std::string& what,
+                     std::size_t offset = std::string::npos)
+      : std::runtime_error(what), offset_(offset) {}
+
+  std::size_t offset() const noexcept { return offset_; }
+
+ private:
+  std::size_t offset_;
 };
 
 /// A JSON value (tagged union over the seven JSON shapes).

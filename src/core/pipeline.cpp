@@ -111,6 +111,13 @@ PipelineResult analyze_measurements(
   result.measurements = std::move(measurements);
 
   // --- Stage 0: measurement sanity -------------------------------------------
+  // Degradation floor: a resilient collection may quarantine events, and the
+  // analysis proceeds without them -- but an EMPTY event set means the basis
+  // has nothing left to select from, so the run aborts with a typed error
+  // instead of producing a vacuous result.
+  CATALYST_REQUIRE_AS(!result.all_event_names.empty(), std::runtime_error,
+                      "analyze_measurements: event set is empty (every event "
+                      "quarantined or filtered) -- nothing to analyze");
   // A NaN/Inf reading must be rejected here, at the pipeline boundary; past
   // this point it would flow silently through the RNMSE filter (NaN
   // comparisons are false, so the event is *kept*) and poison the QR stage.

@@ -32,6 +32,7 @@
 #include "core/normalize.hpp"
 #include "core/qrcp_special.hpp"
 #include "pmu/machine.hpp"
+#include "vpapi/collector.hpp"
 
 namespace catalyst::core {
 
@@ -78,6 +79,12 @@ struct PipelineResult {
 
   // Stage 7.
   std::vector<MetricDefinition> metrics;
+
+  // Robustness artifacts (populated by the resilient collection path; empty
+  // for the clean driver).  Quarantined events were excluded BEFORE the
+  // RNMSE filter: they appear in neither all_event_names nor measurements.
+  std::vector<std::string> quarantined_events;
+  std::optional<vpapi::CollectionReport> collection;
 
   /// Averaged normalized measurement vector of an event that survived the
   /// noise filter (nullopt otherwise).  Used by the Fig. 3 benches.

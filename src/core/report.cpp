@@ -78,6 +78,29 @@ std::string format_selected_events(const PipelineResult& result) {
   return os.str();
 }
 
+std::string format_collection_report(const vpapi::CollectionReport& report) {
+  std::ostringstream os;
+  os << report.summary() << "\n";
+  for (const auto& e : report.events) {
+    const bool eventful = e.disposition != vpapi::EventDisposition::clean ||
+                          e.total_faults() != 0 || e.retries != 0 ||
+                          e.wraps_corrected != 0;
+    if (!eventful) continue;
+    os << "  " << std::left << std::setw(32) << e.name << " "
+       << std::setw(11) << vpapi::to_string(e.disposition)
+       << " retries=" << e.retries;
+    if (e.wraps_corrected != 0) os << " wraps=" << e.wraps_corrected;
+    for (std::size_t k = 0; k < e.faults.size(); ++k) {
+      if (e.faults[k] != 0) {
+        os << " " << faults::to_string(static_cast<faults::FaultKind>(k))
+           << "=" << e.faults[k];
+      }
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
 std::string format_markdown_report(const std::string& title,
                                    const PipelineResult& result,
                                    double round_tol) {
@@ -91,6 +114,20 @@ std::string format_markdown_report(const std::string& title,
      << result.projection.x_event_names.size() << " |\n"
      << "| selected by specialized QRCP | " << result.xhat_events.size()
      << " |\n\n";
+
+  if (result.collection.has_value() || !result.quarantined_events.empty()) {
+    os << "## Collection robustness\n\n";
+    if (result.collection.has_value()) {
+      os << result.collection->summary() << "\n\n";
+    }
+    if (!result.quarantined_events.empty()) {
+      os << "Quarantined events (excluded from the analysis):\n\n";
+      for (const auto& q : result.quarantined_events) {
+        os << "- `" << q << "`\n";
+      }
+      os << "\n";
+    }
+  }
 
   os << "## Selected events\n\n| # | event | pivot score |\n|---|---|---|\n";
   for (std::size_t i = 0; i < result.xhat_events.size(); ++i) {

@@ -37,8 +37,15 @@ std::string format_signature_table(const std::string& title,
                                    const std::vector<std::string>& basis,
                                    const std::vector<MetricSignature>& sigs);
 
+/// The resilient collector's outcome, human-readable: the campaign summary
+/// line followed by one row per eventful event (faults seen, retries, wrap
+/// corrections, disposition).  Untouched events are elided.
+std::string format_collection_report(const vpapi::CollectionReport& report);
+
 /// A complete Markdown report of a pipeline run: stage funnel, the selected
 /// events with pivot scores, and a metric table (raw and rounded columns).
+/// When the result carries a resilient-collection report, a "Collection
+/// robustness" section (quarantined events + fault tallies) is included.
 /// `title` becomes the H1 heading.
 std::string format_markdown_report(const std::string& title,
                                    const PipelineResult& result,

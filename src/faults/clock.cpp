@@ -1,0 +1,16 @@
+// The single place in the source tree that spends real wall time on retry
+// pacing.  Everything else must take a faults::Clock so tests can inject
+// FakeClock (enforced by catalyst-lint's sleep-in-retry rule, which
+// allow-lists exactly this file).
+#include "faults/faults.hpp"
+
+#include <thread>
+
+namespace catalyst::faults {
+
+void RealClock::sleep_for(std::chrono::nanoseconds d) {
+  if (d.count() <= 0) return;
+  std::this_thread::sleep_for(d);
+}
+
+}  // namespace catalyst::faults

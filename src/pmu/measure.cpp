@@ -23,6 +23,10 @@ std::uint64_t mix64(std::uint64_t x) noexcept {
   return x ^ (x >> 31);
 }
 
+double uniform_from_key(std::uint64_t key) noexcept {
+  return static_cast<double>(mix64(key) >> 11) * 0x1.0p-53;
+}
+
 namespace {
 
 constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;

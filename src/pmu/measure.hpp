@@ -29,6 +29,12 @@ std::uint64_t fnv1a(const std::string& s) noexcept;
 /// SplitMix64 finalizer; decorrelates structured integers (rep/kernel ids).
 std::uint64_t mix64(std::uint64_t x) noexcept;
 
+/// One uniform [0, 1) draw (53-bit resolution) from a stateless key -- the
+/// single-draw sibling of the counter-based noise stream below.  The
+/// fault-injection layer (catalyst::faults) builds its per-coordinate fault
+/// decisions on this so faults obey the same determinism contract as noise.
+double uniform_from_key(std::uint64_t key) noexcept;
+
 /// One counter reading for `event` over `activity` at repetition `rep`,
 /// kernel slot `kernel_index`.
 double measure_event(const Machine& machine, const EventDefinition& event,

@@ -2,10 +2,14 @@
 
 #include "core/contract.hpp"
 
+#include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <mutex>
+#include <sstream>
 #include <stdexcept>
 #include <thread>
+#include <unordered_map>
 
 namespace catalyst::vpapi {
 
@@ -33,25 +37,39 @@ void run_unit(const pmu::Machine& machine,
               const std::vector<std::string>& group,
               const std::vector<pmu::Activity>& activities,
               const pmu::IdealTable& ideals, std::uint64_t run_id,
-              std::size_t event_offset, RepetitionData& data) {
+              std::size_t event_offset, RepetitionData& data,
+              const faults::FaultPlan* plan) {
   Session session(machine);
+  if (plan != nullptr) {
+    session.set_fault_context(plan);
+    session.set_fault_coordinates(run_id, 0);
+  }
   const int set = session.create_eventset();
   for (const auto& name : group) {
     const Status s = session.add_event(set, name);
     if (s != Status::ok) {
-      throw std::runtime_error("collect: add_event failed: " + to_string(s));
+      throw std::runtime_error("collect: add_event '" + name +
+                               "' failed: " + to_string(s));
     }
   }
   // Read counters per kernel slot: start/run/stop/read/reset around each
-  // kernel, the way CAT instruments its microkernels.
+  // kernel, the way CAT instruments its microkernels.  Every status is
+  // checked: an unchecked transient read() used to leave `vals` holding the
+  // PREVIOUS kernel's readings, silently duplicating rows into the result.
   std::vector<std::vector<double>> per_kernel(group.size());
   for (auto& v : per_kernel) v.reserve(activities.size());
   std::vector<double> vals;
   for (std::size_t k = 0; k < activities.size(); ++k) {
-    session.start(set);
+    Status s = session.start(set);
+    if (s != Status::ok) {
+      throw std::runtime_error("collect: start failed: " + to_string(s));
+    }
     session.run_kernel(activities[k], run_id, k, &ideals);
     session.stop(set);
-    session.read(set, vals);
+    s = session.read(set, vals);
+    if (s != Status::ok) {
+      throw std::runtime_error("collect: read failed: " + to_string(s));
+    }
     session.reset(set);
     for (std::size_t e = 0; e < vals.size(); ++e) {
       per_kernel[e].push_back(vals[e]);
@@ -84,7 +102,8 @@ std::vector<std::size_t> resolve_events(
 CollectionResult collect(const pmu::Machine& machine,
                          const std::vector<std::string>& event_names,
                          const std::vector<pmu::Activity>& activities,
-                         std::size_t repetitions, int threads) {
+                         std::size_t repetitions, int threads,
+                         const faults::FaultPlan* plan) {
   CATALYST_REQUIRE_AS(repetitions != 0, std::invalid_argument,
                       "collect: need at least one repetition");
   CATALYST_REQUIRE_AS(threads >= 1, std::invalid_argument,
@@ -122,7 +141,7 @@ CollectionResult collect(const pmu::Machine& machine,
     const std::size_t g = unit % groups.size();
     const std::uint64_t run_id = rep * groups.size() + g;
     run_unit(machine, groups[g], activities, ideals, run_id, group_offset[g],
-             result.repetitions[rep]);
+             result.repetitions[rep], plan);
   };
 
   if (threads == 1 || total_units < 2) {
@@ -159,7 +178,13 @@ CollectionResult collect(const pmu::Machine& machine,
     });
   }
   for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (first_error) {
+    // Sibling units may have landed complete rows before the failure was
+    // noticed; discard everything so no partial campaign data can outlive
+    // the error (the regression tests assert no torn rows escape).
+    result.repetitions.clear();
+    std::rethrow_exception(first_error);
+  }
   return result;
 }
 
@@ -168,6 +193,384 @@ CollectionResult collect_all(const pmu::Machine& machine,
                              std::size_t repetitions, int threads) {
   return collect(machine, machine.event_names(), activities, repetitions,
                  threads);
+}
+
+// --- resilient collection ---------------------------------------------------
+
+std::string to_string(EventDisposition d) {
+  switch (d) {
+    case EventDisposition::clean: return "clean";
+    case EventDisposition::recovered: return "recovered";
+    case EventDisposition::quarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
+std::uint64_t EventReport::total_faults() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t f : faults) sum += f;
+  return sum;
+}
+
+const EventReport* CollectionReport::find(const std::string& name) const {
+  for (const auto& e : events) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+std::string CollectionReport::summary() const {
+  std::size_t clean = 0;
+  std::size_t recovered = 0;
+  for (const auto& e : events) {
+    if (e.disposition == EventDisposition::clean) ++clean;
+    if (e.disposition == EventDisposition::recovered) ++recovered;
+  }
+  std::ostringstream os;
+  os << events.size() << " events: " << clean << " clean, " << recovered
+     << " recovered, " << quarantined.size() << " quarantined; "
+     << total_retries << " retries";
+  return os.str();
+}
+
+namespace {
+
+/// Everything one resilient (repetition, group) unit produced; merged into
+/// the campaign-wide result and report under the caller's lock.
+struct UnitOutcome {
+  /// Group-local complete kernel rows; empty vector = no trustworthy data
+  /// for that event in this unit (it was quarantined).
+  std::vector<std::vector<double>> rows;
+  std::vector<char> quarantined;  ///< Group-local quarantine verdicts.
+  std::vector<std::uint64_t> read_attempts;
+  std::vector<std::uint64_t> retries;
+  std::vector<std::uint64_t> wraps_corrected;
+  std::vector<std::array<std::uint64_t, faults::kNumFaultKinds>> fault_counts;
+  std::uint64_t start_retries = 0;
+  std::uint64_t total_retries = 0;
+};
+
+/// One resilient (repetition, group) unit.  Every decision in here is a
+/// pure function of (plan seed, event, run_id, kernel, attempt), so the
+/// outcome is identical no matter which worker thread runs the unit.
+UnitOutcome run_unit_resilient(const pmu::Machine& machine,
+                               const std::vector<std::string>& group,
+                               const std::vector<pmu::Activity>& activities,
+                               const pmu::IdealTable& ideals,
+                               std::uint64_t run_id,
+                               const faults::FaultPlan* plan,
+                               const ResilienceOptions& opts) {
+  const std::size_t n = group.size();
+  UnitOutcome out;
+  out.rows.resize(n);
+  out.quarantined.assign(n, 0);
+  out.read_attempts.assign(n, 0);
+  out.retries.assign(n, 0);
+  out.wraps_corrected.assign(n, 0);
+  out.fault_counts.assign(n, {});
+
+  Session session(machine);
+  if (plan != nullptr) session.set_fault_context(plan);
+  const int set = session.create_eventset();
+
+  auto pace = [&](std::uint64_t attempt) {
+    if (opts.clock != nullptr) opts.clock->sleep_for(opts.backoff.delay(attempt));
+  };
+
+  // Machine event index -> group-local index, for fault attribution.
+  std::vector<std::size_t> machine_index(n);
+  std::unordered_map<std::size_t, std::size_t> local_of;
+  local_of.reserve(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    const auto idx = machine.find(group[e]);
+    CATALYST_REQUIRE_AS(idx.has_value(), std::invalid_argument,
+                        "collect_resilient: unknown event " + group[e]);
+    machine_index[e] = *idx;
+    local_of.emplace(*idx, e);
+  }
+
+  // Tallies the session's fault log into the per-event counters; when
+  // `suspect` is given, events hit by a data-destroying fault (drop, stuck,
+  // spike) on kernel `kernel` are flagged -- the culprits to quarantine if
+  // this kernel exhausts its retries.
+  auto drain_faults = [&](std::uint64_t kernel, std::vector<char>* suspect) {
+    for (const auto& rec : session.fault_log()) {
+      if (rec.event_index == static_cast<std::size_t>(-1)) continue;
+      const auto it = local_of.find(rec.event_index);
+      if (it == local_of.end()) continue;
+      ++out.fault_counts[it->second][static_cast<std::size_t>(rec.kind)];
+      if (suspect != nullptr && rec.kernel == kernel &&
+          (rec.kind == faults::FaultKind::dropped_reading ||
+           rec.kind == faults::FaultKind::stuck ||
+           rec.kind == faults::FaultKind::spike)) {
+        (*suspect)[it->second] = 1;
+      }
+    }
+    session.clear_fault_log();
+  };
+
+  // --- add phase: transient EBUSY/ECNFLCT failures are retried per event --
+  std::vector<std::size_t> in_set;  // group-local indices, add order
+  in_set.reserve(n);
+  for (std::size_t e = 0; e < n; ++e) {
+    bool added = false;
+    for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+      session.set_fault_coordinates(run_id, attempt);
+      const Status s = session.add_event(set, group[e]);
+      drain_faults(0, nullptr);
+      if (s == Status::ok) {
+        added = true;
+        out.retries[e] += attempt;
+        out.total_retries += attempt;
+        break;
+      }
+      if (s != Status::transient) {
+        throw std::runtime_error("collect_resilient: add_event '" + group[e] +
+                                 "' failed: " + to_string(s));
+      }
+      pace(attempt);
+    }
+    if (added) {
+      in_set.push_back(e);
+    } else {
+      out.quarantined[e] = 1;
+      out.retries[e] += opts.max_retries;
+      out.total_retries += opts.max_retries;
+    }
+  }
+  for (const std::size_t e : in_set) out.rows[e].reserve(activities.size());
+
+  // --- kernel loop: retry, unwrap, screen, quarantine ----------------------
+  std::vector<double> vals;
+  for (std::size_t k = 0; k < activities.size() && !in_set.empty(); ++k) {
+    bool kernel_done = false;
+    while (!kernel_done && !in_set.empty()) {
+      std::vector<char> suspect(n, 0);
+      bool success = false;
+      for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+        session.set_fault_coordinates(run_id, attempt);
+        Status s = session.start(set);
+        if (s == Status::transient) {
+          ++out.start_retries;
+          ++out.total_retries;
+          pace(attempt);
+          continue;
+        }
+        if (s != Status::ok) {
+          throw std::runtime_error("collect_resilient: start failed: " +
+                                   to_string(s));
+        }
+        session.run_kernel(activities[k], run_id, k, &ideals);
+        session.stop(set);
+        s = session.read(set, vals);
+        for (const std::size_t e : in_set) ++out.read_attempts[e];
+        drain_faults(k, &suspect);
+        session.reset(set);
+        if (s == Status::transient) {
+          for (const std::size_t e : in_set) ++out.retries[e];
+          ++out.total_retries;
+          pace(attempt);
+          continue;
+        }
+        if (s != Status::ok) {
+          throw std::runtime_error("collect_resilient: read failed: " +
+                                   to_string(s));
+        }
+        // Width-aware delta decoding: a negative per-kernel delta means the
+        // register wrapped between the surrounding reads; adding spans back
+        // recovers the true reading exactly, no re-run needed.  Values the
+        // plausibility screen rejects (spikes, non-finite) force a re-run.
+        bool implausible = false;
+        if (plan != nullptr) {
+          for (std::size_t i = 0; i < vals.size(); ++i) {
+            double v = vals[i];
+            if (v < 0.0) {
+              v = faults::unwrap_reading(plan->counter_width_bits, v,
+                                         &out.wraps_corrected[in_set[i]]);
+            }
+            if (!std::isfinite(v) || v > plan->plausible_max) {
+              implausible = true;
+            }
+            vals[i] = v;
+          }
+        }
+        if (implausible) {
+          for (const std::size_t e : in_set) ++out.retries[e];
+          ++out.total_retries;
+          pace(attempt);
+          continue;
+        }
+        success = true;
+        break;
+      }
+      if (success) {
+        CATALYST_INVARIANT(vals.size() == in_set.size(),
+                           "collect_resilient: reading/set size mismatch");
+        for (std::size_t i = 0; i < vals.size(); ++i) {
+          out.rows[in_set[i]].push_back(vals[i]);
+        }
+        kernel_done = true;
+        continue;
+      }
+      // Retries exhausted on this kernel: quarantine the culprits (events a
+      // data-destroying fault hit here) and re-run the kernel without them.
+      // With no identifiable culprit (persistent set-level start failure)
+      // the whole remaining group is quarantined and the unit abandoned.
+      std::vector<std::size_t> keep;
+      keep.reserve(in_set.size());
+      bool any_culprit = false;
+      for (const std::size_t e : in_set) {
+        if (suspect[e] != 0) any_culprit = true;
+      }
+      for (const std::size_t e : in_set) {
+        if (any_culprit && suspect[e] == 0) {
+          keep.push_back(e);
+          continue;
+        }
+        out.quarantined[e] = 1;
+        out.rows[e].clear();  // discard the partial row: no torn data
+        const Status s = session.remove_event(set, group[e]);
+        CATALYST_INVARIANT(s == Status::ok,
+                           "collect_resilient: remove_event failed");
+      }
+      in_set = std::move(keep);
+    }
+  }
+  // Partial rows can only belong to quarantined events, and were cleared.
+  for (std::size_t e = 0; e < n; ++e) {
+    CATALYST_ENSURE(out.rows[e].size() == activities.size() ||
+                        (out.rows[e].empty() && out.quarantined[e] != 0),
+                    "collect_resilient: torn row escaped a unit");
+  }
+  return out;
+}
+
+}  // namespace
+
+ResilientCollectionResult collect_resilient(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names,
+    const std::vector<pmu::Activity>& activities, std::size_t repetitions,
+    const faults::FaultPlan* plan, const ResilienceOptions& options,
+    std::size_t repetition_offset) {
+  CATALYST_REQUIRE_AS(repetitions != 0, std::invalid_argument,
+                      "collect_resilient: need at least one repetition");
+  CATALYST_REQUIRE_AS(options.threads >= 1, std::invalid_argument,
+                      "collect_resilient: need at least one thread");
+  const std::vector<std::size_t> event_indices =
+      resolve_events(machine, event_names, "collect_resilient");
+  const auto groups = schedule_groups(machine, event_names);
+  const pmu::IdealTable ideals(machine, activities, event_indices);
+
+  std::vector<std::size_t> group_offset(groups.size(), 0);
+  for (std::size_t g = 1; g < groups.size(); ++g) {
+    group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
+  }
+
+  // Campaign-wide accumulators, merged per unit under `merge_mutex`.  Every
+  // count is additive and the quarantine verdicts are a set union, so the
+  // merged state is independent of unit completion order -- the report and
+  // data are bit-identical at any thread count.
+  CollectionReport report;
+  report.events.resize(event_names.size());
+  for (std::size_t e = 0; e < event_names.size(); ++e) {
+    report.events[e].name = event_names[e];
+  }
+  std::vector<char> quarantined(event_names.size(), 0);
+  std::vector<RepetitionData> reps(repetitions);
+  for (auto& rep : reps) rep.values.resize(event_names.size());
+
+  std::mutex merge_mutex;
+  auto do_unit = [&](std::size_t unit) {
+    const std::size_t rep = unit / groups.size();
+    const std::size_t g = unit % groups.size();
+    const std::uint64_t run_id =
+        (repetition_offset + rep) * groups.size() + g;
+    UnitOutcome out = run_unit_resilient(machine, groups[g], activities,
+                                         ideals, run_id, plan, options);
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    for (std::size_t i = 0; i < groups[g].size(); ++i) {
+      const std::size_t e = group_offset[g] + i;
+      EventReport& er = report.events[e];
+      er.read_attempts += out.read_attempts[i];
+      er.retries += out.retries[i];
+      er.wraps_corrected += out.wraps_corrected[i];
+      for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
+        er.faults[f] += out.fault_counts[i][f];
+      }
+      if (out.quarantined[i] != 0) quarantined[e] = 1;
+      reps[rep].values[e] = std::move(out.rows[i]);
+    }
+    report.start_retries += out.start_retries;
+    report.total_retries += out.total_retries;
+  };
+
+  const std::size_t total_units = repetitions * groups.size();
+  if (options.threads == 1 || total_units < 2) {
+    for (std::size_t unit = 0; unit < total_units; ++unit) do_unit(unit);
+  } else {
+    std::atomic<std::size_t> cursor{0};
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_error;
+    std::mutex error_mutex;
+    std::vector<std::thread> pool;
+    const int nt =
+        std::min<int>(options.threads, static_cast<int>(total_units));
+    pool.reserve(static_cast<std::size_t>(nt));
+    for (int t = 0; t < nt; ++t) {
+      pool.emplace_back([&] {
+        for (;;) {
+          const std::size_t unit = cursor.fetch_add(1);
+          if (unit >= total_units || failed.load(std::memory_order_relaxed)) {
+            break;
+          }
+          try {
+            do_unit(unit);
+          } catch (...) {
+            const std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    if (first_error) {
+      reps.clear();  // discard partial campaign data: no torn rows escape
+      std::rethrow_exception(first_error);
+    }
+  }
+
+  // Dispositions + final data with quarantined events' rows removed.
+  for (std::size_t e = 0; e < event_names.size(); ++e) {
+    EventReport& er = report.events[e];
+    if (quarantined[e] != 0) {
+      er.disposition = EventDisposition::quarantined;
+      report.quarantined.push_back(event_names[e]);
+    } else if (er.total_faults() > 0 || er.retries > 0 ||
+               er.wraps_corrected > 0) {
+      er.disposition = EventDisposition::recovered;
+    }
+  }
+
+  ResilientCollectionResult result;
+  result.report = std::move(report);
+  result.data.runs_per_repetition = groups.size();
+  for (std::size_t e = 0; e < event_names.size(); ++e) {
+    if (quarantined[e] == 0) result.data.event_names.push_back(event_names[e]);
+  }
+  result.data.repetitions.resize(repetitions);
+  for (std::size_t r = 0; r < repetitions; ++r) {
+    auto& dst = result.data.repetitions[r].values;
+    dst.reserve(result.data.event_names.size());
+    for (std::size_t e = 0; e < event_names.size(); ++e) {
+      if (quarantined[e] != 0) continue;
+      CATALYST_ENSURE(reps[r].values[e].size() == activities.size(),
+                      "collect_resilient: kept event '" + event_names[e] +
+                          "' has an incomplete row");
+      dst.push_back(std::move(reps[r].values[e]));
+    }
+  }
+  return result;
 }
 
 CollectionResult collect_multiplexed(

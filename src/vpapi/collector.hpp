@@ -9,6 +9,7 @@
 // targets.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -47,13 +48,20 @@ std::vector<std::vector<std::string>> schedule_groups(
 /// count or scheduling.  The (event, kernel) ideal-value table is computed
 /// once up front and shared read-only by all units.
 ///
+/// `plan` (optional) arms fault injection on every session.  This NON-
+/// resilient driver treats any injected failure as fatal: a transient
+/// add_event/start or an untrustworthy read throws instead of silently
+/// recording corrupt data.  Use collect_resilient to survive faults.
+///
 /// Throws std::invalid_argument on unknown event names.  Exceptions raised
 /// inside worker threads are captured and rethrown on the calling thread
-/// (the first one wins; remaining units are abandoned).
+/// (the first one wins, remaining units are abandoned, and all partially
+/// collected output is discarded before the rethrow -- no torn rows).
 CollectionResult collect(const pmu::Machine& machine,
                          const std::vector<std::string>& event_names,
                          const std::vector<pmu::Activity>& activities,
-                         std::size_t repetitions, int threads = 1);
+                         std::size_t repetitions, int threads = 1,
+                         const faults::FaultPlan* plan = nullptr);
 
 /// Convenience: collect() over all events of the machine.
 CollectionResult collect_all(const pmu::Machine& machine,
@@ -73,5 +81,85 @@ CollectionResult collect_all(const pmu::Machine& machine,
 CollectionResult collect_multiplexed(
     const pmu::Machine& machine, const std::vector<std::string>& event_names,
     const std::vector<pmu::Activity>& activities, std::size_t repetitions);
+
+// --- resilient collection ---------------------------------------------------
+//
+// Real HPM campaigns fail in stereotyped ways (see faults/faults.hpp); the
+// resilient driver survives them: transient failures are retried with capped
+// exponential backoff, wrapped counters are corrected by width-aware delta
+// decoding, kernels whose readings fail a plausibility screen are re-run,
+// and an event that still fails after `max_retries` is QUARANTINED --
+// recorded in the CollectionReport and excluded from the returned data --
+// instead of aborting the whole campaign.
+
+/// How an event came out of a resilient campaign.
+enum class EventDisposition {
+  clean = 0,   ///< No fault ever touched the event.
+  recovered,   ///< Faults were injected but retry/correction absorbed them.
+  quarantined, ///< Exhausted max_retries somewhere; excluded from the data.
+};
+std::string to_string(EventDisposition d);
+
+/// Per-event tally of what the resilient driver saw and did.
+struct EventReport {
+  std::string name;
+  std::uint64_t read_attempts = 0;  ///< Kernel read attempts that included it.
+  std::uint64_t retries = 0;        ///< Attempts beyond the first, any cause.
+  /// Injected faults attributed to this event, indexed by FaultKind.
+  std::array<std::uint64_t, faults::kNumFaultKinds> faults{};
+  std::uint64_t wraps_corrected = 0;  ///< Counter spans added back in place.
+  EventDisposition disposition = EventDisposition::clean;
+
+  std::uint64_t total_faults() const noexcept;
+};
+
+/// Structured outcome of a resilient campaign: one entry per requested
+/// event (input order), plus campaign-level totals.
+struct CollectionReport {
+  std::vector<EventReport> events;
+  std::uint64_t total_retries = 0;   ///< All retries, incl. add/start/read.
+  std::uint64_t start_retries = 0;   ///< Set-level start_busy retries.
+  std::vector<std::string> quarantined;  ///< Names, input order.
+
+  const EventReport* find(const std::string& name) const;
+  /// "172 events: 170 clean, 1 recovered, 1 quarantined; 12 retries".
+  std::string summary() const;
+};
+
+/// Tuning of the retry/quarantine machinery.
+struct ResilienceOptions {
+  /// Extra attempts after the first, per add_event call and per kernel
+  /// reading, before the offending event is quarantined.
+  std::size_t max_retries = 8;
+  faults::Backoff backoff;
+  /// Retry pacing.  nullptr = no pacing (tests and simulated collection);
+  /// the CLI installs a RealClock for real campaigns.  Never sleep via
+  /// std::this_thread directly (catalyst-lint: sleep-in-retry).
+  faults::Clock* clock = nullptr;
+  int threads = 1;  ///< Worker threads over (repetition, group) units.
+};
+
+/// collect() + the recovery machinery above.
+struct ResilientCollectionResult {
+  /// Same layout as collect()'s result, minus quarantined events' rows.
+  CollectionResult data;
+  CollectionReport report;
+};
+
+/// Resilient counterpart of collect().  With `plan` null or disabled the
+/// returned data is bit-identical to collect(machine, event_names,
+/// activities, repetitions) -- the recovery machinery only reacts to
+/// injected faults, and readings are pure functions of their coordinates.
+///
+/// `repetition_offset` shifts the absolute repetition indices: batch b of a
+/// checkpointed campaign passes its global first-repetition index so that
+/// run ids -- and therefore noise and fault draws -- are bit-identical to
+/// an uninterrupted campaign (see core/io.hpp checkpointing).
+ResilientCollectionResult collect_resilient(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names,
+    const std::vector<pmu::Activity>& activities, std::size_t repetitions,
+    const faults::FaultPlan* plan = nullptr,
+    const ResilienceOptions& options = {},
+    std::size_t repetition_offset = 0);
 
 }  // namespace catalyst::vpapi

@@ -14,11 +14,32 @@ std::string to_string(Status s) {
     case Status::not_running: return "event set has no data";
     case Status::no_such_eventset: return "no such event set";
     case Status::invalid_preset: return "invalid preset definition";
+    case Status::transient: return "transient failure (busy/conflict)";
   }
   return "unknown status";
 }
 
 Session::Session(const pmu::Machine& machine) : machine_(&machine) {}
+
+void Session::set_fault_context(const faults::FaultPlan* plan) {
+  fault_plan_ = plan;
+  fault_rates_.clear();
+  if (plan == nullptr || !plan->enabled()) {
+    fault_plan_ = nullptr;
+    return;
+  }
+  // Resolve per-event overrides to machine indices once; the read engine
+  // then costs one vector lookup per slot measurement.
+  fault_rates_.reserve(machine_->num_events());
+  for (const auto& event : machine_->events()) {
+    fault_rates_.push_back(plan->rates_for(event.name));
+  }
+}
+
+void Session::set_fault_coordinates(std::uint64_t run, std::uint64_t attempt) {
+  fault_run_ = run;
+  fault_attempt_ = attempt;
+}
 
 bool Session::query_event(const std::string& name) const {
   return machine_->find(name).has_value() || find_preset(name) != nullptr;
@@ -153,6 +174,20 @@ Status Session::add_event(int set, const std::string& name) {
       es->slots.size() + new_raws.size() > machine_->physical_counters()) {
     return Status::conflict;
   }
+  // Transient EBUSY/ECNFLCT-style programming failure, injected only after
+  // every real validation passed so a fault can never mask a genuine error.
+  // Nothing was mutated yet, so the caller can simply retry.
+  if (fault_plan_ != nullptr) {
+    const double rate = fault_plan_->rates_for(name).add_event_busy;
+    if (faults::fires(*fault_plan_, pmu::fnv1a(name),
+                      faults::FaultKind::add_event_busy, fault_run_, 0,
+                      fault_attempt_, rate)) {
+      fault_log_.push_back({faults::FaultKind::add_event_busy,
+                            parts.front().machine_index, fault_run_, 0,
+                            fault_attempt_});
+      return Status::transient;
+    }
+  }
   if (es->slot_of.size() < machine_->num_events()) {
     es->slot_of.assign(machine_->num_events(), -1);
     for (std::size_t i = 0; i < es->slots.size(); ++i) {
@@ -210,6 +245,20 @@ Status Session::start(int set) {
   EventSet* es = get(set);
   if (!es) return Status::no_such_eventset;
   if (es->running) return Status::is_running;
+  if (fault_plan_ != nullptr) {
+    // Set-level transient start failure (the set id stands in for the event
+    // hash; start is not tied to a single event).
+    const std::uint64_t h =
+        pmu::mix64(static_cast<std::uint64_t>(set) + 0x57A27);
+    if (faults::fires(*fault_plan_, h, faults::FaultKind::start_busy,
+                      fault_run_, 0, fault_attempt_,
+                      fault_plan_->rates.start_busy)) {
+      fault_log_.push_back({faults::FaultKind::start_busy,
+                            static_cast<std::size_t>(-1), fault_run_, 0,
+                            fault_attempt_});
+      return Status::transient;
+    }
+  }
   es->running = true;
   es->ever_started = true;
   return Status::ok;
@@ -231,6 +280,7 @@ Status Session::reset(int set) {
     slot.slices = 0;
   }
   es->slices_total = 0;
+  es->transient_read = false;
   return Status::ok;
 }
 
@@ -242,20 +292,25 @@ void Session::run_kernel(const pmu::Activity& activity,
   // the repetition-invariant linear functional.
   const bool table_usable =
       ideals != nullptr && kernel_index < ideals->num_kernels();
-  auto measure = [&](const Slot& slot) {
+  auto measure = [&](EventSet& es, const Slot& slot) {
     const auto& event = machine_->event(slot.machine_index);
     const double ideal = table_usable && ideals->has(slot.machine_index)
                              ? ideals->ideal(slot.machine_index, kernel_index)
                              : event.ideal(activity);
-    return pmu::measure_from_ideal(*machine_, event, ideal, repetition,
-                                   kernel_index);
+    const double reading = pmu::measure_from_ideal(*machine_, event, ideal,
+                                                   repetition, kernel_index);
+    // With no plan armed the reading is untouched -- bit-identical to a
+    // fault-free session.
+    return fault_plan_ == nullptr
+               ? reading
+               : apply_reading_faults(es, slot, reading, kernel_index);
   };
   for (auto& es : sets_) {
     if (es.destroyed || !es.running) continue;
     const std::size_t n_slots = es.slots.size();
     if (!es.multiplexed || n_slots <= machine_->physical_counters()) {
       for (auto& slot : es.slots) {
-        slot.count += measure(slot);
+        slot.count += measure(es, slot);
         ++slot.slices;
       }
       ++es.slices_total;
@@ -267,7 +322,7 @@ void Session::run_kernel(const pmu::Activity& activity,
     const std::size_t window = machine_->physical_counters();
     for (std::size_t w = 0; w < window; ++w) {
       Slot& slot = es.slots[(es.mux_cursor + w) % n_slots];
-      slot.count += measure(slot);
+      slot.count += measure(es, slot);
       ++slot.slices;
     }
     es.mux_cursor = (es.mux_cursor + window) % n_slots;
@@ -275,10 +330,49 @@ void Session::run_kernel(const pmu::Activity& activity,
   }
 }
 
+double Session::apply_reading_faults(EventSet& es, const Slot& slot,
+                                     double reading,
+                                     std::uint64_t kernel_index) {
+  const faults::FaultRates& fr = fault_rates_[slot.machine_index];
+  if (!fr.any()) return reading;
+  const auto& event = machine_->event(slot.machine_index);
+  const std::uint64_t h =
+      event.name_hash != 0 ? event.name_hash : pmu::fnv1a(event.name);
+  using faults::FaultKind;
+  auto hit = [&](FaultKind kind, double rate) {
+    if (!faults::fires(*fault_plan_, h, kind, fault_run_, kernel_index,
+                       fault_attempt_, rate)) {
+      return false;
+    }
+    fault_log_.push_back(
+        {kind, slot.machine_index, fault_run_, kernel_index, fault_attempt_});
+    return true;
+  };
+  // Drop and stuck make the whole read untrustworthy (typed transient error
+  // from read()); wrap and spike corrupt the value but let the read
+  // "succeed" -- the resilient driver must catch those from the data alone.
+  if (hit(FaultKind::dropped_reading, fr.dropped_reading)) {
+    es.transient_read = true;
+    return reading;
+  }
+  if (hit(FaultKind::stuck, fr.stuck)) {
+    es.transient_read = true;
+    return 0.0;  // the frozen register does not advance: zero delta
+  }
+  if (hit(FaultKind::wrap, fr.wrap)) {
+    reading = faults::wrap_reading(*fault_plan_, reading);
+  }
+  if (hit(FaultKind::spike, fr.spike)) {
+    reading += fault_plan_->spike_magnitude;
+  }
+  return reading;
+}
+
 Status Session::read(int set, std::vector<double>& values) const {
   const EventSet* es = get(set);
   if (!es) return Status::no_such_eventset;
   if (!es->ever_started) return Status::not_running;
+  if (es->transient_read) return Status::transient;
   values.clear();
   values.reserve(es->items.size());
   for (const auto& item : es->items) {

@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "faults/faults.hpp"
 #include "pmu/pmu.hpp"
 
 namespace catalyst::vpapi {
@@ -35,6 +36,7 @@ enum class Status {
   not_running,      ///< stop/read require a started set.
   no_such_eventset, ///< Bad event-set handle.
   invalid_preset,   ///< Preset references unknown raw events / bad shape.
+  transient,        ///< Transient failure (EBUSY/ECNFLCT-style); retryable.
 };
 
 /// Human-readable form of a status code.
@@ -132,8 +134,34 @@ class Session {
                   const pmu::IdealTable* ideals = nullptr);
 
   /// Reads accumulated values, one per added event in list_events order;
-  /// preset entries return their linear combination.
+  /// preset entries return their linear combination.  Returns
+  /// Status::transient when a dropped/stuck-counter fault hit any slot of
+  /// the set since the last reset -- the typed error a resilient caller
+  /// retries (see collect_resilient).
   Status read(int set, std::vector<double>& values) const;
+
+  // --- Fault injection (see faults/faults.hpp) -----------------------------
+  /// Arms (or, with nullptr, disarms) fault injection for this session.
+  /// The plan must outlive the session.  With no plan armed every path
+  /// below is bit-identical to a fault-free session.
+  void set_fault_context(const faults::FaultPlan* plan);
+
+  /// Sets the (run, attempt) coordinates folded into every fault decision.
+  /// The resilient driver bumps `attempt` before each retry so transient
+  /// faults get an independent draw while the underlying NOISE stream --
+  /// keyed on (event, run, kernel) only -- reproduces the identical
+  /// reading on success.
+  void set_fault_coordinates(std::uint64_t run, std::uint64_t attempt);
+
+  const faults::FaultPlan* fault_plan() const noexcept { return fault_plan_; }
+
+  /// Every fault injected since the last clear_fault_log(), in injection
+  /// order.  The resilient driver drains this to attribute retries and
+  /// build its CollectionReport.
+  const std::vector<faults::FaultRecord>& fault_log() const noexcept {
+    return fault_log_;
+  }
+  void clear_fault_log() { fault_log_.clear(); }
 
  private:
   struct Slot {
@@ -162,6 +190,9 @@ class Session {
     bool ever_started = false;
     bool destroyed = false;
     bool multiplexed = false;
+    /// A dropped/stuck-counter fault hit a slot since the last reset; read()
+    /// reports Status::transient until the set is reset.
+    bool transient_read = false;
     std::size_t mux_cursor = 0;      ///< Round-robin slice position.
     std::uint64_t slices_total = 0;  ///< run_kernel calls while running.
   };
@@ -172,9 +203,24 @@ class Session {
   static Slot* find_slot(EventSet& es, std::size_t machine_index);
   static const Slot* find_slot(const EventSet& es, std::size_t machine_index);
 
+  /// Applies reading faults (drop/stuck/wrap/spike) to one slot measurement;
+  /// returns the possibly-corrupted reading and marks the set's transient
+  /// flag for drop/stuck.  Only called when a plan is armed.
+  double apply_reading_faults(EventSet& es, const Slot& slot, double reading,
+                              std::uint64_t kernel_index);
+
   const pmu::Machine* machine_;
   std::vector<EventSet> sets_;
   std::vector<DerivedEvent> presets_;
+
+  // Fault-injection state (inert unless set_fault_context armed a plan).
+  const faults::FaultPlan* fault_plan_ = nullptr;
+  /// Per machine-event-index rates, resolved once from the plan (including
+  /// per-event overrides) so the read hot path never does a name lookup.
+  std::vector<faults::FaultRates> fault_rates_;
+  std::uint64_t fault_run_ = 0;
+  std::uint64_t fault_attempt_ = 0;
+  std::vector<faults::FaultRecord> fault_log_;
 };
 
 }  // namespace catalyst::vpapi

@@ -1,0 +1,201 @@
+// Checkpoint/resume campaigns: bit-identity of resumed vs uninterrupted
+// runs, tolerance of corrupt/mismatched checkpoints, and graceful
+// degradation when events are quarantined.
+#include "core/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+
+#include "cat/cat.hpp"
+#include "core/core.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Rig {
+  pmu::Machine machine = pmu::saphira_cpu();
+  cat::Benchmark bench = cat::branch_benchmark();
+  std::vector<MetricSignature> signatures = branch_signatures();
+};
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+void truncate_file(const std::string& path) {
+  const std::string text = read_text_file(path);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text.substr(0, text.size() / 2);
+}
+
+TEST(ResilientPipeline, CleanRunMatchesRunPipeline) {
+  const Rig s;
+  const auto plain = run_pipeline(s.machine, s.bench, s.signatures);
+  const auto resilient =
+      run_pipeline_resilient(s.machine, s.bench, s.signatures);
+  EXPECT_EQ(plain.all_event_names, resilient.all_event_names);
+  EXPECT_EQ(plain.measurements, resilient.measurements);
+  EXPECT_EQ(plain.xhat_events, resilient.xhat_events);
+  EXPECT_TRUE(resilient.quarantined_events.empty());
+}
+
+TEST(ResilientPipeline, MidRateFaultsReproduceTheCleanPipeline) {
+  const Rig s;
+  const auto plan = faults::FaultPlan::mid_rate();
+  const auto plain = run_pipeline(s.machine, s.bench, s.signatures);
+  const auto resilient =
+      run_pipeline_resilient(s.machine, s.bench, s.signatures, {}, &plan);
+  ASSERT_TRUE(resilient.quarantined_events.empty());
+  EXPECT_EQ(plain.measurements, resilient.measurements);
+  EXPECT_EQ(plain.xhat_events, resilient.xhat_events);
+  ASSERT_TRUE(resilient.collection.has_value());
+  EXPECT_GT(resilient.collection->total_retries, 0u);
+}
+
+TEST(Campaign, ResumeReusesEveryBatchAndYieldsIdenticalArchive) {
+  const Rig s;
+  const auto plan = faults::FaultPlan::mid_rate();
+  CampaignOptions options;
+  options.fault_plan = &plan;
+  options.checkpoint.directory = fresh_dir("campaign_full");
+
+  const auto first = run_campaign(s.machine, s.bench, s.signatures, options);
+  EXPECT_EQ(first.batches_resumed, 0u);
+  EXPECT_EQ(first.batches_total, options.pipeline.repetitions);
+  for (std::size_t r = 0; r < first.batches_total; ++r) {
+    EXPECT_TRUE(fs::exists(fs::path(options.checkpoint.directory) /
+                           ("batch-" + std::to_string(r) + ".json")));
+  }
+
+  options.checkpoint.resume = true;
+  const auto second = run_campaign(s.machine, s.bench, s.signatures, options);
+  EXPECT_EQ(second.batches_resumed, second.batches_total);
+  EXPECT_EQ(save_archive(first.archive), save_archive(second.archive));
+  EXPECT_EQ(first.result.xhat_events, second.result.xhat_events);
+}
+
+TEST(Campaign, InterruptedCampaignResumesWithoutReexecutingDoneBatches) {
+  const Rig s;
+  const auto plan = faults::FaultPlan::mid_rate();
+  CampaignOptions options;
+  options.fault_plan = &plan;
+  options.checkpoint.directory = fresh_dir("campaign_interrupted");
+
+  // The "uninterrupted" reference run, which also populates checkpoints.
+  const auto reference =
+      run_campaign(s.machine, s.bench, s.signatures, options);
+
+  // Simulate a kill after batch 1: the last batch's checkpoint never
+  // happened.
+  const std::size_t last = options.pipeline.repetitions - 1;
+  fs::remove(fs::path(options.checkpoint.directory) /
+             ("batch-" + std::to_string(last) + ".json"));
+
+  options.checkpoint.resume = true;
+  const auto resumed = run_campaign(s.machine, s.bench, s.signatures, options);
+  EXPECT_EQ(resumed.batches_resumed, resumed.batches_total - 1);
+  EXPECT_EQ(save_archive(reference.archive), save_archive(resumed.archive));
+}
+
+TEST(Campaign, CorruptCheckpointIsTreatedAsNotDone) {
+  const Rig s;
+  const auto plan = faults::FaultPlan::mid_rate();
+  CampaignOptions options;
+  options.fault_plan = &plan;
+  options.checkpoint.directory = fresh_dir("campaign_corrupt");
+
+  const auto reference =
+      run_campaign(s.machine, s.bench, s.signatures, options);
+  truncate_file((fs::path(options.checkpoint.directory) / "batch-0.json")
+                    .string());
+
+  options.checkpoint.resume = true;
+  const auto resumed = run_campaign(s.machine, s.bench, s.signatures, options);
+  EXPECT_EQ(resumed.batches_resumed, resumed.batches_total - 1);
+  EXPECT_EQ(save_archive(reference.archive), save_archive(resumed.archive));
+}
+
+TEST(Campaign, ConfigMismatchInvalidatesCheckpoints) {
+  const Rig s;
+  CampaignOptions clean;
+  clean.checkpoint.directory = fresh_dir("campaign_mismatch");
+  run_campaign(s.machine, s.bench, s.signatures, clean);
+
+  // Same directory, different fault plan: the stored batches describe a
+  // DIFFERENT campaign and must not be reused.
+  const auto plan = faults::FaultPlan::mid_rate();
+  CampaignOptions faulty = clean;
+  faulty.fault_plan = &plan;
+  faulty.checkpoint.resume = true;
+  const auto result = run_campaign(s.machine, s.bench, s.signatures, faulty);
+  EXPECT_EQ(result.batches_resumed, 0u);
+}
+
+TEST(Campaign, ArchiveCarriesTheRobustnessPayload) {
+  const Rig s;
+  const auto plan = faults::FaultPlan::mid_rate();
+  CampaignOptions options;
+  options.fault_plan = &plan;
+  const auto out = run_campaign(s.machine, s.bench, s.signatures, options);
+  ASSERT_TRUE(out.archive.collection_report.has_value());
+  // Round trip: save -> load preserves the v2 payload.
+  const auto loaded = load_archive(save_archive(out.archive));
+  EXPECT_EQ(loaded.format_version, "catalyst-measurements-v2");
+  ASSERT_TRUE(loaded.collection_report.has_value());
+  EXPECT_EQ(loaded.collection_report->total_retries,
+            out.archive.collection_report->total_retries);
+  EXPECT_EQ(loaded.quarantined, out.archive.quarantined);
+}
+
+TEST(ResilientPipeline, QuarantinedBasisEventDegradesGracefully) {
+  // Make one of the events Table VII actually selects unrecoverable: the
+  // pipeline must complete on the remaining events, not abort.
+  const Rig s;
+  const auto clean = run_pipeline(s.machine, s.bench, s.signatures);
+  ASSERT_FALSE(clean.xhat_events.empty());
+  const std::string victim = clean.xhat_events.front();
+
+  faults::FaultPlan plan;
+  plan.seed = 11;
+  faults::FaultRates cursed;
+  cursed.dropped_reading = 1.0;
+  plan.per_event[victim] = cursed;
+
+  vpapi::ResilienceOptions resilience;
+  resilience.max_retries = 2;
+  const auto degraded = run_pipeline_resilient(s.machine, s.bench,
+                                               s.signatures, {}, &plan,
+                                               resilience);
+  ASSERT_EQ(degraded.quarantined_events,
+            std::vector<std::string>({victim}));
+  for (const auto& name : degraded.all_event_names) {
+    EXPECT_NE(name, victim);
+  }
+  for (const auto& name : degraded.xhat_events) {
+    EXPECT_NE(name, victim);
+  }
+  EXPECT_FALSE(degraded.xhat_events.empty());
+}
+
+TEST(ResilientPipeline, AllEventsQuarantinedAbortsWithTypedError) {
+  const Rig s;
+  faults::FaultPlan plan;
+  plan.seed = 13;
+  plan.rates.dropped_reading = 1.0;  // nothing is ever readable
+  vpapi::ResilienceOptions resilience;
+  resilience.max_retries = 0;
+  EXPECT_THROW(run_pipeline_resilient(s.machine, s.bench, s.signatures, {},
+                                      &plan, resilience),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace catalyst::core

@@ -1,0 +1,184 @@
+// The fault layer's contracts: deterministic draws, rate semantics, spec
+// parsing, wrap encode/decode round trips, backoff arithmetic, and the
+// injectable clock.
+#include "faults/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pmu/measure.hpp"
+
+namespace faults = catalyst::faults;
+
+namespace {
+
+faults::FaultPlan plan_with_rate(double drop) {
+  faults::FaultPlan plan;
+  plan.seed = 42;
+  plan.rates.dropped_reading = drop;
+  return plan;
+}
+
+TEST(Fires, IsDeterministic) {
+  const auto plan = plan_with_rate(0.5);
+  const std::uint64_t h = catalyst::pmu::fnv1a("SOME_EVENT");
+  for (std::uint64_t run = 0; run < 4; ++run) {
+    for (std::uint64_t kernel = 0; kernel < 4; ++kernel) {
+      const bool a = faults::fires(plan, h, faults::FaultKind::dropped_reading,
+                                   run, kernel, 0, 0.5);
+      const bool b = faults::fires(plan, h, faults::FaultKind::dropped_reading,
+                                   run, kernel, 0, 0.5);
+      EXPECT_EQ(a, b);
+    }
+  }
+}
+
+TEST(Fires, RateZeroNeverRateOneAlways) {
+  const auto plan = plan_with_rate(0.0);
+  const std::uint64_t h = catalyst::pmu::fnv1a("SOME_EVENT");
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    EXPECT_FALSE(faults::fires(plan, h, faults::FaultKind::dropped_reading, 0,
+                               k, 0, 0.0));
+    EXPECT_TRUE(faults::fires(plan, h, faults::FaultKind::dropped_reading, 0,
+                              k, 0, 1.0));
+  }
+}
+
+TEST(Fires, RetryGetsAnIndependentDraw) {
+  // At rate 0.5, a fault that fires at attempt 0 must not deterministically
+  // fire at every later attempt: count coordinates where attempt 0 fires
+  // but attempt 1 does not.
+  const auto plan = plan_with_rate(0.5);
+  const std::uint64_t h = catalyst::pmu::fnv1a("SOME_EVENT");
+  int fired0 = 0, cleared1 = 0;
+  for (std::uint64_t k = 0; k < 400; ++k) {
+    if (faults::fires(plan, h, faults::FaultKind::dropped_reading, 0, k, 0,
+                      0.5)) {
+      ++fired0;
+      if (!faults::fires(plan, h, faults::FaultKind::dropped_reading, 0, k, 1,
+                         0.5)) {
+        ++cleared1;
+      }
+    }
+  }
+  EXPECT_GT(fired0, 100);   // rate 0.5 over 400 draws
+  EXPECT_GT(cleared1, 25);  // ~half of the fired ones clear on retry
+}
+
+TEST(Fires, KindsDrawIndependently) {
+  const auto plan = plan_with_rate(0.5);
+  const std::uint64_t h = catalyst::pmu::fnv1a("SOME_EVENT");
+  int differ = 0;
+  for (std::uint64_t k = 0; k < 200; ++k) {
+    const bool drop = faults::fires(
+        plan, h, faults::FaultKind::dropped_reading, 0, k, 0, 0.5);
+    const bool wrap =
+        faults::fires(plan, h, faults::FaultKind::wrap, 0, k, 0, 0.5);
+    if (drop != wrap) ++differ;
+  }
+  EXPECT_GT(differ, 40);
+}
+
+TEST(Fires, ApproximatesTheRate) {
+  const auto plan = plan_with_rate(0.1);
+  const std::uint64_t h = catalyst::pmu::fnv1a("ANOTHER_EVENT");
+  int fired = 0;
+  const int n = 5000;
+  for (int k = 0; k < n; ++k) {
+    if (faults::fires(plan, h, faults::FaultKind::dropped_reading, 0,
+                      static_cast<std::uint64_t>(k), 0, 0.1)) {
+      ++fired;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / n, 0.1, 0.02);
+}
+
+TEST(FaultPlan, RatesForHonorsPerEventOverrides) {
+  faults::FaultPlan plan;
+  plan.rates.wrap = 0.25;
+  faults::FaultRates bad;
+  bad.dropped_reading = 1.0;
+  plan.per_event["CURSED"] = bad;
+  EXPECT_EQ(plan.rates_for("NORMAL").wrap, 0.25);
+  EXPECT_EQ(plan.rates_for("CURSED").dropped_reading, 1.0);
+  EXPECT_EQ(plan.rates_for("CURSED").wrap, 0.0);
+  EXPECT_TRUE(plan.enabled());
+}
+
+TEST(FaultPlan, DisabledWhenAllRatesZero) {
+  faults::FaultPlan plan;
+  EXPECT_FALSE(plan.enabled());
+  plan.per_event["X"] = faults::FaultRates{};
+  EXPECT_FALSE(plan.enabled());
+}
+
+TEST(ParseFaultPlan, OffMidAndKeyValue) {
+  EXPECT_FALSE(faults::parse_fault_plan("off").enabled());
+
+  const auto mid = faults::parse_fault_plan("mid");
+  EXPECT_EQ(mid.seed, faults::FaultPlan::mid_rate().seed);
+  EXPECT_EQ(mid.rates, faults::FaultPlan::mid_rate().rates);
+
+  const auto custom =
+      faults::parse_fault_plan("seed=7,drop=0.25,wrap=0.001,width=40");
+  EXPECT_EQ(custom.seed, 7u);
+  EXPECT_EQ(custom.rates.dropped_reading, 0.25);
+  EXPECT_EQ(custom.rates.wrap, 0.001);
+  EXPECT_EQ(custom.counter_width_bits, 40);
+
+  const auto tweaked = faults::parse_fault_plan("mid,drop=0.5");
+  EXPECT_EQ(tweaked.rates.dropped_reading, 0.5);
+  EXPECT_EQ(tweaked.rates.wrap, faults::FaultPlan::mid_rate().rates.wrap);
+}
+
+TEST(ParseFaultPlan, RejectsGarbage) {
+  EXPECT_THROW(faults::parse_fault_plan("bogus_key=1"), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_plan("drop=abc"), std::invalid_argument);
+  EXPECT_THROW(faults::parse_fault_plan("drop=1.5"), std::invalid_argument);
+}
+
+TEST(Wrap, EncodeDecodeRoundTrip) {
+  faults::FaultPlan plan;  // width 48
+  for (const double reading : {0.0, 1.0, 1e6, 1e12, std::pow(2.0, 40.0)}) {
+    const double wrapped = faults::wrap_reading(plan, reading);
+    EXPECT_LT(wrapped, 0.0) << "ideals < 2^40 always go negative";
+    std::uint64_t wraps = 0;
+    EXPECT_EQ(faults::unwrap_reading(plan.counter_width_bits, wrapped, &wraps),
+              reading);
+    EXPECT_EQ(wraps, 1u);
+  }
+}
+
+TEST(Wrap, UnwrapLeavesNonNegativeReadingsAlone) {
+  std::uint64_t wraps = 0;
+  EXPECT_EQ(faults::unwrap_reading(48, 123.0, &wraps), 123.0);
+  EXPECT_EQ(wraps, 0u);
+}
+
+TEST(Wrap, SpanIsExactPowerOfTwo) {
+  EXPECT_EQ(faults::counter_wrap_span(48), 281474976710656.0);
+  EXPECT_EQ(faults::counter_wrap_span(32), 4294967296.0);
+}
+
+TEST(Backoff, CappedExponential) {
+  faults::Backoff b;
+  b.base = std::chrono::microseconds(50);
+  b.cap = std::chrono::milliseconds(5);
+  EXPECT_EQ(b.delay(0), std::chrono::microseconds(50));
+  EXPECT_EQ(b.delay(1), std::chrono::microseconds(100));
+  EXPECT_EQ(b.delay(2), std::chrono::microseconds(200));
+  EXPECT_EQ(b.delay(6), std::chrono::microseconds(3200));
+  EXPECT_EQ(b.delay(7), std::chrono::milliseconds(5));    // capped
+  EXPECT_EQ(b.delay(60), std::chrono::milliseconds(5));   // no overflow
+}
+
+TEST(FakeClock, RecordsInsteadOfSleeping) {
+  faults::FakeClock clock;
+  clock.sleep_for(std::chrono::microseconds(50));
+  clock.sleep_for(std::chrono::microseconds(100));
+  ASSERT_EQ(clock.delays().size(), 2u);
+  EXPECT_EQ(clock.total(), std::chrono::microseconds(150));
+}
+
+}  // namespace

@@ -106,6 +106,104 @@ TEST_F(ArchiveFixture, LoadRejectsShapeMismatches) {
   EXPECT_THROW(load_archive(bad), std::invalid_argument);
 }
 
+TEST_F(ArchiveFixture, TruncatedArchivesThrowArchiveErrorWithByteOffset) {
+  // A crash mid-write can leave ANY prefix of an archive on disk.  Every
+  // truncation must surface as a typed ArchiveError naming the byte offset
+  // where the input stopped making sense -- never a crash, never a
+  // silently-accepted partial archive.
+  const auto archive = make_archive(machine(), bench(), online());
+  const auto text = save_archive(archive);
+  // Sampling prefixes keeps this fast (the archive is ~1 MB); the stride is
+  // prime so cut points land in every syntactic context.
+  for (std::size_t cut = 1; cut < text.size(); cut += 7919) {
+    try {
+      (void)load_archive(text.substr(0, cut));
+      FAIL() << "truncation at byte " << cut << " was accepted";
+    } catch (const ArchiveError& e) {
+      EXPECT_NE(e.offset(), std::string::npos) << "cut at " << cut;
+      EXPECT_LE(e.offset(), cut) << "cut at " << cut;
+      EXPECT_NE(std::string(e.what()).find("byte offset"), std::string::npos);
+    } catch (const std::invalid_argument&) {
+      // Truncation that still parses as JSON (e.g. cut inside a trailing
+      // close brace sequence) surfaces as a shape error -- also typed.
+    }
+  }
+}
+
+TEST_F(ArchiveFixture, TruncatedRoundTripNeverTearsSilently) {
+  // Complement of the prefix sweep: removing the LAST byte (the most likely
+  // torn write) must be rejected, and the full text must still load.
+  const auto archive = make_archive(machine(), bench(), online());
+  const auto text = save_archive(archive);
+  EXPECT_THROW(load_archive(text.substr(0, text.size() - 1)),
+               json::JsonError);
+  EXPECT_NO_THROW(load_archive(text));
+}
+
+TEST(ArchiveV2, QuarantineAndReportRoundTrip) {
+  // Hand-build a v2 archive and check the robustness payload survives the
+  // trip; the loader must also keep accepting v1 files (no payload).
+  MeasurementArchive a;
+  a.machine_name = "m";
+  a.benchmark_name = "b";
+  a.slot_names = {"s1", "s2"};
+  a.basis_labels = {"X"};
+  a.expectation = linalg::Matrix(2, 1);
+  a.expectation(0, 0) = 1.0;
+  a.expectation(1, 0) = 2.0;
+  a.event_names = {"E"};
+  a.measurements = {{{1.0, 2.0}, {1.0, 2.0}}};
+  a.quarantined = {"CURSED"};
+  vpapi::CollectionReport report;
+  report.total_retries = 7;
+  report.start_retries = 2;
+  report.quarantined = {"CURSED"};
+  vpapi::EventReport er;
+  er.name = "CURSED";
+  er.read_attempts = 9;
+  er.retries = 8;
+  er.faults[static_cast<std::size_t>(faults::FaultKind::dropped_reading)] = 8;
+  er.disposition = vpapi::EventDisposition::quarantined;
+  report.events.push_back(er);
+  a.collection_report = report;
+
+  const auto text = save_archive(a);
+  EXPECT_NE(text.find("catalyst-measurements-v2"), std::string::npos);
+  const auto loaded = load_archive(text);
+  EXPECT_EQ(loaded.quarantined, a.quarantined);
+  ASSERT_TRUE(loaded.collection_report.has_value());
+  EXPECT_EQ(loaded.collection_report->total_retries, 7u);
+  EXPECT_EQ(loaded.collection_report->start_retries, 2u);
+  const auto* e = loaded.collection_report->find("CURSED");
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(e->retries, 8u);
+  EXPECT_EQ(e->disposition, vpapi::EventDisposition::quarantined);
+  EXPECT_EQ(e->faults[static_cast<std::size_t>(
+                faults::FaultKind::dropped_reading)],
+            8u);
+
+  // v1 stays v1: no payload -> original format marker and no v2 keys.
+  a.quarantined.clear();
+  a.collection_report.reset();
+  a.format_version.clear();
+  const auto v1_text = save_archive(a);
+  EXPECT_NE(v1_text.find("catalyst-measurements-v1"), std::string::npos);
+  EXPECT_EQ(v1_text.find("collection_report"), std::string::npos);
+}
+
+TEST(ArchiveFiles, AtomicWriteReplacesAndNeverTears) {
+  const std::string path = "/tmp/catalyst_io_atomic_test.json";
+  write_text_file_atomic(path, "first");
+  EXPECT_EQ(read_text_file(path), "first");
+  write_text_file_atomic(path, "second");
+  EXPECT_EQ(read_text_file(path), "second");
+  // The temp file must not linger after the rename.
+  std::remove(path.c_str());
+  EXPECT_THROW(read_text_file(path + ".tmp"), std::runtime_error);
+  EXPECT_THROW(write_text_file_atomic("/nonexistent/dir/f.json", "x"),
+               std::runtime_error);
+}
+
 TEST(ArchiveFiles, WriteAndReadBack) {
   const std::string path = "/tmp/catalyst_io_test.json";
   write_text_file(path, "{\"x\": 1}");

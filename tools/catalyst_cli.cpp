@@ -7,6 +7,7 @@
 //                    [--reps N] [--rounded] [--presets] [--json]
 //   catalyst analyze --from FILE <category> [...]   (offline, from archive)
 //   catalyst collect <category> [--machine M] [--reps N] --out FILE
+//                    [--faults [SPEC]] [--checkpoint-dir DIR] [--resume]
 //   catalyst validate <category> [--machine M] [--workloads N]
 //
 // Categories: cpu_flops | gpu_flops | branch | dcache | icache.
@@ -63,6 +64,20 @@ Args parse_args(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// --faults [SPEC]: "" / flag alone means the canonical mid-rate plan;
+/// otherwise the spec grammar of faults::parse_fault_plan ("off", "mid",
+/// "seed=...,drop=...,...").  Returns nullopt when the flag is absent or
+/// the plan parses to disabled.
+std::optional<faults::FaultPlan> fault_plan_from_args(const Args& args) {
+  if (!args.has("faults")) return std::nullopt;
+  const std::string spec = args.get("faults", "");
+  faults::FaultPlan plan =
+      spec.empty() ? faults::FaultPlan::mid_rate()
+                   : faults::parse_fault_plan(spec);
+  if (!plan.enabled()) return std::nullopt;
+  return plan;
 }
 
 std::optional<pmu::Machine> machine_by_name(const std::string& name) {
@@ -133,8 +148,11 @@ int usage() {
       "  catalyst signatures <category>\n"
       "  catalyst analyze <category> [--machine M] [--tau X] [--alpha Y]\n"
       "                   [--reps N] [--rounded] [--presets] [--json]\n"
-      "                   [--from ARCHIVE] [--detrend]\n"
+      "                   [--from ARCHIVE] [--detrend] [--faults [SPEC]]\n"
       "  catalyst collect <category> [--machine M] [--reps N] --out FILE\n"
+      "                   [--faults [SPEC]] [--checkpoint-dir DIR] [--resume]\n"
+      "                   (--resume defaults the checkpoint dir to OUT.ckpt;\n"
+      "                    SPEC: \"mid\" or \"drop=0.01,wrap=0.001,...\")\n"
       "  catalyst full-report [--machine M] [--out FILE] [--presets FILE]\n"
       "  catalyst validate <category> [--machine M] [--workloads N]\n"
       "categories: cpu_flops | gpu_flops | branch | dcache | icache |\n"
@@ -211,8 +229,18 @@ int cmd_analyze(const Args& args) {
         core::load_archive(core::read_text_file(args.get("from", "")));
     result = core::analyze_archive(archive, setup->signatures,
                                    setup->options);
+    result.quarantined_events = archive.quarantined;
+    result.collection = archive.collection_report;
     source = "archive " + args.get("from", "") + " (" +
              archive.machine_name + ")";
+  } else if (const auto plan = fault_plan_from_args(args)) {
+    faults::RealClock clock;
+    vpapi::ResilienceOptions resilience;
+    resilience.clock = &clock;
+    result = core::run_pipeline_resilient(*machine, setup->benchmark,
+                                          setup->signatures, setup->options,
+                                          &*plan, resilience);
+    source = "machine " + machine->name() + " (faulty)";
   } else {
     result = core::run_pipeline(*machine, setup->benchmark,
                                 setup->signatures, setup->options);
@@ -228,6 +256,9 @@ int cmd_analyze(const Args& args) {
               << result.projection.x_event_names.size()
               << " representable -> " << result.xhat_events.size()
               << " selected\n\n";
+    if (result.collection.has_value()) {
+      std::cout << core::format_collection_report(*result.collection) << "\n";
+    }
     std::cout << core::format_selected_events(result) << "\n";
     std::cout << core::format_metric_table("metrics", result.metrics,
                                            args.has("rounded"));
@@ -253,6 +284,41 @@ int cmd_collect(const Args& args) {
   if (!machine) return usage();
   setup->options.repetitions = static_cast<std::size_t>(
       args.get_double("reps", double(setup->options.repetitions)));
+
+  const auto plan = fault_plan_from_args(args);
+  const bool resume = args.has("resume");
+  std::string checkpoint_dir = args.get("checkpoint-dir", "");
+  if (resume && checkpoint_dir.empty()) {
+    checkpoint_dir = args.get("out", "") + ".ckpt";
+  }
+
+  if (plan.has_value() || !checkpoint_dir.empty()) {
+    // Resilient path: retry/quarantine + optional checkpoint/resume.
+    faults::RealClock clock;
+    core::CampaignOptions campaign;
+    campaign.pipeline = setup->options;
+    campaign.fault_plan = plan.has_value() ? &*plan : nullptr;
+    campaign.resilience.clock = &clock;
+    campaign.checkpoint.directory = checkpoint_dir;
+    campaign.checkpoint.resume = resume;
+    const auto out = core::run_campaign(*machine, setup->benchmark,
+                                        setup->signatures, campaign);
+    core::write_text_file(args.get("out", ""),
+                          core::save_archive(out.archive));
+    if (out.batches_resumed > 0) {
+      std::cout << "resumed " << out.batches_resumed << "/"
+                << out.batches_total << " batches from " << checkpoint_dir
+                << "\n";
+    }
+    if (out.result.collection.has_value()) {
+      std::cout << core::format_collection_report(*out.result.collection);
+    }
+    std::cout << "wrote " << out.archive.event_names.size() << " events x "
+              << setup->options.repetitions << " repetitions x "
+              << out.archive.slot_names.size() << " slots to "
+              << args.get("out", "") << "\n";
+    return 0;
+  }
 
   const auto result = core::run_pipeline(*machine, setup->benchmark,
                                          setup->signatures, setup->options);

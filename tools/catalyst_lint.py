@@ -22,6 +22,11 @@ or per file via the allowlists below):
                     shapes through the contract layer (CATALYST_REQUIRE*,
                     CATALYST_ASSUME_FINITE*) or a shared checker before
                     touching data.
+  sleep-in-retry    No raw std::this_thread::sleep_for / sleep_until in src/
+                    outside the allow-listed faults::Clock implementation.
+                    Retry pacing must go through the injectable Clock so
+                    tests (FakeClock) never sleep on wall time and backoff
+                    policy stays in one place.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 Run from anywhere: paths resolve relative to the repository root (parent of
@@ -55,6 +60,12 @@ RNG_ALLOWED = {
 # Files allowed to compare floating-point values with ==/!= beyond the
 # exact-zero idiom (none currently; add sparingly and justify).
 FLOAT_EQ_ALLOWED: set[str] = set()
+
+# The ONE place allowed to sleep on wall time: the injectable retry clock.
+# Everything else paces retries through faults::Clock.
+SLEEP_ALLOWED = {
+    "src/faults/clock.cpp",
+}
 
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
@@ -171,6 +182,8 @@ def relpath(path: Path) -> str:
 
 
 RNG_RE = re.compile(r"\bstd::mt19937(_64)?\b|(?<![\w.])\brand\s*\(\s*\)")
+SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_(for|until)\b"
+                      r"|\bthis_thread\s*::\s*sleep_(for|until)\b")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 # ==/!= where either side is a float literal other than 0.0 / 0. / .0
 FLOAT_LIT = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
@@ -190,6 +203,21 @@ def check_rng(path: Path, code: str, raw_lines: list[str], findings: list[Findin
                 "general-purpose PRNG outside the allow-listed generators; "
                 "use the counter-based noise RNG or add a justified "
                 "allowlist entry"))
+
+
+def check_sleep_in_retry(path: Path, code: str, raw_lines: list[str],
+                         findings: list[Finding]):
+    if relpath(path) in SLEEP_ALLOWED:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if SLEEP_RE.search(line):
+            if "sleep-in-retry" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "sleep-in-retry", path, lineno,
+                "raw thread sleep outside faults::Clock; pace retries via "
+                "the injectable clock (faults/clock.cpp) so tests never "
+                "sleep on wall time"))
 
 
 def check_using_namespace(path: Path, code: str, raw_lines: list[str],
@@ -309,6 +337,7 @@ def main(argv: list[str]) -> int:
         raw_lines = raw.splitlines()
         code = strip_comments_and_strings(raw)
         check_rng(path, code, raw_lines, findings)
+        check_sleep_in_retry(path, code, raw_lines, findings)
         check_using_namespace(path, code, raw_lines, findings)
         check_pragma_once(path, code, findings)
         check_float_equality(path, code, raw_lines, findings)
