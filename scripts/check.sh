@@ -9,7 +9,9 @@
 #   4. TSan build + ctest       data races in the threaded gemm/collector
 #   5. fault_pipeline           Tables V-VIII pipeline under the canonical
 #                               mid-rate FaultPlan vs the clean goldens
-#   6. clang-tidy               if clang-tidy is installed (skipped otherwise)
+#   6. obs                      trace + run-manifest artifacts are schema-valid
+#                               (clean and under injected faults)
+#   7. clang-tidy               if clang-tidy is installed (skipped otherwise)
 #
 # Exits non-zero on the first failing stage.  Stages can be selected:
 #   scripts/check.sh              # everything
@@ -81,6 +83,41 @@ stage_fault_pipeline() {
     (cd "$dir" && ctest --output-on-failure -R '^fault_pipeline$' --timeout 300)
 }
 
+stage_obs() {
+    # The observability artifacts (--trace-out / --manifest-out) must be
+    # schema-valid both on a clean run and under the canonical mid-rate
+    # fault plan (where retry/backoff spans appear).  Reuses the release
+    # tree.
+    local dir=build-check-release
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" --target catalyst > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    local tmp
+    tmp="$(mktemp -d)" || return 1
+    local rc=0
+    "$dir/tools/catalyst" analyze branch \
+        --trace-out "$tmp/trace.json" --manifest-out "$tmp/manifest.json" \
+        --stats > "$tmp/report.md" || rc=1
+    [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind trace \
+        "$tmp/trace.json" \
+        --require-span stage.collect --require-span stage.noise_filter \
+        --require-span stage.projection --require-span stage.qrcp \
+        --require-span stage.metrics || rc=1
+    [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind manifest \
+        "$tmp/manifest.json" --require-span stage.qrcp || rc=1
+    # Faulty run: retry + backoff spans must show up and still validate.
+    [ "$rc" -eq 0 ] && "$dir/tools/catalyst" collect branch --faults mid \
+        --out "$tmp/archive.json" \
+        --trace-out "$tmp/trace_faults.json" > "$tmp/collect.md" || rc=1
+    [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind trace \
+        "$tmp/trace_faults.json" --require-span collect.retry \
+        --require-span collect.backoff || rc=1
+    rm -rf "$tmp"
+    return "$rc"
+}
+
 stage_tidy() {
     if ! command -v clang-tidy > /dev/null 2>&1; then
         echo "clang-tidy not installed; skipping (install it to enable)"
@@ -96,7 +133,7 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint release asan_ubsan tsan fault_pipeline tidy"
+ALL_STAGES="lint release asan_ubsan tsan fault_pipeline obs tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
@@ -108,6 +145,7 @@ for stage in $STAGES; do
         fault_pipeline)
                     run_stage "fault-injected pipeline vs clean goldens" \
                               stage_fault_pipeline ;;
+        obs)        run_stage "obs trace/manifest schema validation" stage_obs ;;
         tidy)       run_stage "clang-tidy" stage_tidy ;;
         *)
             echo "unknown stage: $stage (choose from: $ALL_STAGES)" >&2

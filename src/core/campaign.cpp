@@ -10,6 +10,7 @@
 #include "core/contract.hpp"
 #include "core/json.hpp"
 #include "core/noise.hpp"
+#include "obs/trace.hpp"
 
 namespace catalyst::core {
 
@@ -257,11 +258,18 @@ CampaignResult run_campaign(const pmu::Machine& machine,
 
   CampaignResult out;
   out.batches_total = options.pipeline.repetitions;
+  obs::Span collect_span("stage.collect");
+  collect_span.arg("batches", out.batches_total);
+  collect_span.arg("checkpointing", checkpointing);
   std::vector<Batch> batches;
   batches.reserve(out.batches_total);
   for (std::size_t r = 0; r < out.batches_total; ++r) {
+    obs::Span batch_span("campaign.batch");
+    batch_span.arg("batch", r);
     bool resumed = false;
     if (checkpointing && options.checkpoint.resume) {
+      obs::Span load_span("campaign.checkpoint.load");
+      load_span.arg("batch", r);
       const std::string path =
           checkpoint_path(options.checkpoint.directory, r);
       try {
@@ -273,12 +281,15 @@ CampaignResult run_campaign(const pmu::Machine& machine,
         // is simply not done yet.  Re-collecting it is always safe because
         // readings are pure functions of their coordinates.
       }
+      load_span.arg("hit", resumed);
     }
     if (!resumed) {
       batches.push_back(collect_batch(machine, benchmark, all_events,
                                       thread_acts, inv_normalizer, r,
                                       options));
       if (checkpointing) {
+        obs::Span write_span("campaign.checkpoint.write");
+        write_span.arg("batch", r);
         write_text_file_atomic(
             checkpoint_path(options.checkpoint.directory, r),
             json::dump(batch_to_json(batches.back(), config_key, r)));
@@ -286,7 +297,12 @@ CampaignResult run_campaign(const pmu::Machine& machine,
     } else {
       ++out.batches_resumed;
     }
+    batch_span.arg("resumed", resumed);
   }
+  collect_span.end();
+  obs::count("campaign.batches", out.batches_total);
+  obs::count("campaign.batches_resumed", out.batches_resumed);
+  obs::count("pipeline.events_measured", all_events.size());
 
   // --- merge: quarantine union, surviving events, report ---------------------
   std::unordered_set<std::string> quarantined_set;
@@ -341,6 +357,11 @@ CampaignResult run_campaign(const pmu::Machine& machine,
   out.result = analyze_measurements(benchmark.basis.e, final_events,
                                     std::move(measurements), signatures,
                                     options.pipeline);
+  if (collect_span.duration_ns() > 0) {
+    out.result.stage_timings.insert(
+        out.result.stage_timings.begin(),
+        obs::StageTiming{"collect", collect_span.duration_ns()});
+  }
   out.result.quarantined_events = quarantined_ordered;
   out.result.collection = merged;
 

@@ -49,6 +49,11 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
   // thread) pair is folded into the collector's repetition coordinate so
   // each thread's counters see independent noise, as separate hardware
   // threads would.
+  obs::Span collect_span("stage.collect");
+  collect_span.arg("machine", machine.name());
+  collect_span.arg("events", n_events);
+  collect_span.arg("slots", n_slots);
+  collect_span.arg("threads", n_threads);
   std::vector<vpapi::CollectionResult> per_thread;
   per_thread.reserve(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {
@@ -64,6 +69,10 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
                            options.collection_threads);
     per_thread.push_back(std::move(col));
   }
+  collect_span.end();
+  obs::count("pipeline.events_measured", n_events);
+
+  obs::Span median_span("stage.median_normalize");
 
   result.measurements.assign(
       n_events, std::vector<std::vector<double>>(
@@ -93,11 +102,23 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
       }
     }
   }
+  median_span.end();
 
-  return analyze_measurements(benchmark.basis.e,
-                              std::move(result.all_event_names),
-                              std::move(result.measurements), signatures,
-                              options);
+  PipelineResult analyzed = analyze_measurements(
+      benchmark.basis.e, std::move(result.all_event_names),
+      std::move(result.measurements), signatures, options);
+  // Collection happened before analyze_measurements built its timing list;
+  // splice the two collection-side stages in front so stage_timings reads in
+  // true pipeline order.
+  if (collect_span.duration_ns() > 0 || median_span.duration_ns() > 0) {
+    std::vector<obs::StageTiming> timings;
+    timings.push_back({"collect", collect_span.duration_ns()});
+    timings.push_back({"median_normalize", median_span.duration_ns()});
+    timings.insert(timings.end(), analyzed.stage_timings.begin(),
+                   analyzed.stage_timings.end());
+    analyzed.stage_timings = std::move(timings);
+  }
+  return analyzed;
 }
 
 PipelineResult analyze_measurements(
@@ -134,19 +155,45 @@ PipelineResult analyze_measurements(
     }
   }
 
+  obs::Span analyze_span("pipeline.analyze");
+  analyze_span.arg("events", result.all_event_names.size());
+  analyze_span.arg("tau", options.tau);
+  analyze_span.arg("alpha", options.alpha);
+  const auto record_stage = [&result](obs::Span& span, const char* name) {
+    span.end();
+    if (span.duration_ns() > 0) {
+      result.stage_timings.push_back({name, span.duration_ns()});
+    }
+  };
+
   // --- Stage 3b (optional): detrend drifting events --------------------------
   if (options.detrend_drifting) {
+    obs::Span span("stage.detrend");
+    std::uint64_t detrended = 0;
     for (auto& reps : result.measurements) {
       const auto profile = classify_noise(reps);
       if (profile.cls == NoiseClass::drifting) {
         reps = detrend_repetitions(reps);
+        ++detrended;
       }
     }
+    span.arg("detrended", detrended);
+    record_stage(span, "detrend");
+    obs::count("pipeline.events_detrended", detrended);
   }
 
   // --- Stage 4: noise filter ------------------------------------------------
-  result.noise =
-      filter_noise(result.all_event_names, result.measurements, options.tau);
+  {
+    obs::Span span("stage.noise_filter");
+    span.arg("tau", options.tau);
+    result.noise =
+        filter_noise(result.all_event_names, result.measurements, options.tau);
+    span.arg("kept", result.noise.kept.size());
+    record_stage(span, "noise_filter");
+  }
+  obs::count("pipeline.events_noise_kept", result.noise.kept.size());
+  obs::count("pipeline.events_noise_dropped",
+             result.all_event_names.size() - result.noise.kept.size());
 
   // --- Stage 5: expectation-basis projection --------------------------------
   std::vector<std::string> kept_names;
@@ -154,13 +201,24 @@ PipelineResult analyze_measurements(
   for (std::size_t idx : result.noise.kept) {
     kept_names.push_back(result.all_event_names[idx]);
   }
-  result.projection =
-      normalize_events(expectation, kept_names, result.noise.averaged,
-                       options.projection_max_error);
+  {
+    obs::Span span("stage.projection");
+    result.projection =
+        normalize_events(expectation, kept_names, result.noise.averaged,
+                         options.projection_max_error);
+    span.arg("expressible", result.projection.x_event_names.size());
+    record_stage(span, "projection");
+  }
+  obs::count("pipeline.events_projected",
+             result.projection.x_event_names.size());
 
   // --- Stage 6: specialized QRCP ---------------------------------------------
+  obs::Span qrcp_span("stage.qrcp");
+  qrcp_span.arg("alpha", options.alpha);
   result.qr =
       specialized_qrcp(result.projection.x, options.alpha, options.pivot_rule);
+  qrcp_span.arg("selected", result.qr.selected.size());
+  record_stage(qrcp_span, "qrcp");
   CATALYST_ENSURE(static_cast<linalg::index_t>(result.qr.selected.size()) <=
                       result.projection.x.cols(),
                   "analyze_measurements: QRCP selected more columns than X "
@@ -175,11 +233,19 @@ PipelineResult analyze_measurements(
         result.projection.x_event_names[static_cast<std::size_t>(j)]);
   }
 
+  obs::count("pipeline.events_selected", result.xhat_events.size());
+
   // --- Stage 7: metric synthesis ----------------------------------------------
   if (!result.xhat_events.empty()) {
+    obs::Span span("stage.metrics");
+    span.arg("signatures", signatures.size());
     result.metrics = solve_metrics(result.xhat, result.xhat_events, signatures,
                                    options.fitness_threshold);
+    span.arg("solved", result.metrics.size());
+    record_stage(span, "metrics");
   }
+  obs::count("pipeline.metrics_solved", result.metrics.size());
+  analyze_span.end();
   return result;
 }
 

@@ -31,6 +31,7 @@
 #include "core/noise.hpp"
 #include "core/normalize.hpp"
 #include "core/qrcp_special.hpp"
+#include "obs/trace.hpp"
 #include "pmu/machine.hpp"
 #include "vpapi/collector.hpp"
 
@@ -85,6 +86,11 @@ struct PipelineResult {
   // RNMSE filter: they appear in neither all_event_names nor measurements.
   std::vector<std::string> quarantined_events;
   std::optional<vpapi::CollectionReport> collection;
+
+  /// Per-stage wall time in pipeline order, recorded from the stages' own
+  /// obs::Spans.  Empty when tracing is disabled (compile- or run-time);
+  /// timings describe the run but never influence any numeric result.
+  std::vector<obs::StageTiming> stage_timings;
 
   /// Averaged normalized measurement vector of an event that survived the
   /// noise filter (nullopt otherwise).  Used by the Fig. 3 benches.

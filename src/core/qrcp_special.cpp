@@ -7,6 +7,7 @@
 #include "core/contract.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
+#include "obs/trace.hpp"
 
 namespace catalyst::core {
 
@@ -130,13 +131,18 @@ SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
   }
 
   for (linalg::index_t i = 0; i < kmax; ++i) {
+    obs::Span pivot_span("qrcp.pivot");
+    pivot_span.arg("i", i);
     const linalg::index_t pivot =
         get_pivot(a, traits, perm, i, alpha, beta, rule);
     if (pivot == -1) break;
-    res.pivot_scores.push_back(
-        traits[static_cast<std::size_t>(
-                   perm[static_cast<std::size_t>(pivot)])]
-            .score);
+    const double pivot_score =
+        traits[static_cast<std::size_t>(perm[static_cast<std::size_t>(pivot)])]
+            .score;
+    res.pivot_scores.push_back(pivot_score);
+    pivot_span.arg("col", perm[static_cast<std::size_t>(pivot)]);
+    pivot_span.arg("score", pivot_score);
+    obs::observe("qrcp.pivot_score", pivot_score);
     if (pivot != i) {
       a.swap_cols(i, pivot);
       std::swap(perm[static_cast<std::size_t>(i)],

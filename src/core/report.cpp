@@ -115,6 +115,24 @@ std::string format_markdown_report(const std::string& title,
      << "| selected by specialized QRCP | " << result.xhat_events.size()
      << " |\n\n";
 
+  if (!result.stage_timings.empty()) {
+    os << "## Stage timings\n\n| stage | wall time (ms) | share |\n"
+       << "|---|---|---|\n";
+    std::int64_t total_ns = 0;
+    for (const auto& st : result.stage_timings) total_ns += st.wall_ns;
+    for (const auto& st : result.stage_timings) {
+      const double ms = static_cast<double>(st.wall_ns) / 1e6;
+      const double pct =
+          total_ns > 0 ? 100.0 * static_cast<double>(st.wall_ns) /
+                             static_cast<double>(total_ns)
+                       : 0.0;
+      os << "| " << st.name << " | " << std::fixed << std::setprecision(3)
+         << ms << " | " << std::setprecision(1) << pct << "% |"
+         << std::defaultfloat << "\n";
+    }
+    os << "\n";
+  }
+
   if (result.collection.has_value() || !result.quarantined_events.empty()) {
     os << "## Collection robustness\n\n";
     if (result.collection.has_value()) {
@@ -130,6 +148,12 @@ std::string format_markdown_report(const std::string& title,
   }
 
   os << "## Selected events\n\n| # | event | pivot score |\n|---|---|---|\n";
+  // Degenerate runs (everything filtered or quarantined) still get a stable,
+  // machine-diffable table: one explicit placeholder row, never an empty
+  // table body.
+  if (result.xhat_events.empty()) {
+    os << "| - | (no events survived) | - |\n";
+  }
   for (std::size_t i = 0; i < result.xhat_events.size(); ++i) {
     os << "| " << i << " | `" << result.xhat_events[i] << "` | "
        << std::setprecision(4) << result.qr.pivot_scores[i] << " |\n";
@@ -138,6 +162,9 @@ std::string format_markdown_report(const std::string& title,
   os << "\n## Metrics\n\n"
      << "| metric | combination (rounded) | backward error | composable |\n"
      << "|---|---|---|---|\n";
+  if (result.metrics.empty()) {
+    os << "| - | (no events survived) | - | - |\n";
+  }
   for (const auto& m : result.metrics) {
     const auto rounded = round_coefficients(m.terms, round_tol);
     os << "| " << m.metric_name << " | `" << format_combination(rounded)

@@ -1,7 +1,8 @@
 // The single place in the source tree that spends real wall time on retry
-// pacing.  Everything else must take a faults::Clock so tests can inject
-// FakeClock (enforced by catalyst-lint's sleep-in-retry rule, which
-// allow-lists exactly this file).
+// pacing, and (with src/obs) one of the only places allowed to read the raw
+// steady clock.  Everything else must take a faults::Clock so tests can
+// inject FakeClock (enforced by catalyst-lint's sleep-in-retry and
+// raw-timing rules, which allow-list exactly these files).
 #include "faults/faults.hpp"
 
 #include <thread>
@@ -11,6 +12,11 @@ namespace catalyst::faults {
 void RealClock::sleep_for(std::chrono::nanoseconds d) {
   if (d.count() <= 0) return;
   std::this_thread::sleep_for(d);
+}
+
+std::chrono::nanoseconds RealClock::now() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+      std::chrono::steady_clock::now().time_since_epoch());
 }
 
 }  // namespace catalyst::faults

@@ -141,29 +141,43 @@ struct Backoff {
   std::chrono::nanoseconds delay(std::uint64_t attempt) const noexcept;
 };
 
-/// Injectable time source for retry pacing.  Production uses RealClock;
-/// tests use FakeClock so no wall time is ever spent (and so the backoff
-/// schedule itself can be asserted).
+/// Injectable time source for retry pacing and span timestamps.  Production
+/// uses RealClock; tests use FakeClock so no wall time is ever spent (and so
+/// the backoff schedule and span timings can be asserted exactly).
 class Clock {
  public:
   virtual ~Clock() = default;
   virtual void sleep_for(std::chrono::nanoseconds d) = 0;
+  /// Monotonic timestamp (obs::Span start/end times come from here).
+  virtual std::chrono::nanoseconds now() = 0;
 };
 
-/// Actually sleeps.  The implementation file is the single allow-listed
-/// caller of std::this_thread::sleep_for (catalyst-lint: sleep-in-retry).
+/// Actually sleeps / reads the steady clock.  The implementation file is the
+/// single allow-listed caller of std::this_thread::sleep_for (catalyst-lint:
+/// sleep-in-retry) and one of two allow-listed raw steady_clock readers
+/// (catalyst-lint: raw-timing).
 class RealClock final : public Clock {
  public:
   void sleep_for(std::chrono::nanoseconds d) override;
+  std::chrono::nanoseconds now() override;
 };
 
-/// Records every requested delay and returns immediately.  Thread-safe:
-/// the resilient driver's workers may back off concurrently.
+/// Records every requested delay and returns immediately; now() returns a
+/// virtual time that advances by each "slept" delay plus 1us per query, so
+/// spans timed against it get deterministic, strictly increasing stamps.
+/// Thread-safe: the resilient driver's workers may back off concurrently.
 class FakeClock final : public Clock {
  public:
   void sleep_for(std::chrono::nanoseconds d) override {
     const std::lock_guard<std::mutex> lock(mutex_);
     delays_.push_back(d);
+    virtual_now_ += d;
+  }
+  std::chrono::nanoseconds now() override {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::chrono::nanoseconds t = virtual_now_;
+    virtual_now_ += std::chrono::microseconds(1);
+    return t;
   }
   std::vector<std::chrono::nanoseconds> delays() const {
     const std::lock_guard<std::mutex> lock(mutex_);
@@ -179,6 +193,7 @@ class FakeClock final : public Clock {
  private:
   mutable std::mutex mutex_;
   std::vector<std::chrono::nanoseconds> delays_;
+  std::chrono::nanoseconds virtual_now_{0};
 };
 
 }  // namespace catalyst::faults

@@ -1,0 +1,327 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "pmu/measure.hpp"
+
+namespace catalyst::obs {
+namespace {
+
+// Numbers are written with enough digits to round-trip; JSON has no
+// inf/nan, so non-finite values degrade to null.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string quoted(std::string_view s) {
+  return "\"" + json_escape(s) + "\"";
+}
+
+/// Splits a packed "k=v;k=v;" args string into an "args" JSON object body.
+/// Values that look like numbers or booleans are emitted bare.
+std::string args_to_json(const char* packed) {
+  std::string out;
+  std::string_view rest(packed);
+  bool first = true;
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view pair =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos || eq == 0) continue;
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view val = pair.substr(eq + 1);
+    if (!first) out += ",";
+    first = false;
+    out += quoted(key);
+    out += ":";
+    if (val == "true" || val == "false") {
+      out += std::string(val);
+      continue;
+    }
+    char* end = nullptr;
+    const std::string val_str(val);
+    const double num = std::strtod(val_str.c_str(), &end);
+    if (!val_str.empty() && end != nullptr && *end == '\0' &&
+        std::isfinite(num)) {
+      out += json_number(num);
+    } else {
+      out += quoted(val);
+    }
+  }
+  return out;
+}
+
+void append_histogram_json(std::string& out, const HistogramSnapshot& h,
+                           const char* indent) {
+  out += indent;
+  out += quoted(h.name) + ": {";
+  char buf[160];
+  const double mean =
+      h.total_count > 0 ? h.sum / static_cast<double>(h.total_count) : 0.0;
+  std::snprintf(buf, sizeof buf, "\"count\": %" PRIu64 ", ", h.total_count);
+  out += buf;
+  out += "\"sum\": " + json_number(h.sum) + ", ";
+  out += "\"min\": " + json_number(h.min) + ", ";
+  out += "\"max\": " + json_number(h.max) + ", ";
+  out += "\"mean\": " + json_number(mean) + "}";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string config_hash(const std::string& config) {
+  char buf[20];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, pmu::fnv1a(config));
+  return buf;
+}
+
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans,
+                            const MetricsSnapshot& metrics) {
+  // Normalize so the earliest span starts at ts=0; Chrome/Perfetto want
+  // microseconds and cope badly with huge absolute steady-clock epochs.
+  std::int64_t t0 = 0;
+  bool have_t0 = false;
+  for (const SpanRecord& s : spans) {
+    if (!have_t0 || s.start_ns < t0) {
+      t0 = s.start_ns;
+      have_t0 = true;
+    }
+  }
+
+  std::string out = "{\n  \"traceEvents\": [\n";
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out += ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(s.start_ns - t0) / 1000.0;
+    const double dur_us =
+        static_cast<double>(s.end_ns >= s.start_ns ? s.end_ns - s.start_ns
+                                                   : 0) /
+        1000.0;
+    char head[128];
+    std::snprintf(head, sizeof head,
+                  "    {\"ph\": \"X\", \"pid\": 1, \"tid\": %u, ",
+                  s.thread_id);
+    out += head;
+    out += "\"name\": " + quoted(s.name) + ", ";
+    out += "\"ts\": " + json_number(ts_us) + ", ";
+    out += "\"dur\": " + json_number(dur_us) + ", ";
+    out += "\"args\": {" + args_to_json(s.args) + "}}";
+  }
+  out += "\n  ],\n";
+  out += "  \"displayTimeUnit\": \"ms\",\n";
+  out += "  \"otherData\": {\n    \"counters\": {";
+  bool first_counter = true;
+  for (const auto& [name, value] : metrics.counters) {
+    if (!first_counter) out += ",";
+    first_counter = false;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, ": %" PRIu64, value);
+    out += "\n      " + quoted(name) + buf;
+  }
+  out += first_counter ? "},\n" : "\n    },\n";
+  out += "    \"histograms\": {";
+  bool first_hist = true;
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    if (!first_hist) out += ",";
+    first_hist = false;
+    out += "\n";
+    append_histogram_json(out, h, "      ");
+  }
+  out += first_hist ? "}\n" : "\n    }\n";
+  out += "  }\n}\n";
+  return out;
+}
+
+std::string to_run_manifest(const RunManifest& m) {
+  std::string out = "{\n";
+  out += "  \"format\": " + quoted(kRunManifestFormat) + ",\n";
+  out += "  \"tool\": " + quoted(m.tool) + ",\n";
+  out += "  \"category\": " + quoted(m.category) + ",\n";
+  out += "  \"machine\": " + quoted(m.machine) + ",\n";
+  out += "  \"git_sha\": " + quoted(m.git_sha) + ",\n";
+  out += "  \"config\": " + quoted(m.config) + ",\n";
+  out += "  \"config_hash\": " + quoted(m.config_hash) + ",\n";
+  out += "  \"tau\": " + json_number(m.tau) + ",\n";
+  out += "  \"alpha\": " + json_number(m.alpha) + ",\n";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "  \"repetitions\": %" PRIu64 ",\n",
+                m.repetitions);
+  out += buf;
+
+  out += "  \"stages\": [";
+  bool first = true;
+  for (const StageTiming& st : m.stages) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": " + quoted(st.name) + ", \"wall_ns\": ";
+    std::snprintf(buf, sizeof buf, "%" PRId64 "}", st.wall_ns);
+    out += buf;
+  }
+  out += first ? "],\n" : "\n  ],\n";
+
+  out += "  \"funnel\": {";
+  first = true;
+  for (const auto& [name, value] : m.funnel) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, ": %" PRIu64, value);
+    out += "\n    " + quoted(name) + buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"counters\": {";
+  first = true;
+  for (const auto& [name, value] : m.metrics.counters) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, ": %" PRIu64, value);
+    out += "\n    " + quoted(name) + buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  first = true;
+  for (const HistogramSnapshot& h : m.metrics.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n";
+    append_histogram_json(out, h, "    ");
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  std::snprintf(buf, sizeof buf, "  \"spans_published\": %" PRIu64 ",\n",
+                m.spans_published);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  \"spans_dropped\": %" PRIu64 "\n",
+                m.spans_dropped);
+  out += buf;
+  out += "}\n";
+  return out;
+}
+
+std::vector<StageTiming> aggregate_stage_timings(
+    const std::vector<SpanRecord>& spans) {
+  constexpr std::string_view kPrefix = "stage.";
+  struct Agg {
+    std::int64_t wall_ns = 0;
+    std::int64_t first_start = 0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const SpanRecord& s : spans) {
+    const std::string_view name(s.name);
+    if (name.substr(0, kPrefix.size()) != kPrefix) continue;
+    const std::string stage(name.substr(kPrefix.size()));
+    auto [it, inserted] = by_name.try_emplace(stage);
+    const std::int64_t dur = s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0;
+    if (inserted || s.start_ns < it->second.first_start) {
+      it->second.first_start = s.start_ns;
+    }
+    it->second.wall_ns += dur;
+  }
+  std::vector<std::pair<std::string, Agg>> ordered(by_name.begin(),
+                                                   by_name.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second.first_start != b.second.first_start) {
+                return a.second.first_start < b.second.first_start;
+              }
+              return a.first < b.first;
+            });
+  std::vector<StageTiming> out;
+  out.reserve(ordered.size());
+  for (auto& [name, agg] : ordered) out.push_back({name, agg.wall_ns});
+  return out;
+}
+
+std::string format_stats(const MetricsSnapshot& metrics,
+                         const std::vector<StageTiming>& stages,
+                         std::uint64_t spans_published,
+                         std::uint64_t spans_dropped) {
+  std::string out = "== catalyst::obs stats ==\n";
+  char buf[256];
+
+  out += "stage timings:\n";
+  if (stages.empty()) out += "  (none recorded)\n";
+  std::int64_t total_ns = 0;
+  for (const StageTiming& st : stages) total_ns += st.wall_ns;
+  for (const StageTiming& st : stages) {
+    const double ms = static_cast<double>(st.wall_ns) / 1e6;
+    const double pct = total_ns > 0 ? 100.0 * static_cast<double>(st.wall_ns) /
+                                          static_cast<double>(total_ns)
+                                    : 0.0;
+    std::snprintf(buf, sizeof buf, "  %-20s %12.3f ms  %5.1f%%\n",
+                  st.name.c_str(), ms, pct);
+    out += buf;
+  }
+
+  out += "counters:\n";
+  if (metrics.counters.empty()) out += "  (none)\n";
+  for (const auto& [name, value] : metrics.counters) {
+    std::snprintf(buf, sizeof buf, "  %-32s %" PRIu64 "\n", name.c_str(),
+                  value);
+    out += buf;
+  }
+
+  out += "histograms:\n";
+  if (metrics.histograms.empty()) out += "  (none)\n";
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    const double mean =
+        h.total_count > 0 ? h.sum / static_cast<double>(h.total_count) : 0.0;
+    std::snprintf(buf, sizeof buf,
+                  "  %-32s count=%" PRIu64 " mean=%.6g min=%.6g max=%.6g\n",
+                  h.name.c_str(), h.total_count, mean, h.min, h.max);
+    out += buf;
+  }
+
+  std::snprintf(buf, sizeof buf,
+                "spans: published=%" PRIu64 " dropped=%" PRIu64 "\n",
+                spans_published, spans_dropped);
+  out += buf;
+  return out;
+}
+
+}  // namespace catalyst::obs

@@ -1,0 +1,80 @@
+// catalyst/obs -- exporters: Chrome trace_event JSON and the run manifest.
+//
+// Two artifact formats leave this layer:
+//
+//   * Chrome trace JSON ("trace_event" format): load in chrome://tracing or
+//     https://ui.perfetto.dev.  One complete ("ph":"X") event per span,
+//     timestamps normalized so the earliest span starts at 0, counters
+//     attached under "otherData".
+//
+//   * Run manifest ("catalyst-run-manifest-v1"): compact provenance record
+//     of one pipeline run -- git SHA, config hash, tau/alpha, per-stage wall
+//     times, stage funnel counts, counters -- the metadata the per-PR
+//     BENCH_*.json trajectory embeds so results stay comparable across
+//     commits (scripts/run_bench.sh).
+//
+// JSON is emitted directly (this library sits below catalyst::core and so
+// cannot use core/json); the subset written is plain ASCII objects, arrays,
+// strings, and finite numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace catalyst::obs {
+
+/// Everything the run manifest records about one pipeline invocation.
+struct RunManifest {
+  std::string tool;      ///< e.g. "catalyst analyze".
+  std::string category;  ///< e.g. "branch".
+  std::string machine;   ///< e.g. "saphira-cpu".
+  std::string git_sha;   ///< From CATALYST_GIT_SHA; "unknown" when unset.
+  std::string config;       ///< Human-readable config string.
+  std::string config_hash;  ///< hex fnv1a of `config`.
+  double tau = 0.0;
+  double alpha = 0.0;
+  std::uint64_t repetitions = 0;
+  std::vector<StageTiming> stages;
+  /// Stage funnel: ("measured", n), ("noise_kept", n), ... in funnel order.
+  std::vector<std::pair<std::string, std::uint64_t>> funnel;
+  MetricsSnapshot metrics;
+  std::uint64_t spans_published = 0;
+  std::uint64_t spans_dropped = 0;
+};
+
+/// The manifest's "format" field.
+inline constexpr const char* kRunManifestFormat = "catalyst-run-manifest-v1";
+
+/// JSON string escaping for the emitted subset (quotes, backslash, control
+/// characters; non-ASCII bytes pass through untouched).
+std::string json_escape(std::string_view s);
+
+/// Hex fnv1a-64 of a configuration string (the manifest's config_hash).
+std::string config_hash(const std::string& config);
+
+/// Chrome trace_event JSON of a span snapshot (plus counters as otherData).
+std::string to_chrome_trace(const std::vector<SpanRecord>& spans,
+                            const MetricsSnapshot& metrics);
+
+/// Run-manifest JSON (pretty-printed, 2-space indent).
+std::string to_run_manifest(const RunManifest& manifest);
+
+/// Sums span wall time per name over spans named "stage.*", ordered by each
+/// stage's first start time; the "stage." prefix is stripped.
+std::vector<StageTiming> aggregate_stage_timings(
+    const std::vector<SpanRecord>& spans);
+
+/// Human-readable --stats block: stage timings, counters, histograms, span
+/// accounting.
+std::string format_stats(const MetricsSnapshot& metrics,
+                         const std::vector<StageTiming>& stages,
+                         std::uint64_t spans_published,
+                         std::uint64_t spans_dropped);
+
+}  // namespace catalyst::obs

@@ -1,0 +1,112 @@
+#include "obs/metrics.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "obs/trace.hpp"
+
+namespace catalyst::obs {
+
+std::size_t histogram_bucket(double value) noexcept {
+  if (!(value > 0.0)) return 0;  // <= 0 and NaN land in the zero bucket
+  // ceil, not floor+1: an exact power of two is its bucket's (inclusive)
+  // upper bound, so histogram_bucket(histogram_upper_bound(i)) == i.
+  const int exp2 = static_cast<int>(std::ceil(std::log2(value)));
+  const int idx = exp2 + kBucketBias;
+  if (idx < 1) return 1;
+  if (idx >= static_cast<int>(kNumBuckets)) return kNumBuckets - 1;
+  return static_cast<std::size_t>(idx);
+}
+
+double histogram_upper_bound(std::size_t i) noexcept {
+  if (i == 0) return 0.0;
+  if (i >= kNumBuckets - 1) return std::numeric_limits<double>::infinity();
+  return std::ldexp(1.0, static_cast<int>(i) - kBucketBias);
+}
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::histogram(
+    std::string_view name) const noexcept {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Metrics& Metrics::instance() {
+  static Metrics metrics;
+  return metrics;
+}
+
+void Metrics::add(std::string_view counter, std::uint64_t delta) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(counter);
+  if (it != counters_.end()) {
+    it->second += delta;
+  } else {
+    counters_.emplace(std::string(counter), delta);
+  }
+}
+
+void Metrics::observe(std::string_view histogram, double value) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto it = histograms_.find(histogram);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(histogram), Histogram{}).first;
+  }
+  Histogram& h = it->second;
+  if (h.total_count == 0 || value < h.min) h.min = value;
+  if (h.total_count == 0 || value > h.max) h.max = value;
+  ++h.total_count;
+  h.sum += value;
+  ++h.buckets[histogram_bucket(value)];
+}
+
+MetricsSnapshot Metrics::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.total_count = h.total_count;
+    hs.sum = h.sum;
+    hs.min = h.min;
+    hs.max = h.max;
+    hs.buckets = h.buckets;
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+void Metrics::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  counters_.clear();
+  histograms_.clear();
+}
+
+#if !defined(CATALYST_OBS_DISABLED)
+inline namespace live {
+
+void count(std::string_view counter, std::uint64_t delta) {
+  if (!enabled()) return;
+  Metrics::instance().add(counter, delta);
+}
+
+void observe(std::string_view histogram, double value) {
+  if (!enabled()) return;
+  Metrics::instance().observe(histogram, value);
+}
+
+}  // namespace live
+#endif  // !CATALYST_OBS_DISABLED
+
+}  // namespace catalyst::obs

@@ -1,0 +1,81 @@
+// catalyst/obs -- process-wide metrics registry: named monotonic counters
+// and fixed-bucket (power-of-two) histograms.
+//
+// Instrumented code reports through the free functions obs::count() /
+// obs::observe() (declared in obs/trace.hpp), which are no-ops unless
+// tracing is enabled -- and compile out entirely under CATALYST_OBS=OFF.
+// Exporters and the CLI's --stats read an immutable MetricsSnapshot.
+//
+// Updates take a mutex: every call site is a per-stage / per-retry event,
+// not a per-reading hot path, so contention is negligible and the registry
+// stays trivially correct at any thread count.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace catalyst::obs {
+
+/// Power-of-two histogram geometry: bucket 0 holds v <= 0; bucket i >= 1
+/// holds 2^(i-1-kBucketBias) < v <= 2^(i-kBucketBias).  With the bias below
+/// the buckets span ~1e-6 .. ~4e12, covering RNMSE-scale ratios through
+/// hour-scale nanosecond timings.
+inline constexpr std::size_t kNumBuckets = 64;
+inline constexpr int kBucketBias = 20;
+
+/// Bucket index for a value (pure function; exposed for tests/exporters).
+std::size_t histogram_bucket(double value) noexcept;
+/// Inclusive upper bound of bucket i (+inf for the last, 0 for bucket 0).
+double histogram_upper_bound(std::size_t i) noexcept;
+
+struct HistogramSnapshot {
+  std::string name;
+  std::uint64_t total_count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kNumBuckets> buckets{};
+};
+
+struct MetricsSnapshot {
+  /// Sorted by name (deterministic export order).
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<HistogramSnapshot> histograms;
+
+  /// Counter value by name; 0 when absent.
+  std::uint64_t counter(std::string_view name) const noexcept;
+  const HistogramSnapshot* histogram(std::string_view name) const noexcept;
+};
+
+/// The process-wide registry behind obs::count()/obs::observe().
+class Metrics {
+ public:
+  static Metrics& instance();
+
+  void add(std::string_view counter, std::uint64_t delta);
+  void observe(std::string_view histogram, double value);
+
+  MetricsSnapshot snapshot() const;
+  void reset();
+
+ private:
+  struct Histogram {
+    std::uint64_t total_count = 0;
+    double sum = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+    std::array<std::uint64_t, kNumBuckets> buckets{};
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace catalyst::obs

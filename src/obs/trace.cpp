@@ -1,0 +1,100 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace catalyst::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
+
+void TraceBuffer::publish(const SpanRecord& rec) noexcept {
+  const std::uint64_t ticket =
+      cursor_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[ticket % capacity_];
+  // Seqlock: odd marks the slot mid-write; readers who observe different
+  // values before and after their copy discard it.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.rec = rec;
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+}
+
+std::vector<SpanRecord> TraceBuffer::snapshot() const {
+  struct Numbered {
+    std::uint64_t ticket;
+    SpanRecord rec;
+  };
+  std::vector<Numbered> taken;
+  taken.reserve(std::min<std::uint64_t>(published(), capacity_));
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    const Slot& slot = slots_[i];
+    const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
+    if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
+    SpanRecord copy = slot.rec;
+    const std::uint64_t after = slot.seq.load(std::memory_order_acquire);
+    if (after != before) continue;  // overwritten while copying
+    taken.push_back({before / 2 - 1, copy});
+  }
+  std::sort(taken.begin(), taken.end(),
+            [](const Numbered& a, const Numbered& b) {
+              return a.ticket < b.ticket;
+            });
+  std::vector<SpanRecord> out;
+  out.reserve(taken.size());
+  for (auto& n : taken) out.push_back(n.rec);
+  return out;
+}
+
+std::uint64_t TraceBuffer::dropped() const noexcept {
+  const std::uint64_t total = published();
+  return total > capacity_ ? total - capacity_ : 0;
+}
+
+void TraceBuffer::clear() noexcept {
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    slots_[i].seq.store(0, std::memory_order_relaxed);
+  }
+  cursor_.store(0, std::memory_order_release);
+}
+
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+Tracer::Tracer() : clock_(&real_clock_), buffer_(TraceBuffer::kDefaultCapacity) {
+  const char* env = std::getenv("CATALYST_TRACE");
+  if (env != nullptr && env[0] != '\0' && env[0] != '0') {
+    enabled_.store(true, std::memory_order_relaxed);
+  }
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::set_clock(faults::Clock* clock) noexcept {
+  clock_.store(clock != nullptr ? clock : &real_clock_,
+               std::memory_order_release);
+}
+
+std::int64_t Tracer::now_ns() {
+  return clock_.load(std::memory_order_acquire)->now().count();
+}
+
+namespace detail {
+
+void append_arg(char* args, std::size_t capacity, const char* key,
+                const char* value) noexcept {
+  const std::size_t used = std::strlen(args);
+  if (used >= capacity) return;
+  std::snprintf(args + used, capacity - used, "%s=%s;", key, value);
+}
+
+}  // namespace detail
+
+}  // namespace catalyst::obs

@@ -3,6 +3,7 @@
 #include "core/contract.hpp"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <mutex>
@@ -10,6 +11,8 @@
 #include <stdexcept>
 #include <thread>
 #include <unordered_map>
+
+#include "obs/trace.hpp"
 
 namespace catalyst::vpapi {
 
@@ -133,6 +136,11 @@ CollectionResult collect(const pmu::Machine& machine,
     rep.values.resize(event_names.size());
   }
 
+  obs::Span collect_span("vpapi.collect");
+  collect_span.arg("events", event_names.size());
+  collect_span.arg("repetitions", repetitions);
+  collect_span.arg("groups", groups.size());
+
   // Work list: all (repetition, group) units; each writes a disjoint slice
   // of the result, so workers need no synchronization beyond the cursor.
   const std::size_t total_units = repetitions * groups.size();
@@ -140,6 +148,9 @@ CollectionResult collect(const pmu::Machine& machine,
     const std::size_t rep = unit / groups.size();
     const std::size_t g = unit % groups.size();
     const std::uint64_t run_id = rep * groups.size() + g;
+    obs::Span unit_span("collect.unit");
+    unit_span.arg("rep", rep);
+    unit_span.arg("group", g);
     run_unit(machine, groups[g], activities, ideals, run_id, group_offset[g],
              result.repetitions[rep], plan);
   };
@@ -269,12 +280,21 @@ UnitOutcome run_unit_resilient(const pmu::Machine& machine,
   out.wraps_corrected.assign(n, 0);
   out.fault_counts.assign(n, {});
 
+  obs::Span unit_span("collect.unit");
+  unit_span.arg("run", run_id);
+  unit_span.arg("events", n);
+
   Session session(machine);
   if (plan != nullptr) session.set_fault_context(plan);
   const int set = session.create_eventset();
 
   auto pace = [&](std::uint64_t attempt) {
-    if (opts.clock != nullptr) opts.clock->sleep_for(opts.backoff.delay(attempt));
+    if (opts.clock == nullptr) return;
+    obs::Span backoff_span("collect.backoff");
+    const std::chrono::nanoseconds d = opts.backoff.delay(attempt);
+    backoff_span.arg("attempt", attempt);
+    backoff_span.arg("ns", d.count());
+    opts.clock->sleep_for(d);
   };
 
   // Machine event index -> group-local index, for fault attribution.
@@ -315,6 +335,11 @@ UnitOutcome run_unit_resilient(const pmu::Machine& machine,
   for (std::size_t e = 0; e < n; ++e) {
     bool added = false;
     for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+      // Inert span (nullptr name) on the first attempt: only actual RETRIES
+      // show up in the trace, so a fault-free run stays span-quiet here.
+      obs::Span retry_span(attempt > 0 ? "collect.add_retry" : nullptr);
+      retry_span.arg("event", group[e]);
+      retry_span.arg("attempt", attempt);
       session.set_fault_coordinates(run_id, attempt);
       const Status s = session.add_event(set, group[e]);
       drain_faults(0, nullptr);
@@ -348,6 +373,10 @@ UnitOutcome run_unit_resilient(const pmu::Machine& machine,
       std::vector<char> suspect(n, 0);
       bool success = false;
       for (std::uint64_t attempt = 0; attempt <= opts.max_retries; ++attempt) {
+        // As above: span only the retries, not the happy path.
+        obs::Span retry_span(attempt > 0 ? "collect.retry" : nullptr);
+        retry_span.arg("kernel", k);
+        retry_span.arg("attempt", attempt);
         session.set_fault_coordinates(run_id, attempt);
         Status s = session.start(set);
         if (s == Status::transient) {
@@ -461,6 +490,12 @@ ResilientCollectionResult collect_resilient(
   const auto groups = schedule_groups(machine, event_names);
   const pmu::IdealTable ideals(machine, activities, event_indices);
 
+  obs::Span collect_span("vpapi.collect_resilient");
+  collect_span.arg("events", event_names.size());
+  collect_span.arg("repetitions", repetitions);
+  collect_span.arg("groups", groups.size());
+  collect_span.arg("faults", plan != nullptr && plan->enabled());
+
   std::vector<std::size_t> group_offset(groups.size(), 0);
   for (std::size_t g = 1; g < groups.size(); ++g) {
     group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
@@ -549,6 +584,30 @@ ResilientCollectionResult collect_resilient(
     } else if (er.total_faults() > 0 || er.retries > 0 ||
                er.wraps_corrected > 0) {
       er.disposition = EventDisposition::recovered;
+    }
+  }
+
+  // Campaign-level observability rollup.  Counted once here, not per unit:
+  // the totals are already order-independent sums, so this keeps metrics off
+  // the merge lock entirely.
+  if (obs::enabled()) {
+    obs::count("collect.retries", report.total_retries);
+    obs::count("collect.start_retries", report.start_retries);
+    std::uint64_t wraps = 0;
+    std::array<std::uint64_t, faults::kNumFaultKinds> by_kind{};
+    for (const EventReport& er : report.events) {
+      wraps += er.wraps_corrected;
+      for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
+        by_kind[f] += er.faults[f];
+      }
+    }
+    obs::count("collect.wraps_corrected", wraps);
+    obs::count("collect.quarantined", report.quarantined.size());
+    for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
+      if (by_kind[f] == 0) continue;
+      obs::count("collect.faults." +
+                     faults::to_string(static_cast<faults::FaultKind>(f)),
+                 by_kind[f]);
     }
   }
 

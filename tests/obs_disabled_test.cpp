@@ -1,0 +1,45 @@
+// Same API, compiled out: this binary defines CATALYST_OBS_DISABLED
+// regardless of the CATALYST_OBS option (mirroring contract_disabled_test),
+// so the default build also exercises the zero-cost mode -- every obs call
+// below resolves into the `noop` inline namespace and must leave the live
+// library's global tracer and metrics registry untouched.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace catalyst::obs {
+namespace {
+
+TEST(ObsDisabled, ApiCollapsesToNoOps) {
+  static_assert(!enabled(), "disabled obs::enabled() must be constexpr false");
+
+  // Even with the (live-library) tracer force-enabled, noop spans and
+  // counters record nothing: the decision was made at compile time.
+  Tracer::instance().enable(true);
+  Tracer::instance().reset();
+  Metrics::instance().reset();
+  {
+    Span span("never.recorded");
+    span.arg("k", 42);
+    span.arg("s", std::string("text"));
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.elapsed_ns(), 0);
+    span.end();
+    EXPECT_EQ(span.duration_ns(), 0);
+  }
+  count("never.counted", 5);
+  observe("never.observed", 1.0);
+  Tracer::instance().enable(false);
+
+  EXPECT_EQ(Tracer::instance().buffer().published(), 0u);
+  const auto snap = Metrics::instance().snapshot();
+  EXPECT_TRUE(snap.counters.empty());
+  EXPECT_TRUE(snap.histograms.empty());
+}
+
+}  // namespace
+}  // namespace catalyst::obs

@@ -84,5 +84,66 @@ TEST(Report, MarkdownRoundsCoefficients) {
       << md;
 }
 
+TEST(Report, CombinationDropsZerosAndSignsNegatives) {
+  // Zero coefficients vanish; a leading negative renders as "-mag x EVENT";
+  // interior negatives as " - "; an all-zero combination says so.
+  const std::vector<MetricTerm> terms = {
+      {"A", 0.0}, {"B", -1.0}, {"C", 0.0}, {"D", 2.5}, {"E", -0.25}};
+  EXPECT_EQ(format_combination(terms), "-1 x B + 2.5 x D - 0.25 x E");
+  EXPECT_EQ(format_combination({{"A", 0.0}, {"B", 0.0}}), "(none)");
+  EXPECT_EQ(format_combination({}), "(none)");
+  // Precision is honored (coefficients are doubles, not pretty ints).
+  EXPECT_EQ(format_combination({{"A", 1.0 / 3.0}}, 3), "0.333 x A");
+}
+
+TEST(Report, CollectionReportElidesUntouchedEvents) {
+  vpapi::CollectionReport report;
+  report.events.resize(3);
+  report.events[0].name = "CLEAN_A";
+  report.events[1].name = "CLEAN_B";
+  report.events[2].name = "CLEAN_C";
+  // All clean, no faults/retries/wraps: only the summary line survives.
+  const auto text = format_collection_report(report);
+  EXPECT_EQ(text.find("CLEAN_A"), std::string::npos);
+  EXPECT_EQ(text.find('\n'), text.size() - 1) << "expected summary only";
+
+  report.events[1].retries = 2;
+  report.events[1].faults[0] = 2;
+  const auto eventful = format_collection_report(report);
+  EXPECT_NE(eventful.find("CLEAN_B"), std::string::npos);
+  EXPECT_NE(eventful.find("retries=2"), std::string::npos);
+  EXPECT_EQ(eventful.find("CLEAN_A"), std::string::npos);
+}
+
+TEST(Report, MarkdownCollectionSectionOnlyWhenReportPresent) {
+  const auto bare = format_markdown_report("r", branch_result());
+  EXPECT_EQ(bare.find("## Collection robustness"), std::string::npos);
+
+  PipelineResult with = branch_result();
+  with.collection.emplace();
+  with.quarantined_events = {"BAD_EVENT"};
+  const auto md = format_markdown_report("r", with);
+  EXPECT_NE(md.find("## Collection robustness"), std::string::npos);
+  EXPECT_NE(md.find("`BAD_EVENT`"), std::string::npos);
+}
+
+TEST(Report, MarkdownDegenerateRunKeepsStableTables) {
+  // Everything filtered out: the report must still render complete tables
+  // with explicit placeholder rows, never empty table bodies.
+  PipelineResult empty;
+  const auto md = format_markdown_report("empty", empty);
+  EXPECT_NE(md.find("| - | (no events survived) | - |\n"), std::string::npos);
+  EXPECT_NE(md.find("| - | (no events survived) | - | - |\n"),
+            std::string::npos);
+  EXPECT_EQ(md.find("## Stage timings"), std::string::npos);
+  // Table-shape invariant holds even for the degenerate report.
+  std::istringstream is(md);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    EXPECT_EQ(line.front(), '|') << line;
+  }
+}
+
 }  // namespace
 }  // namespace catalyst::core

@@ -16,6 +16,7 @@
 // The collect/analyze split mirrors real CAT usage: `collect` runs the
 // benchmarks and saves a measurement archive (JSON); `analyze --from`
 // re-runs only the mathematical stages on the archived data.
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <sstream>
@@ -26,6 +27,9 @@
 
 #include "cat/cat.hpp"
 #include "core/core.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "pmu/pmu.hpp"
 
 namespace {
@@ -78,6 +82,89 @@ std::optional<faults::FaultPlan> fault_plan_from_args(const Args& args) {
                    : faults::parse_fault_plan(spec);
   if (!plan.enabled()) return std::nullopt;
   return plan;
+}
+
+/// Observability flags shared by analyze/collect: --trace-out FILE,
+/// --manifest-out FILE, --stats.  Any of them turns the tracer on for the
+/// whole run (the library also honors CATALYST_TRACE=1 without flags).
+struct TraceArgs {
+  std::string trace_out;
+  std::string manifest_out;
+  bool stats = false;
+  bool any() const {
+    return stats || !trace_out.empty() || !manifest_out.empty();
+  }
+};
+
+TraceArgs trace_args_from(const Args& args) {
+  TraceArgs t;
+  t.trace_out = args.get("trace-out", "");
+  t.manifest_out = args.get("manifest-out", "");
+  t.stats = args.has("stats");
+  if (t.any()) {
+#if defined(CATALYST_OBS_DISABLED)
+    std::cerr << "warning: catalyst was built with CATALYST_OBS=OFF; "
+                 "trace/manifest/stats output will be empty\n";
+#endif
+    obs::Tracer::instance().enable();
+  }
+  return t;
+}
+
+/// Writes the requested trace/manifest/stats artifacts after a run.  The
+/// manifest's git_sha comes from CATALYST_GIT_SHA (scripts/run_bench.sh and
+/// scripts/check.sh export it) so the binary never shells out to git.
+void write_trace_artifacts(const TraceArgs& t, const std::string& tool,
+                           const std::string& category,
+                           const std::string& machine_name,
+                           const core::PipelineOptions& options,
+                           const core::PipelineResult& result) {
+  if (!t.any()) return;
+  obs::Tracer& tracer = obs::Tracer::instance();
+  const std::vector<obs::SpanRecord> spans = tracer.buffer().snapshot();
+  const obs::MetricsSnapshot metrics = obs::Metrics::instance().snapshot();
+  if (!t.trace_out.empty()) {
+    core::write_text_file(t.trace_out, obs::to_chrome_trace(spans, metrics));
+    std::cout << "wrote trace (" << spans.size() << " spans) to "
+              << t.trace_out << "\n";
+  }
+  if (!t.manifest_out.empty()) {
+    obs::RunManifest m;
+    m.tool = tool;
+    m.category = category;
+    m.machine = machine_name;
+    const char* sha = std::getenv("CATALYST_GIT_SHA");
+    m.git_sha = (sha != nullptr && sha[0] != '\0') ? sha : "unknown";
+    std::ostringstream cfg;
+    cfg << category << "|machine=" << machine_name << "|tau=" << options.tau
+        << "|alpha=" << options.alpha << "|reps=" << options.repetitions
+        << "|threads=" << options.collection_threads
+        << "|detrend=" << (options.detrend_drifting ? 1 : 0);
+    m.config = cfg.str();
+    m.config_hash = obs::config_hash(m.config);
+    m.tau = options.tau;
+    m.alpha = options.alpha;
+    m.repetitions = options.repetitions;
+    m.stages = result.stage_timings;
+    m.funnel = {
+        {"measured", result.all_event_names.size()},
+        {"noise_kept", result.noise.kept.size()},
+        {"projected", result.projection.x_event_names.size()},
+        {"selected", result.xhat_events.size()},
+        {"metrics", result.metrics.size()},
+        {"quarantined", result.quarantined_events.size()},
+    };
+    m.metrics = metrics;
+    m.spans_published = tracer.buffer().published();
+    m.spans_dropped = tracer.buffer().dropped();
+    core::write_text_file(t.manifest_out, obs::to_run_manifest(m));
+    std::cout << "wrote run manifest to " << t.manifest_out << "\n";
+  }
+  if (t.stats) {
+    std::cout << obs::format_stats(metrics, result.stage_timings,
+                                   tracer.buffer().published(),
+                                   tracer.buffer().dropped());
+  }
 }
 
 std::optional<pmu::Machine> machine_by_name(const std::string& name) {
@@ -149,8 +236,10 @@ int usage() {
       "  catalyst analyze <category> [--machine M] [--tau X] [--alpha Y]\n"
       "                   [--reps N] [--rounded] [--presets] [--json]\n"
       "                   [--from ARCHIVE] [--detrend] [--faults [SPEC]]\n"
+      "                   [--trace-out FILE] [--manifest-out FILE] [--stats]\n"
       "  catalyst collect <category> [--machine M] [--reps N] --out FILE\n"
       "                   [--faults [SPEC]] [--checkpoint-dir DIR] [--resume]\n"
+      "                   [--trace-out FILE] [--manifest-out FILE] [--stats]\n"
       "                   (--resume defaults the checkpoint dir to OUT.ckpt;\n"
       "                    SPEC: \"mid\" or \"drop=0.01,wrap=0.001,...\")\n"
       "  catalyst full-report [--machine M] [--out FILE] [--presets FILE]\n"
@@ -221,6 +310,7 @@ int cmd_analyze(const Args& args) {
   setup->options.repetitions = static_cast<std::size_t>(
       args.get_double("reps", double(setup->options.repetitions)));
   if (args.has("detrend")) setup->options.detrend_drifting = true;
+  const TraceArgs trace = trace_args_from(args);
 
   core::PipelineResult result;
   std::string source;
@@ -269,6 +359,8 @@ int cmd_analyze(const Args& args) {
               << (args.has("json") ? core::presets_to_json(presets)
                                    : core::presets_to_table(presets));
   }
+  write_trace_artifacts(trace, "catalyst analyze", args.positional[1],
+                        machine_name, setup->options, result);
   return 0;
 }
 
@@ -286,6 +378,8 @@ int cmd_collect(const Args& args) {
       args.get_double("reps", double(setup->options.repetitions)));
 
   const auto plan = fault_plan_from_args(args);
+  const TraceArgs trace = trace_args_from(args);
+  const std::string machine_name = args.get("machine", setup->default_machine);
   const bool resume = args.has("resume");
   std::string checkpoint_dir = args.get("checkpoint-dir", "");
   if (resume && checkpoint_dir.empty()) {
@@ -317,6 +411,8 @@ int cmd_collect(const Args& args) {
               << setup->options.repetitions << " repetitions x "
               << out.archive.slot_names.size() << " slots to "
               << args.get("out", "") << "\n";
+    write_trace_artifacts(trace, "catalyst collect", args.positional[1],
+                          machine_name, setup->options, out.result);
     return 0;
   }
 
@@ -328,6 +424,8 @@ int cmd_collect(const Args& args) {
             << setup->options.repetitions << " repetitions x "
             << archive.slot_names.size() << " slots to "
             << args.get("out", "") << "\n";
+  write_trace_artifacts(trace, "catalyst collect", args.positional[1],
+                        machine_name, setup->options, result);
   return 0;
 }
 

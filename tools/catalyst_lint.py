@@ -27,6 +27,12 @@ or per file via the allowlists below):
                     Retry pacing must go through the injectable Clock so
                     tests (FakeClock) never sleep on wall time and backoff
                     policy stays in one place.
+  raw-timing        No raw std::chrono::steady_clock/system_clock/
+                    high_resolution_clock::now() in src/ outside src/obs/ and
+                    src/faults/.  All timestamps must flow through the
+                    injectable faults::Clock (obs::Tracer::set_clock) so span
+                    timings are deterministic under FakeClock and
+                    observability can never perturb results.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 Run from anywhere: paths resolve relative to the repository root (parent of
@@ -66,6 +72,13 @@ FLOAT_EQ_ALLOWED: set[str] = set()
 SLEEP_ALLOWED = {
     "src/faults/clock.cpp",
 }
+
+# Directory prefixes allowed to read the raw steady/system clock: the
+# injectable clock implementation and the tracing layer built on it.
+TIMING_ALLOWED_PREFIXES = (
+    "src/obs/",
+    "src/faults/",
+)
 
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
@@ -184,6 +197,9 @@ def relpath(path: Path) -> str:
 RNG_RE = re.compile(r"\bstd::mt19937(_64)?\b|(?<![\w.])\brand\s*\(\s*\)")
 SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_(for|until)\b"
                       r"|\bthis_thread\s*::\s*sleep_(for|until)\b")
+RAW_TIMING_RE = re.compile(
+    r"\b(?:std\s*::\s*)?chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 # ==/!= where either side is a float literal other than 0.0 / 0. / .0
 FLOAT_LIT = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
@@ -218,6 +234,23 @@ def check_sleep_in_retry(path: Path, code: str, raw_lines: list[str],
                 "raw thread sleep outside faults::Clock; pace retries via "
                 "the injectable clock (faults/clock.cpp) so tests never "
                 "sleep on wall time"))
+
+
+def check_raw_timing(path: Path, code: str, raw_lines: list[str],
+                     findings: list[Finding]):
+    rel = relpath(path)
+    if rel.startswith(TIMING_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if RAW_TIMING_RE.search(line):
+            if "raw-timing" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "raw-timing", path, lineno,
+                "raw std::chrono clock read outside src/obs//src/faults/; "
+                "take timestamps through the injectable faults::Clock "
+                "(obs::Tracer) so timing stays deterministic under "
+                "FakeClock"))
 
 
 def check_using_namespace(path: Path, code: str, raw_lines: list[str],
@@ -338,6 +371,7 @@ def main(argv: list[str]) -> int:
         code = strip_comments_and_strings(raw)
         check_rng(path, code, raw_lines, findings)
         check_sleep_in_retry(path, code, raw_lines, findings)
+        check_raw_timing(path, code, raw_lines, findings)
         check_using_namespace(path, code, raw_lines, findings)
         check_pragma_once(path, code, findings)
         check_float_equality(path, code, raw_lines, findings)

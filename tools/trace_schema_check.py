@@ -1,0 +1,157 @@
+#!/usr/bin/env python3
+"""Schema validator for catalyst::obs artifacts.
+
+Validates the two JSON formats the CLI emits:
+
+  * Chrome trace_event files (--trace-out):   --kind trace
+  * run manifests (--manifest-out):           --kind manifest
+
+Usage:
+  tools/trace_schema_check.py --kind trace run.json \
+      --require-span stage.noise_filter --require-span stage.qrcp
+  tools/trace_schema_check.py --kind manifest manifest.json
+
+Exit code 0 when the file is schema-valid (and every --require-span name
+occurs at least once); 1 with a diagnostic otherwise.  Stdlib only -- this
+runs in CI (scripts/check.sh obs) and in a ctest.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+MANIFEST_FORMAT = "catalyst-run-manifest-v1"
+
+
+class SchemaError(Exception):
+    pass
+
+
+def expect(cond: bool, msg: str) -> None:
+    if not cond:
+        raise SchemaError(msg)
+
+
+def is_uint(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def check_trace(doc, required_spans) -> int:
+    expect(isinstance(doc, dict), "trace root must be an object")
+    expect("traceEvents" in doc, "trace missing 'traceEvents'")
+    events = doc["traceEvents"]
+    expect(isinstance(events, list), "'traceEvents' must be an array")
+    seen = {}
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        expect(isinstance(ev, dict), f"{where} must be an object")
+        expect(ev.get("ph") == "X",
+               f"{where}: ph must be 'X' (complete event), got {ev.get('ph')!r}")
+        expect(isinstance(ev.get("name"), str) and ev["name"],
+               f"{where}: missing/empty 'name'")
+        for key in ("ts", "dur"):
+            v = ev.get(key)
+            expect(isinstance(v, (int, float)) and not isinstance(v, bool),
+                   f"{where}: '{key}' must be a number")
+            expect(v >= 0, f"{where}: '{key}' must be >= 0, got {v}")
+        expect(is_uint(ev.get("pid")), f"{where}: 'pid' must be a non-negative int")
+        expect(is_uint(ev.get("tid")), f"{where}: 'tid' must be a non-negative int")
+        expect(isinstance(ev.get("args", {}), dict),
+               f"{where}: 'args' must be an object")
+        seen[ev["name"]] = seen.get(ev["name"], 0) + 1
+    other = doc.get("otherData", {})
+    expect(isinstance(other, dict), "'otherData' must be an object")
+    counters = other.get("counters", {})
+    expect(isinstance(counters, dict), "'otherData.counters' must be an object")
+    for name, value in counters.items():
+        expect(is_uint(value),
+               f"counter '{name}' must be a non-negative int, got {value!r}")
+    missing = [s for s in required_spans if s not in seen]
+    expect(not missing, f"required span(s) never recorded: {', '.join(missing)}")
+    print(f"trace OK: {len(events)} spans, {len(seen)} distinct names, "
+          f"{len(counters)} counters")
+    return 0
+
+
+def check_manifest(doc, required_spans) -> int:
+    expect(isinstance(doc, dict), "manifest root must be an object")
+    expect(doc.get("format") == MANIFEST_FORMAT,
+           f"manifest 'format' must be '{MANIFEST_FORMAT}', got "
+           f"{doc.get('format')!r}")
+    for key in ("tool", "category", "machine", "git_sha", "config",
+                "config_hash"):
+        expect(isinstance(doc.get(key), str) and doc[key],
+               f"manifest '{key}' must be a non-empty string")
+    expect(len(doc["config_hash"]) == 16 and
+           all(c in "0123456789abcdef" for c in doc["config_hash"]),
+           "manifest 'config_hash' must be 16 lowercase hex digits")
+    for key in ("tau", "alpha"):
+        expect(isinstance(doc.get(key), (int, float)) and
+               not isinstance(doc.get(key), bool),
+               f"manifest '{key}' must be a number")
+    expect(is_uint(doc.get("repetitions")),
+           "manifest 'repetitions' must be a non-negative int")
+    stages = doc.get("stages")
+    expect(isinstance(stages, list), "manifest 'stages' must be an array")
+    stage_names = set()
+    for i, st in enumerate(stages):
+        expect(isinstance(st, dict) and isinstance(st.get("name"), str) and
+               is_uint(st.get("wall_ns")),
+               f"stages[{i}] must be {{name: str, wall_ns: uint}}")
+        stage_names.add(st["name"])
+    funnel = doc.get("funnel")
+    expect(isinstance(funnel, dict) and funnel,
+           "manifest 'funnel' must be a non-empty object")
+    for key in ("measured", "noise_kept", "projected", "selected"):
+        expect(is_uint(funnel.get(key)),
+               f"funnel '{key}' must be a non-negative int")
+    expect(funnel["measured"] >= funnel["noise_kept"] >= funnel["projected"]
+           >= funnel["selected"],
+           "funnel counts must be non-increasing "
+           "(measured >= noise_kept >= projected >= selected)")
+    expect(isinstance(doc.get("counters"), dict),
+           "manifest 'counters' must be an object")
+    expect(isinstance(doc.get("histograms"), dict),
+           "manifest 'histograms' must be an object")
+    expect(is_uint(doc.get("spans_published")),
+           "manifest 'spans_published' must be a non-negative int")
+    expect(is_uint(doc.get("spans_dropped")),
+           "manifest 'spans_dropped' must be a non-negative int")
+    # --require-span names are matched against the aggregated stage list
+    # (manifests carry stage timings, not individual spans).
+    wanted = {s[len("stage."):] if s.startswith("stage.") else s
+              for s in required_spans}
+    missing = sorted(wanted - stage_names)
+    expect(not missing, f"required stage(s) missing: {', '.join(missing)}")
+    print(f"manifest OK: {doc['tool']} / {doc['category']} on "
+          f"{doc['machine']}, {len(stages)} stages, sha {doc['git_sha'][:12]}")
+    return 0
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("file", help="JSON artifact to validate")
+    ap.add_argument("--kind", choices=("trace", "manifest"), required=True)
+    ap.add_argument("--require-span", action="append", default=[],
+                    metavar="NAME",
+                    help="fail unless a span/stage with this name is present "
+                         "(repeatable)")
+    args = ap.parse_args()
+    try:
+        with open(args.file, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"{args.file}: unreadable or invalid JSON: {e}", file=sys.stderr)
+        return 1
+    try:
+        if args.kind == "trace":
+            return check_trace(doc, args.require_span)
+        return check_manifest(doc, args.require_span)
+    except SchemaError as e:
+        print(f"{args.file}: {e}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
