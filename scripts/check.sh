@@ -4,6 +4,8 @@
 # Runs the full verification matrix in order of increasing cost:
 #
 #   1. catalyst-lint        repo-specific static checks (tools/catalyst_lint.py)
+#   1b. quick               unit-labeled tests only (`ctest -L unit`); the
+#                           sub-minute developer tier, budget-enforced (<60s)
 #   2. Release build + ctest    the default configuration users get
 #   3. ASan+UBSan build + ctest heap/UB errors the Release build hides
 #   4. TSan build + ctest       data races in the threaded gemm/collector
@@ -57,6 +59,29 @@ stage_lint() {
 
 stage_release() {
     build_and_test build-check-release -DCMAKE_BUILD_TYPE=Release
+}
+
+stage_quick() {
+    # The sub-minute developer tier: unit-labeled ctest entries only (see
+    # tests/CMakeLists.txt for the label taxonomy).  The 60s budget is
+    # enforced -- a unit test that outgrows it belongs in integration/slow.
+    local dir=build-check-release
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    local start end elapsed
+    start="$(date +%s)"
+    (cd "$dir" && ctest --output-on-failure -L unit -j "$JOBS" --timeout 120) \
+        || return 1
+    end="$(date +%s)"
+    elapsed=$((end - start))
+    printf 'quick tier wall time: %ss (budget 60s)\n' "$elapsed"
+    if [ "$elapsed" -ge 60 ]; then
+        printf 'quick tier exceeded its 60s budget\n' >&2
+        return 1
+    fi
 }
 
 stage_asan_ubsan() {
@@ -133,12 +158,13 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint release asan_ubsan tsan fault_pipeline obs tidy"
+ALL_STAGES="lint quick release asan_ubsan tsan fault_pipeline obs tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
     case "$stage" in
         lint)       run_stage "catalyst-lint" stage_lint ;;
+        quick)      run_stage "quick tier (ctest -L unit)" stage_quick ;;
         release)    run_stage "Release build + tests" stage_release ;;
         asan_ubsan) run_stage "ASan+UBSan build + tests" stage_asan_ubsan ;;
         tsan)       run_stage "TSan build + tests" stage_tsan ;;

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Regenerates the golden table files under tests/golden/ after an INTENDED
+# output change:
+#
+#   scripts/update_golden.sh [build-dir]
+#
+# Builds golden_tables_test (default tree: ./build) and re-runs it with
+# CATALYST_UPDATE_GOLDEN=1, which makes the test rewrite each golden file
+# instead of comparing against it.  Review the resulting diff before
+# committing -- the goldens ARE the published table content (Tables V-VIII).
+
+set -eu
+
+REPO_ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$REPO_ROOT"
+
+DIR="${1:-build}"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+cmake -B "$DIR" -S . > /dev/null
+cmake --build "$DIR" -j "$JOBS" --target golden_tables_test > /dev/null
+
+mkdir -p tests/golden
+CATALYST_UPDATE_GOLDEN=1 "$DIR/tests/golden_tables_test" \
+    --gtest_brief=1
+
+echo "regenerated goldens:"
+git -C "$REPO_ROOT" status --short tests/golden || ls tests/golden

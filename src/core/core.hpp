@@ -16,3 +16,4 @@
 #include "core/report.hpp"       // IWYU pragma: export
 #include "core/validate.hpp"     // IWYU pragma: export
 #include "core/signatures.hpp"   // IWYU pragma: export
+#include "core/truth.hpp"        // IWYU pragma: export

@@ -1,0 +1,112 @@
+#include "core/truth.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/contract.hpp"
+
+namespace catalyst::core {
+
+namespace {
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+CompositionMatch match_planted_composition(
+    const std::vector<MetricTerm>& rounded_terms,
+    const PlantedComposition& planted) {
+  CATALYST_REQUIRE_AS(planted.coefficients.size() == planted.classes.size(),
+                      std::invalid_argument,
+                      "match_planted_composition: planted coefficients and "
+                      "classes disagree in dimension count");
+  const std::size_t dims = planted.coefficients.size();
+
+  // event name -> dimension, from the equivalence classes.
+  std::unordered_map<std::string, std::size_t> dim_of;
+  for (std::size_t d = 0; d < dims; ++d) {
+    for (const std::string& name : planted.classes[d]) {
+      dim_of.emplace(name, d);
+    }
+  }
+
+  std::vector<int> covered(dims, 0);
+  for (const MetricTerm& term : rounded_terms) {
+    if (term.coefficient == 0.0) continue;
+    const auto it = dim_of.find(term.event_name);
+    if (it == dim_of.end()) {
+      return {false, planted.metric_name + ": term event '" + term.event_name +
+                         "' is outside every planted equivalence class"};
+    }
+    const std::size_t d = it->second;
+    if (++covered[d] > 1) {
+      return {false, planted.metric_name + ": dimension " + std::to_string(d) +
+                         " covered by more than one term"};
+    }
+    if (term.coefficient != planted.coefficients[d]) {
+      return {false, planted.metric_name + ": dimension " + std::to_string(d) +
+                         " has coefficient " + format_double(term.coefficient) +
+                         ", planted " + format_double(planted.coefficients[d])};
+    }
+  }
+  for (std::size_t d = 0; d < dims; ++d) {
+    if (planted.coefficients[d] != 0.0 && covered[d] == 0) {
+      return {false, planted.metric_name + ": dimension " + std::to_string(d) +
+                         " (planted coefficient " +
+                         format_double(planted.coefficients[d]) +
+                         ") is not covered by any term"};
+    }
+    if (planted.coefficients[d] == 0.0 && covered[d] != 0) {
+      return {false, planted.metric_name + ": dimension " + std::to_string(d) +
+                         " has a term but its planted coefficient is 0"};
+    }
+  }
+  return {true, ""};
+}
+
+CompositionMatch composition_is_truthful(
+    const std::vector<MetricTerm>& terms,
+    const std::unordered_map<std::string, linalg::Vector>& representations,
+    const MetricSignature& signature, double tol) {
+  CATALYST_REQUIRE_AS(tol > 0.0, std::invalid_argument,
+                      "composition_is_truthful: tolerance must be positive");
+  const std::size_t dims = signature.coordinates.size();
+  linalg::Vector achieved(dims, 0.0);
+  for (const MetricTerm& term : terms) {
+    if (term.coefficient == 0.0) continue;
+    const auto it = representations.find(term.event_name);
+    if (it == representations.end()) {
+      return {false, signature.name + ": event '" + term.event_name +
+                         "' has no known ground-truth representation"};
+    }
+    CATALYST_REQUIRE_AS(it->second.size() == dims, std::invalid_argument,
+                        "composition_is_truthful: representation of '" +
+                            term.event_name +
+                            "' has the wrong dimension count");
+    for (std::size_t d = 0; d < dims; ++d) {
+      achieved[d] += term.coefficient * it->second[d];
+    }
+  }
+  double err2 = 0.0;
+  double sig2 = 0.0;
+  for (std::size_t d = 0; d < dims; ++d) {
+    const double diff = achieved[d] - signature.coordinates[d];
+    err2 += diff * diff;
+    sig2 += signature.coordinates[d] * signature.coordinates[d];
+  }
+  const double scale = sig2 > 0.0 ? std::sqrt(sig2) : 1.0;
+  const double rel = std::sqrt(err2) / scale;
+  if (rel > tol) {
+    return {false, signature.name + ": composition misses its signature by " +
+                       format_double(rel) + " (relative 2-norm, tol " +
+                       format_double(tol) + ")"};
+  }
+  return {true, ""};
+}
+
+}  // namespace catalyst::core

@@ -1,0 +1,67 @@
+// catalyst/core -- planted-truth comparison for synthesized metrics.
+//
+// When the true event-to-metric composition is KNOWN -- generated models
+// (catalyst::modelgen), hand-built regression fixtures -- the pipeline's
+// output can be judged, not just inspected.  Two independent checks:
+//
+//   * match_planted_composition: does the rounded composition equal the
+//     planted one?  Selected events are compared up to EQUIVALENCE CLASSES
+//     (several raw events can be equally valid realizations of one basis
+//     dimension -- exact aliases, sub-tolerance correlated copies -- and
+//     QRCP tie-breaking is free to pick any member).
+//   * composition_is_truthful: does the composition, evaluated through the
+//     events' known basis representations, actually reproduce the metric's
+//     signature?  This is the "never silently wrong" guard: a metric the
+//     pipeline flags composable must pass it even when the composition is
+//     an alternative (non-planted) covering of the space.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "core/signatures.hpp"
+#include "linalg/matrix.hpp"
+
+namespace catalyst::core {
+
+/// The planted composition of one metric: for each basis dimension, the
+/// integer coefficient and the set of event names that are equally valid
+/// realizations of that dimension (the equivalence class).  Dimensions with
+/// coefficient 0 must not be covered by any non-zero term.
+struct PlantedComposition {
+  std::string metric_name;
+  /// coefficient[d]: planted integer coefficient of basis dimension d.
+  std::vector<double> coefficients;
+  /// classes[d]: event names acceptable as dimension d's representative.
+  std::vector<std::vector<std::string>> classes;
+};
+
+/// Verdict of one metric comparison.  `mismatch` is empty iff `matches`.
+struct CompositionMatch {
+  bool matches = false;
+  std::string mismatch;  ///< First discrepancy, human-readable.
+};
+
+/// Compares a metric's ROUNDED terms (zero terms dropped) against a planted
+/// composition: every non-zero planted dimension must be covered by exactly
+/// one term whose event is in the dimension's class and whose coefficient
+/// equals the planted one; no term may fall outside every class.
+CompositionMatch match_planted_composition(
+    const std::vector<MetricTerm>& rounded_terms,
+    const PlantedComposition& planted);
+
+/// Evaluates a composition through known event representations: does
+///   sum_t coefficient_t * representation(event_t)  ==  signature
+/// hold to relative tolerance `tol` (2-norm)?  Events absent from
+/// `representations` fail the check (an event with no known ground truth
+/// cannot vouch for a metric).  Uses the UNROUNDED terms: truthfulness is a
+/// numerical property, rounding is a presentation step.
+CompositionMatch composition_is_truthful(
+    const std::vector<MetricTerm>& terms,
+    const std::unordered_map<std::string, linalg::Vector>& representations,
+    const MetricSignature& signature, double tol = 1e-6);
+
+}  // namespace catalyst::core

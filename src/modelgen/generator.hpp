@@ -1,0 +1,53 @@
+// catalyst/modelgen -- seeded synthetic CPU-model generation.
+//
+// generate() turns a GeneratorSpec into a complete, self-describing
+// experiment: a machine spec (registered through pmu::build_machine), a
+// benchmark whose expectation basis is exactly known, planted metric
+// signatures with integer compositions, and the ground truth needed to
+// judge the pipeline's output -- per-dimension equivalence classes of
+// selectable events and the exact basis representation of every
+// representable event.  Every field is a pure function of the spec.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cat/benchmark.hpp"
+#include "core/pipeline.hpp"
+#include "core/signatures.hpp"
+#include "core/truth.hpp"
+#include "modelgen/spec.hpp"
+#include "pmu/spec.hpp"
+
+namespace catalyst::modelgen {
+
+/// One generated experiment.  The machine is carried as a spec (not a built
+/// Machine) so metamorphic transforms can permute / reseed it and rebuild.
+struct GeneratedModel {
+  GeneratorSpec spec;  ///< Provenance: the exact input that generated this.
+  pmu::MachineSpec machine_spec;
+  cat::Benchmark benchmark;
+  std::vector<core::MetricSignature> signatures;
+  /// Planted ground truth, parallel to `signatures`.
+  std::vector<core::PlantedComposition> planted;
+  /// Exact basis representation of every representable event (units,
+  /// aliases, scaled/derived/correlated decoys, the huge-norm trap).
+  /// Pure-noise, dead, and out-of-basis scaffold events are absent: they
+  /// have no truthful representation and must never appear in a composed
+  /// metric.
+  std::unordered_map<std::string, linalg::Vector> representations;
+  core::PipelineOptions options;  ///< Thresholds derived from the profile.
+  std::size_t dims = 0;           ///< Basis dimension count.
+  /// Index of the orphaned dimension (spec.orphan_dimension), or npos.
+  std::size_t orphaned_dim = static_cast<std::size_t>(-1);
+
+  /// Registers the machine (pmu::build_machine over machine_spec).
+  pmu::Machine machine() const { return pmu::build_machine(machine_spec); }
+};
+
+/// Generates the model for `spec`.  Deterministic: equal specs produce
+/// byte-identical models.  Throws std::invalid_argument on a bad spec.
+GeneratedModel generate(const GeneratorSpec& spec);
+
+}  // namespace catalyst::modelgen

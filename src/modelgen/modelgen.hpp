@@ -1,0 +1,7 @@
+// catalyst/modelgen -- umbrella header for the synthetic-model generator
+// and the ground-truth recovery oracle.
+#pragma once
+
+#include "modelgen/generator.hpp" // IWYU pragma: export
+#include "modelgen/spec.hpp"      // IWYU pragma: export
+#include "modelgen/verify.hpp"    // IWYU pragma: export

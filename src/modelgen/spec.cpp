@@ -1,0 +1,88 @@
+#include "modelgen/spec.hpp"
+
+#include <stdexcept>
+
+#include "core/contract.hpp"
+
+namespace catalyst::modelgen {
+
+void GeneratorSpec::validate() const {
+  CATALYST_REQUIRE_AS(min_dims >= 1, std::invalid_argument,
+                      "GeneratorSpec: need at least one basis dimension");
+  CATALYST_REQUIRE_AS(min_dims <= max_dims, std::invalid_argument,
+                      "GeneratorSpec: min_dims > max_dims");
+  CATALYST_REQUIRE_AS(extra_slots >= 1, std::invalid_argument,
+                      "GeneratorSpec: need at least one extra slot (the "
+                      "projection stage requires an overdetermined basis)");
+  CATALYST_REQUIRE_AS(min_counters >= 1 && min_counters <= max_counters,
+                      std::invalid_argument,
+                      "GeneratorSpec: bad counter range");
+  CATALYST_REQUIRE_AS(iterations >= 1.0, std::invalid_argument,
+                      "GeneratorSpec: iterations must be >= 1");
+  CATALYST_REQUIRE_AS(noise_level >= 0.0, std::invalid_argument,
+                      "GeneratorSpec: noise_level must be >= 0");
+  CATALYST_REQUIRE_AS(correlation_gamma >= 0.0 && correlation_gamma <= 1.0,
+                      std::invalid_argument,
+                      "GeneratorSpec: correlation_gamma must be in [0, 1]");
+  CATALYST_REQUIRE_AS(num_metrics >= 1, std::invalid_argument,
+                      "GeneratorSpec: need at least one planted metric");
+  CATALYST_REQUIRE_AS(max_coefficient >= 1, std::invalid_argument,
+                      "GeneratorSpec: max_coefficient must be >= 1");
+  CATALYST_REQUIRE_AS(!orphan_dimension || max_dims >= 2,
+                      std::invalid_argument,
+                      "GeneratorSpec: orphaning a dimension needs >= 2 dims");
+}
+
+core::PipelineOptions GeneratorSpec::derive_options() const {
+  core::PipelineOptions options;
+  options.repetitions = 3;
+  // Benign jitter produces max RNMSE ~ sqrt(2) * kBaseRelSigma * noise_level;
+  // tau sits ~30x above the level-1 profile so benign models pass with
+  // margin while the noise ratchet crosses it around noise_level ~ 40.
+  options.tau = 1e-2;
+  // Leakage below alpha/2 rounds away in the specialized QRCP scoring.
+  options.alpha = 5e-2;
+  options.projection_max_error = 5e-2;
+  options.fitness_threshold = 1e-6;
+  return options;
+}
+
+GeneratorSpec GeneratorSpec::edge_all_noise(std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.min_dims = 2;
+  spec.max_dims = 3;
+  // ~20% jitter: max RNMSE lands orders of magnitude above tau, so the
+  // noise filter rejects every countable event.
+  spec.noise_level = 1e3;
+  spec.num_metrics = 2;
+  return spec;
+}
+
+GeneratorSpec GeneratorSpec::edge_single_dim(std::uint64_t seed) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.min_dims = 1;
+  spec.max_dims = 1;
+  spec.max_aliases = 0;
+  spec.scaled_decoys = 0;
+  spec.derived_decoys = 0;
+  spec.correlated_decoys = 0;
+  spec.noise_decoys = 0;
+  spec.dead_decoys = 0;
+  spec.huge_norm_decoy = false;
+  spec.scaffold_events = 0;
+  spec.num_metrics = 1;
+  return spec;
+}
+
+GeneratorSpec GeneratorSpec::edge_orphan(std::uint64_t seed, double gamma) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.orphan_dimension = true;
+  spec.correlated_decoys = 2;
+  spec.correlation_gamma = gamma;
+  return spec;
+}
+
+}  // namespace catalyst::modelgen

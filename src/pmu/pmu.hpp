@@ -5,3 +5,4 @@
 #include "pmu/machine.hpp" // IWYU pragma: export
 #include "pmu/measure.hpp" // IWYU pragma: export
 #include "pmu/signals.hpp" // IWYU pragma: export
+#include "pmu/spec.hpp"    // IWYU pragma: export

@@ -1,0 +1,63 @@
+#include "pmu/spec.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "core/contract.hpp"
+
+namespace catalyst::pmu {
+
+void validate_spec(const MachineSpec& spec) {
+  CATALYST_REQUIRE_AS(!spec.name.empty(), std::invalid_argument,
+                      "MachineSpec: machine name is empty");
+  CATALYST_REQUIRE_AS(spec.physical_counters >= 1, std::invalid_argument,
+                      "MachineSpec '" + spec.name +
+                          "': need at least one physical counter");
+  CATALYST_REQUIRE_AS(!spec.events.empty(), std::invalid_argument,
+                      "MachineSpec '" + spec.name + "': no events");
+  std::unordered_set<std::string> seen;
+  seen.reserve(spec.events.size());
+  for (const EventDefinition& ev : spec.events) {
+    CATALYST_REQUIRE_AS(!ev.name.empty(), std::invalid_argument,
+                        "MachineSpec '" + spec.name + "': unnamed event");
+    CATALYST_REQUIRE_AS(seen.insert(ev.name).second, std::invalid_argument,
+                        "MachineSpec '" + spec.name + "': duplicate event '" +
+                            ev.name + "'");
+    for (const SignalTerm& term : ev.terms) {
+      CATALYST_REQUIRE_AS(!term.signal.empty(), std::invalid_argument,
+                          "MachineSpec '" + spec.name + "': event '" +
+                              ev.name + "' has a term with no signal");
+      CATALYST_REQUIRE_AS(std::isfinite(term.coefficient),
+                          std::invalid_argument,
+                          "MachineSpec '" + spec.name + "': event '" +
+                              ev.name + "' has a non-finite coefficient");
+    }
+    const NoiseModel& noise = ev.noise;
+    const bool noise_finite =
+        std::isfinite(noise.rel_sigma) && std::isfinite(noise.abs_sigma) &&
+        std::isfinite(noise.spike_prob) &&
+        std::isfinite(noise.spike_magnitude) &&
+        std::isfinite(noise.drift_per_rep);
+    CATALYST_REQUIRE_AS(noise_finite, std::invalid_argument,
+                        "MachineSpec '" + spec.name + "': event '" + ev.name +
+                            "' has a non-finite noise parameter");
+    CATALYST_REQUIRE_AS(
+        noise.rel_sigma >= 0.0 && noise.abs_sigma >= 0.0 &&
+            noise.spike_prob >= 0.0 && noise.spike_prob <= 1.0,
+        std::invalid_argument,
+        "MachineSpec '" + spec.name + "': event '" + ev.name +
+            "' has an out-of-range noise parameter");
+  }
+}
+
+Machine build_machine(const MachineSpec& spec) {
+  validate_spec(spec);
+  Machine machine(spec.name, spec.physical_counters, spec.noise_seed);
+  for (const EventDefinition& ev : spec.events) {
+    machine.add_event(ev);
+  }
+  return machine;
+}
+
+}  // namespace catalyst::pmu

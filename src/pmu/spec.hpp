@@ -1,0 +1,46 @@
+// catalyst/pmu -- machine registration from a plain data spec.
+//
+// The three shipped machine models (saphira/tempest/vesuvio) are built in
+// code; generated models (catalyst::modelgen) instead describe themselves as
+// a MachineSpec -- a plain aggregate of the registry contents -- and
+// register through build_machine().  Keeping the spec a dumb value type
+// means generators, archives, and tests can construct, permute, and rescale
+// machine definitions without reaching into Machine's internals, and every
+// entry still goes through Machine::add_event's duplicate/hash bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pmu/event.hpp"
+#include "pmu/machine.hpp"
+
+namespace catalyst::pmu {
+
+/// Everything needed to register a simulated machine: the Machine
+/// constructor arguments plus the full event registry, in registration
+/// order.  Event order is semantically meaningful downstream (collection
+/// grouping, QRCP tie-breaks), which is exactly why the metamorphic
+/// reorder transform permutes a spec rather than a built Machine.
+struct MachineSpec {
+  std::string name;
+  std::size_t physical_counters = 0;
+  std::uint64_t noise_seed = 0;
+  std::vector<EventDefinition> events;
+};
+
+/// Structural validation: non-empty name, >= 1 physical counter, >= 1
+/// event, unique event names, finite term coefficients and noise
+/// parameters.  Reports through the contract layer (std::invalid_argument
+/// under the default throw policy).
+void validate_spec(const MachineSpec& spec);
+
+/// Validates `spec` and registers every event on a fresh Machine.
+/// The result behaves exactly like a hand-built model: noise streams are
+/// keyed on (noise_seed, event name, repetition, kernel), so two machines
+/// built from specs that differ only in event ORDER produce bit-identical
+/// readings per event name.
+Machine build_machine(const MachineSpec& spec);
+
+}  // namespace catalyst::pmu

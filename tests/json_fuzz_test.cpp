@@ -1,0 +1,239 @@
+// Fuzz harness for core::json and the measurement-archive loaders.
+//
+// Three seeded generators, 50k+ total iterations in the default run:
+//   * random bytes      -> json::parse must return a Value or throw
+//                          JsonError -- never crash, never throw anything
+//                          else;
+//   * structure-aware   -> byte-level mutations (truncate / flip / insert /
+//     archive mutations    delete / splice) of valid v1 and v2 measurement
+//                          archives -> load_archive must produce an archive
+//                          or throw one of its documented error types;
+//   * random documents  -> parse(dump(v)) round-trips every generated
+//                          Value exactly.
+//
+// Any failure prints the offending input as a hex dump plus the
+// CATALYST_SEED replay banner (seed_util.hpp); CATALYST_SEED=<n> re-runs
+// exactly that input.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+
+#include "core/io.hpp"
+#include "core/json.hpp"
+#include "linalg/matrix.hpp"
+#include "seed_util.hpp"
+
+namespace catalyst::core {
+namespace {
+
+std::string hex_dump(const std::string& bytes) {
+  std::ostringstream out;
+  out << bytes.size() << " bytes:\n";
+  for (std::size_t row = 0; row < bytes.size(); row += 16) {
+    char offset[16];
+    std::snprintf(offset, sizeof offset, "%06zx  ", row);
+    out << offset;
+    for (std::size_t i = row; i < row + 16; ++i) {
+      if (i < bytes.size()) {
+        char hex[8];
+        std::snprintf(hex, sizeof hex, "%02x ",
+                      static_cast<unsigned char>(bytes[i]));
+        out << hex;
+      } else {
+        out << "   ";
+      }
+    }
+    out << " |";
+    for (std::size_t i = row; i < row + 16 && i < bytes.size(); ++i) {
+      const unsigned char c = static_cast<unsigned char>(bytes[i]);
+      out << (std::isprint(c) ? static_cast<char>(c) : '.');
+    }
+    out << "|\n";
+  }
+  return out.str();
+}
+
+// Byte palette biased toward JSON-significant characters so random inputs
+// reach deep into the parser instead of failing on byte one.
+std::string random_bytes(std::mt19937_64& rng) {
+  static constexpr char kPalette[] =
+      "{}[]\",:.0123456789-+eE \t\n\\/tfnu"
+      "truefalsenull\"\\u00ff";
+  std::uniform_int_distribution<std::size_t> len_dist(0, 96);
+  std::uniform_int_distribution<int> mode_dist(0, 3);
+  std::uniform_int_distribution<int> palette_dist(
+      0, sizeof kPalette - 2);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::string out;
+  const std::size_t len = len_dist(rng);
+  for (std::size_t i = 0; i < len; ++i) {
+    // Mostly palette bytes, sometimes arbitrary ones (embedded NUL, high
+    // bit, control characters).
+    if (mode_dist(rng) != 0) {
+      out.push_back(kPalette[palette_dist(rng)]);
+    } else {
+      out.push_back(static_cast<char>(byte_dist(rng)));
+    }
+  }
+  return out;
+}
+
+std::string mutate(const std::string& doc, std::mt19937_64& rng) {
+  std::string out = doc;
+  std::uniform_int_distribution<int> op_dist(0, 4);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  const int mutations = 1 + static_cast<int>(rng() % 4);
+  for (int m = 0; m < mutations && !out.empty(); ++m) {
+    std::uniform_int_distribution<std::size_t> pos_dist(0, out.size() - 1);
+    const std::size_t pos = pos_dist(rng);
+    switch (op_dist(rng)) {
+      case 0:  // truncate
+        out.resize(pos);
+        break;
+      case 1:  // flip one byte
+        out[pos] = static_cast<char>(byte_dist(rng));
+        break;
+      case 2:  // insert a random byte
+        out.insert(pos, 1, static_cast<char>(byte_dist(rng)));
+        break;
+      case 3:  // delete a short span
+        out.erase(pos, 1 + rng() % 8);
+        break;
+      default: {  // splice: duplicate a short span somewhere else
+        const std::size_t span = 1 + rng() % 12;
+        out.insert(pos_dist(rng) % (out.size() + 1),
+                   out.substr(pos, span));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+/// A well-formed v1 measurement archive (built by hand: the fuzz target is
+/// the LOADER, so no pipeline run is needed).
+std::string base_archive_v1() {
+  MeasurementArchive archive;
+  archive.format_version = "catalyst-measurements-v1";
+  archive.machine_name = "fuzz-machine";
+  archive.benchmark_name = "fuzz-bench";
+  archive.slot_names = {"s0", "s1", "s2"};
+  archive.basis_labels = {"D0", "D1"};
+  archive.expectation = linalg::Matrix(3, 2, 0.0);
+  for (linalg::index_t r = 0; r < 3; ++r) {
+    for (linalg::index_t c = 0; c < 2; ++c) {
+      archive.expectation(r, c) = static_cast<double>(2 * r + c + 1);
+    }
+  }
+  archive.event_names = {"EV_A", "EV_B"};
+  archive.measurements = {
+      {{1.0, 2.0, 3.0}, {1.0, 2.0, 3.0}},
+      {{4.0, 5.0, 6.0}, {4.0, 5.5, 6.0}},
+  };
+  return save_archive(archive, 2);
+}
+
+std::string base_archive_v2() {
+  MeasurementArchive archive = load_archive(base_archive_v1());
+  archive.format_version.clear();  // let the writer pick v2
+  archive.quarantined = {"EV_Q"};
+  return save_archive(archive, 2);
+}
+
+/// Random JSON document generator for the round-trip property.
+json::Value random_value(std::mt19937_64& rng, int depth) {
+  std::uniform_int_distribution<int> type_dist(0, depth > 2 ? 3 : 5);
+  std::uniform_int_distribution<int> size_dist(0, 4);
+  std::uniform_real_distribution<double> num_dist(-1e6, 1e6);
+  switch (type_dist(rng)) {
+    case 0: return json::Value();
+    case 1: return json::Value(rng() % 2 == 0);
+    case 2: return json::Value(num_dist(rng));
+    case 3: {
+      std::string s;
+      const std::size_t n = rng() % 12;
+      for (std::size_t i = 0; i < n; ++i) {
+        s.push_back(static_cast<char>(' ' + rng() % 95));
+      }
+      return json::Value(std::move(s));
+    }
+    case 4: {
+      json::Value arr = json::Value::array();
+      const int n = size_dist(rng);
+      for (int i = 0; i < n; ++i) arr.push_back(random_value(rng, depth + 1));
+      return arr;
+    }
+    default: {
+      json::Value obj = json::Value::object();
+      const int n = size_dist(rng);
+      for (int i = 0; i < n; ++i) {
+        obj["k" + std::to_string(rng() % 16)] = random_value(rng, depth + 1);
+      }
+      return obj;
+    }
+  }
+}
+
+TEST(JsonFuzz, RandomBytesNeverCrashTheParser) {
+  for (const std::uint64_t seed : testing::sweep_seeds(1, 50000)) {
+    std::mt19937_64 rng(seed);
+    const std::string input = random_bytes(rng);
+    try {
+      const json::Value value = json::parse(input);
+      (void)json::dump(value);  // whatever parsed must also serialize
+    } catch (const json::JsonError&) {
+      // Documented failure mode.
+    } catch (const std::exception& e) {
+      FAIL() << testing::seed_banner(seed) << "json::parse threw "
+             << e.what() << " (not a JsonError) on input\n"
+             << hex_dump(input);
+    }
+  }
+}
+
+TEST(JsonFuzz, MutatedArchivesNeverCrashTheLoader) {
+  const std::string bases[] = {base_archive_v1(), base_archive_v2()};
+  for (const std::uint64_t seed : testing::sweep_seeds(1, 6000)) {
+    std::mt19937_64 rng(seed);
+    const std::string input = mutate(bases[seed % 2], rng);
+    try {
+      const MeasurementArchive archive = load_archive(input);
+      EXPECT_EQ(archive.event_names.size(), archive.measurements.size())
+          << testing::seed_banner(seed) << hex_dump(input);
+    } catch (const json::JsonError&) {
+      // ArchiveError derives from JsonError; both are documented.
+    } catch (const std::invalid_argument&) {
+      // Documented for version/shape problems in well-formed JSON.
+    } catch (const std::exception& e) {
+      FAIL() << testing::seed_banner(seed) << "load_archive threw "
+             << e.what() << " (undocumented type) on input\n"
+             << hex_dump(input);
+    }
+  }
+}
+
+TEST(JsonFuzz, GeneratedDocumentsRoundTripExactly) {
+  for (const std::uint64_t seed : testing::sweep_seeds(1, 2000)) {
+    std::mt19937_64 rng(seed);
+    const json::Value value = random_value(rng, 0);
+    for (const int indent : {0, 2}) {
+      const std::string text = json::dump(value, indent);
+      try {
+        EXPECT_TRUE(json::parse(text) == value)
+            << testing::seed_banner(seed) << "round-trip mismatch for\n"
+            << hex_dump(text);
+      } catch (const std::exception& e) {
+        FAIL() << testing::seed_banner(seed) << "parse of dump output threw "
+               << e.what() << "\n"
+               << hex_dump(text);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace catalyst::core

@@ -4,7 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <numeric>
+#include <random>
 #include <set>
+
+#include "seed_util.hpp"
 
 #include "cat/cat.hpp"
 #include "core/core.hpp"
@@ -136,6 +140,47 @@ TEST(PipelineInvariance, SlotPermutationDoesNotChangeSelection) {
     }
   }
 }
+
+// The reversal above is one fixed permutation; this sweeps seeded RANDOM
+// slot permutations (replayable via CATALYST_SEED, see seed_util.hpp).
+class RandomSlotPermutation : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(RandomSlotPermutation, AnySlotOrderKeepsSelectionAndMetrics) {
+  const std::uint64_t seed = GetParam();
+  const pmu::Machine machine = pmu::saphira_cpu();
+  const cat::Benchmark bench = cat::branch_benchmark();
+  std::vector<std::size_t> perm(bench.slots.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::mt19937_64 rng(seed);
+  std::shuffle(perm.begin(), perm.end(), rng);
+
+  cat::Benchmark permuted = bench;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    permuted.slots[i] = bench.slots[perm[i]];
+    permuted.basis.e.set_row(
+        static_cast<linalg::index_t>(i),
+        bench.basis.e.row_copy(static_cast<linalg::index_t>(perm[i])));
+  }
+
+  const auto a = run_pipeline(machine, bench, branch_signatures());
+  const auto b = run_pipeline(machine, permuted, branch_signatures());
+  EXPECT_EQ(a.xhat_events, b.xhat_events) << testing::seed_banner(seed);
+  ASSERT_EQ(a.metrics.size(), b.metrics.size()) << testing::seed_banner(seed);
+  for (std::size_t i = 0; i < a.metrics.size(); ++i) {
+    EXPECT_NEAR(a.metrics[i].backward_error, b.metrics[i].backward_error,
+                1e-12)
+        << testing::seed_banner(seed) << a.metrics[i].metric_name;
+    for (std::size_t t = 0; t < a.metrics[i].terms.size(); ++t) {
+      EXPECT_NEAR(a.metrics[i].terms[t].coefficient,
+                  b.metrics[i].terms[t].coefficient, 1e-9)
+          << testing::seed_banner(seed) << a.metrics[i].metric_name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSlotPermutation,
+                         ::testing::ValuesIn(testing::sweep_seeds(1, 8)));
 
 TEST(PipelineThreading, CollectionThreadsDoNotChangeResults) {
   const pmu::Machine machine = pmu::saphira_cpu();

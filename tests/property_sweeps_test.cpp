@@ -8,6 +8,8 @@
 //     pseudo-inverse solve.
 #include <gtest/gtest.h>
 
+#include "seed_util.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <deque>
@@ -85,24 +87,23 @@ TEST_P(PlantedQrcp, RecoversExactlyThePlantedCleanColumns) {
   const auto x = linalg::Matrix::from_columns(shuffled);
   const auto res = core::specialized_qrcp(x, 5e-4);
 
-  ASSERT_EQ(res.rank, dims) << "seed " << seed;
+  ASSERT_EQ(res.rank, dims) << testing::seed_banner(seed);
   std::vector<bool> covered(static_cast<std::size_t>(dims), false);
   for (linalg::index_t sel : res.selected) {
     const int dim = shuffled_dim[static_cast<std::size_t>(sel)];
-    ASSERT_GE(dim, 0) << "seed " << seed << " picked polluted column "
+    ASSERT_GE(dim, 0) << testing::seed_banner(seed) << " picked polluted column "
                       << sel;
     EXPECT_FALSE(covered[static_cast<std::size_t>(dim)])
-        << "seed " << seed << " picked dimension " << dim << " twice";
+        << testing::seed_banner(seed) << " picked dimension " << dim << " twice";
     covered[static_cast<std::size_t>(dim)] = true;
   }
   EXPECT_TRUE(std::all_of(covered.begin(), covered.end(),
                           [](bool c) { return c; }))
-      << "seed " << seed;
+      << testing::seed_banner(seed);
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PlantedQrcp,
-                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
-                                           89));
+                         ::testing::ValuesIn(testing::sweep_seeds(1, 10)));
 
 // --- cache reference model ----------------------------------------------------
 
@@ -146,12 +147,12 @@ TEST_P(CacheVsReference, HitMissSequencesAgreeOnRandomTraces) {
   for (int i = 0; i < 5000; ++i) {
     const std::uint64_t a = addr(rng);
     EXPECT_EQ(cache.access(a), reference.access(a))
-        << "seed " << seed << " access " << i << " addr " << a;
+        << testing::seed_banner(seed) << " access " << i << " addr " << a;
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, CacheVsReference,
-                         ::testing::Values(11, 22, 33, 44, 55));
+                         ::testing::ValuesIn(testing::sweep_seeds(11, 5)));
 
 // --- lstsq vs SVD pseudo-inverse ------------------------------------------------
 
@@ -177,12 +178,12 @@ TEST_P(LstsqVsSvd, SolutionsAgreeOnFullRankSystems) {
 
   ASSERT_EQ(qr_solution.size(), svd_solution.size());
   for (std::size_t i = 0; i < qr_solution.size(); ++i) {
-    EXPECT_NEAR(qr_solution[i], svd_solution[i], 1e-9) << "seed " << seed;
+    EXPECT_NEAR(qr_solution[i], svd_solution[i], 1e-9) << testing::seed_banner(seed);
   }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LstsqVsSvd,
-                         ::testing::Values(101, 202, 303, 404, 505, 606));
+                         ::testing::ValuesIn(testing::sweep_seeds(101, 6)));
 
 }  // namespace
 }  // namespace catalyst

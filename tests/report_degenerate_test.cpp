@@ -1,0 +1,152 @@
+// Degenerate-path coverage for core::report, driven by modelgen edge
+// specs: the renderers must produce stable, non-empty, machine-diffable
+// text when the pipeline ends with nothing selected (every countable event
+// drowned in noise), with a minimal one-dimension model, and when every
+// event was quarantined before analysis.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "core/core.hpp"
+#include "modelgen/modelgen.hpp"
+#include "seed_util.hpp"
+
+namespace catalyst::modelgen {
+namespace {
+
+using core::PipelineResult;
+
+/// edge_all_noise with the (noise-free) huge-norm trap disabled: the RNMSE
+/// filter then rejects EVERY countable event and the run ends with an empty
+/// kept set -- the fully degenerate report path.
+GeneratorSpec empty_run_spec(std::uint64_t seed) {
+  GeneratorSpec spec = GeneratorSpec::edge_all_noise(seed);
+  spec.huge_norm_decoy = false;
+  return spec;
+}
+
+PipelineResult run(const GeneratedModel& model) {
+  return core::run_pipeline(model.machine(), model.benchmark,
+                            model.signatures, model.options);
+}
+
+TEST(ReportDegenerate, AllNoiseRunRendersPlaceholderRowsNotEmptyTables) {
+  for (const std::uint64_t seed : catalyst::testing::sweep_seeds(1, 5)) {
+    const GeneratedModel model = generate(empty_run_spec(seed));
+    const PipelineResult result = run(model);
+    ASSERT_TRUE(result.noise.kept.empty())
+        << catalyst::testing::seed_banner(seed)
+        << "expected the noise filter to reject every event";
+    ASSERT_TRUE(result.xhat_events.empty())
+        << catalyst::testing::seed_banner(seed);
+
+    const std::string md =
+        core::format_markdown_report("degenerate run", result);
+    // Both the selected-events and the metrics tables keep a placeholder
+    // row instead of an empty body.
+    EXPECT_NE(md.find("| - | (no events survived) | - |\n"),
+              std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+    EXPECT_NE(md.find("| - | (no events survived) | - | - |\n"),
+              std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+    EXPECT_NE(md.find("| after noise filter | 0 |"), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+
+    EXPECT_NE(core::format_selected_events(result).find("selected 0 events"),
+              std::string::npos)
+        << catalyst::testing::seed_banner(seed);
+
+    // No metric rows were solved: the table is just its heading.
+    EXPECT_EQ(core::format_metric_table("empty", result.metrics, true),
+              "=== empty ===\n")
+        << catalyst::testing::seed_banner(seed);
+
+    // Every shown variability line must say the event was rejected.
+    const std::string series =
+        core::format_variability_series(result.noise, model.options.tau);
+    EXPECT_EQ(series.find(" yes "), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << series;
+
+    // The oracle agrees: detectable degradation on every planted metric,
+    // never a silent lie.
+    const RecoveryOutcome outcome = verify_recovery(model, result);
+    EXPECT_FALSE(outcome.any_wrong()) << outcome.describe();
+    for (const MetricVerdict& v : outcome.metrics) {
+      EXPECT_EQ(v.verdict, Verdict::degraded)
+          << catalyst::testing::seed_banner(seed) << outcome.describe();
+    }
+  }
+}
+
+TEST(ReportDegenerate, SingleDimensionModelRendersMinimalTables) {
+  for (const std::uint64_t seed : catalyst::testing::sweep_seeds(1, 5)) {
+    const GeneratedModel model =
+        generate(GeneratorSpec::edge_single_dim(seed));
+    const PipelineResult result = run(model);
+    ASSERT_EQ(result.xhat_events.size(), 1u)
+        << catalyst::testing::seed_banner(seed);
+
+    const std::string md =
+        core::format_markdown_report("single dimension", result);
+    EXPECT_NE(md.find("| selected by specialized QRCP | 1 |"),
+              std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+    EXPECT_NE(md.find("`" + result.xhat_events[0] + "`"), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+    EXPECT_EQ(md.find("(no events survived)"), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << md;
+
+    const std::string table =
+        core::format_metric_table("single", result.metrics, true);
+    EXPECT_NE(table.find(result.xhat_events[0]), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << table;
+    EXPECT_NE(table.find("[composable]"), std::string::npos)
+        << catalyst::testing::seed_banner(seed) << table;
+
+    const RecoveryOutcome outcome = verify_recovery(model, result);
+    EXPECT_TRUE(outcome.all_exact())
+        << catalyst::testing::seed_banner(seed) << outcome.describe();
+  }
+}
+
+TEST(ReportDegenerate, FullyQuarantinedRunRendersRobustnessSection) {
+  // Resilient collection can quarantine events before the analysis ever
+  // sees them (analyze_measurements itself REQUIRES a non-empty event set,
+  // by contract).  A degenerate result carrying a quarantine list must
+  // render the robustness section naming every excluded event alongside
+  // the placeholder rows.
+  const GeneratedModel model = generate(empty_run_spec(7));
+  PipelineResult result = run(model);
+  ASSERT_TRUE(result.xhat_events.empty());
+  for (const pmu::EventDefinition& event : model.machine_spec.events) {
+    result.quarantined_events.push_back(event.name);
+  }
+
+  const std::string md =
+      core::format_markdown_report("all quarantined", result);
+  EXPECT_NE(md.find("## Collection robustness"), std::string::npos) << md;
+  EXPECT_NE(md.find("Quarantined events (excluded from the analysis):"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("- `" + result.quarantined_events.front() + "`"),
+            std::string::npos)
+      << md;
+  EXPECT_NE(md.find("| after noise filter | 0 |"), std::string::npos) << md;
+  EXPECT_NE(md.find("| - | (no events survived) | - |\n"), std::string::npos)
+      << md;
+  EXPECT_NE(md.find("| - | (no events survived) | - | - |\n"),
+            std::string::npos)
+      << md;
+}
+
+TEST(ReportDegenerate, AllZeroCombinationSaysNone) {
+  const std::vector<core::MetricTerm> zeros = {{"SYN_D0_UNIT0", 0.0},
+                                               {"SYN_D1_UNIT0", 0.0}};
+  EXPECT_EQ(core::format_combination(zeros), "(none)");
+  EXPECT_EQ(core::format_combination({}), "(none)");
+}
+
+}  // namespace
+}  // namespace catalyst::modelgen

@@ -1,0 +1,49 @@
+// Seed discipline for randomized tests (enforced by catalyst-lint's
+// seed-echo-in-tests rule):
+//
+//   for (std::uint64_t seed : catalyst::testing::sweep_seeds(1, 50)) {
+//     ...
+//     ASSERT_TRUE(ok) << catalyst::testing::seed_banner(seed) << ...;
+//   }
+//
+// sweep_seeds() normally yields the full range; when CATALYST_SEED=<n> is
+// set it yields exactly that one seed, so the banner a failing run prints
+// ("CATALYST_SEED=<n> ...") replays the failure verbatim:
+//
+//   CATALYST_SEED=17 ctest -R property_sweeps --output-on-failure
+#pragma once
+
+#include <cstdint>
+#include <cstdlib>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace catalyst::testing {
+
+/// The CATALYST_SEED environment override, if set and non-empty.
+inline std::optional<std::uint64_t> env_seed() {
+  const char* env = std::getenv("CATALYST_SEED");
+  if (env == nullptr || *env == '\0') return std::nullopt;
+  return std::strtoull(env, nullptr, 10);
+}
+
+/// Seeds {start, ..., start+count-1}, or the single CATALYST_SEED override.
+inline std::vector<std::uint64_t> sweep_seeds(std::uint64_t start,
+                                              std::size_t count) {
+  if (const auto override_seed = env_seed()) return {*override_seed};
+  std::vector<std::uint64_t> seeds;
+  seeds.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    seeds.push_back(start + i);
+  }
+  return seeds;
+}
+
+/// The replay line every randomized-test failure must lead with.
+inline std::string seed_banner(std::uint64_t seed) {
+  return "CATALYST_SEED=" + std::to_string(seed) +
+         " replays this failure; ";
+}
+
+}  // namespace catalyst::testing

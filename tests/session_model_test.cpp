@@ -4,6 +4,8 @@
 // contents, counter budget, read values) must match at every step.
 #include <gtest/gtest.h>
 
+#include "seed_util.hpp"
+
 #include <map>
 #include <random>
 #include <set>
@@ -52,7 +54,7 @@ TEST(SessionModel, RandomOperationSequencesMatchReference) {
   const std::vector<std::string> names{"A", "B", "C", "D", "E",
                                        "P1", "P2", "nope"};
 
-  for (std::uint64_t seed = 0; seed < 20; ++seed) {
+  for (std::uint64_t seed : testing::sweep_seeds(0, 20)) {
     Session session(machine);
     Model model{machine, {}, {}};
     // Register two presets up front (tested separately below).
@@ -102,7 +104,7 @@ TEST(SessionModel, RandomOperationSequencesMatchReference) {
               ms.raw_counters = needed;
             }
           }
-          ASSERT_EQ(got, want) << "seed " << seed << " step " << step
+          ASSERT_EQ(got, want) << testing::seed_banner(seed) << "step " << step
                                << " add " << name;
           break;
         }
@@ -183,7 +185,7 @@ TEST(SessionModel, RandomOperationSequencesMatchReference) {
               }
             }
             EXPECT_DOUBLE_EQ(vals[i], want_val)
-                << "seed " << seed << " step " << step << " item "
+                << testing::seed_banner(seed) << "step " << step << " item "
                 << ms.items[i];
           }
           break;

@@ -33,6 +33,13 @@ or per file via the allowlists below):
                     injectable faults::Clock (obs::Tracer::set_clock) so span
                     timings are deterministic under FakeClock and
                     observability can never perturb results.
+  seed-echo-in-tests
+                    Every test in tests/ that owns a general-purpose PRNG
+                    must include "seed_util.hpp" and take its seeds from it:
+                    sweep_seeds() honors CATALYST_SEED=<n> for single-seed
+                    replay and seed_banner() prints the replay line on
+                    failure.  A randomized test whose failure cannot be
+                    reproduced from its output is a flake report, not a test.
 
 Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
 Run from anywhere: paths resolve relative to the repository root (parent of
@@ -47,12 +54,14 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
+TESTS = REPO_ROOT / "tests"
 
 # Files allowed to own a general-purpose PRNG: machine-model construction
 # (seeded once, not per measurement), the linalg test-matrix generators, the
-# norm estimator's start vector, pointer-chase shuffling, and the mixed
-# benchmark's signature shuffling.  Everything else must use the
-# counter-based noise RNG.
+# norm estimator's start vector, pointer-chase shuffling, the mixed
+# benchmark's signature shuffling, and the modelgen generator/transforms
+# (seeded once per spec, never per measurement).  Everything else must use
+# the counter-based noise RNG.
 RNG_ALLOWED = {
     "src/pmu/tempest.cpp",
     "src/pmu/saphira.cpp",
@@ -61,6 +70,8 @@ RNG_ALLOWED = {
     "src/linalg/blas.cpp",
     "src/cachesim/pointer_chase.cpp",
     "src/cat/mixed.cpp",
+    "src/modelgen/generator.cpp",
+    "src/modelgen/verify.cpp",
 }
 
 # Files allowed to compare floating-point values with ==/!= beyond the
@@ -356,6 +367,32 @@ def check_linalg_shape_contracts(findings: list[Finding]):
                     "through the contract layer"))
 
 
+SEED_UTIL_INCLUDE_RE = re.compile(r'#include\s+"seed_util\.hpp"')
+
+
+def check_seed_echo_in_tests(findings: list[Finding]):
+    if not TESTS.is_dir():
+        return
+    for path in sorted(TESTS.glob("*.cpp")):
+        raw = path.read_text()
+        code = strip_comments_and_strings(raw)
+        if not RNG_RE.search(code):
+            continue
+        if SEED_UTIL_INCLUDE_RE.search(raw):
+            continue
+        raw_lines = raw.splitlines()
+        for lineno, line in enumerate(code.splitlines(), 1):
+            if RNG_RE.search(line):
+                if "seed-echo-in-tests" in line_suppressions(raw_lines, lineno):
+                    break
+                findings.append(Finding(
+                    "seed-echo-in-tests", path, lineno,
+                    "randomized test without seed_util.hpp; derive seeds via "
+                    "sweep_seeds() and lead failures with seed_banner() so "
+                    "CATALYST_SEED=<n> replays them"))
+                break
+
+
 def main(argv: list[str]) -> int:
     if len(argv) > 1:
         print(__doc__)
@@ -376,6 +413,7 @@ def main(argv: list[str]) -> int:
         check_pragma_once(path, code, findings)
         check_float_equality(path, code, raw_lines, findings)
     check_linalg_shape_contracts(findings)
+    check_seed_echo_in_tests(findings)
 
     for f in findings:
         print(f)

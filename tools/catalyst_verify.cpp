@@ -1,0 +1,193 @@
+// catalyst_verify -- ground-truth recovery harness front end.
+//
+//   catalyst_verify one --seed N [--noise L] [--orphan [--gamma G]]
+//                       [--verbose]
+//   catalyst_verify sweep --seeds N [--start S] [--noise L]
+//                       [--min-exact FRAC]
+//   catalyst_verify metamorphic --seed N [--noise L]
+//
+// `one` generates the synthetic model for a seed, runs the full analysis
+// pipeline, and judges every planted metric (exact / alternative /
+// degraded / wrong).  `sweep` repeats that over a seed range and reports
+// the recovery-rate census; it fails if any metric is judged WRONG or the
+// exact-recovery rate falls below --min-exact.  `metamorphic` checks that
+// the verdicts are invariant under event reordering, slot rescaling,
+// noise reseeding, and collection thread count.
+//
+// Exit codes: 0 recovered (exact/alternative only), 2 detectable
+// degradation, 3 silent wrongness or a broken metamorphic invariant,
+// 64 usage error.  Every failure line carries the seed and a one-line
+// reproduction command.
+#include <cstdint>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "modelgen/modelgen.hpp"
+
+namespace {
+
+using namespace catalyst;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stod(it->second);
+  }
+  std::uint64_t get_u64(const std::string& key, std::uint64_t fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const auto eq = a.find('=');
+      if (eq != std::string::npos) {
+        args.options[a.substr(2, eq - 2)] = a.substr(eq + 1);
+      } else if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.options[a.substr(2)] = argv[++i];
+      } else {
+        args.options[a.substr(2)] = "";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+modelgen::GeneratorSpec spec_from_args(const Args& args, std::uint64_t seed) {
+  modelgen::GeneratorSpec spec;
+  spec.seed = seed;
+  spec.noise_level = args.get_double("noise", spec.noise_level);
+  if (args.has("orphan")) {
+    spec.orphan_dimension = true;
+    spec.correlation_gamma =
+        args.get_double("gamma", spec.correlation_gamma);
+  }
+  return spec;
+}
+
+int exit_code_for(modelgen::Verdict overall) {
+  switch (overall) {
+    case modelgen::Verdict::exact:
+    case modelgen::Verdict::alternative: return 0;
+    case modelgen::Verdict::degraded: return 2;
+    case modelgen::Verdict::wrong: return 3;
+  }
+  return 3;
+}
+
+int cmd_one(const Args& args) {
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const auto model = modelgen::generate(spec_from_args(args, seed));
+  const auto outcome = modelgen::run_and_verify(model);
+  std::cout << outcome.describe();
+  if (args.has("verbose")) {
+    std::cout << "machine: " << model.machine_spec.name << ", "
+              << model.machine_spec.events.size() << " events, "
+              << model.machine_spec.physical_counters << " counters, dims "
+              << model.dims << ", slots " << model.benchmark.slots.size()
+              << "\n";
+  }
+  return exit_code_for(outcome.overall);
+}
+
+int cmd_sweep(const Args& args) {
+  const std::uint64_t count = args.get_u64("seeds", 200);
+  const std::uint64_t start = args.get_u64("start", 1);
+  const double min_exact = args.get_double("min-exact", 0.95);
+  std::size_t census[4] = {0, 0, 0, 0};
+  std::size_t exact_models = 0;
+  bool any_wrong = false;
+  for (std::uint64_t seed = start; seed < start + count; ++seed) {
+    const auto model = modelgen::generate(spec_from_args(args, seed));
+    const auto outcome = modelgen::run_and_verify(model);
+    census[static_cast<int>(outcome.overall)]++;
+    if (outcome.all_exact()) exact_models++;
+    if (outcome.any_wrong()) {
+      any_wrong = true;
+      std::cout << "WRONG:\n" << outcome.describe();
+    } else if (outcome.overall != modelgen::Verdict::exact) {
+      std::cout << "note: seed " << seed << " overall "
+                << to_string(outcome.overall) << " -- " << outcome.repro()
+                << "\n";
+    }
+  }
+  const double rate =
+      count == 0 ? 0.0 : static_cast<double>(exact_models) / count;
+  std::cout << "sweep: " << count << " models, exact " << census[0]
+            << ", alternative " << census[1] << ", degraded " << census[2]
+            << ", wrong " << census[3] << " (exact rate " << rate << ")\n";
+  if (any_wrong) return 3;
+  return rate >= min_exact ? 0 : 2;
+}
+
+int cmd_metamorphic(const Args& args) {
+  const std::uint64_t seed = args.get_u64("seed", 1);
+  const auto model = modelgen::generate(spec_from_args(args, seed));
+  const auto base = modelgen::run_and_verify(model);
+  std::cout << "base:\n" << base.describe();
+
+  struct Variant {
+    const char* name;
+    modelgen::GeneratedModel model;
+  };
+  const std::vector<Variant> variants = {
+      {"reorder", modelgen::reorder_events(model, seed ^ 0x9e3779b9)},
+      {"rescale", modelgen::rescale_slots(model, 8.0)},
+      {"reseed", modelgen::reseed_noise(model, seed * 2654435761u + 17)},
+      {"threads", modelgen::with_collection_threads(model, 4)},
+  };
+  bool ok = true;
+  for (const Variant& variant : variants) {
+    const auto outcome = modelgen::run_and_verify(variant.model);
+    const auto eq = modelgen::equivalent_outcomes(base, outcome);
+    std::cout << variant.name << ": "
+              << (eq.equivalent ? "equivalent" : "BROKEN " + eq.detail)
+              << "\n";
+    if (!eq.equivalent) {
+      ok = false;
+      std::cout << outcome.describe();
+    }
+  }
+  return ok ? exit_code_for(base.overall) : 3;
+}
+
+int usage() {
+  std::cerr << "usage: catalyst_verify one|sweep|metamorphic [options]\n"
+               "  one         --seed N [--noise L] [--orphan [--gamma G]]\n"
+               "  sweep       --seeds N [--start S] [--noise L] "
+               "[--min-exact F]\n"
+               "  metamorphic --seed N [--noise L]\n";
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (args.positional.empty()) return usage();
+  try {
+    const std::string& cmd = args.positional[0];
+    if (cmd == "one") return cmd_one(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "metamorphic") return cmd_metamorphic(args);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "catalyst_verify: " << e.what() << "\n";
+    return 64;
+  }
+}
