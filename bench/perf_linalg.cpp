@@ -24,7 +24,7 @@ void BM_Gemm(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
-BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(32)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
 
 void BM_GemmThreaded(benchmark::State& state) {
   const linalg::index_t n = 256;
@@ -79,6 +79,44 @@ void BM_ClassicQrcp(benchmark::State& state) {
 }
 BENCHMARK(BM_ClassicQrcp)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
 
+// ELAPS-style sweep over the blocked QRCP: event count x block size x
+// worker threads on the paper's wide event-selection shape (basis rows x
+// n event columns).  block == 1 is the scalar Algorithm 2 baseline; the
+// 10k-event column is the tentpole acceptance case (>= 5x blocked vs
+// scalar in a Release build).
+void BM_QrcpBlockedSweep(benchmark::State& state) {
+  const auto cols = static_cast<linalg::index_t>(state.range(0));
+  const auto block = static_cast<linalg::index_t>(state.range(1));
+  const auto threads = static_cast<int>(state.range(2));
+  const linalg::Matrix a = linalg::random_gaussian(96, cols, 11);
+  linalg::QrcpOptions opt;
+  opt.block_size = block;
+  opt.threads = threads;
+  for (auto _ : state) {
+    auto res = linalg::qrcp(a, opt);
+    benchmark::DoNotOptimize(res.rank);
+  }
+  // Work estimate for items/sec: ~2*m^2*n flops for a full-rank wide QRCP.
+  state.SetItemsProcessed(state.iterations() * 2 * 96 * 96 * cols);
+}
+BENCHMARK(BM_QrcpBlockedSweep)
+    // n = 1200: every block size, single worker.
+    ->Args({1200, 1, 1})
+    ->Args({1200, 8, 1})
+    ->Args({1200, 32, 1})
+    ->Args({1200, 64, 1})
+    // n = 5000: scalar baseline vs default block, thread scaling.
+    ->Args({5000, 1, 1})
+    ->Args({5000, 32, 1})
+    ->Args({5000, 32, 2})
+    ->Args({5000, 32, 4})
+    // n = 10000: the acceptance case.
+    ->Args({10000, 1, 1})
+    ->Args({10000, 32, 1})
+    ->Args({10000, 64, 1})
+    ->Args({10000, 32, 4})
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SpecializedQrcp(benchmark::State& state) {
   const auto cols = static_cast<linalg::index_t>(state.range(0));
   const linalg::Matrix a = linalg::random_gaussian(16, cols, 5);
@@ -88,6 +126,21 @@ void BM_SpecializedQrcp(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpecializedQrcp)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Worker-thread scaling of the specialized pivot search on a wide machine
+// (results are bit-identical for any thread count; only the wall time may
+// move).
+void BM_SpecializedQrcpThreaded(benchmark::State& state) {
+  const linalg::Matrix a = linalg::random_gaussian(48, 4096, 10);
+  const int threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    auto res = core::specialized_qrcp(a, 5e-4,
+                                      core::PivotRule::original_score,
+                                      threads);
+    benchmark::DoNotOptimize(res.rank);
+  }
+}
+BENCHMARK(BM_SpecializedQrcpThreaded)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_Lstsq(benchmark::State& state) {
   const auto m = static_cast<linalg::index_t>(state.range(0));

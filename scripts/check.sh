@@ -4,11 +4,13 @@
 # Runs the full verification matrix in order of increasing cost:
 #
 #   1. catalyst-lint        repo-specific static checks (tools/catalyst_lint.py)
-#   1b. quick               unit-labeled tests only (`ctest -L unit`); the
+#   1b. quick               unit/linalg-labeled tests only; the
 #                           sub-minute developer tier, budget-enforced (<60s)
 #   2. Release build + ctest    the default configuration users get
 #   3. ASan+UBSan build + ctest heap/UB errors the Release build hides
 #   4. TSan build + ctest       data races in the threaded gemm/collector
+#   4b. tsan_linalg             the linalg suite alone under TSan (blocked
+#                               GEMM/QR/QRCP with worker threads > 1)
 #   5. fault_pipeline           Tables V-VIII pipeline under the canonical
 #                               mid-rate FaultPlan vs the clean goldens
 #   6. obs                      trace + run-manifest artifacts are schema-valid
@@ -73,7 +75,7 @@ stage_quick() {
         || { tail -n 60 "$dir/build.log"; return 1; }
     local start end elapsed
     start="$(date +%s)"
-    (cd "$dir" && ctest --output-on-failure -L unit -j "$JOBS" --timeout 120) \
+    (cd "$dir" && ctest --output-on-failure -L 'unit|linalg' -j "$JOBS" --timeout 120) \
         || return 1
     end="$(date +%s)"
     elapsed=$((end - start))
@@ -93,6 +95,21 @@ stage_asan_ubsan() {
 stage_tsan() {
     build_and_test build-check-tsan \
         -DCMAKE_BUILD_TYPE=RelWithDebInfo -DCATALYST_TSAN=ON
+}
+
+stage_tsan_linalg() {
+    # Focused race hunt on the blocked linear algebra: the linalg test
+    # suite (which drives the blocked GEMM/QR/QRCP paths with threads > 1)
+    # under TSan.  Reuses the full-TSan tree so the targeted run is cheap
+    # after (or instead of) the whole-suite tsan stage.
+    local dir=build-check-tsan
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+        -DCATALYST_TSAN=ON > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    (cd "$dir" && ctest --output-on-failure -L linalg --no-tests=error --timeout 300)
 }
 
 stage_fault_pipeline() {
@@ -158,16 +175,19 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint quick release asan_ubsan tsan fault_pipeline obs tidy"
+ALL_STAGES="lint quick release asan_ubsan tsan tsan_linalg fault_pipeline obs tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
     case "$stage" in
         lint)       run_stage "catalyst-lint" stage_lint ;;
-        quick)      run_stage "quick tier (ctest -L unit)" stage_quick ;;
+        quick)      run_stage "quick tier (ctest -L 'unit|linalg')" stage_quick ;;
         release)    run_stage "Release build + tests" stage_release ;;
         asan_ubsan) run_stage "ASan+UBSan build + tests" stage_asan_ubsan ;;
         tsan)       run_stage "TSan build + tests" stage_tsan ;;
+        tsan_linalg)
+                    run_stage "TSan linalg suite (blocked kernels, threads>1)" \
+                              stage_tsan_linalg ;;
         fault_pipeline)
                     run_stage "fault-injected pipeline vs clean goldens" \
                               stage_fault_pipeline ;;

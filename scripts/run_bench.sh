@@ -15,7 +15,13 @@
 # overhead exceeds its <2% budget: perf numbers recorded while observability
 # is over budget would be misleading.
 #
-# Usage: scripts/run_bench.sh [build-dir] [--force] [extra benchmark args...]
+# Only Release builds may stamp the canonical BENCH_*.json files: numbers
+# from -O0/debug builds would silently corrupt the per-PR perf trajectory.
+# --allow-debug keeps the run possible for local smoke tests but writes a
+# BENCH_<name>.debug.json sidecar instead of touching the canonical file.
+#
+# Usage: scripts/run_bench.sh [build-dir] [--force] [--allow-debug]
+#                             [extra benchmark args...]
 #   scripts/run_bench.sh                       # default ./build
 #   scripts/run_bench.sh build --force
 #   scripts/run_bench.sh build --benchmark_filter=BM_Measure
@@ -24,12 +30,14 @@ set -euo pipefail
 repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="$repo_root/build"
 force=0
+allow_debug=0
 extra_args=()
 for arg in "$@"; do
   case "$arg" in
-    --force) force=1 ;;
-    --*)     extra_args+=("$arg") ;;
-    *)       build_dir="$arg" ;;
+    --force)       force=1 ;;
+    --allow-debug) allow_debug=1 ;;
+    --*)           extra_args+=("$arg") ;;
+    *)             build_dir="$arg" ;;
   esac
 done
 
@@ -45,6 +53,21 @@ if [ -f "$cache" ]; then
   if [ -n "$cxx" ] && [ -x "$cxx" ]; then
     compiler="$("$cxx" --version 2>/dev/null | head -n1)"
   fi
+fi
+
+# Gate: never stamp the canonical BENCH files from a non-Release build.
+out_suffix=""
+if [ "$build_type" != "Release" ]; then
+  if [ "$allow_debug" -ne 1 ]; then
+    echo "error: $build_dir is a '$build_type' build; BENCH_*.json numbers \
+must come from a Release build.  Reconfigure with \
+-DCMAKE_BUILD_TYPE=Release, or pass --allow-debug to record a \
+BENCH_<name>.debug.json sidecar instead" >&2
+    exit 1
+  fi
+  out_suffix=".debug"
+  echo "warning: '$build_type' build; writing BENCH_<name>.debug.json \
+sidecars, canonical BENCH_*.json untouched" >&2
 fi
 
 # Gate: observability overhead budget.  Perf numbers are only worth recording
@@ -63,7 +86,7 @@ echo "== obs_overhead (budget gate)"
 # Refuse cross-commit overwrites up front, before any slow bench runs.
 if [ "$force" -ne 1 ]; then
   for name in pipeline linalg; do
-    out="$repo_root/BENCH_$name.json"
+    out="$repo_root/BENCH_$name$out_suffix.json"
     [ -f "$out" ] || continue
     old_sha="$(python3 - "$out" <<'PY'
 import json, sys
@@ -104,7 +127,7 @@ for name in pipeline linalg; do
 and run: cmake --build $build_dir)" >&2
     exit 1
   fi
-  out="$repo_root/BENCH_$name.json"
+  out="$repo_root/BENCH_$name$out_suffix.json"
   tmp_out="$(mktemp)"
   echo "== perf_$name -> $out"
   "$bin" --benchmark_out="$tmp_out" --benchmark_out_format=json \

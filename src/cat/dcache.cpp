@@ -2,9 +2,9 @@
 
 #include <cmath>
 #include <stdexcept>
-#include <thread>
 
 #include "cachesim/pointer_chase.hpp"
+#include "core/parallel.hpp"
 #include "pmu/signals.hpp"
 
 namespace catalyst::cat {
@@ -156,10 +156,11 @@ Benchmark dcache_benchmark(const DcacheOptions& options) {
     }
   };
 
-  std::vector<std::thread> pool;
-  pool.reserve(static_cast<std::size_t>(options.threads));
-  for (int t = 0; t < options.threads; ++t) pool.emplace_back(run_thread, t);
-  for (auto& th : pool) th.join();
+  // One unit per simulated benchmark thread; each writes its own
+  // thread_activities slot (the shared worker pool's determinism contract).
+  core::parallel_for(static_cast<std::size_t>(options.threads),
+                     options.threads,
+                     [&](std::size_t t) { run_thread(static_cast<int>(t)); });
   return bench;
 }
 

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "core/contract.hpp"
+#include "core/parallel.hpp"
 
 namespace catalyst::core {
 
@@ -10,33 +11,43 @@ NormalizationResult normalize_events(
     const linalg::Matrix& expectation,
     const std::vector<std::string>& event_names,
     const std::vector<std::vector<double>>& measurements,
-    double max_backward_error) {
+    double max_backward_error, int threads) {
   CATALYST_REQUIRE_AS(event_names.size() == measurements.size(),
                       std::invalid_argument,
                       "normalize_events: names/measurements mismatch");
   CATALYST_REQUIRE_AS(max_backward_error >= 0.0, std::invalid_argument,
                       "normalize_events: negative threshold");
   NormalizationResult result;
-  result.representations.reserve(event_names.size());
+  result.representations.resize(event_names.size());
+  // One QR of E serves every event (the per-event solves used to refactor E
+  // from scratch); each solve is arithmetically identical to
+  // lstsq(expectation, me).  Events are independent units writing disjoint
+  // slots -- the worker-pool determinism contract.
+  const linalg::LstsqSolver solver(expectation);
+  core::parallel_for(
+      event_names.size(), threads, [&](std::size_t e) {
+        const auto& me = measurements[e];
+        CATALYST_REQUIRE_AS(
+            static_cast<linalg::index_t>(me.size()) == expectation.rows(),
+            std::invalid_argument,
+            "normalize_events: measurement length != basis rows for " +
+                event_names[e]);
+        EventRepresentation rep;
+        rep.event_name = event_names[e];
+        const auto ls = solver.solve(me);
+        rep.xe = ls.x;
+        rep.backward_error = ls.backward_error;
+        rep.representable = ls.backward_error <= max_backward_error;
+        result.representations[e] = std::move(rep);
+      });
+  // Assemble X sequentially in input order (order must not depend on worker
+  // completion order).
   std::vector<linalg::Vector> x_cols;
-  for (std::size_t e = 0; e < event_names.size(); ++e) {
-    const auto& me = measurements[e];
-    CATALYST_REQUIRE_AS(
-        static_cast<linalg::index_t>(me.size()) == expectation.rows(),
-        std::invalid_argument,
-        "normalize_events: measurement length != basis rows for " +
-            event_names[e]);
-    EventRepresentation rep;
-    rep.event_name = event_names[e];
-    const auto ls = linalg::lstsq(expectation, me);
-    rep.xe = ls.x;
-    rep.backward_error = ls.backward_error;
-    rep.representable = ls.backward_error <= max_backward_error;
+  for (const auto& rep : result.representations) {
     if (rep.representable) {
       x_cols.push_back(rep.xe);
       result.x_event_names.push_back(rep.event_name);
     }
-    result.representations.push_back(std::move(rep));
   }
   if (!x_cols.empty()) {
     result.x = linalg::Matrix::from_columns(x_cols);

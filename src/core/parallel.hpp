@@ -1,0 +1,91 @@
+// catalyst/core -- the shared worker-pool helper.
+//
+// Every thread-parallel loop in catalyst follows the same discipline (first
+// written for vpapi::collect, now shared): a fixed work list whose units each
+// write a disjoint slice of the output, workers claiming units through an
+// atomic cursor, and the first worker exception captured and rethrown after
+// the join.  Determinism comes from the discipline, not the scheduler: a
+// unit's result must be a pure function of its own index, so any thread
+// count -- including the serial threads <= 1 fast path, which spawns
+// nothing -- produces bit-identical output (the `core/campaign` argument).
+//
+// catalyst-lint's raw-thread-spawn rule enforces that this header is the
+// ONLY place in src/ that constructs std::thread.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace catalyst::core {
+
+/// Runs body(unit) for every unit in [0, total), on up to `threads` workers.
+/// threads <= 1 (or total < 2) runs inline on the calling thread with no
+/// spawn at all.  Units are claimed dynamically, so the assignment of units
+/// to threads is NOT deterministic -- the body must write only to
+/// unit-indexed slots (or merge under a lock into an order-independent
+/// accumulator) for the overall result to be.
+///
+/// A throw from a worker reaches the caller, not std::terminate: the first
+/// exception is captured, the remaining units are abandoned, and the
+/// exception is rethrown after the join.  Callers that must not leak partial
+/// output catch, discard, and rethrow.
+template <typename Body>
+void parallel_for(std::size_t total, int threads, Body&& body) {
+  if (total == 0) return;
+  if (threads <= 1 || total < 2) {
+    for (std::size_t unit = 0; unit < total; ++unit) body(unit);
+    return;
+  }
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  const int nt = threads < static_cast<int>(total)
+                     ? threads
+                     : static_cast<int>(total);
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(nt));
+  for (int t = 0; t < nt; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const std::size_t unit = cursor.fetch_add(1);
+        if (unit >= total || failed.load(std::memory_order_relaxed)) {
+          break;
+        }
+        try {
+          body(unit);
+        } catch (...) {
+          const std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+          failed.store(true, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& th : pool) th.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Splits [0, total) into chunks of `grain` consecutive indices (the last
+/// one possibly shorter) and runs body(begin, end) once per chunk.  Chunk
+/// boundaries depend only on (total, grain) -- never on the thread count --
+/// so per-chunk partial results merged in chunk order are bit-identical for
+/// any number of workers.
+template <typename Body>
+void parallel_for_chunks(std::size_t total, int threads, std::size_t grain,
+                         Body&& body) {
+  if (total == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t n_chunks = (total + grain - 1) / grain;
+  parallel_for(n_chunks, threads, [&](std::size_t c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = begin + grain < total ? begin + grain : total;
+    body(begin, end);
+  });
+}
+
+}  // namespace catalyst::core

@@ -187,7 +187,8 @@ PipelineResult analyze_measurements(
     obs::Span span("stage.noise_filter");
     span.arg("tau", options.tau);
     result.noise =
-        filter_noise(result.all_event_names, result.measurements, options.tau);
+        filter_noise(result.all_event_names, result.measurements, options.tau,
+                     options.analysis_threads);
     span.arg("kept", result.noise.kept.size());
     record_stage(span, "noise_filter");
   }
@@ -205,7 +206,8 @@ PipelineResult analyze_measurements(
     obs::Span span("stage.projection");
     result.projection =
         normalize_events(expectation, kept_names, result.noise.averaged,
-                         options.projection_max_error);
+                         options.projection_max_error,
+                         options.analysis_threads);
     span.arg("expressible", result.projection.x_event_names.size());
     record_stage(span, "projection");
   }
@@ -216,7 +218,8 @@ PipelineResult analyze_measurements(
   obs::Span qrcp_span("stage.qrcp");
   qrcp_span.arg("alpha", options.alpha);
   result.qr =
-      specialized_qrcp(result.projection.x, options.alpha, options.pivot_rule);
+      specialized_qrcp(result.projection.x, options.alpha, options.pivot_rule,
+                       options.analysis_threads);
   qrcp_span.arg("selected", result.qr.selected.size());
   record_stage(qrcp_span, "qrcp");
   CATALYST_ENSURE(static_cast<linalg::index_t>(result.qr.selected.size()) <=

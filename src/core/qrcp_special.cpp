@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/contract.hpp"
+#include "core/parallel.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
 #include "obs/trace.hpp"
@@ -52,57 +53,89 @@ struct ColumnTraits {
 // matrix) is at least beta: everything already explained by the selected
 // events, or pure noise, is disregarded; -1 means no eligible candidate
 // remains and the factorization terminates.
+// A candidate under consideration: column position, its comparison key.
+struct PivotCandidate {
+  linalg::index_t j = -1;  // -1 = no eligible candidate
+  double score = 0.0;
+  double norm = 0.0;
+  linalg::index_t orig = 0;
+};
+
+// The strict-improvement rule shared by the per-chunk scans and the final
+// merge.  The key (score, norm, orig) has a UNIQUE minimum (orig is a
+// permutation entry, hence distinct), so folding candidates in any grouping
+// that preserves the comparison yields the same winner as one serial scan.
+bool improves(const PivotCandidate& t, const PivotCandidate& best) {
+  if (best.j == -1) return true;
+  return t.score < best.score ||
+         (t.score == best.score &&
+          (t.norm < best.norm ||
+           (t.norm == best.norm && t.orig < best.orig)));
+}
+
 linalg::index_t get_pivot(const linalg::Matrix& a,
                           const std::vector<ColumnTraits>& traits,
                           const std::vector<linalg::index_t>& perm,
                           linalg::index_t i, double alpha, double beta,
-                          PivotRule rule) {
+                          PivotRule rule, int threads) {
   const linalg::index_t m = a.rows();
   const linalg::index_t n = a.cols();
-  linalg::index_t best = -1;
-  double best_score = 0.0;
-  double best_norm = 0.0;
-  linalg::index_t best_orig = 0;
-  for (linalg::index_t j = i; j < n; ++j) {
-    const auto col = a.col(j);
-    const auto tail = col.subspan(static_cast<std::size_t>(i),
-                                  static_cast<std::size_t>(m - i));
-    const double tail_norm = linalg::nrm2(tail);
-    if (tail_norm < beta) continue;  // dependent or noise-level
-    const linalg::index_t orig = perm[static_cast<std::size_t>(j)];
-    ColumnTraits t;
-    switch (rule) {
-      case PivotRule::original_score:
-        t = traits[static_cast<std::size_t>(orig)];
-        break;
-      case PivotRule::updated_score:
-        t = {column_score(tail, alpha), tail_norm};
-        break;
-      case PivotRule::max_norm:
-        // Largest norm == smallest negated norm, reusing the min search.
-        t = {-tail_norm, tail_norm};
-        break;
-    }
-    // Full ties (score and rounded norm) resolve to the smallest ORIGINAL
-    // column index; the in-place column swaps scramble scan order, so
-    // first-encountered would not be deterministic in input terms.
-    if (best == -1 || t.score < best_score ||
-        (t.score == best_score &&
-         (t.norm < best_norm ||
-          (t.norm == best_norm && orig < best_orig)))) {
-      best = j;
-      best_score = t.score;
-      best_norm = t.norm;
-      best_orig = orig;
-    }
+  // Candidate norms and scores are evaluated per column on the worker pool;
+  // each chunk reduces to its own best, the chunk bests merge in chunk
+  // order.  Chunk boundaries depend only on (n - i, grain).
+  constexpr std::size_t kGrain = 256;
+  const auto total = static_cast<std::size_t>(n - i);
+  const std::size_t n_chunks = total == 0 ? 0 : (total + kGrain - 1) / kGrain;
+  std::vector<PivotCandidate> chunk_best(n_chunks);
+  core::parallel_for_chunks(
+      total, threads, kGrain, [&](std::size_t b, std::size_t e) {
+        PivotCandidate best;
+        for (std::size_t jj = b; jj < e; ++jj) {
+          const linalg::index_t j = i + static_cast<linalg::index_t>(jj);
+          const auto col = a.col(j);
+          const auto tail = col.subspan(static_cast<std::size_t>(i),
+                                        static_cast<std::size_t>(m - i));
+          const double tail_norm = linalg::nrm2(tail);
+          if (tail_norm < beta) continue;  // dependent or noise-level
+          const linalg::index_t orig = perm[static_cast<std::size_t>(j)];
+          PivotCandidate t;
+          t.j = j;
+          t.orig = orig;
+          switch (rule) {
+            case PivotRule::original_score:
+              t.score = traits[static_cast<std::size_t>(orig)].score;
+              t.norm = traits[static_cast<std::size_t>(orig)].norm;
+              break;
+            case PivotRule::updated_score:
+              t.score = column_score(tail, alpha);
+              t.norm = tail_norm;
+              break;
+            case PivotRule::max_norm:
+              // Largest norm == smallest negated norm, reusing the min
+              // search.
+              t.score = -tail_norm;
+              t.norm = tail_norm;
+              break;
+          }
+          // Full ties (score and rounded norm) resolve to the smallest
+          // ORIGINAL column index; the in-place column swaps scramble scan
+          // order, so first-encountered would not be deterministic in input
+          // terms.
+          if (improves(t, best)) best = t;
+        }
+        chunk_best[b / kGrain] = best;
+      });
+  PivotCandidate best;
+  for (const PivotCandidate& t : chunk_best) {
+    if (t.j != -1 && improves(t, best)) best = t;
   }
-  return best;
+  return best.j;
 }
 
 }  // namespace
 
 SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
-                                   PivotRule rule) {
+                                   PivotRule rule, int threads) {
   CATALYST_REQUIRE_AS(alpha > 0.0, std::invalid_argument,
                       "specialized_qrcp: alpha must be positive");
   CATALYST_ASSUME_FINITE_AS(x.data(), std::invalid_argument,
@@ -119,22 +152,26 @@ SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
   std::iota(perm.begin(), perm.end(), linalg::index_t{0});
 
   std::vector<ColumnTraits> traits(static_cast<std::size_t>(n));
-  std::vector<double> rounded(static_cast<std::size_t>(m));
-  for (linalg::index_t j = 0; j < n; ++j) {
-    const auto col = x.col(j);
-    for (linalg::index_t i = 0; i < m; ++i) {
-      rounded[static_cast<std::size_t>(i)] =
-          round_to_tolerance(col[static_cast<std::size_t>(i)], alpha);
-    }
-    traits[static_cast<std::size_t>(j)] = {column_score(col, alpha),
-                                           linalg::nrm2(rounded)};
-  }
+  core::parallel_for_chunks(
+      static_cast<std::size_t>(n), threads, 256,
+      [&](std::size_t b, std::size_t e) {
+        std::vector<double> rounded(static_cast<std::size_t>(m));
+        for (std::size_t jj = b; jj < e; ++jj) {
+          const auto j = static_cast<linalg::index_t>(jj);
+          const auto col = x.col(j);
+          for (linalg::index_t i = 0; i < m; ++i) {
+            rounded[static_cast<std::size_t>(i)] =
+                round_to_tolerance(col[static_cast<std::size_t>(i)], alpha);
+          }
+          traits[jj] = {column_score(col, alpha), linalg::nrm2(rounded)};
+        }
+      });
 
   for (linalg::index_t i = 0; i < kmax; ++i) {
     obs::Span pivot_span("qrcp.pivot");
     pivot_span.arg("i", i);
     const linalg::index_t pivot =
-        get_pivot(a, traits, perm, i, alpha, beta, rule);
+        get_pivot(a, traits, perm, i, alpha, beta, rule, threads);
     if (pivot == -1) break;
     const double pivot_score =
         traits[static_cast<std::size_t>(perm[static_cast<std::size_t>(pivot)])]
@@ -157,7 +194,7 @@ SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
     auto head = ci.subspan(static_cast<std::size_t>(i));
     const linalg::Reflector h = linalg::make_reflector(head);
     auto v = head.subspan(1);
-    linalg::apply_reflector_left(a, i, i + 1, v, h.tau);
+    linalg::apply_reflector_left(a, i, i + 1, v, h.tau, threads);
     ci[static_cast<std::size_t>(i)] = h.beta;
   }
   res.rank = static_cast<linalg::index_t>(res.selected.size());

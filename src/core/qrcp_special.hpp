@@ -73,8 +73,16 @@ struct SpecialQrcpResult {
 /// Returns the chosen column set; use Matrix::select_columns on the ORIGINAL
 /// X to materialize X-hat (the algorithm orthogonalizes internally only to
 /// guarantee independence).
+///
+/// `threads` parallelizes the per-column work (initial trait scan, the
+/// candidate norm/score evaluation inside the pivot search, and the
+/// reflector update) through the shared worker pool.  Every column is
+/// evaluated with the exact serial arithmetic and the pivot is the unique
+/// lexicographic minimum of (score, norm, original index) -- original
+/// indices are distinct, so the minimum is unique and the chunked reduction
+/// returns bit-identical results for any thread count.
 SpecialQrcpResult specialized_qrcp(
     const linalg::Matrix& x, double alpha,
-    PivotRule rule = PivotRule::original_score);
+    PivotRule rule = PivotRule::original_score, int threads = 1);
 
 }  // namespace catalyst::core

@@ -32,6 +32,14 @@ Reflector make_reflector(std::span<double> x);
 void apply_reflector_left(Matrix& a, index_t r0, index_t c0,
                           std::span<const double> v_essential, double tau);
 
+/// As apply_reflector_left, with the columns [c0, cols) split into fixed
+/// chunks executed on the shared worker pool.  Each column's update is the
+/// exact serial arithmetic and every column belongs to exactly one chunk, so
+/// the result is bit-identical for any thread count.
+void apply_reflector_left(Matrix& a, index_t r0, index_t c0,
+                          std::span<const double> v_essential, double tau,
+                          int threads);
+
 /// Applies the same reflector to a single right-hand-side vector b[r0:].
 void apply_reflector_vec(std::span<double> b, index_t r0,
                          std::span<const double> v_essential, double tau);

@@ -50,7 +50,7 @@ LstsqResult lstsq(const Matrix& a, std::span<const double> b, double rcond) {
   Vector y(b.begin(), b.end());
   qr.apply_qt(y);
 
-  const auto diag = qr.r_diagonal_abs();
+  const auto& diag = qr.r_diagonal_abs();
   const double dmax =
       diag.empty() ? 0.0 : *std::max_element(diag.begin(), diag.end());
   const double tol = rcond * dmax;
@@ -85,7 +85,7 @@ LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
   // solution of A x = b.
   QrFactorization qr(a.transposed());
 
-  const auto diag = qr.r_diagonal_abs();
+  const auto& diag = qr.r_diagonal_abs();
   const double dmax =
       diag.empty() ? 0.0 : *std::max_element(diag.begin(), diag.end());
   const double tol = rcond * dmax;
@@ -119,6 +119,50 @@ LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
   CATALYST_ENSURE(std::isfinite(out.residual_norm) &&
                       std::isfinite(out.backward_error),
                   "lstsq_min_norm: non-finite residual or backward error");
+  return out;
+}
+
+LstsqSolver::LstsqSolver(Matrix a, double rcond) : a_(std::move(a)), qr_(a_) {
+  CATALYST_REQUIRE_AS(a_.rows() >= a_.cols(), DimensionError,
+                      "LstsqSolver: system is underdetermined");
+  CATALYST_REQUIRE_AS(rcond >= 0.0, ArgumentError,
+                      "LstsqSolver: negative rcond");
+  CATALYST_ASSUME_FINITE_AS(a_.data(), ArgumentError,
+                            "LstsqSolver: matrix has NaN/Inf entries");
+  const auto& diag = qr_.r_diagonal_abs();
+  const double dmax =
+      diag.empty() ? 0.0 : *std::max_element(diag.begin(), diag.end());
+  tol_ = rcond * dmax;
+  anorm_ = norm_two_estimate(a_);
+}
+
+LstsqResult LstsqSolver::solve(std::span<const double> b) const {
+  CATALYST_REQUIRE_AS(static_cast<index_t>(b.size()) == a_.rows(),
+                      DimensionError, "LstsqSolver: rhs length mismatch");
+  CATALYST_ASSUME_FINITE_AS(b, ArgumentError,
+                            "LstsqSolver: rhs has NaN/Inf entries");
+  LstsqResult out;
+  Vector y(b.begin(), b.end());
+  qr_.apply_qt(y);
+  out.x.assign(y.begin(), y.begin() + a_.cols());
+  out.rank_deficient = solve_upper_regularized(qr_.packed(), out.x, tol_);
+
+  Vector r(b.begin(), b.end());
+  gemv(-1.0, a_, out.x, 1.0, r);
+  out.residual_norm = nrm2(r);
+  // Same arithmetic as backward_error(), with the ||A||_2 estimate cached
+  // (it is a deterministic function of A, so the value is identical).
+  const double denom = anorm_ * nrm2(out.x) + nrm2(b);
+  out.backward_error =
+      denom == 0.0 ? (out.residual_norm == 0.0 ? 0.0 : 1.0)
+                   : out.residual_norm / denom;
+  CATALYST_ENSURE(std::isfinite(out.residual_norm) &&
+                      out.residual_norm >= 0.0 &&
+                      std::isfinite(out.backward_error),
+                  "LstsqSolver: non-finite residual or backward error");
+  if (audit::enabled() && !out.rank_deficient) {
+    audit::check_lstsq_optimal(a_, out.x, b);
+  }
   return out;
 }
 

@@ -38,6 +38,29 @@ LstsqResult lstsq(const Matrix& a, std::span<const double> b,
 LstsqResult lstsq_min_norm(const Matrix& a, std::span<const double> b,
                            double rcond = 1e-12);
 
+/// Prefactored least-squares solver: factors A once and solves many
+/// right-hand sides against it.  Each solve() is arithmetically IDENTICAL
+/// to lstsq(a, b, rcond): the QR factorization and the ||A||_2 power-
+/// iteration estimate are deterministic functions of A alone, so hoisting
+/// them out of the per-rhs loop changes nothing but time.  This is what the
+/// pipeline's projection stage uses -- one expectation matrix E, one solve
+/// per measured event.  solve() is const and safe to call concurrently.
+class LstsqSolver {
+ public:
+  explicit LstsqSolver(Matrix a, double rcond = 1e-12);
+
+  LstsqResult solve(std::span<const double> b) const;
+
+  index_t rows() const noexcept { return a_.rows(); }
+  index_t cols() const noexcept { return a_.cols(); }
+
+ private:
+  Matrix a_;            // the system matrix (kept for residual/audit)
+  QrFactorization qr_;  // factored once
+  double tol_ = 0.0;    // rcond * max |R(i,i)|
+  double anorm_ = 0.0;  // cached norm_two_estimate(a_)
+};
+
 /// The paper's Eq. 5: ||A y - s||_2 / (||A||_2 * ||y||_2 + ||s||_2).
 /// ||A||_2 is estimated with power iteration (see norm_two_estimate).
 double backward_error(const Matrix& a, std::span<const double> y,

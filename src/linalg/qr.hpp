@@ -23,8 +23,10 @@ class QrFactorization {
   /// A <- (I - V T^T V^T)^T A via two gemms (LAPACK dgeqrt-style).  The
   /// packed representation is identical to the unblocked constructor's (up
   /// to roundoff in the trailing updates); this is the cache-friendly path
-  /// for the tall measurement matrices.
-  QrFactorization(Matrix a, index_t block_size);
+  /// for the tall measurement matrices.  `threads` parallelizes the trailing
+  /// gemms through the shared worker pool; results are bit-identical for any
+  /// thread count.
+  QrFactorization(Matrix a, index_t block_size, int threads = 1);
 
   index_t rows() const noexcept { return qr_.rows(); }
   index_t cols() const noexcept { return qr_.cols(); }
@@ -52,15 +54,32 @@ class QrFactorization {
   Vector solve(std::span<const double> b) const;
 
   /// |R(i,i)| for i in [0, reflectors()): used by callers for rank checks.
-  std::vector<double> r_diagonal_abs() const;
+  /// Cached at construction -- calling this in a loop costs nothing.
+  const std::vector<double>& r_diagonal_abs() const noexcept {
+    return r_diag_abs_;
+  }
 
   /// Access to the packed factorization (R above diagonal, reflectors below).
   const Matrix& packed() const noexcept { return qr_; }
   const std::vector<double>& taus() const noexcept { return taus_; }
 
  private:
-  Matrix qr_;                 // packed R + reflectors
-  std::vector<double> taus_;  // reflector coefficients
+  void cache_r_diagonal();
+
+  Matrix qr_;                      // packed R + reflectors
+  std::vector<double> taus_;       // reflector coefficients
+  std::vector<double> r_diag_abs_; // |R(i,i)|, cached at construction
 };
+
+namespace detail {
+
+/// Factors columns [k0, min(m, n)) of `a` in place with compact-WY blocked
+/// QR (no pivoting), writing tau coefficients into taus[k0..] (taus must
+/// already have size >= min(m, n)).  Shared by the blocked QrFactorization
+/// constructor and the unpivoted tail of the blocked QRCP.
+void blocked_qr_tail(Matrix& a, std::vector<double>& taus, index_t k0,
+                     index_t block_size, int threads);
+
+}  // namespace detail
 
 }  // namespace catalyst::linalg

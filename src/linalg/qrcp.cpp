@@ -3,11 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <utility>
 
 #include "core/contract.hpp"
+#include "core/parallel.hpp"
 #include "linalg/audit.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
+#include "linalg/qr.hpp"
 
 namespace catalyst::linalg {
 
@@ -22,13 +25,238 @@ Matrix QrcpResult::r() const {
   return out;
 }
 
-std::vector<double> QrcpResult::r_diagonal_abs() const {
-  std::vector<double> d(taus.size());
-  for (std::size_t i = 0; i < taus.size(); ++i) {
-    d[i] = std::fabs(packed(static_cast<index_t>(i), static_cast<index_t>(i)));
+const std::vector<double>& QrcpResult::r_diagonal_abs() const {
+  if (r_diag_abs_cache_.size() != taus.size()) {
+    r_diag_abs_cache_.resize(taus.size());
+    for (std::size_t i = 0; i < taus.size(); ++i) {
+      r_diag_abs_cache_[i] = std::fabs(
+          packed(static_cast<index_t>(i), static_cast<index_t>(i)));
+    }
   }
-  return d;
+  return r_diag_abs_cache_;
 }
+
+namespace {
+
+// Reforms Q from the packed reflectors (same accumulation as
+// QrFactorization::q_thin) and verifies orthonormality, triangularity of R,
+// and the reconstruction against the pivoted input.  R is materialized once
+// and shared between the checks.
+void audit_qrcp(const Matrix& original, const QrcpResult& res) {
+  const index_t m = res.packed.rows();
+  const auto k = static_cast<index_t>(res.taus.size());
+  Matrix q(m, k);
+  for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
+  for (index_t j = k - 1; j >= 0; --j) {
+    auto cj = res.packed.col(j);
+    auto v = cj.subspan(static_cast<std::size_t>(j + 1));
+    apply_reflector_left(q, j, 0, v, res.taus[static_cast<std::size_t>(j)]);
+  }
+  const Matrix r = res.r();
+  audit::check_orthonormal(q);
+  audit::check_upper_triangular(r);
+  audit::check_factorization(original.select_columns(res.permutation), q, r);
+}
+
+// dlaqps-style blocked QRCP.  Within a panel starting at column/step k0, the
+// accumulated reflector applications are carried in F (stored transposed,
+// nb x (n - k0), column j - k0 holding column j's coefficients contiguously):
+// after kk factored steps,
+//
+//   A_updated(r, j) = A(r, j) - sum_c A(r, k0 + c) * F(c, j - k0)
+//
+// for rows r below the finalized region.  Each step finalizes its own pivot
+// column (rows i:m) and pivot row i exactly; everything else is deferred to
+// one trailing gemm per panel.  The LINPACK downdate sees the final row i
+// values, so the pivot sequence matches the scalar path except when the
+// recompute safeguard fires (then the panel is cut short and flagged norms
+// are recomputed after the gemm -- LAPACK's LSTICC mechanism; the recomputed
+// norms differ from the scalar path's by roundoff only).
+QrcpResult qrcp_blocked(Matrix a, double rank_tol_rel, index_t nb,
+                        int threads) {
+  Matrix original;
+  if (audit::enabled()) original = a;
+  QrcpResult res;
+  const index_t m = a.rows();
+  const index_t n = a.cols();
+  const index_t kmax = std::min(m, n);
+
+  res.permutation.resize(static_cast<std::size_t>(n));
+  std::iota(res.permutation.begin(), res.permutation.end(), index_t{0});
+  res.taus.assign(static_cast<std::size_t>(std::max<index_t>(kmax, 0)), 0.0);
+
+  std::vector<double> pnorm(static_cast<std::size_t>(n));
+  std::vector<double> pnorm_exact(static_cast<std::size_t>(n));
+  double max_initial_norm = 0.0;
+  for (index_t j = 0; j < n; ++j) {
+    const double nj = nrm2(a.col(j));
+    pnorm[static_cast<std::size_t>(j)] = nj;
+    pnorm_exact[static_cast<std::size_t>(j)] = nj;
+    max_initial_norm = std::max(max_initial_norm, nj);
+  }
+  const double stop_tol = rank_tol_rel * max_initial_norm;
+
+  constexpr std::size_t kGrain = 256;  // columns per worker chunk
+  // Scratch reused across panels: the fused sweep's per-step coefficients
+  // and the flag mask it raises for columns needing a post-gemm norm
+  // recompute (consumed -- and cleared -- right after each sweep).
+  std::vector<double> auxv(static_cast<std::size_t>(std::max<index_t>(nb, 1)));
+  std::vector<double> arow(static_cast<std::size_t>(std::max<index_t>(nb, 1)));
+  std::vector<unsigned char> flag_mask(static_cast<std::size_t>(n), 0);
+  bool stopped = false;
+  index_t i = 0;  // global step / row
+  while (i < kmax && !stopped) {
+    const index_t k0 = i;
+    const index_t panel_max = std::min(nb, kmax - k0);
+    // F is stored transposed relative to LAPACK (nb x (n - k0)): column
+    // j - k0 holds that column's coefficients contiguously, so the fused
+    // sweep and the trailing gemm's packing both walk F sequentially.
+    Matrix fmat(panel_max, n - k0, 0.0);
+    std::vector<index_t> flagged;  // columns needing a post-gemm recompute
+    index_t kb = 0;                // factored columns in this panel
+
+    for (index_t kk = 0; kk < panel_max; ++kk) {
+      i = k0 + kk;
+
+      // Pivot: trailing column with the largest partial norm (strict >, so
+      // ties keep the earliest column -- identical to the scalar scan).
+      index_t pivot = i;
+      for (index_t j = i + 1; j < n; ++j) {
+        if (pnorm[static_cast<std::size_t>(j)] >
+            pnorm[static_cast<std::size_t>(pivot)]) {
+          pivot = j;
+        }
+      }
+      if (pnorm[static_cast<std::size_t>(pivot)] <= stop_tol) {
+        stopped = true;  // kb already counts the completed steps
+        break;
+      }
+      if (pivot != i) {
+        a.swap_cols(i, pivot);
+        std::swap(res.permutation[static_cast<std::size_t>(i)],
+                  res.permutation[static_cast<std::size_t>(pivot)]);
+        std::swap(pnorm[static_cast<std::size_t>(i)],
+                  pnorm[static_cast<std::size_t>(pivot)]);
+        std::swap(pnorm_exact[static_cast<std::size_t>(i)],
+                  pnorm_exact[static_cast<std::size_t>(pivot)]);
+        for (index_t c = 0; c < kk; ++c) {
+          std::swap(fmat(c, i - k0), fmat(c, pivot - k0));
+        }
+      }
+
+      // Apply the panel's pending reflectors to the pivot column:
+      // A(i:m, i) -= A(i:m, k0:k0+kk) * F(0:kk, i - k0).
+      auto ci = a.col(i);
+      for (index_t c = 0; c < kk; ++c) {
+        const double f = fmat(c, i - k0);
+        if (f == 0.0) continue;
+        const auto vc = a.col(k0 + c);
+        for (index_t r = i; r < m; ++r) {
+          ci[static_cast<std::size_t>(r)] -=
+              f * vc[static_cast<std::size_t>(r)];
+        }
+      }
+
+      auto head = ci.subspan(static_cast<std::size_t>(i));
+      const Reflector h = make_reflector(head);
+      res.taus[static_cast<std::size_t>(i)] = h.tau;
+
+      // v_full = (1, essential part) lives in A(i:m, i) while the diagonal
+      // temporarily holds 1.
+      ci[static_cast<std::size_t>(i)] = 1.0;
+      const std::span<const double> vfull(ci.data() + i,
+                                          static_cast<std::size_t>(m - i));
+
+      // Panel-step coefficients for the fused sweep: auxv[c] = A(i:m, k0+c).v
+      // (the deferred-update correction) and arow[c] = a(i, k0+c) (the
+      // finalized row-i entries of the panel).
+      for (index_t c = 0; c < kk; ++c) {
+        if (h.tau != 0.0) {
+          const auto vc = a.col(k0 + c);
+          const std::span<const double> tail(
+              vc.data() + i, static_cast<std::size_t>(m - i));
+          auxv[static_cast<std::size_t>(c)] = dot_unrolled(tail, vfull);
+        }
+        arow[static_cast<std::size_t>(c)] = a(i, k0 + c);
+      }
+
+      // One fused pass per trailing column: F entry (dot + correction),
+      // exact row-i finalization, and LINPACK downdate with the dgeqp3
+      // safeguard (flagged columns cannot be recomputed yet -- rows below i
+      // are stale -- so the sweep only marks them).  Each column is
+      // self-contained; chunk boundaries are thread-agnostic.
+      detail::QrcpPanelStep st;
+      st.a = a.data().data();
+      st.lda = m;
+      st.i = i;
+      st.m = m;
+      st.k0 = k0;
+      st.kk = kk;
+      st.tau = h.tau;
+      st.vfull = vfull.data();
+      st.f = fmat.data().data();
+      st.ldf = panel_max;
+      st.auxv = auxv.data();
+      st.arow = arow.data();
+      core::parallel_for_chunks(
+          static_cast<std::size_t>(n - (i + 1)), threads, kGrain,
+          [&](std::size_t b, std::size_t e) {
+            detail::qrcp_panel_sweep(st, i + 1 + static_cast<index_t>(b),
+                                     i + 1 + static_cast<index_t>(e),
+                                     pnorm.data(), pnorm_exact.data(),
+                                     flag_mask.data());
+          });
+      ci[static_cast<std::size_t>(i)] = h.beta;
+
+      // Collect the safeguard flags in column order (deterministic for any
+      // chunking) and cut the panel short when any fired.
+      for (index_t j = i + 1; j < n; ++j) {
+        if (flag_mask[static_cast<std::size_t>(j)] != 0) {
+          flag_mask[static_cast<std::size_t>(j)] = 0;
+          flagged.push_back(j);
+        }
+      }
+      kb = kk + 1;
+      if (!flagged.empty()) break;
+    }
+
+    // One gemm finishes every deferred update of this panel:
+    // A(k0+kb:m, k0+kb:n) -= V * F(0:kb, kb:) with V = A(k0+kb:m, k0:k0+kb)
+    // (all essential reflector entries; the unit diagonals live in rows that
+    // are already final).
+    if (kb > 0) {
+      const index_t rlo = k0 + kb;
+      const index_t ntrail = n - (k0 + kb);
+      if (rlo < m && ntrail > 0) {
+        gemm_view(-1.0, subview(std::as_const(a), rlo, k0, m - rlo, kb),
+                  false, subview(std::as_const(fmat), 0, kb, kb, ntrail),
+                  false, 1.0, subview(a, rlo, k0 + kb, m - rlo, ntrail),
+                  threads);
+      }
+      for (const index_t j : flagged) {
+        const auto cj = a.col(j);
+        const double nj = rlo < m
+                              ? nrm2(cj.subspan(static_cast<std::size_t>(rlo)))
+                              : 0.0;
+        pnorm[static_cast<std::size_t>(j)] = nj;
+        pnorm_exact[static_cast<std::size_t>(j)] = nj;
+      }
+    }
+    i = k0 + kb;
+  }
+
+  res.rank = i;
+  // Finish the factorization without pivoting so that the packed form is a
+  // complete QR of A*P (needed to reconstruct A for verification).
+  if (i < kmax) detail::blocked_qr_tail(a, res.taus, i, nb, threads);
+  res.packed = std::move(a);
+  CATALYST_ENSURE(res.rank >= 0 && res.rank <= kmax,
+                  "qrcp: rank outside [0, min(m, n)]");
+  if (audit::enabled()) audit_qrcp(original, res);
+  return res;
+}
+
+}  // namespace
 
 QrcpResult qrcp(Matrix a, double rank_tol_rel) {
   CATALYST_REQUIRE_AS(rank_tol_rel >= 0.0, ArgumentError,
@@ -126,24 +354,22 @@ QrcpResult qrcp(Matrix a, double rank_tol_rel) {
   res.packed = std::move(a);
   CATALYST_ENSURE(res.rank >= 0 && res.rank <= kmax,
                   "qrcp: rank outside [0, min(m, n)]");
-  if (audit::enabled()) {
-    // Reform Q from the packed reflectors (same accumulation as
-    // QrFactorization::q_thin) and verify orthonormality, triangularity of
-    // R, and the reconstruction against the pivoted input.
-    const auto k = static_cast<index_t>(res.taus.size());
-    Matrix q(m, k);
-    for (index_t j = 0; j < k; ++j) q(j, j) = 1.0;
-    for (index_t j = k - 1; j >= 0; --j) {
-      auto cj = res.packed.col(j);
-      auto v = cj.subspan(static_cast<std::size_t>(j + 1));
-      apply_reflector_left(q, j, 0, v, res.taus[static_cast<std::size_t>(j)]);
-    }
-    audit::check_orthonormal(q);
-    audit::check_upper_triangular(res.r());
-    audit::check_factorization(original.select_columns(res.permutation), q,
-                               res.r());
-  }
+  if (audit::enabled()) audit_qrcp(original, res);
   return res;
+}
+
+QrcpResult qrcp(Matrix a, const QrcpOptions& options) {
+  CATALYST_REQUIRE_AS(options.rank_tol_rel >= 0.0, ArgumentError,
+                      "qrcp: negative rank tolerance");
+  CATALYST_REQUIRE_AS(options.block_size >= 0, ArgumentError,
+                      "qrcp: negative block size");
+  index_t nb = options.block_size;
+  if (nb == 0) nb = a.cols() < 64 ? 1 : 32;
+  if (nb == 1) return qrcp(std::move(a), options.rank_tol_rel);
+  CATALYST_ASSUME_FINITE_AS(a.data(), ArgumentError,
+                            "qrcp: input matrix has NaN/Inf entries");
+  return qrcp_blocked(std::move(a), options.rank_tol_rel, nb,
+                      options.threads);
 }
 
 }  // namespace catalyst::linalg

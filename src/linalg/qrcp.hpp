@@ -5,6 +5,19 @@
 // specialized pivoting scheme (Algorithm 2) lives in catalyst::core and is
 // built on top of the same reflector primitives; keeping the classic scheme
 // here lets the benches ablate "classic vs specialized" pivoting directly.
+//
+// Two implementations share the entry point:
+//
+//   * the scalar column-at-a-time loop (the original path, kept verbatim --
+//     qrcp(a, tol) always takes it);
+//   * a blocked dlaqps-style path (opt in through QrcpOptions): reflector
+//     applications within a panel are accumulated in an auxiliary matrix F
+//     (F = A^T V T, built one column per step), each pivot's row is finalized
+//     incrementally, and the trailing matrix receives one gemm per panel
+//     instead of one rank-1 update per column.  LINPACK norm downdating works
+//     exactly as in the scalar path; when the downdating safeguard fires the
+//     panel is cut short and the flagged norms are recomputed after the gemm
+//     (LAPACK's LSTICC mechanism).
 #pragma once
 
 #include <vector>
@@ -28,8 +41,27 @@ struct QrcpResult {
 
   /// The upper-trapezoidal factor R (min(m,n) x n) of A * P.
   Matrix r() const;
-  /// |R(i,i)| for each factored step.
-  std::vector<double> r_diagonal_abs() const;
+  /// |R(i,i)| for each factored step, cached on first call -- report/verify
+  /// consumers poll this in loops and must not re-materialize R each time.
+  const std::vector<double>& r_diagonal_abs() const;
+
+ private:
+  mutable std::vector<double> r_diag_abs_cache_;
+};
+
+/// Tuning knobs for qrcp().  The defaults reproduce the scalar path's exact
+/// arithmetic on small problems and switch to the blocked path when the
+/// column count makes it worthwhile.
+struct QrcpOptions {
+  /// Rank tolerance, as in qrcp(a, rank_tol_rel).
+  double rank_tol_rel = 1e-12;
+  /// Panel width.  0 = auto (scalar below 64 columns, 32 otherwise);
+  /// 1 = force the scalar column-at-a-time path (the bench baseline);
+  /// >= 2 = blocked path with this panel width.
+  index_t block_size = 0;
+  /// Worker count for the blocked path's per-column F updates and trailing
+  /// gemms (shared worker pool).  Results are bit-identical for any value.
+  int threads = 1;
 };
 
 /// Column-pivoted Householder QR with max-norm pivoting and LINPACK-style
@@ -41,5 +73,11 @@ struct QrcpResult {
 /// column norm).  Pass 0 to factor all min(m, n) steps and report rank as
 /// the number of steps with a nonzero diagonal.
 QrcpResult qrcp(Matrix a, double rank_tol_rel = 1e-12);
+
+/// As above with explicit blocking/threading control.  The blocked path
+/// produces the same permutation and an R factor agreeing to roundoff (its
+/// trailing updates associate differently); it is NOT bit-identical to the
+/// scalar path, but IS bit-identical to itself for any thread count.
+QrcpResult qrcp(Matrix a, const QrcpOptions& options);
 
 }  // namespace catalyst::linalg

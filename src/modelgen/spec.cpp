@@ -85,4 +85,38 @@ GeneratorSpec GeneratorSpec::edge_orphan(std::uint64_t seed, double gamma) {
   return spec;
 }
 
+namespace {
+
+// Shared base of the scale presets: wide counter files (the multiplexer
+// would otherwise need tens of thousands of groups) and a richer decoy
+// census so the big machines are not pure alias farms.
+GeneratorSpec scale_base(std::uint64_t seed, std::size_t dims,
+                         std::size_t max_aliases) {
+  GeneratorSpec spec;
+  spec.seed = seed;
+  spec.min_dims = dims;
+  spec.max_dims = dims;
+  spec.extra_slots = 8;
+  spec.max_aliases = max_aliases;
+  spec.min_counters = 16;
+  spec.max_counters = 32;
+  spec.scaled_decoys = 8;
+  spec.derived_decoys = 8;
+  spec.correlated_decoys = 8;
+  spec.noise_decoys = 4;
+  spec.dead_decoys = 2;
+  spec.num_metrics = 5;
+  return spec;
+}
+
+}  // namespace
+
+GeneratorSpec GeneratorSpec::scale_5k(std::uint64_t seed) {
+  return scale_base(seed, 48, 200);
+}
+
+GeneratorSpec GeneratorSpec::scale_10k(std::uint64_t seed) {
+  return scale_base(seed, 64, 300);
+}
+
 }  // namespace catalyst::modelgen

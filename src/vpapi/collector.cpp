@@ -4,14 +4,13 @@
 
 #include <algorithm>
 #include <array>
-#include <atomic>
 #include <cmath>
 #include <mutex>
 #include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <unordered_map>
 
+#include "core/parallel.hpp"
 #include "obs/trace.hpp"
 
 namespace catalyst::vpapi {
@@ -155,46 +154,14 @@ CollectionResult collect(const pmu::Machine& machine,
              result.repetitions[rep], plan);
   };
 
-  if (threads == 1 || total_units < 2) {
-    for (std::size_t unit = 0; unit < total_units; ++unit) do_unit(unit);
-    return result;
-  }
-
-  // A throw from a worker must reach the caller, not std::terminate: the
-  // first exception is captured, the remaining units are abandoned, and the
-  // exception is rethrown after the join.
-  std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
-  std::vector<std::thread> pool;
-  const int nt = std::min<int>(threads, static_cast<int>(total_units));
-  pool.reserve(static_cast<std::size_t>(nt));
-  for (int t = 0; t < nt; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const std::size_t unit = cursor.fetch_add(1);
-        if (unit >= total_units ||
-            failed.load(std::memory_order_relaxed)) {
-          break;
-        }
-        try {
-          do_unit(unit);
-        } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
-        }
-      }
-    });
-  }
-  for (auto& th : pool) th.join();
-  if (first_error) {
+  try {
+    core::parallel_for(total_units, threads, do_unit);
+  } catch (...) {
     // Sibling units may have landed complete rows before the failure was
     // noticed; discard everything so no partial campaign data can outlive
     // the error (the regression tests assert no torn rows escape).
     result.repetitions.clear();
-    std::rethrow_exception(first_error);
+    throw;
   }
   return result;
 }
@@ -540,39 +507,11 @@ ResilientCollectionResult collect_resilient(
   };
 
   const std::size_t total_units = repetitions * groups.size();
-  if (options.threads == 1 || total_units < 2) {
-    for (std::size_t unit = 0; unit < total_units; ++unit) do_unit(unit);
-  } else {
-    std::atomic<std::size_t> cursor{0};
-    std::atomic<bool> failed{false};
-    std::exception_ptr first_error;
-    std::mutex error_mutex;
-    std::vector<std::thread> pool;
-    const int nt =
-        std::min<int>(options.threads, static_cast<int>(total_units));
-    pool.reserve(static_cast<std::size_t>(nt));
-    for (int t = 0; t < nt; ++t) {
-      pool.emplace_back([&] {
-        for (;;) {
-          const std::size_t unit = cursor.fetch_add(1);
-          if (unit >= total_units || failed.load(std::memory_order_relaxed)) {
-            break;
-          }
-          try {
-            do_unit(unit);
-          } catch (...) {
-            const std::lock_guard<std::mutex> lock(error_mutex);
-            if (!first_error) first_error = std::current_exception();
-            failed.store(true, std::memory_order_relaxed);
-          }
-        }
-      });
-    }
-    for (auto& th : pool) th.join();
-    if (first_error) {
-      reps.clear();  // discard partial campaign data: no torn rows escape
-      std::rethrow_exception(first_error);
-    }
+  try {
+    core::parallel_for(total_units, options.threads, do_unit);
+  } catch (...) {
+    reps.clear();  // discard partial campaign data: no torn rows escape
+    throw;
   }
 
   // Dispositions + final data with quarantined events' rows removed.

@@ -33,6 +33,12 @@ or per file via the allowlists below):
                     injectable faults::Clock (obs::Tracer::set_clock) so span
                     timings are deterministic under FakeClock and
                     observability can never perturb results.
+  raw-thread-spawn  No raw std::thread construction in src/ outside the
+                    shared worker-pool helper (src/core/parallel.hpp).  All
+                    parallelism must flow through core::parallel_for /
+                    parallel_for_chunks so the determinism contract (fixed
+                    work partitioning, first-exception propagation, full
+                    join before return) holds everywhere at once.
   seed-echo-in-tests
                     Every test in tests/ that owns a general-purpose PRNG
                     must include "seed_util.hpp" and take its seeds from it:
@@ -91,11 +97,18 @@ TIMING_ALLOWED_PREFIXES = (
     "src/faults/",
 )
 
+# The ONE place allowed to construct std::thread: the shared worker-pool
+# helper.  Everything else parallelizes through core::parallel_for so the
+# determinism/exception contract is uniform.
+THREAD_SPAWN_ALLOWED = {
+    "src/core/parallel.hpp",
+}
+
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
 LINALG_PUBLIC_ENTRIES = {
     "src/linalg/blas.cpp": [
-        "gemv", "gemv_t", "ger", "gemm",
+        "gemv", "gemv_t", "ger", "gemm", "gemm_view", "subview",
         "trsv_upper", "trsv_lower", "trsv_upper_t",
     ],
     "src/linalg/qrcp.cpp": ["qrcp"],
@@ -245,6 +258,24 @@ def check_sleep_in_retry(path: Path, code: str, raw_lines: list[str],
                 "raw thread sleep outside faults::Clock; pace retries via "
                 "the injectable clock (faults/clock.cpp) so tests never "
                 "sleep on wall time"))
+
+
+THREAD_SPAWN_RE = re.compile(r"\bstd\s*::\s*thread\b")
+
+
+def check_raw_thread_spawn(path: Path, code: str, raw_lines: list[str],
+                           findings: list[Finding]):
+    if relpath(path) in THREAD_SPAWN_ALLOWED:
+        return
+    for lineno, line in enumerate(code.splitlines(), 1):
+        if THREAD_SPAWN_RE.search(line):
+            if "raw-thread-spawn" in line_suppressions(raw_lines, lineno):
+                continue
+            findings.append(Finding(
+                "raw-thread-spawn", path, lineno,
+                "raw std::thread outside core/parallel.hpp; fan work out "
+                "via core::parallel_for / parallel_for_chunks so the "
+                "worker-pool determinism + exception contract applies"))
 
 
 def check_raw_timing(path: Path, code: str, raw_lines: list[str],
@@ -408,6 +439,7 @@ def main(argv: list[str]) -> int:
         code = strip_comments_and_strings(raw)
         check_rng(path, code, raw_lines, findings)
         check_sleep_in_retry(path, code, raw_lines, findings)
+        check_raw_thread_spawn(path, code, raw_lines, findings)
         check_raw_timing(path, code, raw_lines, findings)
         check_using_namespace(path, code, raw_lines, findings)
         check_pragma_once(path, code, findings)
