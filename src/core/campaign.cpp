@@ -11,10 +11,45 @@
 #include "core/json.hpp"
 #include "core/noise.hpp"
 #include "obs/trace.hpp"
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
 
 namespace catalyst::core {
 
 const char* const kCheckpointFormat = "catalyst-checkpoint-v1";
+
+namespace {
+
+/// The set of checkpoint directories currently held by live leases.
+struct LeaseRegistry {
+  sync::Mutex mutex{"core.campaign.checkpoint_dirs"};
+  std::unordered_set<std::string> active CATALYST_GUARDED_BY(mutex);
+};
+
+LeaseRegistry& lease_registry() noexcept {
+  // Leaked: a lease may be released during static destruction.
+  static LeaseRegistry* registry = new LeaseRegistry;
+  return *registry;
+}
+
+}  // namespace
+
+CheckpointDirLease::CheckpointDirLease(std::string directory)
+    : directory_(std::move(directory)) {
+  LeaseRegistry& reg = lease_registry();
+  const sync::LockGuard lock(reg.mutex);
+  if (!reg.active.insert(directory_).second) {
+    throw std::runtime_error(
+        "checkpoint directory '" + directory_ +
+        "' is already in use by another campaign in this process");
+  }
+}
+
+CheckpointDirLease::~CheckpointDirLease() {
+  LeaseRegistry& reg = lease_registry();
+  const sync::LockGuard lock(reg.mutex);
+  reg.active.erase(directory_);
+}
 
 std::string campaign_config_key(const pmu::Machine& machine,
                                 const cat::Benchmark& benchmark,
@@ -252,7 +287,9 @@ CampaignResult run_campaign(const pmu::Machine& machine,
   const std::string config_key =
       campaign_config_key(machine, benchmark, options);
   const bool checkpointing = !options.checkpoint.directory.empty();
+  std::optional<CheckpointDirLease> lease;
   if (checkpointing) {
+    lease.emplace(options.checkpoint.directory);
     std::filesystem::create_directories(options.checkpoint.directory);
   }
 

@@ -30,6 +30,30 @@
 
 namespace catalyst::core {
 
+/// Process-wide exclusive claim on a checkpoint directory.  Two campaigns
+/// checkpointing into the same directory would interleave batch-NNN.json
+/// files from different configurations; the second writer's files win the
+/// rename race and the first campaign resumes from foreign batches.  The
+/// lease makes that a loud error instead: acquiring a directory another
+/// live lease holds throws std::runtime_error.  run_campaign() takes one
+/// for the duration of the collection loop whenever checkpointing is on.
+class CheckpointDirLease {
+ public:
+  /// Claims `directory` (keyed verbatim -- callers pass the same string
+  /// they pass CheckpointOptions).  Throws std::runtime_error if some
+  /// other live lease in this process already holds it.
+  explicit CheckpointDirLease(std::string directory);
+  ~CheckpointDirLease();
+
+  CheckpointDirLease(const CheckpointDirLease&) = delete;
+  CheckpointDirLease& operator=(const CheckpointDirLease&) = delete;
+
+  const std::string& directory() const noexcept { return directory_; }
+
+ private:
+  std::string directory_;
+};
+
 /// Where (and whether) to persist per-batch checkpoints.
 struct CheckpointOptions {
   /// Directory for batch-NNN.json files; empty disables checkpointing.

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "sync/mutex.hpp"
+
 #if defined(__has_include)
 #if __has_include(<execinfo.h>)
 #include <execinfo.h>
@@ -33,6 +35,14 @@ std::atomic<ViolationPolicy>& policy_slot() noexcept {
 std::atomic<std::size_t>& logged_count_slot() noexcept {
   static std::atomic<std::size_t> count{0};
   return count;
+}
+
+// Serializes violation emission: a multi-line report (message + stack
+// trace) must not interleave with one from another thread.  Policy and the
+// logged counter stay atomic -- they are single-word reads on hot paths.
+sync::Mutex& emit_mutex() noexcept {
+  static sync::Mutex mutex{"core.contract.emit"};
+  return mutex;
 }
 
 void print_stack_trace() noexcept {
@@ -87,13 +97,17 @@ bool report_violation(const char* kind, const char* expr, const char* file,
       return true;  // the macro throws at the call site, preserving the type
     case ViolationPolicy::abort_with_trace: {
       const std::string text = format_violation(kind, expr, file, line, msg);
+      const sync::LockGuard lock(emit_mutex());
       std::fprintf(stderr, "%s\n", text.c_str());
       print_stack_trace();
       std::abort();
     }
     case ViolationPolicy::log_and_continue: {
       const std::string text = format_violation(kind, expr, file, line, msg);
-      std::fprintf(stderr, "%s (continuing)\n", text.c_str());
+      {
+        const sync::LockGuard lock(emit_mutex());
+        std::fprintf(stderr, "%s (continuing)\n", text.c_str());
+      }
       logged_count_slot().fetch_add(1, std::memory_order_relaxed);
       return false;
     }

@@ -10,17 +10,62 @@
 // nothing -- produces bit-identical output (the `core/campaign` argument).
 //
 // catalyst-lint's raw-thread-spawn rule enforces that this header is the
-// ONLY place in src/ that constructs std::thread.
+// ONLY place in src/ that constructs std::thread; its raw-sync-primitive
+// rule keeps the error slot below on the annotated sync::Mutex.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
 #include <exception>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
+
 namespace catalyst::core {
+
+/// First-exception capture slot shared by a worker pool: keeps the earliest
+/// exception a worker threw, drops the rest, and exposes a lock-free `armed`
+/// flag workers poll to abandon remaining units.  The slot is the annotated
+/// pattern every parallel merge in the tree follows -- data under
+/// CATALYST_GUARDED_BY, locked-context helpers under CATALYST_REQUIRES.
+class FirstError {
+ public:
+  /// Records `error` unless one is already held (first throw wins).
+  void capture(std::exception_ptr error) CATALYST_EXCLUDES(mutex_) {
+    const sync::LockGuard lock(mutex_);
+    set_locked(std::move(error));
+  }
+
+  /// True once any worker has captured; one relaxed load (polled per unit).
+  bool armed() const noexcept {
+    return armed_.load(std::memory_order_relaxed);
+  }
+
+  /// Rethrows the captured exception, if any (called after the join).
+  void rethrow_if_set() CATALYST_EXCLUDES(mutex_) {
+    std::exception_ptr error;
+    {
+      const sync::LockGuard lock(mutex_);
+      error = error_;
+    }
+    if (error) std::rethrow_exception(error);
+  }
+
+ private:
+  // Deliberately REQUIRES-annotated: removing this annotation must make the
+  // `check.sh thread_safety` stage fail (the body touches `error_`, which
+  // is GUARDED_BY the mutex the annotation promises is held).
+  void set_locked(std::exception_ptr error) CATALYST_REQUIRES(mutex_) {
+    if (!error_) error_ = std::move(error);
+    armed_.store(true, std::memory_order_relaxed);
+  }
+
+  sync::Mutex mutex_{"core.parallel.first_error"};
+  std::exception_ptr error_ CATALYST_GUARDED_BY(mutex_);
+  std::atomic<bool> armed_{false};
+};
 
 /// Runs body(unit) for every unit in [0, total), on up to `threads` workers.
 /// threads <= 1 (or total < 2) runs inline on the calling thread with no
@@ -41,9 +86,7 @@ void parallel_for(std::size_t total, int threads, Body&& body) {
     return;
   }
   std::atomic<std::size_t> cursor{0};
-  std::atomic<bool> failed{false};
-  std::exception_ptr first_error;
-  std::mutex error_mutex;
+  FirstError first_error;
   const int nt = threads < static_cast<int>(total)
                      ? threads
                      : static_cast<int>(total);
@@ -53,21 +96,19 @@ void parallel_for(std::size_t total, int threads, Body&& body) {
     pool.emplace_back([&] {
       for (;;) {
         const std::size_t unit = cursor.fetch_add(1);
-        if (unit >= total || failed.load(std::memory_order_relaxed)) {
+        if (unit >= total || first_error.armed()) {
           break;
         }
         try {
           body(unit);
         } catch (...) {
-          const std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-          failed.store(true, std::memory_order_relaxed);
+          first_error.capture(std::current_exception());
         }
       }
     });
   }
   for (auto& th : pool) th.join();
-  if (first_error) std::rethrow_exception(first_error);
+  first_error.rethrow_if_set();
 }
 
 /// Splits [0, total) into chunks of `grain` consecutive indices (the last

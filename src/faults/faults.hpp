@@ -19,10 +19,12 @@
 #include <array>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
 
 namespace catalyst::faults {
 
@@ -168,32 +170,34 @@ class RealClock final : public Clock {
 /// Thread-safe: the resilient driver's workers may back off concurrently.
 class FakeClock final : public Clock {
  public:
-  void sleep_for(std::chrono::nanoseconds d) override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  void sleep_for(std::chrono::nanoseconds d) override
+      CATALYST_EXCLUDES(mutex_) {
+    const sync::LockGuard lock(mutex_);
     delays_.push_back(d);
     virtual_now_ += d;
   }
-  std::chrono::nanoseconds now() override {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::chrono::nanoseconds now() override CATALYST_EXCLUDES(mutex_) {
+    const sync::LockGuard lock(mutex_);
     const std::chrono::nanoseconds t = virtual_now_;
     virtual_now_ += std::chrono::microseconds(1);
     return t;
   }
-  std::vector<std::chrono::nanoseconds> delays() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::chrono::nanoseconds> delays() const
+      CATALYST_EXCLUDES(mutex_) {
+    const sync::LockGuard lock(mutex_);
     return delays_;
   }
-  std::chrono::nanoseconds total() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+  std::chrono::nanoseconds total() const CATALYST_EXCLUDES(mutex_) {
+    const sync::LockGuard lock(mutex_);
     std::chrono::nanoseconds sum{0};
     for (auto d : delays_) sum += d;
     return sum;
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::vector<std::chrono::nanoseconds> delays_;
-  std::chrono::nanoseconds virtual_now_{0};
+  mutable sync::Mutex mutex_{"faults.fake_clock"};
+  std::vector<std::chrono::nanoseconds> delays_ CATALYST_GUARDED_BY(mutex_);
+  std::chrono::nanoseconds virtual_now_ CATALYST_GUARDED_BY(mutex_){0};
 };
 
 }  // namespace catalyst::faults

@@ -10,6 +10,8 @@
 #include "core/contract.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/qr.hpp"
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
 
 namespace catalyst::linalg::audit {
 
@@ -27,16 +29,23 @@ std::atomic<bool>& enabled_slot() noexcept {
   return on;
 }
 
-struct AtomicCounts {
-  std::atomic<std::size_t> orthogonality{0};
-  std::atomic<std::size_t> triangularity{0};
-  std::atomic<std::size_t> factorization{0};
-  std::atomic<std::size_t> lstsq{0};
+// Audit bookkeeping: a mutex-guarded registry rather than per-field
+// atomics, so counts() returns a CONSISTENT snapshot (four independent
+// atomics could be observed mid-update from another thread).  Audits fire
+// per factorization, not per reading -- contention is irrelevant.
+struct CountRegistry {
+  sync::Mutex mutex{"linalg.audit.counts"};
+  AuditCounts counts CATALYST_GUARDED_BY(mutex);
+
+  void bump(std::size_t AuditCounts::* field) CATALYST_EXCLUDES(mutex) {
+    const sync::LockGuard lock(mutex);
+    ++(counts.*field);
+  }
 };
 
-AtomicCounts& count_slots() noexcept {
-  static AtomicCounts counts;
-  return counts;
+CountRegistry& count_registry() noexcept {
+  static CountRegistry registry;
+  return registry;
 }
 
 // Factorization-accuracy tolerance: rounding error of a Householder QR of an
@@ -58,17 +67,15 @@ void set_enabled(bool on) noexcept {
 }
 
 AuditCounts counts() noexcept {
-  const AtomicCounts& c = count_slots();
-  return {c.orthogonality.load(), c.triangularity.load(),
-          c.factorization.load(), c.lstsq.load()};
+  CountRegistry& reg = count_registry();
+  const sync::LockGuard lock(reg.mutex);
+  return reg.counts;
 }
 
 void reset_counts() noexcept {
-  AtomicCounts& c = count_slots();
-  c.orthogonality = 0;
-  c.triangularity = 0;
-  c.factorization = 0;
-  c.lstsq = 0;
+  CountRegistry& reg = count_registry();
+  const sync::LockGuard lock(reg.mutex);
+  reg.counts = AuditCounts{};
 }
 
 double orthogonality_error(const Matrix& q) {
@@ -98,7 +105,7 @@ double normal_equations_residual(const Matrix& a, std::span<const double> x,
 }
 
 void check_orthonormal(const Matrix& q) {
-  count_slots().orthogonality.fetch_add(1, std::memory_order_relaxed);
+  count_registry().bump(&AuditCounts::orthogonality);
   const double err = orthogonality_error(q);
   const double tol = accuracy_tol(q.rows(), q.cols());
   CATALYST_INVARIANT_AS(err <= tol, AuditError,
@@ -107,7 +114,7 @@ void check_orthonormal(const Matrix& q) {
 }
 
 void check_upper_triangular(const Matrix& r) {
-  count_slots().triangularity.fetch_add(1, std::memory_order_relaxed);
+  count_registry().bump(&AuditCounts::triangularity);
   const double below = max_below_diagonal(r);
   CATALYST_INVARIANT_AS(below == 0.0, AuditError,
                         "audit: R has a below-diagonal entry of magnitude " +
@@ -116,7 +123,7 @@ void check_upper_triangular(const Matrix& r) {
 
 void check_factorization(const Matrix& original_permuted, const Matrix& q,
                          const Matrix& r) {
-  count_slots().factorization.fetch_add(1, std::memory_order_relaxed);
+  count_registry().bump(&AuditCounts::factorization);
   CATALYST_REQUIRE_AS(q.cols() == r.rows() &&
                           q.rows() == original_permuted.rows() &&
                           r.cols() == original_permuted.cols(),
@@ -133,7 +140,7 @@ void check_factorization(const Matrix& original_permuted, const Matrix& q,
 
 void check_lstsq_optimal(const Matrix& a, std::span<const double> x,
                          std::span<const double> b) {
-  count_slots().lstsq.fetch_add(1, std::memory_order_relaxed);
+  count_registry().bump(&AuditCounts::lstsq);
   const double grad = normal_equations_residual(a, x, b);
   // At the minimizer, A^T r is pure rounding noise: bounded by the scale of
   // the quantities that produced it, ||A|| * (||A|| ||x|| + ||b||), times

@@ -45,7 +45,7 @@ Metrics& Metrics::instance() {
 }
 
 void Metrics::add(std::string_view counter, std::uint64_t delta) {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::LockGuard lock(mutex_);
   const auto it = counters_.find(counter);
   if (it != counters_.end()) {
     it->second += delta;
@@ -54,13 +54,17 @@ void Metrics::add(std::string_view counter, std::uint64_t delta) {
   }
 }
 
-void Metrics::observe(std::string_view histogram, double value) {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  auto it = histograms_.find(histogram);
+Metrics::Histogram& Metrics::histogram_locked(std::string_view name) {
+  auto it = histograms_.find(name);
   if (it == histograms_.end()) {
-    it = histograms_.emplace(std::string(histogram), Histogram{}).first;
+    it = histograms_.emplace(std::string(name), Histogram{}).first;
   }
-  Histogram& h = it->second;
+  return it->second;
+}
+
+void Metrics::observe(std::string_view histogram, double value) {
+  const sync::LockGuard lock(mutex_);
+  Histogram& h = histogram_locked(histogram);
   if (h.total_count == 0 || value < h.min) h.min = value;
   if (h.total_count == 0 || value > h.max) h.max = value;
   ++h.total_count;
@@ -69,7 +73,7 @@ void Metrics::observe(std::string_view histogram, double value) {
 }
 
 MetricsSnapshot Metrics::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::LockGuard lock(mutex_);
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
@@ -88,7 +92,7 @@ MetricsSnapshot Metrics::snapshot() const {
 }
 
 void Metrics::reset() {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const sync::LockGuard lock(mutex_);
   counters_.clear();
   histograms_.clear();
 }

@@ -14,11 +14,13 @@
 #include <array>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
+
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
 
 namespace catalyst::obs {
 
@@ -58,11 +60,13 @@ class Metrics {
  public:
   static Metrics& instance();
 
-  void add(std::string_view counter, std::uint64_t delta);
-  void observe(std::string_view histogram, double value);
+  void add(std::string_view counter, std::uint64_t delta)
+      CATALYST_EXCLUDES(mutex_);
+  void observe(std::string_view histogram, double value)
+      CATALYST_EXCLUDES(mutex_);
 
-  MetricsSnapshot snapshot() const;
-  void reset();
+  MetricsSnapshot snapshot() const CATALYST_EXCLUDES(mutex_);
+  void reset() CATALYST_EXCLUDES(mutex_);
 
  private:
   struct Histogram {
@@ -73,9 +77,15 @@ class Metrics {
     std::array<std::uint64_t, kNumBuckets> buckets{};
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, std::uint64_t, std::less<>> counters_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  /// Upserts the named histogram (locked-context helper for observe()).
+  Histogram& histogram_locked(std::string_view name)
+      CATALYST_REQUIRES(mutex_);
+
+  mutable sync::Mutex mutex_{"obs.metrics"};
+  std::map<std::string, std::uint64_t, std::less<>> counters_
+      CATALYST_GUARDED_BY(mutex_);
+  std::map<std::string, Histogram, std::less<>> histograms_
+      CATALYST_GUARDED_BY(mutex_);
 };
 
 }  // namespace catalyst::obs

@@ -9,12 +9,18 @@ TraceBuffer::TraceBuffer(std::size_t capacity)
     : capacity_(capacity == 0 ? 1 : capacity),
       slots_(new Slot[capacity == 0 ? 1 : capacity]) {}
 
+// The writer/reader halves of the seqlock protocol documented on the
+// TraceBuffer class (invariants I1-I5 in trace.hpp).  The protocol fence
+// below is what licenses ordering-bearing atomics here: catalyst-lint
+// forbids acquire/release/seq_cst atomics outside src/sync unless they sit
+// inside a documented begin-protocol/end-protocol region.
+// catalyst-lint: begin-protocol(seqlock)
 void TraceBuffer::publish(const SpanRecord& rec) noexcept {
   const std::uint64_t ticket =
       cursor_.fetch_add(1, std::memory_order_relaxed);
   Slot& slot = slots_[ticket % capacity_];
-  // Seqlock: odd marks the slot mid-write; readers who observe different
-  // values before and after their copy discard it.
+  // Seqlock writer (I2/I3): odd marks the slot mid-write; readers who
+  // observe different values before and after their copy discard it.
   slot.seq.store(2 * ticket + 1, std::memory_order_release);
   slot.rec = rec;
   slot.seq.store(2 * ticket + 2, std::memory_order_release);
@@ -29,6 +35,9 @@ std::vector<SpanRecord> TraceBuffer::snapshot() const {
   taken.reserve(std::min<std::uint64_t>(published(), capacity_));
   for (std::size_t i = 0; i < capacity_; ++i) {
     const Slot& slot = slots_[i];
+    // Seqlock reader (I2/I3): acquire-load seq, raw-copy the record (safe
+    // even if torn, I4), acquire-load seq again; any change means the copy
+    // may be torn and is discarded.
     const std::uint64_t before = slot.seq.load(std::memory_order_acquire);
     if (before == 0 || (before & 1) != 0) continue;  // empty or mid-write
     SpanRecord copy = slot.rec;
@@ -52,11 +61,14 @@ std::uint64_t TraceBuffer::dropped() const noexcept {
 }
 
 void TraceBuffer::clear() noexcept {
+  // Single-threaded by contract (I5): relaxed resets, one release on the
+  // cursor so a later publisher starting fresh sees the zeroed slots.
   for (std::size_t i = 0; i < capacity_; ++i) {
     slots_[i].seq.store(0, std::memory_order_relaxed);
   }
   cursor_.store(0, std::memory_order_release);
 }
+// catalyst-lint: end-protocol(seqlock)
 
 std::uint32_t this_thread_id() noexcept {
   static std::atomic<std::uint32_t> next{1};
@@ -77,6 +89,12 @@ Tracer& Tracer::instance() {
   return tracer;
 }
 
+// Clock swap protocol: the clock pointer is published with release and
+// consumed with acquire so a thread that observes the new clock also
+// observes its fully-constructed state.  Swappers must keep the old clock
+// alive until no publisher can still be timing against it (tests swap only
+// while quiescent).
+// catalyst-lint: begin-protocol(clock-swap)
 void Tracer::set_clock(faults::Clock* clock) noexcept {
   clock_.store(clock != nullptr ? clock : &real_clock_,
                std::memory_order_release);
@@ -85,6 +103,7 @@ void Tracer::set_clock(faults::Clock* clock) noexcept {
 std::int64_t Tracer::now_ns() {
   return clock_.load(std::memory_order_acquire)->now().count();
 }
+// catalyst-lint: end-protocol(clock-swap)
 
 namespace detail {
 

@@ -67,6 +67,29 @@ struct StageTiming {
 /// validation, skipping slots that are mid-write.  When more spans are
 /// published than the capacity holds, the oldest are overwritten (counted
 /// in dropped()).
+///
+/// Seqlock protocol invariants (this is the one subsystem that keeps raw
+/// ordering-bearing atomics instead of sync::Mutex -- publish() sits on the
+/// per-span hot path and must never block a worker):
+///   I1. Slot ownership: publish ticket t (from the cursor fetch_add) owns
+///       slot t % capacity exclusively; two writers never race on one slot
+///       because each ticket is handed out exactly once.
+///   I2. Seq word states: 0 = never written; odd (2t+1) = ticket t's write
+///       in progress; even >= 2 (2t+2) = ticket t's record complete.  The
+///       seq value encodes WHICH ticket wrote the slot, so a reader that
+///       sees the same even value before and after its copy knows the
+///       record was neither mid-write nor overwritten in between.
+///   I3. Ordering: the pre-write store (2t+1) and post-write store (2t+2)
+///       are release; readers load seq with acquire before and after a raw
+///       memcpy of the record.  acquire/release pairing makes the record
+///       bytes visible whenever the even seq value is.
+///   I4. Torn reads are safe, never surfaced: SpanRecord is trivially
+///       copyable (static_assert above), so a discarded torn copy cannot
+///       touch heap state; validation (I2) guarantees a torn copy is
+///       always discarded.
+///   I5. clear() is NOT part of the protocol: it is documented single-
+///       threaded (tests only) and may not run concurrently with
+///       publishers or readers.
 class TraceBuffer {
  public:
   static constexpr std::size_t kDefaultCapacity = 65536;
@@ -77,9 +100,11 @@ class TraceBuffer {
   /// Validated copy of all completed spans, oldest first (by publish order).
   std::vector<SpanRecord> snapshot() const;
   /// Total spans ever published (including overwritten ones).
+  // catalyst-lint: begin-protocol(seqlock)
   std::uint64_t published() const noexcept {
     return cursor_.load(std::memory_order_acquire);
   }
+  // catalyst-lint: end-protocol(seqlock)
   /// Spans lost to ring wrap-around.
   std::uint64_t dropped() const noexcept;
   std::size_t capacity() const noexcept { return capacity_; }
@@ -90,6 +115,7 @@ class TraceBuffer {
   struct Slot {
     /// Seqlock word: 0 = never written, odd = write in progress,
     /// 2*ticket+2 = record for publish ticket `ticket` is complete.
+    /// Full protocol invariants: see the TraceBuffer class comment (I1-I5).
     std::atomic<std::uint64_t> seq{0};
     SpanRecord rec{};
   };

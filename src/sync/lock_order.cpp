@@ -1,0 +1,203 @@
+#include "sync/lock_order.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace catalyst::sync::order {
+
+namespace {
+
+bool enabled_from_env() noexcept {
+  const char* env = std::getenv("CATALYST_LOCK_ORDER");
+  if (env == nullptr) return false;
+  return std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0 ||
+         std::strcmp(env, "true") == 0;
+}
+
+std::atomic<bool>& enabled_slot() noexcept {
+  static std::atomic<bool> on{enabled_from_env()};
+  return on;
+}
+
+/// One lock the calling thread currently holds.  The name pointer is the
+/// Mutex's construction-site label (a string literal in practice); the
+/// address disambiguates instances on release.
+struct Held {
+  const void* mtx;
+  const char* name;
+};
+
+std::vector<Held>& held_stack() noexcept {
+  thread_local std::vector<Held> stack;
+  return stack;
+}
+
+/// A directed order edge `from -> to`, plus the held stack that first
+/// established it -- the "other side" printed when an inversion aborts.
+struct Edge {
+  std::vector<std::string> held_when_recorded;
+};
+
+struct Graph {
+  std::mutex mutex;
+  /// edges[from][to]: `from` has been held while acquiring `to`.
+  std::unordered_map<std::string, std::unordered_map<std::string, Edge>>
+      edges;
+};
+
+/// Leaky singleton: locks may still be taken during static destruction
+/// (process-wide registries), so the graph must outlive every other static.
+Graph& graph() noexcept {
+  static Graph* g = new Graph;
+  return *g;
+}
+
+void print_stack(const char* label, const std::vector<std::string>& names) {
+  std::fprintf(stderr, "  %s (bottom -> top):", label);
+  if (names.empty()) std::fprintf(stderr, " <none>");
+  for (const std::string& n : names) std::fprintf(stderr, " \"%s\"", n.c_str());
+  std::fputc('\n', stderr);
+}
+
+std::vector<std::string> snapshot_held() {
+  std::vector<std::string> out;
+  out.reserve(held_stack().size());
+  for (const Held& h : held_stack()) out.emplace_back(h.name);
+  return out;
+}
+
+/// Finds a path `from ~> goal` in the edge graph; on success fills `path`
+/// with the node sequence (from .. goal) and returns true.  Called with
+/// graph().mutex held.
+bool find_path(const Graph& g, const std::string& from,
+               const std::string& goal, std::vector<std::string>& path) {
+  std::unordered_map<std::string, std::string> parent;
+  std::unordered_set<std::string> visited{from};
+  std::vector<std::string> frontier{from};
+  while (!frontier.empty()) {
+    const std::string node = frontier.back();
+    frontier.pop_back();
+    if (node == goal) {
+      path.clear();
+      for (std::string n = goal; !n.empty();) {
+        path.insert(path.begin(), n);
+        const auto it = parent.find(n);
+        n = it != parent.end() ? it->second : std::string();
+      }
+      return true;
+    }
+    const auto it = g.edges.find(node);
+    if (it == g.edges.end()) continue;
+    for (const auto& [next, edge] : it->second) {
+      (void)edge;
+      if (visited.insert(next).second) {
+        parent[next] = node;
+        frontier.push_back(next);
+      }
+    }
+  }
+  return false;
+}
+
+[[noreturn]] void abort_inversion(const Graph& g, const char* acquiring,
+                                  const std::vector<std::string>& path) {
+  std::fprintf(stderr,
+               "catalyst sync: lock-order inversion detected while acquiring "
+               "\"%s\"\n",
+               acquiring);
+  print_stack("currently held", snapshot_held());
+  std::fprintf(stderr, "  conflicting established order:");
+  for (std::size_t i = 0; i < path.size(); ++i) {
+    std::fprintf(stderr, "%s\"%s\"", i == 0 ? " " : " -> ", path[i].c_str());
+  }
+  std::fputc('\n', stderr);
+  // The stack that first ordered `acquiring` before the rest of the path.
+  if (path.size() >= 2) {
+    const auto from_it = g.edges.find(path[0]);
+    if (from_it != g.edges.end()) {
+      const auto edge_it = from_it->second.find(path[1]);
+      if (edge_it != from_it->second.end()) {
+        print_stack("held when that order was first recorded",
+                    edge_it->second.held_when_recorded);
+      }
+    }
+  }
+  std::fprintf(stderr,
+               "  the same locks have been taken in both orders; this is a "
+               "latent deadlock\n");
+  std::abort();
+}
+
+}  // namespace
+
+bool enabled() noexcept {
+  return enabled_slot().load(std::memory_order_relaxed);
+}
+
+void set_enabled(bool on) noexcept {
+  enabled_slot().store(on, std::memory_order_relaxed);
+}
+
+void on_acquire(const void* mtx, const char* name) noexcept {
+  if (!enabled()) return;
+  Graph& g = graph();
+  {
+    const std::lock_guard<std::mutex> lock(g.mutex);
+    const std::string acquiring(name);
+    // An inversion exists iff the graph already orders `acquiring` before
+    // (transitively) some lock we currently hold.
+    for (const Held& h : held_stack()) {
+      if (acquiring == h.name) continue;  // self-edge: see header comment
+      std::vector<std::string> path;
+      if (find_path(g, acquiring, h.name, path)) {
+        abort_inversion(g, name, path);
+      }
+    }
+    // Record held -> acquiring for every currently held lock (not just the
+    // top: release order is not required to be LIFO, so every pair is an
+    // ordering commitment).
+    for (const Held& h : held_stack()) {
+      if (acquiring == h.name) continue;
+      auto& out = g.edges[h.name];
+      if (out.find(acquiring) == out.end()) {
+        out.emplace(acquiring, Edge{snapshot_held()});
+      }
+    }
+  }
+  held_stack().push_back({mtx, name});
+}
+
+void on_try_acquire(const void* mtx, const char* name) noexcept {
+  if (!enabled()) return;
+  held_stack().push_back({mtx, name});
+}
+
+void on_release(const void* mtx) noexcept {
+  // Runs regardless of enabled(): a lock acquired while the validator was
+  // on must drop off the stack even if validation was toggled off since.
+  std::vector<Held>& stack = held_stack();
+  for (std::size_t i = stack.size(); i-- > 0;) {
+    if (stack[i].mtx == mtx) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+std::size_t this_thread_held() noexcept { return held_stack().size(); }
+
+void reset() noexcept {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mutex);
+  g.edges.clear();
+  held_stack().clear();
+}
+
+}  // namespace catalyst::sync::order

@@ -1,0 +1,16 @@
+// catalyst/sync -- umbrella header for the annotated concurrency layer.
+//
+// One include gives a translation unit the whole lock discipline:
+//   * sync/annotations.hpp  Clang thread-safety capability macros
+//                           (CATALYST_GUARDED_BY, CATALYST_REQUIRES, ...)
+//   * sync/mutex.hpp        Mutex / SharedMutex / CondVar / guards
+//   * sync/lock_order.hpp   runtime acquisition-order validator
+//
+// See DESIGN.md "Concurrency correctness" for the capability model and the
+// lock-order graph, and TESTING.md for the lint rules that fence raw std
+// primitives out of the rest of the tree.
+#pragma once
+
+#include "sync/annotations.hpp"
+#include "sync/lock_order.hpp"
+#include "sync/mutex.hpp"

@@ -5,13 +5,14 @@
 #include <algorithm>
 #include <array>
 #include <cmath>
-#include <mutex>
 #include <sstream>
 #include <stdexcept>
 #include <unordered_map>
 
 #include "core/parallel.hpp"
 #include "obs/trace.hpp"
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
 
 namespace catalyst::vpapi {
 
@@ -468,20 +469,52 @@ ResilientCollectionResult collect_resilient(
     group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
   }
 
-  // Campaign-wide accumulators, merged per unit under `merge_mutex`.  Every
-  // count is additive and the quarantine verdicts are a set union, so the
-  // merged state is independent of unit completion order -- the report and
-  // data are bit-identical at any thread count.
-  CollectionReport report;
-  report.events.resize(event_names.size());
-  for (std::size_t e = 0; e < event_names.size(); ++e) {
-    report.events[e].name = event_names[e];
-  }
-  std::vector<char> quarantined(event_names.size(), 0);
-  std::vector<RepetitionData> reps(repetitions);
-  for (auto& rep : reps) rep.values.resize(event_names.size());
+  // Campaign-wide accumulators, merged per unit under `mutex`.  Every count
+  // is additive and the quarantine verdicts are a set union, so the merged
+  // state is independent of unit completion order -- the report and data
+  // are bit-identical at any thread count.  All mutation funnels through
+  // merge_unit(), whose CATALYST_REQUIRES annotation turns an unlocked
+  // access into a `check.sh thread_safety` build error; scoping the state
+  // inside the struct also gives the exception guarantee for free (a
+  // worker throw destroys the partial campaign data with the struct -- no
+  // torn rows escape).
+  struct MergeState {
+    sync::Mutex mutex{"vpapi.collect.merge"};
+    CollectionReport report CATALYST_GUARDED_BY(mutex);
+    std::vector<char> quarantined CATALYST_GUARDED_BY(mutex);
+    std::vector<RepetitionData> reps CATALYST_GUARDED_BY(mutex);
 
-  std::mutex merge_mutex;
+    MergeState(const std::vector<std::string>& names, std::size_t n_reps) {
+      report.events.resize(names.size());
+      for (std::size_t e = 0; e < names.size(); ++e) {
+        report.events[e].name = names[e];
+      }
+      quarantined.assign(names.size(), 0);
+      reps.resize(n_reps);
+      for (auto& r : reps) r.values.resize(names.size());
+    }
+
+    void merge_unit(const std::vector<std::size_t>& offsets,
+                    std::size_t group_size, std::size_t group_index,
+                    std::size_t rep_index, UnitOutcome&& out)
+        CATALYST_REQUIRES(mutex) {
+      for (std::size_t i = 0; i < group_size; ++i) {
+        const std::size_t e = offsets[group_index] + i;
+        EventReport& er = report.events[e];
+        er.read_attempts += out.read_attempts[i];
+        er.retries += out.retries[i];
+        er.wraps_corrected += out.wraps_corrected[i];
+        for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
+          er.faults[f] += out.fault_counts[i][f];
+        }
+        if (out.quarantined[i] != 0) quarantined[e] = 1;
+        reps[rep_index].values[e] = std::move(out.rows[i]);
+      }
+      report.start_retries += out.start_retries;
+      report.total_retries += out.total_retries;
+    }
+  } merge(event_names, repetitions);
+
   auto do_unit = [&](std::size_t unit) {
     const std::size_t rep = unit / groups.size();
     const std::size_t g = unit % groups.size();
@@ -489,29 +522,23 @@ ResilientCollectionResult collect_resilient(
         (repetition_offset + rep) * groups.size() + g;
     UnitOutcome out = run_unit_resilient(machine, groups[g], activities,
                                          ideals, run_id, plan, options);
-    const std::lock_guard<std::mutex> lock(merge_mutex);
-    for (std::size_t i = 0; i < groups[g].size(); ++i) {
-      const std::size_t e = group_offset[g] + i;
-      EventReport& er = report.events[e];
-      er.read_attempts += out.read_attempts[i];
-      er.retries += out.retries[i];
-      er.wraps_corrected += out.wraps_corrected[i];
-      for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
-        er.faults[f] += out.fault_counts[i][f];
-      }
-      if (out.quarantined[i] != 0) quarantined[e] = 1;
-      reps[rep].values[e] = std::move(out.rows[i]);
-    }
-    report.start_retries += out.start_retries;
-    report.total_retries += out.total_retries;
+    const sync::LockGuard lock(merge.mutex);
+    merge.merge_unit(group_offset, groups[g].size(), g, rep, std::move(out));
   };
 
   const std::size_t total_units = repetitions * groups.size();
-  try {
-    core::parallel_for(total_units, options.threads, do_unit);
-  } catch (...) {
-    reps.clear();  // discard partial campaign data: no torn rows escape
-    throw;
+  core::parallel_for(total_units, options.threads, do_unit);
+
+  // Single-threaded from here (workers joined); move the merged state out
+  // under the lock so the analysis stays exact.
+  CollectionReport report;
+  std::vector<char> quarantined;
+  std::vector<RepetitionData> reps;
+  {
+    const sync::LockGuard lock(merge.mutex);
+    report = std::move(merge.report);
+    quarantined = std::move(merge.quarantined);
+    reps = std::move(merge.reps);
   }
 
   // Dispositions + final data with quarantined events' rows removed.

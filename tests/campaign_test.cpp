@@ -60,6 +60,21 @@ TEST(ResilientPipeline, MidRateFaultsReproduceTheCleanPipeline) {
   EXPECT_GT(resilient.collection->total_retries, 0u);
 }
 
+TEST(Campaign, CheckpointDirLeaseExcludesConcurrentUse) {
+  const std::string dir = fresh_dir("lease_dir");
+  {
+    const CheckpointDirLease lease(dir);
+    EXPECT_EQ(lease.directory(), dir);
+    // A second campaign in the same process must be refused: interleaved
+    // batch-NNN.json writers would corrupt each other's checkpoints.
+    EXPECT_THROW(CheckpointDirLease{dir}, std::runtime_error);
+    // Distinct directories do not contend.
+    const CheckpointDirLease other(fresh_dir("lease_dir_other"));
+  }
+  // The destructor released the lease: the directory is usable again.
+  const CheckpointDirLease reacquired(dir);
+}
+
 TEST(Campaign, ResumeReusesEveryBatchAndYieldsIdenticalArchive) {
   const Rig s;
   const auto plan = faults::FaultPlan::mid_rate();

@@ -1,0 +1,7 @@
+// Fixture: a release store with no documented protocol fence around it.
+// expect: atomic-ordering-outside-protocol
+#include <atomic>
+
+void selftest_publish(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_release);
+}

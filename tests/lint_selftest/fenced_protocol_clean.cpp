@@ -1,0 +1,9 @@
+// Fixture (negative): ordering-bearing atomics inside a well-formed fence
+// are licensed, so this file must produce no findings at all.
+#include <atomic>
+
+// catalyst-lint: begin-protocol(selftest-flag)
+inline void selftest_fenced_publish(std::atomic<int>& flag) {
+  flag.store(1, std::memory_order_release);
+}
+// catalyst-lint: end-protocol(selftest-flag)

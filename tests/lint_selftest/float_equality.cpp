@@ -1,0 +1,3 @@
+// Fixture: exact comparison against a non-zero floating-point literal.
+// expect: float-equality
+bool selftest_close(double x) { return x == 1.5; }

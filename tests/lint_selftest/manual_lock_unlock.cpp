@@ -1,0 +1,4 @@
+// Fixture: explicit .lock() instead of an RAII guard.
+// expect: manual-lock-unlock
+template <typename M>
+void selftest_critical(M& m) { m.lock(); }

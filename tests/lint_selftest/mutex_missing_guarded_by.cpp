@@ -1,0 +1,8 @@
+// Fixture: a class owning a sync::Mutex with no CATALYST_GUARDED_BY sibling.
+// expect: mutex-missing-guarded-by
+#include "sync/mutex.hpp"
+
+struct SelftestRegistry {
+  catalyst::sync::Mutex mutex{"selftest"};
+  int counter = 0;
+};

@@ -1,0 +1,3 @@
+// Fixture: a header whose first code line is not #pragma once.
+// expect: pragma-once
+inline int selftest_answer() { return 42; }

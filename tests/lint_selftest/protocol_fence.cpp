@@ -1,0 +1,3 @@
+// Fixture: a protocol fence opened and never closed.
+// expect: protocol-fence
+// catalyst-lint: begin-protocol(orphan)

@@ -1,0 +1,5 @@
+// Fixture: a raw standard-library mutex outside src/sync/.
+// expect: raw-sync-primitive
+#include <mutex>
+
+static std::mutex selftest_mutex;

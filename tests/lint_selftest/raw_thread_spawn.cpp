@@ -1,0 +1,8 @@
+// Fixture: std::thread constructed outside core/parallel.hpp.
+// expect: raw-thread-spawn
+#include <thread>
+
+void selftest_spawn() {
+  std::thread t([] {});
+  t.join();
+}

@@ -1,0 +1,5 @@
+// Fixture: raw steady-clock read outside src/obs//src/faults/.
+// expect: raw-timing
+#include <chrono>
+
+auto selftest_stamp() { return std::chrono::steady_clock::now(); }

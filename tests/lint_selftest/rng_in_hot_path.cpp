@@ -1,0 +1,5 @@
+// Fixture: an ambient PRNG outside the allow-listed generators.
+// expect: rng-in-hot-path
+#include <random>
+
+static std::mt19937 fixture_rng{42};

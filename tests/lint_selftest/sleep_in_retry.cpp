@@ -1,0 +1,8 @@
+// Fixture: raw wall-clock sleep outside faults::Clock.
+// expect: sleep-in-retry
+#include <chrono>
+#include <thread>
+
+void selftest_nap() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}

@@ -1,0 +1,4 @@
+// Fixture: a suppression whose offending code is gone.
+// expect: stale-suppression
+// catalyst-lint: allow(rng-in-hot-path)
+int selftest_unrelated() { return 0; }

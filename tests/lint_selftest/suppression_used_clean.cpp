@@ -1,0 +1,6 @@
+// Fixture (negative): a correctly-used suppression licenses the violation
+// below, so this file must produce no findings at all.
+#include <random>
+
+// catalyst-lint: allow(rng-in-hot-path)
+static std::mt19937 selftest_allowed_rng{7};

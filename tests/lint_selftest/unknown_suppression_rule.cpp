@@ -1,0 +1,3 @@
+// Fixture: a suppression naming a rule this linter does not define.
+// expect: unknown-suppression-rule
+// catalyst-lint: allow(no-such-rule)

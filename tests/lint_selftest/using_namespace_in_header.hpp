@@ -1,0 +1,5 @@
+// Fixture: namespace-scope using-directive in a header.
+// expect: using-namespace-in-header
+#pragma once
+
+using namespace std;

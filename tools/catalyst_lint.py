@@ -1,8 +1,14 @@
 #!/usr/bin/env python3
 """catalyst-lint: repo-specific static checks for the catalyst sources.
 
-Rules (each can be suppressed per line with `// catalyst-lint: allow(<rule>)`
-or per file via the allowlists below):
+Architecture (multi-pass): every source file is parsed once into a FileModel
+(comment/string-stripped code, suppression directives, protocol fences);
+per-file passes then run over the models, repo-level passes run over the
+whole set, and audit passes run last -- they validate the *directives*
+themselves (stale suppressions, malformed fences), which is only possible
+after every other pass has reported.
+
+Rules:
 
   rng-in-hot-path   No rand()/std::mt19937 in src/ outside the allow-listed
                     generators.  Measurement reproducibility depends on the
@@ -47,20 +53,81 @@ or per file via the allowlists below):
                     failure.  A randomized test whose failure cannot be
                     reproduced from its output is a flake report, not a test.
 
-Exit status: 0 when clean, 1 when any finding is reported, 2 on usage error.
-Run from anywhere: paths resolve relative to the repository root (parent of
-this script's directory).
+  -- lock discipline (the src/sync capability layer) --
+
+  raw-sync-primitive
+                    No raw std::mutex / std::shared_mutex /
+                    std::condition_variable(_any) / std::lock_guard /
+                    std::unique_lock / std::scoped_lock / std::shared_lock
+                    in src/ outside src/sync/.  Locks must be the annotated
+                    sync::Mutex family so Clang thread-safety analysis and
+                    the runtime lock-order validator see every acquisition.
+  mutex-missing-guarded-by
+                    A class/struct with a sync::Mutex member must annotate
+                    at least one sibling field with CATALYST_GUARDED_BY.  A
+                    member mutex that guards nothing it can name is either
+                    dead weight or (worse) guarding state the analysis
+                    cannot check.
+  manual-lock-unlock
+                    No explicit .lock()/.unlock() calls in src/ outside
+                    src/sync/.  Critical sections must be RAII
+                    (sync::LockGuard / sync::UniqueLock) so early returns
+                    and exceptions cannot leak a held lock.
+  atomic-ordering-outside-protocol
+                    Ordering-bearing atomics (memory_order_acquire/release/
+                    acq_rel/seq_cst) outside src/sync/ must sit inside a
+                    documented protocol fence:
+                        // catalyst-lint: begin-protocol(<name>)
+                        ...
+                        // catalyst-lint: end-protocol(<name>)
+                    Relaxed atomics (counters, enable flags) are fine
+                    anywhere; anything stronger encodes an inter-thread
+                    protocol that must be written down (see the seqlock
+                    invariants on obs::TraceBuffer).
+  protocol-fence    Malformed fences: end-protocol without a begin, a fence
+                    left open at end of file, mismatched names, or a nested
+                    begin.
+
+  -- directive audit --
+
+  unknown-suppression-rule
+                    An `allow(...)` directive naming a rule this linter does
+                    not define.  Typically a typo, or a rule that was
+                    renamed/retired -- either way the suppression does
+                    nothing and must not linger.
+  stale-suppression
+                    An `allow(...)` directive that suppressed nothing this
+                    run.  The offending code is gone; the directive must go
+                    too, or it will silently license a future violation.
+
+Suppressing: `// catalyst-lint: allow(<rule>[, <rule>...])` on the offending
+line or the line directly above it.  Suppressions are audited: they must
+name real rules and actually fire.
+
+Exit status: 0 when clean, 1 when any finding is reported (or --max-seconds
+is exceeded), 2 on usage error.  Run from anywhere: paths resolve relative
+to the repository root (parent of this script's directory).
+
+Options:
+  --max-seconds N   Fail (exit 1) if the whole run takes longer than N
+                    seconds; CI asserts the full-repo run stays under 5.
+  --selftest        Lint the fixture files in tests/lint_selftest/ instead
+                    of src/; each fixture declares its expected findings
+                    with `// expect: <rule>` lines and the run fails on any
+                    mismatch in either direction.
 """
 
 from __future__ import annotations
 
 import re
 import sys
+import time
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SRC = REPO_ROOT / "src"
 TESTS = REPO_ROOT / "tests"
+SELFTEST_DIR = TESTS / "lint_selftest"
 
 # Files allowed to own a general-purpose PRNG: machine-model construction
 # (seeded once, not per measurement), the linalg test-matrix generators, the
@@ -104,6 +171,10 @@ THREAD_SPAWN_ALLOWED = {
     "src/core/parallel.hpp",
 }
 
+# The ONE directory allowed to touch raw standard-library synchronization
+# primitives: the annotated wrapper layer itself.
+SYNC_ALLOWED_PREFIXES = ("src/sync/",)
+
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
 LINALG_PUBLIC_ENTRIES = {
@@ -123,19 +194,43 @@ VALIDATION_RE = re.compile(
     r"|check_matrix_vector\s*\("
 )
 
-SUPPRESS_RE = re.compile(r"//\s*catalyst-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+SUPPRESS_RE = re.compile(
+    r"//\s*catalyst-lint:\s*allow\(([a-z\-]+(?:\s*,\s*[a-z\-]+)*)\)")
+FENCE_RE = re.compile(
+    r"//\s*catalyst-lint:\s*(begin|end)-protocol\(([a-z0-9\-]*)\)")
+EXPECT_RE = re.compile(r"//\s*expect:\s*([a-z\-]+)")
+
+# Every rule any pass can report; `allow(...)` of anything else is itself a
+# finding (unknown-suppression-rule).
+KNOWN_RULES = {
+    "rng-in-hot-path",
+    "using-namespace-in-header",
+    "pragma-once",
+    "float-equality",
+    "linalg-shape-contracts",
+    "sleep-in-retry",
+    "raw-timing",
+    "raw-thread-spawn",
+    "seed-echo-in-tests",
+    "raw-sync-primitive",
+    "mutex-missing-guarded-by",
+    "manual-lock-unlock",
+    "atomic-ordering-outside-protocol",
+    "protocol-fence",
+    "unknown-suppression-rule",
+    "stale-suppression",
+}
 
 
 class Finding:
-    def __init__(self, rule: str, path: Path, line: int, message: str):
+    def __init__(self, rule: str, rel: str, line: int, message: str):
         self.rule = rule
-        self.path = path
+        self.rel = rel
         self.line = line
         self.message = message
 
     def __str__(self) -> str:
-        rel = self.path.relative_to(REPO_ROOT)
-        return f"{rel}:{self.line}: [{self.rule}] {self.message}"
+        return f"{self.rel}:{self.line}: [{self.rule}] {self.message}"
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -197,26 +292,107 @@ def strip_comments_and_strings(text: str) -> str:
     return "".join(out)
 
 
-def line_suppressions(raw_lines: list[str], lineno: int) -> set[str]:
-    """Rules suppressed on this 1-based line (same line or the one above)."""
-    rules: set[str] = set()
-    for idx in (lineno - 1, lineno - 2):
-        if 0 <= idx < len(raw_lines):
-            m = SUPPRESS_RE.search(raw_lines[idx])
+class Fence:
+    """One begin/end-protocol region (1-based inclusive line range)."""
+
+    def __init__(self, name: str, begin: int, end: int):
+        self.name = name
+        self.begin = begin
+        self.end = end
+
+    def covers(self, lineno: int) -> bool:
+        return self.begin <= lineno <= self.end
+
+
+class FileModel:
+    """One parsed source file: stripped code, directives, fences.
+
+    `rel` is the repo-relative posix path rules match against; the selftest
+    harness maps fixture files to virtual src/ paths through it, so every
+    path-based allowlist behaves identically on fixtures.
+    """
+
+    def __init__(self, rel: str, raw: str):
+        self.rel = rel
+        self.raw = raw
+        self.raw_lines = raw.splitlines()
+        self.code = strip_comments_and_strings(raw)
+        self.code_lines = self.code.splitlines()
+        self.is_header = rel.endswith(".hpp")
+        # allow() directives: raw line number (1-based) -> rules named there.
+        self.suppression_sites: dict[int, set[str]] = {}
+        for lineno, line in enumerate(self.raw_lines, 1):
+            m = SUPPRESS_RE.search(line)
             if m:
-                rules.update(r.strip() for r in m.group(1).split(","))
-    return rules
+                self.suppression_sites[lineno] = {
+                    r.strip() for r in m.group(1).split(",")
+                }
+        self.used_suppressions: set[tuple[int, str]] = set()
+        self.fences: list[Fence] = []
+        self.fence_findings: list[Finding] = []
+        self._parse_fences()
+
+    def _parse_fences(self):
+        open_fence: tuple[str, int] | None = None  # (name, begin line)
+        for lineno, line in enumerate(self.raw_lines, 1):
+            m = FENCE_RE.search(line)
+            if not m:
+                continue
+            kind, name = m.group(1), m.group(2)
+            if not name:
+                self.fence_findings.append(Finding(
+                    "protocol-fence", self.rel, lineno,
+                    f"{kind}-protocol() needs a protocol name"))
+                continue
+            if kind == "begin":
+                if open_fence is not None:
+                    self.fence_findings.append(Finding(
+                        "protocol-fence", self.rel, lineno,
+                        f"begin-protocol({name}) nested inside open "
+                        f"protocol '{open_fence[0]}' (line {open_fence[1]})"))
+                    continue
+                open_fence = (name, lineno)
+            else:  # end
+                if open_fence is None:
+                    self.fence_findings.append(Finding(
+                        "protocol-fence", self.rel, lineno,
+                        f"end-protocol({name}) without a matching begin"))
+                    continue
+                if open_fence[0] != name:
+                    self.fence_findings.append(Finding(
+                        "protocol-fence", self.rel, lineno,
+                        f"end-protocol({name}) closes "
+                        f"begin-protocol({open_fence[0]}) from line "
+                        f"{open_fence[1]}"))
+                self.fences.append(Fence(open_fence[0], open_fence[1], lineno))
+                open_fence = None
+        if open_fence is not None:
+            self.fence_findings.append(Finding(
+                "protocol-fence", self.rel, open_fence[1],
+                f"begin-protocol({open_fence[0]}) never closed"))
+
+    def suppressed(self, lineno: int, rule: str) -> bool:
+        """True when `rule` is allow()ed on this line or the one above;
+        marks the directive used for the stale-suppression audit."""
+        for site in (lineno, lineno - 1):
+            if rule in self.suppression_sites.get(site, set()):
+                self.used_suppressions.add((site, rule))
+                return True
+        return False
+
+    def in_fence(self, lineno: int) -> bool:
+        return any(f.covers(lineno) for f in self.fences)
 
 
-def iter_source_files() -> list[Path]:
-    return sorted(
-        p for p in SRC.rglob("*") if p.suffix in (".cpp", ".hpp") and p.is_file()
-    )
+def report(model: FileModel, findings: list[Finding], rule: str, lineno: int,
+           message: str):
+    """Emits a finding unless an allow() directive covers it."""
+    if model.suppressed(lineno, rule):
+        return
+    findings.append(Finding(rule, model.rel, lineno, message))
 
 
-def relpath(path: Path) -> str:
-    return path.relative_to(REPO_ROOT).as_posix()
-
+# --- per-file passes -------------------------------------------------------
 
 RNG_RE = re.compile(r"\bstd::mt19937(_64)?\b|(?<![\w.])\brand\s*\(\s*\)")
 SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_(for|until)\b"
@@ -225,121 +401,183 @@ RAW_TIMING_RE = re.compile(
     r"\b(?:std\s*::\s*)?chrono\s*::\s*"
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
+THREAD_SPAWN_RE = re.compile(r"\bstd\s*::\s*thread\b")
 # ==/!= where either side is a float literal other than 0.0 / 0. / .0
 FLOAT_LIT = r"(?:\d+\.\d*|\.\d+)(?:[eE][+-]?\d+)?[fFlL]?"
 FLOAT_EQ_RE = re.compile(rf"(?:[=!]=\s*({FLOAT_LIT}))|(?:({FLOAT_LIT})\s*[=!]=)")
 ZERO_RE = re.compile(r"^(?:0+\.0*|\.0+)(?:[eE][+-]?\d+)?[fFlL]?$")
+RAW_SYNC_RE = re.compile(
+    r"\bstd\s*::\s*(?:recursive_|timed_|shared_)?mutex\b"
+    r"|\bstd\s*::\s*condition_variable(?:_any)?\b"
+    r"|\bstd\s*::\s*(?:lock_guard|unique_lock|scoped_lock|shared_lock)\b")
+MANUAL_LOCK_RE = re.compile(r"\.\s*(?:un)?lock\s*\(")
+ATOMIC_ORDER_RE = re.compile(
+    r"\bmemory_order(?:_|\s*::\s*)(?:acquire|release|acq_rel|seq_cst)\b")
+SYNC_MUTEX_MEMBER_RE = re.compile(r"\bsync\s*::\s*(?:Shared)?Mutex\s+\w+")
+CLASS_RE = re.compile(r"\b(class|struct)\s+(?:CATALYST_\w+\(.*?\)\s+)?"
+                      r"[A-Za-z_]\w*[^;{()]*\{")
 
 
-def check_rng(path: Path, code: str, raw_lines: list[str], findings: list[Finding]):
-    if relpath(path) in RNG_ALLOWED:
+def pass_rng(model: FileModel, findings: list[Finding]):
+    if model.rel in RNG_ALLOWED:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         if RNG_RE.search(line):
-            if "rng-in-hot-path" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "rng-in-hot-path", path, lineno,
-                "general-purpose PRNG outside the allow-listed generators; "
-                "use the counter-based noise RNG or add a justified "
-                "allowlist entry"))
+            report(model, findings, "rng-in-hot-path", lineno,
+                   "general-purpose PRNG outside the allow-listed "
+                   "generators; use the counter-based noise RNG or add a "
+                   "justified allowlist entry")
 
 
-def check_sleep_in_retry(path: Path, code: str, raw_lines: list[str],
-                         findings: list[Finding]):
-    if relpath(path) in SLEEP_ALLOWED:
+def pass_sleep(model: FileModel, findings: list[Finding]):
+    if model.rel in SLEEP_ALLOWED:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         if SLEEP_RE.search(line):
-            if "sleep-in-retry" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "sleep-in-retry", path, lineno,
-                "raw thread sleep outside faults::Clock; pace retries via "
-                "the injectable clock (faults/clock.cpp) so tests never "
-                "sleep on wall time"))
+            report(model, findings, "sleep-in-retry", lineno,
+                   "raw thread sleep outside faults::Clock; pace retries "
+                   "via the injectable clock (faults/clock.cpp) so tests "
+                   "never sleep on wall time")
 
 
-THREAD_SPAWN_RE = re.compile(r"\bstd\s*::\s*thread\b")
-
-
-def check_raw_thread_spawn(path: Path, code: str, raw_lines: list[str],
-                           findings: list[Finding]):
-    if relpath(path) in THREAD_SPAWN_ALLOWED:
+def pass_thread_spawn(model: FileModel, findings: list[Finding]):
+    if model.rel in THREAD_SPAWN_ALLOWED:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         if THREAD_SPAWN_RE.search(line):
-            if "raw-thread-spawn" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "raw-thread-spawn", path, lineno,
-                "raw std::thread outside core/parallel.hpp; fan work out "
-                "via core::parallel_for / parallel_for_chunks so the "
-                "worker-pool determinism + exception contract applies"))
+            report(model, findings, "raw-thread-spawn", lineno,
+                   "raw std::thread outside core/parallel.hpp; fan work "
+                   "out via core::parallel_for / parallel_for_chunks so "
+                   "the worker-pool determinism + exception contract "
+                   "applies")
 
 
-def check_raw_timing(path: Path, code: str, raw_lines: list[str],
-                     findings: list[Finding]):
-    rel = relpath(path)
-    if rel.startswith(TIMING_ALLOWED_PREFIXES):
+def pass_raw_timing(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(TIMING_ALLOWED_PREFIXES):
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         if RAW_TIMING_RE.search(line):
-            if "raw-timing" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "raw-timing", path, lineno,
-                "raw std::chrono clock read outside src/obs//src/faults/; "
-                "take timestamps through the injectable faults::Clock "
-                "(obs::Tracer) so timing stays deterministic under "
-                "FakeClock"))
+            report(model, findings, "raw-timing", lineno,
+                   "raw std::chrono clock read outside src/obs//src/faults/; "
+                   "take timestamps through the injectable faults::Clock "
+                   "(obs::Tracer) so timing stays deterministic under "
+                   "FakeClock")
 
 
-def check_using_namespace(path: Path, code: str, raw_lines: list[str],
-                          findings: list[Finding]):
-    if path.suffix != ".hpp":
+def pass_using_namespace(model: FileModel, findings: list[Finding]):
+    if not model.is_header:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         if USING_NS_RE.search(line):
-            if "using-namespace-in-header" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "using-namespace-in-header", path, lineno,
-                "`using namespace` in a header leaks into every includer"))
+            report(model, findings, "using-namespace-in-header", lineno,
+                   "`using namespace` in a header leaks into every includer")
 
 
-def check_pragma_once(path: Path, code: str, findings: list[Finding]):
-    if path.suffix != ".hpp":
+def pass_pragma_once(model: FileModel, findings: list[Finding]):
+    if not model.is_header:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         stripped = line.strip()
         if not stripped:
             continue
         if stripped.startswith("#pragma") and "once" in stripped:
             return
-        findings.append(Finding(
-            "pragma-once", path, lineno,
-            "first preprocessor/code line of a header must be #pragma once"))
+        report(model, findings, "pragma-once", lineno,
+               "first preprocessor/code line of a header must be "
+               "#pragma once")
         return
-    findings.append(Finding("pragma-once", path, 1, "header has no #pragma once"))
+    report(model, findings, "pragma-once", 1, "header has no #pragma once")
 
 
-def check_float_equality(path: Path, code: str, raw_lines: list[str],
-                         findings: list[Finding]):
-    if relpath(path) in FLOAT_EQ_ALLOWED:
+def pass_float_equality(model: FileModel, findings: list[Finding]):
+    if model.rel in FLOAT_EQ_ALLOWED:
         return
-    for lineno, line in enumerate(code.splitlines(), 1):
+    for lineno, line in enumerate(model.code_lines, 1):
         for m in FLOAT_EQ_RE.finditer(line):
             lit = m.group(1) or m.group(2)
             if ZERO_RE.match(lit):
                 continue  # exact-zero sparsity/sentinel idiom
-            if "float-equality" in line_suppressions(raw_lines, lineno):
-                continue
-            findings.append(Finding(
-                "float-equality", path, lineno,
-                f"floating-point ==/!= against {lit}; use a tolerance "
-                "(contract::singular_tolerance or an explicit eps)"))
+            report(model, findings, "float-equality", lineno,
+                   f"floating-point ==/!= against {lit}; use a tolerance "
+                   "(contract::singular_tolerance or an explicit eps)")
 
+
+def pass_raw_sync_primitive(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(model.code_lines, 1):
+        if RAW_SYNC_RE.search(line):
+            report(model, findings, "raw-sync-primitive", lineno,
+                   "raw standard-library synchronization primitive outside "
+                   "src/sync/; use sync::Mutex / sync::LockGuard / "
+                   "sync::CondVar so thread-safety analysis and the "
+                   "lock-order validator see the acquisition")
+
+
+def pass_manual_lock_unlock(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(model.code_lines, 1):
+        if MANUAL_LOCK_RE.search(line):
+            report(model, findings, "manual-lock-unlock", lineno,
+                   "explicit .lock()/.unlock() outside src/sync/; hold "
+                   "critical sections via RAII (sync::LockGuard / "
+                   "sync::UniqueLock) so no path can leak a held lock")
+
+
+def pass_atomic_ordering(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(model.code_lines, 1):
+        if ATOMIC_ORDER_RE.search(line) and not model.in_fence(lineno):
+            report(model, findings, "atomic-ordering-outside-protocol",
+                   lineno,
+                   "ordering-bearing atomic outside a protocol fence; "
+                   "document the protocol's invariants and wrap the "
+                   "region in // catalyst-lint: begin-protocol(<name>) / "
+                   "end-protocol(<name>) (see obs::TraceBuffer)")
+
+
+def pass_mutex_guarded_by(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(SYNC_ALLOWED_PREFIXES):
+        return
+    code = model.code
+    for m in CLASS_RE.finditer(code):
+        open_brace = m.end() - 1
+        depth = 1
+        i = open_brace + 1
+        while i < len(code) and depth:
+            if code[i] == "{":
+                depth += 1
+            elif code[i] == "}":
+                depth -= 1
+            i += 1
+        body = code[open_brace:i]
+        member = SYNC_MUTEX_MEMBER_RE.search(body)
+        if member and "CATALYST_GUARDED_BY" not in body:
+            lineno = code.count("\n", 0, open_brace + member.start()) + 1
+            report(model, findings, "mutex-missing-guarded-by", lineno,
+                   "sync::Mutex member without any sibling "
+                   "CATALYST_GUARDED_BY field; name what the mutex guards "
+                   "so the thread-safety analysis can check it")
+
+
+PER_FILE_PASSES = (
+    pass_rng,
+    pass_sleep,
+    pass_thread_spawn,
+    pass_raw_timing,
+    pass_using_namespace,
+    pass_pragma_once,
+    pass_float_equality,
+    pass_raw_sync_primitive,
+    pass_manual_lock_unlock,
+    pass_atomic_ordering,
+    pass_mutex_guarded_by,
+)
+
+
+# --- repo-level passes -----------------------------------------------------
 
 def find_function_body(code: str, name: str) -> tuple[int, str] | None:
     """Finds `name(...) ... {body}` at file scope; returns (line, body)."""
@@ -375,86 +613,194 @@ def find_function_body(code: str, name: str) -> tuple[int, str] | None:
     return None
 
 
-def check_linalg_shape_contracts(findings: list[Finding]):
+def pass_linalg_shape_contracts(models: dict[str, FileModel],
+                                findings: list[Finding]):
     for rel, names in LINALG_PUBLIC_ENTRIES.items():
-        path = REPO_ROOT / rel
-        if not path.is_file():
-            findings.append(Finding("linalg-shape-contracts", path, 1,
+        model = models.get(rel)
+        if model is None:
+            findings.append(Finding("linalg-shape-contracts", rel, 1,
                                     "expected source file is missing"))
             continue
-        code = strip_comments_and_strings(path.read_text())
         for name in names:
-            found = find_function_body(code, name)
+            found = find_function_body(model.code, name)
             if found is None:
                 findings.append(Finding(
-                    "linalg-shape-contracts", path, 1,
+                    "linalg-shape-contracts", rel, 1,
                     f"public entry `{name}` has no definition here"))
                 continue
             line, body = found
             if not VALIDATION_RE.search(body):
-                findings.append(Finding(
-                    "linalg-shape-contracts", path, line,
-                    f"public entry `{name}` does not validate its inputs "
-                    "through the contract layer"))
+                report(model, findings, "linalg-shape-contracts", line,
+                       f"public entry `{name}` does not validate its "
+                       "inputs through the contract layer")
 
 
 SEED_UTIL_INCLUDE_RE = re.compile(r'#include\s+"seed_util\.hpp"')
 
 
-def check_seed_echo_in_tests(findings: list[Finding]):
-    if not TESTS.is_dir():
-        return
-    for path in sorted(TESTS.glob("*.cpp")):
-        raw = path.read_text()
-        code = strip_comments_and_strings(raw)
-        if not RNG_RE.search(code):
+def pass_seed_echo_in_tests(test_models: list[FileModel],
+                            findings: list[Finding]):
+    for model in test_models:
+        if not RNG_RE.search(model.code):
             continue
-        if SEED_UTIL_INCLUDE_RE.search(raw):
+        if SEED_UTIL_INCLUDE_RE.search(model.raw):
             continue
-        raw_lines = raw.splitlines()
-        for lineno, line in enumerate(code.splitlines(), 1):
+        for lineno, line in enumerate(model.code_lines, 1):
             if RNG_RE.search(line):
-                if "seed-echo-in-tests" in line_suppressions(raw_lines, lineno):
-                    break
-                findings.append(Finding(
-                    "seed-echo-in-tests", path, lineno,
-                    "randomized test without seed_util.hpp; derive seeds via "
-                    "sweep_seeds() and lead failures with seed_banner() so "
-                    "CATALYST_SEED=<n> replays them"))
+                report(model, findings, "seed-echo-in-tests", lineno,
+                       "randomized test without seed_util.hpp; derive "
+                       "seeds via sweep_seeds() and lead failures with "
+                       "seed_banner() so CATALYST_SEED=<n> replays them")
                 break
 
 
+# --- audit passes (run last: they judge the directives themselves) ---------
+
+def pass_directive_audit(model: FileModel, findings: list[Finding]):
+    findings.extend(model.fence_findings)
+    for site, rules in sorted(model.suppression_sites.items()):
+        for rule in sorted(rules):
+            if rule not in KNOWN_RULES:
+                findings.append(Finding(
+                    "unknown-suppression-rule", model.rel, site,
+                    f"allow({rule}) names no rule this linter defines; "
+                    "fix the typo or delete the directive"))
+            elif (site, rule) not in model.used_suppressions:
+                findings.append(Finding(
+                    "stale-suppression", model.rel, site,
+                    f"allow({rule}) suppressed nothing this run; the "
+                    "directive is stale -- delete it"))
+
+
+# --- drivers ---------------------------------------------------------------
+
+def load_models(root: Path, rel_prefix: str | None = None) -> list[FileModel]:
+    models = []
+    for path in sorted(root.rglob("*")):
+        if path.suffix not in (".cpp", ".hpp") or not path.is_file():
+            continue
+        if rel_prefix is not None:
+            rel = f"{rel_prefix}/{path.relative_to(root).as_posix()}"
+        else:
+            rel = path.relative_to(REPO_ROOT).as_posix()
+        models.append(FileModel(rel, path.read_text()))
+    return models
+
+
+def lint_repo() -> list[Finding]:
+    findings: list[Finding] = []
+    src_models = load_models(SRC)
+    test_models = [FileModel(p.relative_to(REPO_ROOT).as_posix(),
+                             p.read_text())
+                   for p in sorted(TESTS.glob("*.cpp"))] if TESTS.is_dir() \
+        else []
+    for model in src_models:
+        for p in PER_FILE_PASSES:
+            p(model, findings)
+    pass_linalg_shape_contracts({m.rel: m for m in src_models}, findings)
+    pass_seed_echo_in_tests(test_models, findings)
+    for model in src_models + test_models:
+        pass_directive_audit(model, findings)
+    return findings
+
+
+def selftest() -> int:
+    """Runs the per-file passes over tests/lint_selftest fixtures; each
+    fixture's `// expect: <rule>` lines are its expected findings."""
+    if not SELFTEST_DIR.is_dir():
+        print(f"catalyst-lint: no fixtures at {SELFTEST_DIR}",
+              file=sys.stderr)
+        return 2
+    failures = 0
+    n_fixtures = 0
+    for path in sorted(SELFTEST_DIR.iterdir()):
+        if path.suffix not in (".cpp", ".hpp"):
+            continue
+        n_fixtures += 1
+        raw = path.read_text()
+        expected = sorted(EXPECT_RE.findall(raw))
+        # Virtual src/ path: allowlists and src-only rules behave exactly as
+        # they would on a real (non-allow-listed) source file.
+        model = FileModel(f"src/lint_selftest/{path.name}", raw)
+        findings: list[Finding] = []
+        for p in PER_FILE_PASSES:
+            p(model, findings)
+        pass_directive_audit(model, findings)
+        got = sorted(f.rule for f in findings)
+        if got != expected:
+            failures += 1
+            print(f"FAIL {path.name}: expected {expected or '[]'}, "
+                  f"got {got or '[]'}")
+            for f in findings:
+                print(f"  {f}")
+        else:
+            print(f"ok   {path.name}: {expected or '(clean)'}")
+    if n_fixtures == 0:
+        print("catalyst-lint: selftest found no fixture files",
+              file=sys.stderr)
+        return 2
+    if failures:
+        print(f"catalyst-lint selftest: {failures}/{n_fixtures} fixture(s) "
+              "failed")
+        return 1
+    print(f"catalyst-lint selftest: {n_fixtures} fixture(s) ok")
+    return 0
+
+
 def main(argv: list[str]) -> int:
-    if len(argv) > 1:
-        print(__doc__)
-        return 0 if argv[1] in ("-h", "--help") else 2
-    if not SRC.is_dir():
-        print(f"catalyst-lint: source tree not found at {SRC}", file=sys.stderr)
+    max_seconds: float | None = None
+    run_selftest = False
+    args = argv[1:]
+    while args:
+        arg = args.pop(0)
+        if arg in ("-h", "--help"):
+            print(__doc__)
+            return 0
+        if arg == "--selftest":
+            run_selftest = True
+            continue
+        if arg == "--max-seconds":
+            if not args:
+                print("catalyst-lint: --max-seconds needs a value",
+                      file=sys.stderr)
+                return 2
+            try:
+                max_seconds = float(args.pop(0))
+            except ValueError:
+                print("catalyst-lint: --max-seconds needs a number",
+                      file=sys.stderr)
+                return 2
+            continue
+        print(f"catalyst-lint: unknown argument {arg!r}", file=sys.stderr)
         return 2
 
-    findings: list[Finding] = []
-    for path in iter_source_files():
-        raw = path.read_text()
-        raw_lines = raw.splitlines()
-        code = strip_comments_and_strings(raw)
-        check_rng(path, code, raw_lines, findings)
-        check_sleep_in_retry(path, code, raw_lines, findings)
-        check_raw_thread_spawn(path, code, raw_lines, findings)
-        check_raw_timing(path, code, raw_lines, findings)
-        check_using_namespace(path, code, raw_lines, findings)
-        check_pragma_once(path, code, findings)
-        check_float_equality(path, code, raw_lines, findings)
-    check_linalg_shape_contracts(findings)
-    check_seed_echo_in_tests(findings)
+    started = time.monotonic()
+    if run_selftest:
+        status = selftest()
+    else:
+        if not SRC.is_dir():
+            print(f"catalyst-lint: source tree not found at {SRC}",
+                  file=sys.stderr)
+            return 2
+        findings = lint_repo()
+        for f in findings:
+            print(f)
+        n_files = sum(1 for p in SRC.rglob("*")
+                      if p.suffix in (".cpp", ".hpp") and p.is_file())
+        if findings:
+            print(f"catalyst-lint: {len(findings)} finding(s) in "
+                  f"{n_files} files")
+            status = 1
+        else:
+            print(f"catalyst-lint: clean ({n_files} files checked)")
+            status = 0
 
-    for f in findings:
-        print(f)
-    n_files = len(iter_source_files())
-    if findings:
-        print(f"catalyst-lint: {len(findings)} finding(s) in {n_files} files")
+    elapsed = time.monotonic() - started
+    if max_seconds is not None and elapsed > max_seconds:
+        print(f"catalyst-lint: run took {elapsed:.2f}s, over the "
+              f"--max-seconds {max_seconds:g} budget", file=sys.stderr)
         return 1
-    print(f"catalyst-lint: clean ({n_files} files checked)")
-    return 0
+    return status
 
 
 if __name__ == "__main__":
