@@ -206,6 +206,113 @@ stage_obs() {
     return "$rc"
 }
 
+stage_service_soak() {
+    # catalystd under abuse: the service-labeled ctest tier, then a live
+    # daemon serving an honest client fleet alongside a garbage sender and a
+    # slow loris -- zero crashes, typed errors only, byte-identical reports
+    # vs the CLI path, a clean mid-load SIGTERM drain, and a restart on the
+    # same checkpoint directory.  Budget-enforced (<60s).  Reuses the
+    # release tree.
+    local dir=build-check-release
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" \
+        --target catalystd catalyst_client catalyst service_protocol_test \
+        > "$dir/build.log" 2>&1 || { tail -n 60 "$dir/build.log"; return 1; }
+    local start tmp rc=0
+    start="$(date +%s)"
+    tmp="$(mktemp -d)" || return 1
+    local sock="$tmp/catalystd.sock" log="$tmp/daemon.log" ckpt="$tmp/ckpt"
+    local daemon_pid=""
+
+    # Protocol + byte-identity tests with the sockets cut away.
+    (cd "$dir" && ctest --output-on-failure -L service --no-tests=error \
+        --timeout 120) || rc=1
+
+    # One measurement archive serves every client below.
+    [ "$rc" -eq 0 ] && { "$dir/tools/catalyst" collect branch \
+        --out "$tmp/archive.json" > /dev/null || rc=1; }
+
+    if [ "$rc" -eq 0 ]; then
+        "$dir/tools/catalystd" --socket "$sock" --checkpoint-dir "$ckpt" \
+            --partial-frame-timeout-ms 300 > "$log" 2>&1 &
+        daemon_pid=$!
+        local i
+        for i in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+        [ -S "$sock" ] \
+            || { echo "daemon never bound $sock" >&2; cat "$log" >&2; rc=1; }
+    fi
+
+    # Byte identity over the live socket: the served report must appear
+    # verbatim inside the CLI report for the same archive (the CLI adds a
+    # preamble; the event/metric tables themselves are byte-identical).
+    if [ "$rc" -eq 0 ]; then
+        "$dir/tools/catalyst" analyze branch --from "$tmp/archive.json" \
+            > "$tmp/cli.txt" || rc=1
+        "$dir/tools/catalyst_client" --socket "$sock" submit branch \
+            --from "$tmp/archive.json" --wait > "$tmp/svc.txt" || rc=1
+        [ "$rc" -eq 0 ] && python3 - "$tmp/cli.txt" "$tmp/svc.txt" <<'EOF' || rc=1
+import sys
+cli, svc = open(sys.argv[1]).read(), open(sys.argv[2]).read()
+sys.exit(0 if svc and svc in cli else 1)
+EOF
+    fi
+
+    # The abuse fleet: honest clients + a garbage sender (expects a typed
+    # ERROR, never a crash) + a slow loris (expects to be cut off).
+    [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" soak \
+        --clients 4 --requests 6 --category branch --from "$tmp/archive.json" \
+        --garbage --slow-loris --dribble-ms 150 || rc=1; }
+
+    # Mid-load SIGTERM: fire a bigger fleet, yank the daemon under it, and
+    # require a clean drain (exit 0) from BOTH sides.
+    if [ "$rc" -eq 0 ]; then
+        "$dir/tools/catalyst_client" --socket "$sock" soak \
+            --clients 2 --requests 200 --category branch \
+            --from "$tmp/archive.json" > "$tmp/soak2.log" 2>&1 &
+        local soak_pid=$!
+        sleep 0.4
+        kill -TERM "$daemon_pid"
+        wait "$daemon_pid" \
+            || { echo "daemon exited nonzero after SIGTERM" >&2
+                 tail "$log" >&2; rc=1; }
+        daemon_pid=""
+        wait "$soak_pid" \
+            || { echo "client fleet failed during the drain" >&2
+                 cat "$tmp/soak2.log" >&2; rc=1; }
+        [ "$rc" -eq 0 ] && { grep -q "drained" "$log" \
+            || { echo "daemon log missing the drain banner" >&2; rc=1; }; }
+    elif [ -n "$daemon_pid" ]; then
+        kill -TERM "$daemon_pid" 2>/dev/null
+        wait "$daemon_pid" 2>/dev/null
+        daemon_pid=""
+    fi
+
+    # Restart on the same checkpoint directory: any work parked by the
+    # SIGTERM is restored (the daemon says so) and the daemon serves again.
+    if [ "$rc" -eq 0 ]; then
+        rm -f "$sock"  # else the [ -S ] wait below sees the dead daemon's file
+        "$dir/tools/catalystd" --socket "$sock" --checkpoint-dir "$ckpt" \
+            > "$tmp/daemon2.log" 2>&1 &
+        daemon_pid=$!
+        for i in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+        "$dir/tools/catalyst_client" --socket "$sock" submit branch \
+            --from "$tmp/archive.json" --wait > /dev/null || rc=1
+        kill -TERM "$daemon_pid"
+        wait "$daemon_pid" || rc=1
+    fi
+
+    rm -rf "$tmp"
+    local elapsed=$(( $(date +%s) - start ))
+    printf 'service soak wall time: %ss (budget 60s)\n' "$elapsed"
+    if [ "$elapsed" -ge 60 ]; then
+        printf 'service soak exceeded its 60s budget\n' >&2
+        return 1
+    fi
+    return "$rc"
+}
+
 stage_tidy() {
     if ! command -v clang-tidy > /dev/null 2>&1; then
         echo "SKIPPED: clang-tidy not installed (install it to enable)"
@@ -224,7 +331,7 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint quick release thread_safety asan_ubsan tsan tsan_linalg fault_pipeline obs tidy"
+ALL_STAGES="lint quick release thread_safety asan_ubsan tsan tsan_linalg fault_pipeline obs service_soak tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
@@ -244,6 +351,9 @@ for stage in $STAGES; do
                     run_stage "fault-injected pipeline vs clean goldens" \
                               stage_fault_pipeline ;;
         obs)        run_stage "obs trace/manifest schema validation" stage_obs ;;
+        service_soak)
+                    run_stage "catalystd soak (fleet + garbage + loris + SIGTERM)" \
+                              stage_service_soak ;;
         tidy)       run_stage "clang-tidy" stage_tidy ;;
         *)
             echo "unknown stage: $stage (choose from: $ALL_STAGES)" >&2

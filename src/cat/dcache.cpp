@@ -152,7 +152,10 @@ Benchmark dcache_benchmark(const DcacheOptions& options) {
           180.0 * static_cast<double>(res.memory_accesses));
       bench.slots[s].thread_activities[static_cast<std::size_t>(t)] =
           std::move(act);
-      bench.slots[s].normalizer = accesses;
+      // Every thread chases the same traversal count, so the normalizer is
+      // identical across threads -- but letting them all store it is still
+      // a data race.  Thread 0 is the designated writer.
+      if (t == 0) bench.slots[s].normalizer = accesses;
     }
   };
 

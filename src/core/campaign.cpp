@@ -14,6 +14,13 @@
 #include "sync/annotations.hpp"
 #include "sync/mutex.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#define CATALYST_HAVE_FLOCK 1
+#include <fcntl.h>
+#include <sys/file.h>
+#include <unistd.h>
+#endif
+
 namespace catalyst::core {
 
 const char* const kCheckpointFormat = "catalyst-checkpoint-v1";
@@ -32,23 +39,89 @@ LeaseRegistry& lease_registry() noexcept {
   return *registry;
 }
 
+std::string lease_file_path(const std::string& directory) {
+  return directory + "/.catalyst-lease";
+}
+
+#if CATALYST_HAVE_FLOCK
+/// Opens the lease file and takes the non-blocking exclusive flock.
+/// Returns the locked fd, -1 if another process holds the lock, or throws
+/// if the lease file cannot even be opened (unwritable directory).
+int acquire_lease_lock(const std::string& directory) {
+  std::error_code ec;  // Best effort; open() below reports the real error.
+  std::filesystem::create_directories(directory, ec);
+  const std::string path = lease_file_path(directory);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    throw std::runtime_error("checkpoint lease: cannot open '" + path + "'");
+  }
+  if (::flock(fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+#endif
+
 }  // namespace
 
 CheckpointDirLease::CheckpointDirLease(std::string directory)
     : directory_(std::move(directory)) {
   LeaseRegistry& reg = lease_registry();
-  const sync::LockGuard lock(reg.mutex);
-  if (!reg.active.insert(directory_).second) {
+  {
+    const sync::LockGuard lock(reg.mutex);
+    if (!reg.active.insert(directory_).second) {
+      throw std::runtime_error(
+          "checkpoint directory '" + directory_ +
+          "' is already in use by another campaign in this process");
+    }
+  }
+#if CATALYST_HAVE_FLOCK
+  try {
+    lock_fd_ = acquire_lease_lock(directory_);
+  } catch (...) {
+    const sync::LockGuard lock(reg.mutex);
+    reg.active.erase(directory_);
+    throw;
+  }
+  if (lock_fd_ < 0) {
+    {
+      const sync::LockGuard lock(reg.mutex);
+      reg.active.erase(directory_);
+    }
     throw std::runtime_error(
         "checkpoint directory '" + directory_ +
-        "' is already in use by another campaign in this process");
+        "' is already in use by another process (lease file '" +
+        lease_file_path(directory_) + "' is locked)");
   }
+#endif
 }
 
 CheckpointDirLease::~CheckpointDirLease() {
+#if CATALYST_HAVE_FLOCK
+  if (lock_fd_ >= 0) {
+    // close() drops the flock with it; no explicit LOCK_UN needed.
+    ::close(lock_fd_);
+    lock_fd_ = -1;
+  }
+#endif
   LeaseRegistry& reg = lease_registry();
   const sync::LockGuard lock(reg.mutex);
   reg.active.erase(directory_);
+}
+
+bool checkpoint_dir_locked(const std::string& directory) {
+#if CATALYST_HAVE_FLOCK
+  const std::string path = lease_file_path(directory);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CLOEXEC);
+  if (fd < 0) return false;  // No lease file => nobody can hold its lock.
+  const bool locked = ::flock(fd, LOCK_EX | LOCK_NB) != 0;
+  ::close(fd);  // Releases the probe lock if we won it.
+  return locked;
+#else
+  (void)directory;
+  return false;
+#endif
 }
 
 std::string campaign_config_key(const pmu::Machine& machine,

@@ -30,18 +30,30 @@
 
 namespace catalyst::core {
 
-/// Process-wide exclusive claim on a checkpoint directory.  Two campaigns
-/// checkpointing into the same directory would interleave batch-NNN.json
-/// files from different configurations; the second writer's files win the
-/// rename race and the first campaign resumes from foreign batches.  The
-/// lease makes that a loud error instead: acquiring a directory another
-/// live lease holds throws std::runtime_error.  run_campaign() takes one
-/// for the duration of the collection loop whenever checkpointing is on.
+/// Exclusive claim on a checkpoint directory.  Two campaigns checkpointing
+/// into the same directory would interleave batch-NNN.json files from
+/// different configurations; the second writer's files win the rename race
+/// and the first campaign resumes from foreign batches.  The lease makes
+/// that a loud error instead: acquiring a directory another live lease
+/// holds throws std::runtime_error.  run_campaign() takes one for the
+/// duration of the collection loop whenever checkpointing is on; catalystd
+/// holds one for its service checkpoint directory for its whole lifetime.
+///
+/// Two layers, so the guarantee spans processes:
+///   * in-process registry (fast path, precise error message) -- catches
+///     two campaigns inside one process;
+///   * OS-level flock(2) on `<directory>/.catalyst-lease` -- catches a
+///     daemon and a concurrent CLI run, or two daemons, sharing the
+///     directory.  flock conflicts between distinct open file
+///     descriptions, so even same-process double-acquisition would fail at
+///     this layer if the registry were bypassed.  The lock dies with the
+///     process (kill -9 included), so no stale-lease recovery is needed.
 class CheckpointDirLease {
  public:
   /// Claims `directory` (keyed verbatim -- callers pass the same string
-  /// they pass CheckpointOptions).  Throws std::runtime_error if some
-  /// other live lease in this process already holds it.
+  /// they pass CheckpointOptions; the directory is created if missing so
+  /// the lease file has somewhere to live).  Throws std::runtime_error if
+  /// any other live lease -- in this process or any other -- holds it.
   explicit CheckpointDirLease(std::string directory);
   ~CheckpointDirLease();
 
@@ -52,7 +64,15 @@ class CheckpointDirLease {
 
  private:
   std::string directory_;
+  int lock_fd_ = -1;  ///< flock'd lease-file fd; -1 when flock unavailable.
 };
+
+/// True when some live lease (any process) holds `directory`'s OS-level
+/// lock.  Probes with a fresh open + flock(LOCK_NB) and releases
+/// immediately; never blocks.  The cross-process death test calls this from
+/// a forked child to prove the lock is visible outside the owning process.
+/// Always false on platforms without flock.
+bool checkpoint_dir_locked(const std::string& directory);
 
 /// Where (and whether) to persist per-batch checkpoints.
 struct CheckpointOptions {

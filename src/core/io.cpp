@@ -14,6 +14,20 @@ constexpr const char* kFormatVersionV2 = "catalyst-measurements-v2";
 
 }  // namespace
 
+std::string bounded_excerpt(const std::string& text, std::size_t max_bytes) {
+  const std::size_t keep = text.size() < max_bytes ? text.size() : max_bytes;
+  std::string out;
+  out.reserve(keep + 24);
+  for (std::size_t i = 0; i < keep; ++i) {
+    const unsigned char c = static_cast<unsigned char>(text[i]);
+    out.push_back((c < 0x20 || c == 0x7f) ? '.' : static_cast<char>(c));
+  }
+  if (text.size() > max_bytes) {
+    out += "...(" + std::to_string(text.size()) + " bytes)";
+  }
+  return out;
+}
+
 MeasurementArchive make_archive(const pmu::Machine& machine,
                                 const cat::Benchmark& benchmark,
                                 const PipelineResult& result) {
@@ -96,7 +110,7 @@ MeasurementArchive load_archive_impl(const std::string& json_text) {
   if (a.format_version != kFormatVersion &&
       a.format_version != kFormatVersionV2) {
     throw std::invalid_argument("load_archive: unsupported format '" +
-                                a.format_version + "'");
+                                bounded_excerpt(a.format_version) + "'");
   }
   a.machine_name = root.at("machine").as_string();
   a.benchmark_name = root.at("benchmark").as_string();

@@ -20,16 +20,33 @@
 
 namespace catalyst::core {
 
+/// Hard ceiling on the length of any ArchiveError message.  Archive load
+/// errors quote fragments of the (attacker-supplied, possibly multi-GB)
+/// input; in a long-running daemon an unbounded quote would balloon error
+/// strings, wire ERROR frames, and logs.  256 bytes keeps the quoted
+/// context useful while bounding every error to a log line.
+inline constexpr std::size_t kMaxArchiveErrorBytes = 256;
+
+/// Truncates `text` to at most `max_bytes` bytes for embedding in an error
+/// message; longer inputs end with "...(<total> bytes)" so the true size is
+/// still visible.  Control bytes are replaced with '.' (error strings end
+/// up in logs and wire frames, never re-parsed).
+std::string bounded_excerpt(const std::string& text,
+                            std::size_t max_bytes = 96);
+
 /// Typed archive rejection.  For truncated or otherwise malformed JSON,
 /// `offset()` is the byte offset at which the input stopped making sense
 /// (std::string::npos for structural problems in well-formed JSON).
 /// Derives from json::JsonError so callers catching low-level JSON errors
-/// keep working.
+/// keep working.  The stored message is capped at kMaxArchiveErrorBytes no
+/// matter what the throw site concatenated -- a malformed multi-GB
+/// submission can never echo itself back through what().
 class ArchiveError : public json::JsonError {
  public:
   explicit ArchiveError(const std::string& what,
                         std::size_t offset = std::string::npos)
-      : json::JsonError(what, offset) {}
+      : json::JsonError(bounded_excerpt(what, kMaxArchiveErrorBytes),
+                        offset) {}
 };
 
 /// Everything needed to analyze a collection offline.

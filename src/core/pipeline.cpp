@@ -57,6 +57,7 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
   std::vector<vpapi::CollectionResult> per_thread;
   per_thread.reserve(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {
+    if (options.cancel != nullptr) options.cancel->check();
     std::vector<pmu::Activity> acts;
     acts.reserve(n_slots);
     for (const auto& slot : benchmark.slots) {
@@ -155,6 +156,15 @@ PipelineResult analyze_measurements(
     }
   }
 
+  // Cooperative cancellation: polled once per stage boundary.  The stages
+  // themselves are short (sub-millisecond on paper-sized inputs), so a
+  // deadline or cancel request is honored within one stage's latency
+  // without any per-element polling cost.
+  const auto check_cancel = [&options] {
+    if (options.cancel != nullptr) options.cancel->check();
+  };
+  check_cancel();
+
   obs::Span analyze_span("pipeline.analyze");
   analyze_span.arg("events", result.all_event_names.size());
   analyze_span.arg("tau", options.tau);
@@ -183,6 +193,7 @@ PipelineResult analyze_measurements(
   }
 
   // --- Stage 4: noise filter ------------------------------------------------
+  check_cancel();
   {
     obs::Span span("stage.noise_filter");
     span.arg("tau", options.tau);
@@ -197,6 +208,7 @@ PipelineResult analyze_measurements(
              result.all_event_names.size() - result.noise.kept.size());
 
   // --- Stage 5: expectation-basis projection --------------------------------
+  check_cancel();
   std::vector<std::string> kept_names;
   kept_names.reserve(result.noise.kept.size());
   for (std::size_t idx : result.noise.kept) {
@@ -215,6 +227,7 @@ PipelineResult analyze_measurements(
              result.projection.x_event_names.size());
 
   // --- Stage 6: specialized QRCP ---------------------------------------------
+  check_cancel();
   obs::Span qrcp_span("stage.qrcp");
   qrcp_span.arg("alpha", options.alpha);
   result.qr =
@@ -239,6 +252,7 @@ PipelineResult analyze_measurements(
   obs::count("pipeline.events_selected", result.xhat_events.size());
 
   // --- Stage 7: metric synthesis ----------------------------------------------
+  check_cancel();
   if (!result.xhat_events.empty()) {
     obs::Span span("stage.metrics");
     span.arg("signatures", signatures.size());

@@ -22,7 +22,10 @@
 // harness regenerates each paper table/figure from them.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -31,11 +34,86 @@
 #include "core/noise.hpp"
 #include "core/normalize.hpp"
 #include "core/qrcp_special.hpp"
+#include "faults/faults.hpp"
 #include "obs/trace.hpp"
 #include "pmu/machine.hpp"
 #include "vpapi/collector.hpp"
 
 namespace catalyst::core {
+
+/// Thrown by the pipeline stages when a run is abandoned cooperatively --
+/// either because the caller cancelled it or because its deadline passed
+/// (reason() distinguishes the two).  Deriving from std::runtime_error keeps
+/// legacy catch sites working; new callers (the service worker pool) catch
+/// the type to map it onto a typed wire error.
+class PipelineCancelled : public std::runtime_error {
+ public:
+  enum class Reason { cancelled, deadline };
+  explicit PipelineCancelled(Reason reason)
+      : std::runtime_error(reason == Reason::deadline
+                               ? "pipeline aborted: request deadline exceeded"
+                               : "pipeline aborted: cancelled by caller"),
+        reason_(reason) {}
+  Reason reason() const noexcept { return reason_; }
+
+ private:
+  Reason reason_;
+};
+
+/// Cooperative cancellation handle threaded through the pipeline stages.
+///
+/// Two independent triggers combine into one stop signal:
+///   * request_cancel() -- any thread may flip the flag (a client CANCEL
+///     frame, a server draining for shutdown);
+///   * arm_deadline(clock, t) -- stop once the injectable clock passes t
+///     (per-request analysis timeouts; tests drive it with FakeClock).
+/// The stages poll stop_requested() at stage boundaries and inside the
+/// per-signature solve loop, then raise PipelineCancelled.  Polling costs
+/// one relaxed load (plus a clock read when a deadline is armed), so a
+/// null/never-armed token never perturbs results or timing contracts.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Any thread; sticky.
+  void request_cancel() noexcept {
+    cancelled_.store(true, std::memory_order_relaxed);
+  }
+
+  /// Owner thread, before the run starts.  `clock` must outlive the run.
+  void arm_deadline(faults::Clock* clock,
+                    std::chrono::nanoseconds deadline) noexcept {
+    clock_ = clock;
+    deadline_ = deadline;
+  }
+
+  bool cancel_requested() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// True once either trigger has fired.
+  bool stop_requested() const {
+    if (cancel_requested()) return true;
+    return clock_ != nullptr && clock_->now() > deadline_;
+  }
+
+  /// Raises PipelineCancelled (with the precise reason) if stopped.
+  void check() const {
+    if (cancel_requested()) {
+      throw PipelineCancelled(PipelineCancelled::Reason::cancelled);
+    }
+    if (clock_ != nullptr && clock_->now() > deadline_) {
+      throw PipelineCancelled(PipelineCancelled::Reason::deadline);
+    }
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  faults::Clock* clock_ = nullptr;  ///< Not owned; null = no deadline.
+  std::chrono::nanoseconds deadline_{0};
+};
 
 /// Tuning knobs of the pipeline; defaults match the paper's choices for the
 /// compute benchmarks (tau = 1e-10, alpha = 5e-4).  The data-cache runs use
@@ -62,6 +140,10 @@ struct PipelineOptions {
   /// filter instead of being discarded by it -- the remedy the noise
   /// classification suggests.  Off by default (the paper discards them).
   bool detrend_drifting = false;
+  /// Cooperative cancellation / per-request deadline (not owned; may be
+  /// null).  Stages poll it at their boundaries and raise
+  /// PipelineCancelled; a null or never-fired token changes nothing.
+  const CancelToken* cancel = nullptr;
 };
 
 /// Everything the pipeline produced, stage by stage.

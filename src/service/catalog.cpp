@@ -1,0 +1,118 @@
+#include "service/catalog.hpp"
+
+#include "cat/cat.hpp"
+#include "core/signatures.hpp"
+#include "pmu/pmu.hpp"
+
+namespace catalyst::service {
+
+std::optional<pmu::Machine> machine_by_name(const std::string& name) {
+  if (name == "saphira") return pmu::saphira_cpu();
+  if (name == "tempest") return pmu::tempest_gpu();
+  if (name == "vesuvio") return pmu::vesuvio_cpu();
+  return std::nullopt;
+}
+
+const std::vector<std::string>& machine_names() {
+  static const std::vector<std::string> names = {"saphira", "tempest",
+                                                 "vesuvio"};
+  return names;
+}
+
+std::optional<CategorySetup> category_setup(const std::string& category) {
+  CategorySetup s;
+  if (category == "cpu_flops") {
+    s.benchmark = cat::cpu_flops_benchmark();
+    s.signatures = core::cpu_flops_signatures();
+    s.default_machine = "saphira";
+  } else if (category == "gpu_flops") {
+    s.benchmark = cat::gpu_flops_benchmark();
+    s.signatures = core::gpu_flops_signatures();
+    s.default_machine = "tempest";
+  } else if (category == "branch") {
+    s.benchmark = cat::branch_benchmark();
+    s.signatures = core::branch_signatures();
+    s.default_machine = "saphira";
+  } else if (category == "gpu_dcache") {
+    s.benchmark = cat::gpu_dcache_benchmark();
+    s.signatures = core::gpu_dcache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "tempest";
+  } else if (category == "icache") {
+    s.benchmark = cat::icache_benchmark();
+    s.signatures = core::icache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "saphira";
+  } else if (category == "dcache") {
+    cat::DcacheOptions chase;
+    chase.threads = 3;
+    s.benchmark = cat::dcache_benchmark(chase);
+    s.signatures = core::dcache_signatures();
+    s.options.tau = 1e-1;
+    s.options.alpha = 5e-2;
+    s.options.projection_max_error = 1e-1;
+    s.options.fitness_threshold = 5e-2;
+    s.default_machine = "saphira";
+  } else {
+    return std::nullopt;
+  }
+  return s;
+}
+
+const std::vector<std::string>& category_names() {
+  static const std::vector<std::string> names = {
+      "cpu_flops", "gpu_flops", "branch", "dcache", "icache", "gpu_dcache"};
+  return names;
+}
+
+namespace {
+
+/// Double-checked insert shared by both caches: a read-locked lookup on the
+/// hit path, an exclusive build-and-insert on the first miss.  Losing a
+/// build race is harmless -- the first inserted entry wins and the loser's
+/// build is discarded -- because entries are pure functions of their name.
+template <typename Map, typename Build>
+const typename Map::mapped_type::element_type* find_or_build(
+    sync::SharedMutex& mutex, Map& map, const std::string& name,
+    Build&& build) CATALYST_NO_THREAD_SAFETY_ANALYSIS {
+  {
+    const sync::ReadLockGuard lock(mutex);
+    const auto it = map.find(name);
+    if (it != map.end()) return it->second.get();
+  }
+  auto built = build(name);  // Built outside any lock: may be expensive.
+  if (built == nullptr) return nullptr;
+  const sync::WriteLockGuard lock(mutex);
+  auto [it, inserted] = map.emplace(name, std::move(built));
+  return it->second.get();
+}
+
+}  // namespace
+
+const CategorySetup* SharedCatalog::category(const std::string& name) {
+  return find_or_build(
+      mutex_, categories_, name,
+      [](const std::string& n) -> std::unique_ptr<CategorySetup> {
+        auto setup = category_setup(n);
+        if (!setup.has_value()) return nullptr;
+        return std::make_unique<CategorySetup>(std::move(*setup));
+      });
+}
+
+const pmu::Machine* SharedCatalog::machine(const std::string& name) {
+  return find_or_build(
+      mutex_, machines_, name,
+      [](const std::string& n) -> std::unique_ptr<pmu::Machine> {
+        auto machine = machine_by_name(n);
+        if (!machine.has_value()) return nullptr;
+        return std::make_unique<pmu::Machine>(std::move(*machine));
+      });
+}
+
+}  // namespace catalyst::service

@@ -1,0 +1,129 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/io.hpp"
+#include "core/report.hpp"
+#include "obs/trace.hpp"
+
+namespace catalyst::service {
+
+std::string render_result(const core::PipelineResult& result) {
+  return core::format_selected_events(result) + "\n" +
+         core::format_metric_table("metrics", result.metrics);
+}
+
+wire::SubmitBody packed_submit_from_archive(
+    const core::MeasurementArchive& archive, const std::string& category,
+    std::uint64_t deadline_ns) {
+  wire::SubmitBody body;
+  body.kind = wire::SubmitKind::packed;
+  body.category = category;
+  body.deadline_ns = deadline_ns;
+  body.event_names = archive.event_names;
+  body.repetitions = archive.measurements.empty()
+                         ? 0
+                         : static_cast<std::uint32_t>(
+                               archive.measurements.front().size());
+  body.slots = static_cast<std::uint32_t>(archive.slot_names.size());
+  body.values.reserve(archive.event_names.size() * body.repetitions *
+                      body.slots);
+  for (const auto& per_event : archive.measurements) {
+    for (const auto& per_rep : per_event) {
+      body.values.insert(body.values.end(), per_rep.begin(), per_rep.end());
+    }
+  }
+  return body;
+}
+
+namespace {
+
+EngineOutcome fail(wire::ErrorCode code, const std::string& message) {
+  EngineOutcome out;
+  out.ok = false;
+  out.code = code;
+  out.message = core::bounded_excerpt(message, wire::kMaxErrorMessageBytes);
+  return out;
+}
+
+/// Reshapes a packed value block into the measurements[e][r][k] tensor
+/// analyze_measurements expects.  Sizes were validated by decode_submit;
+/// this is pure copying.
+std::vector<std::vector<std::vector<double>>> unpack_values(
+    const wire::SubmitBody& submit) {
+  const std::size_t n_events = submit.event_names.size();
+  const std::size_t n_reps = submit.repetitions;
+  const std::size_t n_slots = submit.slots;
+  std::vector<std::vector<std::vector<double>>> m(
+      n_events, std::vector<std::vector<double>>(
+                    n_reps, std::vector<double>(n_slots)));
+  const double* src = submit.values.data();
+  for (std::size_t e = 0; e < n_events; ++e) {
+    for (std::size_t r = 0; r < n_reps; ++r) {
+      std::copy(src, src + n_slots, m[e][r].begin());
+      src += n_slots;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+EngineOutcome run_analysis(SharedCatalog& catalog,
+                           const wire::SubmitBody& submit,
+                           const core::CancelToken* cancel) {
+  obs::Span span("service.analyze");
+  span.arg("category", submit.category);
+  const CategorySetup* setup = catalog.category(submit.category);
+  if (setup == nullptr) {
+    return fail(wire::ErrorCode::bad_request,
+                "unknown category '" + submit.category + "'");
+  }
+  core::PipelineOptions options = setup->options;
+  options.cancel = cancel;
+
+  try {
+    core::PipelineResult result;
+    if (submit.kind == wire::SubmitKind::json) {
+      const core::MeasurementArchive archive =
+          core::load_archive(submit.archive_json);
+      result = core::analyze_archive(archive, setup->signatures, options);
+    } else {
+      if (submit.repetitions < 2) {
+        return fail(wire::ErrorCode::bad_request,
+                    "packed SUBMIT needs >= 2 repetitions");
+      }
+      if (submit.slots != static_cast<std::size_t>(
+                              setup->benchmark.basis.e.rows())) {
+        return fail(wire::ErrorCode::bad_request,
+                    "packed SUBMIT slot count does not match category '" +
+                        submit.category + "'");
+      }
+      result = core::analyze_measurements(setup->benchmark.basis.e,
+                                          submit.event_names,
+                                          unpack_values(submit),
+                                          setup->signatures, options);
+    }
+    EngineOutcome out;
+    out.ok = true;
+    out.text = render_result(result);
+    obs::count("service.analyses_ok");
+    return out;
+  } catch (const core::PipelineCancelled& e) {
+    obs::count("service.analyses_cancelled");
+    return fail(e.reason() == core::PipelineCancelled::Reason::deadline
+                    ? wire::ErrorCode::deadline_exceeded
+                    : wire::ErrorCode::cancelled,
+                e.what());
+  } catch (const std::exception& e) {
+    // load_archive / analyze_measurements rejections (ArchiveError, shape
+    // and finiteness contracts): data problems, typed as analysis_failed.
+    obs::count("service.analyses_failed");
+    return fail(wire::ErrorCode::analysis_failed, e.what());
+  }
+}
+
+}  // namespace catalyst::service

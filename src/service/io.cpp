@@ -1,0 +1,171 @@
+#include "service/io.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+namespace catalyst::service::io {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+sockaddr_un make_addr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("socket path too long: " + path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void close_fd(int fd) noexcept {
+  if (fd >= 0) ::close(fd);
+}
+
+int listen_unix(const std::string& path, int backlog) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  ::unlink(path.c_str());  // Stale socket file from a previous daemon.
+  const sockaddr_un addr = make_addr(path);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("bind(" + path + ")");
+  }
+  if (::listen(fd, backlog) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("listen(" + path + ")");
+  }
+  set_nonblocking(fd);
+  return fd;
+}
+
+int accept_client(int listen_fd) {
+  for (;;) {
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nonblocking(fd);
+      const int flags = ::fcntl(fd, F_GETFD, 0);
+      if (flags >= 0) ::fcntl(fd, F_SETFD, flags | FD_CLOEXEC);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    return -1;  // EAGAIN or a transient per-connection failure: no client.
+  }
+}
+
+int connect_unix(const std::string& path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket(AF_UNIX)");
+  const sockaddr_un addr = make_addr(path);
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) == 0) {
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(" + path + ")");
+  }
+}
+
+IoResult read_some(int fd, char* buf, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, size);
+    if (n > 0) return {IoResult::Kind::ok, static_cast<std::size_t>(n), 0};
+    if (n == 0) return {IoResult::Kind::eof, 0, 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::Kind::would_block, 0, 0};
+    }
+    return {IoResult::Kind::error, 0, errno};
+  }
+}
+
+IoResult write_some(int fd, const char* data, std::size_t size) {
+  for (;;) {
+    // MSG_NOSIGNAL: a peer that closed mid-write must produce EPIPE, not a
+    // process-killing SIGPIPE -- a daemon dies for no client's sake.
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
+    if (n >= 0) return {IoResult::Kind::ok, static_cast<std::size_t>(n), 0};
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return {IoResult::Kind::would_block, 0, 0};
+    }
+    return {IoResult::Kind::error, 0, errno};
+  }
+}
+
+Pipe make_pipe() {
+  int fds[2];
+  if (::pipe(fds) != 0) throw_errno("pipe");
+  set_nonblocking(fds[0]);
+  set_nonblocking(fds[1]);
+  return {fds[0], fds[1]};
+}
+
+void notify_pipe(int write_end) noexcept {
+  const char byte = 1;
+  // Failure modes (full pipe = wakeup already pending, closed = shutting
+  // down) are all benign; a signal handler cannot do anything about them.
+  [[maybe_unused]] const ssize_t n = ::write(write_end, &byte, 1);
+}
+
+void drain_pipe(int read_end) noexcept {
+  char buf[64];
+  while (::read(read_end, buf, sizeof(buf)) > 0) {
+  }
+}
+
+int poll_fds(std::vector<PollItem>& items, int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(items.size());
+  for (const PollItem& item : items) {
+    pollfd p{};
+    p.fd = item.fd;
+    p.events = static_cast<short>((item.want_read ? POLLIN : 0) |
+                                  (item.want_write ? POLLOUT : 0));
+    fds.push_back(p);
+  }
+  const int ready = ::poll(fds.data(), fds.size(), timeout_ms);
+  if (ready <= 0) {
+    for (PollItem& item : items) {
+      item.readable = item.writable = item.broken = false;
+    }
+    return 0;  // Timeout or EINTR: nothing ready, caller loops.
+  }
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    items[i].readable = (fds[i].revents & POLLIN) != 0;
+    items[i].writable = (fds[i].revents & POLLOUT) != 0;
+    items[i].broken =
+        (fds[i].revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+  }
+  return ready;
+}
+
+}  // namespace catalyst::service::io

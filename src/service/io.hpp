@@ -1,0 +1,78 @@
+// catalyst/service -- the ONLY file pair in src/ allowed to make raw
+// socket / file-descriptor syscalls (catalyst-lint: raw-socket-io).
+//
+// Everything here is a thin, error-normalising wrapper: EINTR is retried,
+// EAGAIN/EWOULDBLOCK becomes IoResult::would_block, real errors become
+// IoResult::error with errno captured.  Keeping the syscall surface in one
+// place means the rest of the service layer (server, client, tests) is
+// testable without a kernel and auditable at a glance.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace catalyst::service::io {
+
+/// Outcome of a non-blocking read/write attempt.
+struct IoResult {
+  enum class Kind {
+    ok,           ///< `bytes` transferred (> 0).
+    would_block,  ///< Try again when poll says so.
+    eof,          ///< Peer closed (read only).
+    error,        ///< Connection-fatal; `err` holds errno.
+  };
+  Kind kind = Kind::error;
+  std::size_t bytes = 0;
+  int err = 0;
+};
+
+/// Creates, binds, and listens on a Unix-domain stream socket; any stale
+/// socket file at `path` is removed first.  The fd is non-blocking and
+/// close-on-exec.  Throws std::runtime_error on failure.
+int listen_unix(const std::string& path, int backlog = 64);
+
+/// Accepts one pending connection (returned fd non-blocking, cloexec);
+/// -1 when none is pending or on a transient accept failure.
+int accept_client(int listen_fd);
+
+/// Connects to a Unix-domain socket (blocking fd).  Throws on failure.
+int connect_unix(const std::string& path);
+
+IoResult read_some(int fd, char* buf, std::size_t size);
+IoResult write_some(int fd, const char* data, std::size_t size);
+
+void set_nonblocking(int fd);
+void close_fd(int fd) noexcept;
+
+/// A pipe for self-pipe signal wakeups: `write_end` is async-signal-safe to
+/// poke via notify_pipe(); the read end participates in poll sets.
+struct Pipe {
+  int read_end = -1;
+  int write_end = -1;
+};
+Pipe make_pipe();
+
+/// Writes one byte, ignoring every error (async-signal-safe: the only
+/// caller is a signal handler waking the poll loop).
+void notify_pipe(int write_end) noexcept;
+
+/// Drains any bytes pending on the pipe's read end.
+void drain_pipe(int read_end) noexcept;
+
+/// One entry of a poll set.
+struct PollItem {
+  int fd = -1;
+  bool want_read = false;
+  bool want_write = false;
+  // Filled by poll_fds():
+  bool readable = false;
+  bool writable = false;
+  bool broken = false;  ///< HUP / ERR / NVAL.
+};
+
+/// poll(2) over the set; returns the number of ready items (0 = timeout).
+/// EINTR reports as 0 ready -- callers loop anyway.
+int poll_fds(std::vector<PollItem>& items, int timeout_ms);
+
+}  // namespace catalyst::service::io

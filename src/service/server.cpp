@@ -1,0 +1,183 @@
+#include "service/server.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+#include "service/io.hpp"
+
+namespace catalyst::service {
+
+Server::Server(ServiceCore& core, Options options)
+    : core_(core), options_(std::move(options)) {
+  listen_fd_ = io::listen_unix(options_.socket_path);
+  pipe_ = io::make_pipe();
+}
+
+Server::~Server() {
+  for (Conn& conn : conns_) {
+    if (conn.fd >= 0) io::close_fd(conn.fd);
+  }
+  io::close_fd(listen_fd_);
+  io::close_fd(pipe_.read_end);
+  io::close_fd(pipe_.write_end);
+}
+
+void Server::accept_new() {
+  for (;;) {
+    const int fd = io::accept_client(listen_fd_);
+    if (fd < 0) return;
+    if (conns_.size() >= options_.max_sessions) {
+      // Load shedding at the door: a connection we cannot serve is closed
+      // immediately rather than admitted and starved.
+      obs::count("service.sessions_turned_away");
+      io::close_fd(fd);
+      continue;
+    }
+    Conn conn;
+    conn.fd = fd;
+    conn.session = std::make_unique<Session>(
+        next_session_id_++, &core_, options_.session_limits,
+        options_.clock->now());
+    if (core_.shutting_down()) conn.session->begin_shutdown();
+    conns_.push_back(std::move(conn));
+    sessions_served_.fetch_add(1, std::memory_order_relaxed);
+    obs::count("service.sessions_accepted");
+  }
+}
+
+bool Server::service_reads(Conn& conn, std::chrono::nanoseconds now) {
+  char buf[16 * 1024];
+  for (;;) {
+    const io::IoResult r = io::read_some(conn.fd, buf, sizeof(buf));
+    switch (r.kind) {
+      case io::IoResult::Kind::ok:
+        conn.session->on_bytes(now, buf, r.bytes);
+        continue;
+      case io::IoResult::Kind::would_block:
+        return true;
+      case io::IoResult::Kind::eof:
+        conn.session->on_eof();
+        return false;
+      case io::IoResult::Kind::error:
+        conn.session->on_eof();
+        return false;
+    }
+  }
+}
+
+bool Server::flush_writes(Conn& conn) {
+  if (conn.session->has_output()) conn.outbuf += conn.session->take_output();
+  while (!conn.outbuf.empty()) {
+    const io::IoResult r =
+        io::write_some(conn.fd, conn.outbuf.data(), conn.outbuf.size());
+    if (r.kind == io::IoResult::Kind::ok) {
+      conn.outbuf.erase(0, r.bytes);
+      continue;
+    }
+    if (r.kind == io::IoResult::Kind::would_block) return true;
+    return false;  // Peer gone mid-write.
+  }
+  return true;
+}
+
+void Server::drop(Conn& conn) {
+  if (conn.fd >= 0) {
+    io::close_fd(conn.fd);
+    conn.fd = -1;
+  }
+  if (conn.session != nullptr) {
+    core_.forget_session(conn.session->id());
+    conn.session.reset();
+  }
+  obs::count("service.sessions_closed");
+}
+
+void Server::run(const std::atomic<bool>& stop) {
+  bool shutdown_started = false;
+  std::chrono::nanoseconds drained_at{0};
+  for (;;) {
+    if (!shutdown_started && stop.load(std::memory_order_relaxed)) {
+      shutdown_started = true;
+      obs::count("service.shutdowns");
+      // Order matters: the core first (refuse new work, checkpoint the
+      // queue), then the door (no new connections), then the sessions
+      // (future SUBMITs on live connections answer shutting_down; polls
+      // keep working so the drain is observable).
+      core_.begin_shutdown();
+      io::close_fd(listen_fd_);
+      listen_fd_ = -1;
+      for (Conn& conn : conns_) {
+        if (conn.session != nullptr) conn.session->begin_shutdown();
+      }
+    }
+    if (shutdown_started) {
+      const std::chrono::nanoseconds now = options_.clock->now();
+      if (core_.drained()) {
+        if (drained_at.count() == 0) drained_at = now;
+        if (now - drained_at >= options_.drain_linger) break;
+      }
+    }
+
+    std::vector<io::PollItem> items;
+    items.reserve(conns_.size() + 2);
+    {
+      io::PollItem wake;
+      wake.fd = pipe_.read_end;
+      wake.want_read = true;
+      items.push_back(wake);
+    }
+    const std::size_t listen_slot = items.size();
+    if (listen_fd_ >= 0) {
+      io::PollItem listen;
+      listen.fd = listen_fd_;
+      listen.want_read = true;
+      items.push_back(listen);
+    }
+    const std::size_t conn_base = items.size();
+    for (const Conn& conn : conns_) {
+      io::PollItem item;
+      item.fd = conn.fd;
+      item.want_read = !conn.session->closed();
+      item.want_write =
+          !conn.outbuf.empty() || conn.session->has_output();
+      items.push_back(item);
+    }
+
+    io::poll_fds(items, options_.poll_interval_ms);
+    const std::chrono::nanoseconds now = options_.clock->now();
+
+    if (items[0].readable) io::drain_pipe(pipe_.read_end);
+    if (listen_fd_ >= 0 && items[listen_slot].readable) accept_new();
+
+    // accept_new() may have appended connections that were never polled;
+    // only the first `polled` entries have a matching PollItem.  The new
+    // ones get their first poll next iteration.
+    const std::size_t polled = items.size() - conn_base;
+    for (std::size_t i = 0; i < polled; ++i) {
+      Conn& conn = conns_[i];
+      const io::PollItem& item = items[conn_base + i];
+      bool alive = true;
+      if (item.broken && !item.readable) {
+        conn.session->on_eof();
+        alive = false;
+      }
+      if (alive && item.readable) alive = service_reads(conn, now);
+      if (alive) conn.session->on_tick(now);
+      // Always try to flush: an ERROR + close decided this iteration must
+      // reach the wire before the fd is dropped.
+      if (!flush_writes(conn)) alive = false;
+      if (!alive || conn.session->finished()) drop(conn);
+    }
+    conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
+                                [](const Conn& c) { return c.fd < 0; }),
+                 conns_.end());
+  }
+  // Shutdown epilogue: best-effort flush of goodbye bytes, then close.
+  for (Conn& conn : conns_) {
+    flush_writes(conn);
+    drop(conn);
+  }
+  conns_.clear();
+}
+
+}  // namespace catalyst::service

@@ -1,0 +1,87 @@
+// catalyst/service -- the socket front end: accept loop, per-connection
+// Session plumbing, and the graceful-shutdown sequence.
+//
+// One thread runs Server::run() (the daemon gives it worker-pool unit 0);
+// it multiplexes the listening socket, a self-pipe (so a signal handler can
+// wake the poll), and every client connection.  All protocol logic lives in
+// Session; all syscalls live in service/io.  The server only moves bytes
+// and lifecycles connections:
+//
+//   readable  -> read_some -> session.on_bytes -> take_output -> write
+//   each tick -> session.on_tick(now)          (timeouts, slow-loris)
+//   stop flag -> core.begin_shutdown (drain + checkpoint), stop accepting,
+//                keep serving polls until the core drains, linger briefly
+//                so pollers can collect, then close everything.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "faults/faults.hpp"
+#include "service/io.hpp"
+#include "service/servicecore.hpp"
+#include "service/session.hpp"
+
+namespace catalyst::service {
+
+class Server {
+ public:
+  struct Options {
+    std::string socket_path;
+    Session::Limits session_limits;
+    std::size_t max_sessions = 64;  ///< Excess connections are turned away.
+    int poll_interval_ms = 20;      ///< Tick granularity for timeouts.
+    /// After the core drains, keep answering polls this long before
+    /// closing remaining sessions (gives in-flight pollers their results).
+    std::chrono::nanoseconds drain_linger = std::chrono::milliseconds(200);
+    faults::Clock* clock = nullptr;  ///< Session timer source; required.
+  };
+
+  /// Binds and listens immediately (so callers know the socket is ready
+  /// before spawning clients).  Throws std::runtime_error on bind failure.
+  Server(ServiceCore& core, Options options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The event loop.  Returns once `stop` was observed true AND the core
+  /// drained (plus the linger window).  `stop` is typically flipped by a
+  /// SIGTERM handler that then pokes wake_fd().
+  void run(const std::atomic<bool>& stop);
+
+  /// Write end of the self-pipe: async-signal-safe wakeup target.
+  int wake_fd() const noexcept { return pipe_.write_end; }
+
+  std::uint64_t sessions_served() const noexcept {
+    return sessions_served_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Conn {
+    int fd = -1;
+    std::unique_ptr<Session> session;
+    std::string outbuf;  ///< Bytes taken from the session, not yet written.
+  };
+
+  void accept_new();
+  /// Reads everything available; feeds the session.  False = drop conn.
+  bool service_reads(Conn& conn, std::chrono::nanoseconds now);
+  /// Flushes outbuf as far as the socket allows.  False = drop conn.
+  bool flush_writes(Conn& conn);
+  void drop(Conn& conn);
+
+  ServiceCore& core_;
+  Options options_;
+  int listen_fd_ = -1;
+  io::Pipe pipe_;
+  std::vector<Conn> conns_;
+  SessionId next_session_id_ = 1;
+  std::atomic<std::uint64_t> sessions_served_{0};
+};
+
+}  // namespace catalyst::service

@@ -1,0 +1,10 @@
+// catalyst/service -- umbrella header.
+#pragma once
+
+#include "service/catalog.hpp"     // IWYU pragma: export
+#include "service/engine.hpp"      // IWYU pragma: export
+#include "service/io.hpp"          // IWYU pragma: export
+#include "service/server.hpp"      // IWYU pragma: export
+#include "service/servicecore.hpp" // IWYU pragma: export
+#include "service/session.hpp"     // IWYU pragma: export
+#include "service/wire.hpp"        // IWYU pragma: export

@@ -1,0 +1,243 @@
+#include "service/session.hpp"
+
+#include "core/io.hpp"
+#include "obs/trace.hpp"
+
+namespace catalyst::service {
+
+Session::Session(SessionId id, RequestBroker* broker, Limits limits,
+                 std::chrono::nanoseconds now)
+    : id_(id),
+      broker_(broker),
+      limits_(limits),
+      decoder_(limits.max_frame_payload),
+      connected_at_(now),
+      last_bytes_at_(now) {}
+
+void Session::send(wire::FrameType type, const std::string& payload) {
+  output_ += wire::encode_frame(type, payload);
+}
+
+void Session::send_error(std::uint64_t request_id, wire::ErrorCode code,
+                         const std::string& message) {
+  wire::ErrorBody body;
+  body.request_id = request_id;
+  body.code = code;
+  body.message = message;  // encode_error applies the excerpt bound.
+  send(wire::FrameType::error, wire::encode_error(body));
+  obs::count("service.errors_sent");
+}
+
+void Session::fail_session(wire::ErrorCode code, const std::string& message) {
+  send_error(0, code, message);
+  close();
+}
+
+void Session::close() {
+  state_ = State::closed;
+}
+
+void Session::on_eof() {
+  // The peer is gone; flushing a goodbye at a closed pipe is pointless.
+  output_.clear();
+  state_ = State::closed;
+}
+
+void Session::on_bytes(std::chrono::nanoseconds now, const char* data,
+                       std::size_t size) {
+  if (state_ == State::closed) return;
+  last_bytes_at_ = now;
+  decoder_.feed(data, size);
+  while (state_ != State::closed) {
+    if (decoder_.error().has_value()) {
+      // The stream is garbage from here on: every parse failure becomes a
+      // typed ERROR frame followed by teardown, never a crash and never a
+      // guess at resynchronisation.
+      obs::count("service.malformed_frames");
+      fail_session(decoder_.error()->code, decoder_.error()->message);
+      return;
+    }
+    const auto frame = decoder_.next();
+    if (!frame.has_value()) break;
+    partial_since_ = std::chrono::nanoseconds{0};
+    handle_frame(*frame);
+  }
+  // A partial frame is now buffered (or still is): start / keep the
+  // slow-loris stopwatch.  Completing any frame above reset it.
+  if (state_ != State::closed && decoder_.mid_frame() &&
+      partial_since_.count() == 0) {
+    partial_since_ = now;
+  }
+}
+
+void Session::on_tick(std::chrono::nanoseconds now) {
+  if (state_ == State::closed) return;
+  if (limits_.session_deadline.count() > 0 &&
+      now - connected_at_ > limits_.session_deadline) {
+    obs::count("service.sessions_expired");
+    fail_session(wire::ErrorCode::deadline_exceeded,
+                 "session lifetime limit reached");
+    return;
+  }
+  if (partial_since_.count() != 0 &&
+      now - partial_since_ > limits_.partial_frame_timeout) {
+    // Slow loris: a frame has been dribbling in longer than any honest
+    // client needs to send one.
+    obs::count("service.slow_loris_drops");
+    fail_session(wire::ErrorCode::deadline_exceeded,
+                 "frame transfer too slow");
+    return;
+  }
+  if (limits_.idle_timeout.count() > 0 &&
+      now - last_bytes_at_ > limits_.idle_timeout) {
+    obs::count("service.idle_drops");
+    fail_session(wire::ErrorCode::deadline_exceeded, "session idle timeout");
+    return;
+  }
+}
+
+void Session::handle_frame(const wire::Frame& frame) {
+  obs::count("service.frames_received");
+  switch (state_) {
+    case State::handshake:
+      if (frame.type != wire::FrameType::hello) {
+        fail_session(wire::ErrorCode::bad_state,
+                     std::string(wire::to_string(frame.type)) +
+                         " before HELLO");
+        return;
+      }
+      send(wire::FrameType::hello_ok, "catalystd/1");
+      state_ = State::ready;
+      return;
+    case State::ready:
+      break;
+    case State::closed:
+      return;
+  }
+  switch (frame.type) {
+    case wire::FrameType::submit:
+      handle_submit(frame);
+      return;
+    case wire::FrameType::poll:
+      handle_poll(frame);
+      return;
+    case wire::FrameType::cancel:
+      handle_cancel(frame);
+      return;
+    case wire::FrameType::bye:
+      send(wire::FrameType::bye, "");
+      close();
+      return;
+    default:
+      // HELLO twice, or a server-to-client type echoed back: the client's
+      // state machine is broken, so ours stops talking to it.
+      fail_session(wire::ErrorCode::bad_state,
+                   std::string(wire::to_string(frame.type)) +
+                       " not valid here");
+      return;
+  }
+}
+
+void Session::handle_submit(const wire::Frame& frame) {
+  if (shutting_down_) {
+    send_error(0, wire::ErrorCode::shutting_down,
+               "daemon is draining; resubmit later");
+    return;
+  }
+  wire::SubmitBody body;
+  try {
+    body = wire::decode_submit(frame.payload);
+  } catch (const wire::PayloadError& e) {
+    // The frame was well-formed (magic/CRC passed) but its contents are
+    // not a submission: recoverable, the session survives.
+    send_error(0, wire::ErrorCode::bad_request, e.what());
+    return;
+  }
+  const SubmitOutcome outcome = broker_->submit(id_, std::move(body));
+  switch (outcome.kind) {
+    case SubmitOutcome::Kind::accepted: {
+      std::string payload;
+      wire::put_u64(payload, outcome.request_id);
+      send(wire::FrameType::accepted, payload);
+      return;
+    }
+    case SubmitOutcome::Kind::retry_after: {
+      std::string payload;
+      wire::put_u64(payload, 0);
+      wire::put_u64(payload,
+                    static_cast<std::uint64_t>(outcome.retry_after.count()));
+      send(wire::FrameType::retry_after, payload);
+      return;
+    }
+    case SubmitOutcome::Kind::rejected:
+      send_error(0, outcome.code, outcome.message);
+      return;
+  }
+}
+
+void Session::handle_poll(const wire::Frame& frame) {
+  std::uint64_t request_id = 0;
+  try {
+    wire::Get cursor(frame.payload);
+    request_id = cursor.u64();
+    cursor.expect_done();
+  } catch (const wire::PayloadError& e) {
+    send_error(0, wire::ErrorCode::bad_request, e.what());
+    return;
+  }
+  const PollOutcome outcome = broker_->poll(id_, request_id);
+  std::string payload;
+  wire::put_u64(payload, request_id);
+  switch (outcome.kind) {
+    case PollOutcome::Kind::unknown:
+      send_error(request_id, wire::ErrorCode::unknown_request,
+                 "no such request for this session");
+      return;
+    case PollOutcome::Kind::queued:
+      payload.push_back(0);
+      send(wire::FrameType::pending, payload);
+      return;
+    case PollOutcome::Kind::analyzing:
+      payload.push_back(1);
+      send(wire::FrameType::pending, payload);
+      return;
+    case PollOutcome::Kind::result:
+      wire::put_string(payload, outcome.text);
+      send(wire::FrameType::result, payload);
+      return;
+    case PollOutcome::Kind::failed:
+      send_error(request_id, outcome.code, outcome.message);
+      return;
+    case PollOutcome::Kind::cancelled:
+      send(wire::FrameType::cancelled, payload);
+      return;
+  }
+}
+
+void Session::handle_cancel(const wire::Frame& frame) {
+  std::uint64_t request_id = 0;
+  try {
+    wire::Get cursor(frame.payload);
+    request_id = cursor.u64();
+    cursor.expect_done();
+  } catch (const wire::PayloadError& e) {
+    send_error(0, wire::ErrorCode::bad_request, e.what());
+    return;
+  }
+  if (!broker_->cancel(id_, request_id)) {
+    send_error(request_id, wire::ErrorCode::unknown_request,
+               "no such request for this session");
+    return;
+  }
+  std::string payload;
+  wire::put_u64(payload, request_id);
+  send(wire::FrameType::cancelled, payload);
+}
+
+std::string Session::take_output() {
+  std::string out = std::move(output_);
+  output_.clear();
+  return out;
+}
+
+}  // namespace catalyst::service

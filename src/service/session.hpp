@@ -1,0 +1,107 @@
+// catalyst/service -- the per-connection protocol state machine.
+//
+// A Session is one client connection with the socket cut away: bytes go in
+// through on_bytes(), frames come out through take_output(), and time is
+// whatever timestamp the caller passes -- the session never reads a clock,
+// which is why every timeout below is exact under FakeClock in tests.
+//
+//   HANDSHAKE --HELLO--> READY --BYE/teardown--> CLOSED
+//
+// In READY the session relays SUBMIT/POLL/CANCEL to its RequestBroker and
+// frames the outcomes.  Every way a connection can misbehave lands in one
+// of exactly two shapes, both of which leave the daemon standing:
+//
+//   * recoverable request problems (unknown id, quota, bad payload): a
+//     typed ERROR frame, session stays up;
+//   * framing-level problems (bad magic/version/CRC, oversized length,
+//     frames in the wrong state, timeouts): a typed ERROR frame and
+//     teardown -- the byte stream has lost meaning, so the session drains
+//     its output buffer and closes.
+//
+// Timers (all caller-driven via on_tick):
+//   * idle timeout     -- no client bytes for too long;
+//   * partial-frame timeout -- bytes mid-frame dribbling in too slowly
+//     (the slow-loris defense: a client cannot hold a connection open by
+//     sending one header byte per minute);
+//   * session deadline -- absolute lifetime cap.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+#include "service/servicecore.hpp"
+#include "service/wire.hpp"
+
+namespace catalyst::service {
+
+class Session {
+ public:
+  struct Limits {
+    std::uint32_t max_frame_payload = wire::kMaxPayloadBytes;
+    std::chrono::nanoseconds idle_timeout = std::chrono::seconds(30);
+    std::chrono::nanoseconds partial_frame_timeout = std::chrono::seconds(5);
+    /// Absolute session lifetime; zero disables.
+    std::chrono::nanoseconds session_deadline{0};
+  };
+
+  enum class State { handshake, ready, closed };
+
+  /// `broker` must outlive the session.  `now` stamps the connection time
+  /// for the idle / lifetime timers.
+  Session(SessionId id, RequestBroker* broker, Limits limits,
+          std::chrono::nanoseconds now);
+
+  // --- input ---------------------------------------------------------------
+  /// Feeds client bytes; responses accumulate in the output buffer.
+  void on_bytes(std::chrono::nanoseconds now, const char* data,
+                std::size_t size);
+  /// Clock edge: fires whichever timeout has expired, if any.
+  void on_tick(std::chrono::nanoseconds now);
+  /// Daemon is draining: future SUBMITs get shutting_down; POLLs still work
+  /// so clients can collect results already in flight.
+  void begin_shutdown() { shutting_down_ = true; }
+  /// Peer closed its end (EOF) -- immediate close, nothing to flush.
+  void on_eof();
+
+  // --- output --------------------------------------------------------------
+  /// Encoded frames awaiting the socket; the server moves them out and
+  /// writes.  May be non-empty after close (the goodbye must still flush).
+  std::string take_output();
+  bool has_output() const noexcept { return !output_.empty(); }
+
+  State state() const noexcept { return state_; }
+  SessionId id() const noexcept { return id_; }
+  bool closed() const noexcept { return state_ == State::closed; }
+  /// True once closed AND every pending byte was taken: the server's cue to
+  /// drop the connection.
+  bool finished() const noexcept { return closed() && output_.empty(); }
+
+ private:
+  void handle_frame(const wire::Frame& frame);
+  void handle_submit(const wire::Frame& frame);
+  void handle_poll(const wire::Frame& frame);
+  void handle_cancel(const wire::Frame& frame);
+  void send(wire::FrameType type, const std::string& payload);
+  void send_error(std::uint64_t request_id, wire::ErrorCode code,
+                  const std::string& message);
+  /// Typed ERROR then teardown (framing-level failure).
+  void fail_session(wire::ErrorCode code, const std::string& message);
+  void close();
+
+  SessionId id_;
+  RequestBroker* broker_;
+  Limits limits_;
+  State state_ = State::handshake;
+  bool shutting_down_ = false;
+  wire::FrameDecoder decoder_;
+  std::string output_;
+
+  std::chrono::nanoseconds connected_at_;
+  std::chrono::nanoseconds last_bytes_at_;
+  /// When the current partial frame started dribbling in; reset on every
+  /// completed frame.  Zero = not mid-frame.
+  std::chrono::nanoseconds partial_since_{0};
+};
+
+}  // namespace catalyst::service

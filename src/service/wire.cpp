@@ -1,0 +1,362 @@
+#include "service/wire.hpp"
+
+#include <array>
+#include <bit>
+#include <cstring>
+
+#include "core/io.hpp"
+
+namespace catalyst::service::wire {
+
+const char* to_string(FrameType type) noexcept {
+  switch (type) {
+    case FrameType::hello: return "HELLO";
+    case FrameType::hello_ok: return "HELLO_OK";
+    case FrameType::submit: return "SUBMIT";
+    case FrameType::accepted: return "ACCEPTED";
+    case FrameType::poll: return "POLL";
+    case FrameType::pending: return "PENDING";
+    case FrameType::result: return "RESULT";
+    case FrameType::error: return "ERROR";
+    case FrameType::cancel: return "CANCEL";
+    case FrameType::cancelled: return "CANCELLED";
+    case FrameType::retry_after: return "RETRY_AFTER";
+    case FrameType::bye: return "BYE";
+  }
+  return "UNKNOWN";
+}
+
+const char* to_string(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::malformed_frame: return "malformed_frame";
+    case ErrorCode::bad_version: return "bad_version";
+    case ErrorCode::bad_crc: return "bad_crc";
+    case ErrorCode::oversized_frame: return "oversized_frame";
+    case ErrorCode::quota_exceeded: return "quota_exceeded";
+    case ErrorCode::bad_state: return "bad_state";
+    case ErrorCode::bad_request: return "bad_request";
+    case ErrorCode::unknown_request: return "unknown_request";
+    case ErrorCode::deadline_exceeded: return "deadline_exceeded";
+    case ErrorCode::cancelled: return "cancelled";
+    case ErrorCode::analysis_failed: return "analysis_failed";
+    case ErrorCode::shutting_down: return "shutting_down";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Table-driven CRC-32 (IEEE), table built once at first use.
+const std::array<std::uint32_t, 256>& crc_table() noexcept {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+bool is_known_type(std::uint16_t raw) noexcept {
+  return raw >= static_cast<std::uint16_t>(FrameType::hello) &&
+         raw <= static_cast<std::uint16_t>(FrameType::bye);
+}
+
+std::uint16_t load_u16(const char* p) noexcept {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned char>(p[0]) |
+      (static_cast<std::uint16_t>(static_cast<unsigned char>(p[1])) << 8));
+}
+
+std::uint32_t load_u32(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+std::uint64_t load_u64(const char* p) noexcept {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size) noexcept {
+  const auto& table = crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+void put_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+  }
+}
+
+void put_f64(std::string& out, double v) {
+  // Doubles travel as their IEEE-754 bit pattern: bit-identity through the
+  // wire is what makes the service path reproduce CLI tables exactly.
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+void put_string(std::string& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out += s;
+}
+
+std::uint16_t Get::u16() {
+  if (data_.size() - pos_ < 2) throw PayloadError("payload truncated (u16)");
+  const std::uint16_t v = load_u16(data_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Get::u32() {
+  if (data_.size() - pos_ < 4) throw PayloadError("payload truncated (u32)");
+  const std::uint32_t v = load_u32(data_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Get::u64() {
+  if (data_.size() - pos_ < 8) throw PayloadError("payload truncated (u64)");
+  const std::uint64_t v = load_u64(data_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+double Get::f64() {
+  const std::uint64_t bits = u64();
+  double v = 0.0;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void Get::f64_block(double* out, std::size_t n) {
+  if ((data_.size() - pos_) / sizeof(double) < n) {
+    throw PayloadError("payload truncated (f64 block)");
+  }
+  if constexpr (std::endian::native == std::endian::little) {
+    std::memcpy(out, data_.data() + pos_, n * sizeof(double));
+    pos_ += n * sizeof(double);
+  } else {
+    for (std::size_t i = 0; i < n; ++i) out[i] = f64();
+  }
+}
+
+std::string Get::string(std::size_t max_len) {
+  const std::uint32_t len = u32();
+  if (len > max_len) throw PayloadError("string field too long");
+  if (data_.size() - pos_ < len) {
+    throw PayloadError("payload truncated (string)");
+  }
+  std::string s = data_.substr(pos_, len);
+  pos_ += len;
+  return s;
+}
+
+void Get::expect_done() const {
+  if (pos_ != data_.size()) {
+    throw PayloadError("trailing bytes after payload");
+  }
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kHeaderBytes + payload.size());
+  put_u32(out, kMagic);
+  put_u16(out, kVersion);
+  put_u16(out, static_cast<std::uint16_t>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, crc32(payload.data(), payload.size()));
+  out += payload;
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::uint32_t max_payload)
+    : max_payload_(max_payload < kMaxPayloadBytes ? max_payload
+                                                  : kMaxPayloadBytes) {}
+
+void FrameDecoder::fail(ErrorCode code, std::string message) {
+  if (!error_.has_value()) {
+    error_ = DecodeError{code, std::move(message)};
+  }
+  buffer_.clear();
+  ready_.clear();
+}
+
+void FrameDecoder::feed(const char* data, std::size_t size) {
+  if (error_.has_value()) return;  // Poisoned stream: drop everything.
+  bytes_consumed_ += size;
+  buffer_.append(data, size);
+  // Peel off as many complete frames as the buffer holds.  Header fields
+  // are validated strictly in order -- magic, version, type, length -- so
+  // the FIRST wrong thing about a frame names the error, and a bad length
+  // is rejected before a single payload byte is buffered past the cap.
+  for (;;) {
+    if (buffer_.size() < kHeaderBytes) return;
+    const char* h = buffer_.data();
+    if (load_u32(h) != kMagic) {
+      fail(ErrorCode::malformed_frame, "bad frame magic");
+      return;
+    }
+    if (load_u16(h + 4) != kVersion) {
+      fail(ErrorCode::bad_version,
+           "unsupported protocol version " + std::to_string(load_u16(h + 4)));
+      return;
+    }
+    const std::uint16_t raw_type = load_u16(h + 6);
+    if (!is_known_type(raw_type)) {
+      fail(ErrorCode::malformed_frame,
+           "unknown frame type " + std::to_string(raw_type));
+      return;
+    }
+    const std::uint32_t length = load_u32(h + 8);
+    if (length > max_payload_) {
+      fail(ErrorCode::oversized_frame,
+           "payload of " + std::to_string(length) + " bytes exceeds cap of " +
+               std::to_string(max_payload_));
+      return;
+    }
+    if (buffer_.size() < kHeaderBytes + length) return;  // Await payload.
+    const std::uint32_t declared_crc = load_u32(h + 12);
+    const std::uint32_t actual_crc = crc32(h + kHeaderBytes, length);
+    if (declared_crc != actual_crc) {
+      fail(ErrorCode::bad_crc, "payload checksum mismatch");
+      return;
+    }
+    Frame frame;
+    frame.type = static_cast<FrameType>(raw_type);
+    frame.payload = buffer_.substr(kHeaderBytes, length);
+    ready_.push_back(std::move(frame));
+    buffer_.erase(0, kHeaderBytes + length);
+  }
+}
+
+std::optional<Frame> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Frame f = std::move(ready_.front());
+  ready_.pop_front();
+  return f;
+}
+
+std::string encode_submit(const SubmitBody& body) {
+  std::string out;
+  out.push_back(static_cast<char>(body.kind));
+  put_string(out, body.category);
+  put_u64(out, body.deadline_ns);
+  if (body.kind == SubmitKind::json) {
+    put_string(out, body.archive_json);
+    return out;
+  }
+  put_u32(out, static_cast<std::uint32_t>(body.event_names.size()));
+  put_u32(out, body.repetitions);
+  put_u32(out, body.slots);
+  for (const auto& name : body.event_names) put_string(out, name);
+  out.reserve(out.size() + body.values.size() * sizeof(double));
+  for (const double v : body.values) put_f64(out, v);
+  return out;
+}
+
+SubmitBody decode_submit(const std::string& payload) {
+  SubmitBody body;
+  if (payload.empty()) throw PayloadError("empty SUBMIT payload");
+  const auto raw_kind = static_cast<unsigned char>(payload[0]);
+  if (raw_kind > static_cast<unsigned char>(SubmitKind::json)) {
+    throw PayloadError("unknown SUBMIT encoding kind");
+  }
+  body.kind = static_cast<SubmitKind>(raw_kind);
+  const std::string rest = payload.substr(1);
+  Get cursor(rest);
+  body.category = cursor.string(256);
+  body.deadline_ns = cursor.u64();
+  if (body.kind == SubmitKind::json) {
+    body.archive_json = cursor.string();
+    cursor.expect_done();
+    return body;
+  }
+  const std::uint32_t n_events = cursor.u32();
+  body.repetitions = cursor.u32();
+  body.slots = cursor.u32();
+  if (n_events == 0 || body.repetitions == 0 || body.slots == 0) {
+    throw PayloadError("packed SUBMIT with an empty dimension");
+  }
+  // Overflow-safe size check before any allocation: the value block must
+  // fit inside the payload that actually arrived.
+  const std::uint64_t n_values = std::uint64_t{n_events} * body.repetitions *
+                                 static_cast<std::uint64_t>(body.slots);
+  if (n_values > kMaxPayloadBytes / sizeof(double)) {
+    throw PayloadError("packed SUBMIT dimensions overflow the frame cap");
+  }
+  // Plausibility before allocation: every event name needs at least its
+  // length prefix plus one byte, and the value block needs 8 bytes per
+  // entry -- a hostile count that the arrived bytes cannot possibly satisfy
+  // is rejected before a single reserve() happens.
+  const std::uint64_t min_needed =
+      std::uint64_t{n_events} * 5 + n_values * sizeof(double);
+  if (min_needed > rest.size()) {
+    throw PayloadError("packed SUBMIT counts exceed the payload that arrived");
+  }
+  body.event_names.reserve(n_events);
+  for (std::uint32_t e = 0; e < n_events; ++e) {
+    std::string name = cursor.string(1024);
+    if (name.empty()) throw PayloadError("packed SUBMIT with empty event name");
+    body.event_names.push_back(std::move(name));
+  }
+  // The value block is raw little-endian IEEE-754 bit patterns: one bounds
+  // check, then a single bulk copy.  This is the whole point of the packed
+  // encoding -- decoding a Saphira-sized submission is a memcpy, not a
+  // JSON parse (see bench/service_load).
+  body.values.resize(static_cast<std::size_t>(n_values));
+  cursor.f64_block(body.values.data(), body.values.size());
+  cursor.expect_done();
+  return body;
+}
+
+std::string encode_error(const ErrorBody& body) {
+  std::string out;
+  put_u64(out, body.request_id);
+  put_u16(out, static_cast<std::uint16_t>(body.code));
+  put_string(out, core::bounded_excerpt(body.message, kMaxErrorMessageBytes));
+  return out;
+}
+
+ErrorBody decode_error(const std::string& payload) {
+  Get cursor(payload);
+  ErrorBody body;
+  body.request_id = cursor.u64();
+  body.code = static_cast<ErrorCode>(cursor.u16());
+  body.message = cursor.string(kMaxErrorMessageBytes + 32);
+  cursor.expect_done();
+  return body;
+}
+
+}  // namespace catalyst::service::wire

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <stdexcept>
@@ -74,6 +75,32 @@ TEST(Campaign, CheckpointDirLeaseExcludesConcurrentUse) {
   // The destructor released the lease: the directory is usable again.
   const CheckpointDirLease reacquired(dir);
 }
+
+#if defined(__unix__) || defined(__APPLE__)
+TEST(Campaign, CheckpointDirLeaseExcludesOtherProcesses) {
+  const std::string dir = fresh_dir("lease_dir_xproc");
+  const CheckpointDirLease lease(dir);
+  // The probe opens a FRESH file description, so it observes the flock
+  // rather than the in-process registry.
+  EXPECT_TRUE(checkpoint_dir_locked(dir));
+  // EXPECT_EXIT forks: the probe below runs in a genuinely different
+  // process.  (A forked child inherits the in-process registry by memory
+  // copy, so constructing a lease there would test the wrong layer; the
+  // flock probe is the honest cross-process question.)
+  EXPECT_EXIT(std::_Exit(checkpoint_dir_locked(dir) ? 42 : 1),
+              ::testing::ExitedWithCode(42), "");
+}
+
+TEST(Campaign, CheckpointDirLockProbeSeesRelease) {
+  const std::string dir = fresh_dir("lease_dir_probe");
+  {
+    const CheckpointDirLease lease(dir);
+    EXPECT_TRUE(checkpoint_dir_locked(dir));
+  }
+  // Destroying the lease closed the lock fd, dropping the OS-level lock.
+  EXPECT_FALSE(checkpoint_dir_locked(dir));
+}
+#endif
 
 TEST(Campaign, ResumeReusesEveryBatchAndYieldsIdenticalArchive) {
   const Rig s;

@@ -1,0 +1,26 @@
+// Fixture: raw POSIX socket/stream syscalls outside src/service/io* must be
+// flagged, while qualified wrapper calls and the flock-lease idiom stay
+// clean.
+// expect: raw-socket-io
+// expect: raw-socket-io
+// expect: raw-socket-io
+#include <cstddef>
+
+namespace io {
+int read_some(int, char*, std::size_t);
+}  // namespace io
+
+int leaky_server(const char* buf, std::size_t n) {
+  const int fd = socket(1, 1, 0);            // flagged: bare socket()
+  ::write(fd, buf, n);                       // flagged: global-scope write
+  char tmp[16];
+  ::read(fd, tmp, sizeof(tmp));              // flagged: global-scope read
+  io::read_some(fd, tmp, sizeof(tmp));       // clean: the sanctioned wrapper
+  return fd;
+}
+
+struct Lease {
+  // Clean: file locking, not stream I/O (mirrors core/campaign.cpp).
+  void close();
+};
+void Lease::close() {}

@@ -25,12 +25,12 @@
 #include <string>
 #include <vector>
 
-#include "cat/cat.hpp"
 #include "core/core.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "pmu/pmu.hpp"
+#include "service/catalog.hpp"
 
 namespace {
 
@@ -167,65 +167,11 @@ void write_trace_artifacts(const TraceArgs& t, const std::string& tool,
   }
 }
 
-std::optional<pmu::Machine> machine_by_name(const std::string& name) {
-  if (name == "saphira") return pmu::saphira_cpu();
-  if (name == "tempest") return pmu::tempest_gpu();
-  if (name == "vesuvio") return pmu::vesuvio_cpu();
-  return std::nullopt;
-}
-
-struct CategorySetup {
-  cat::Benchmark benchmark;
-  std::vector<core::MetricSignature> signatures;
-  core::PipelineOptions options;
-  std::string default_machine;
-};
-
-std::optional<CategorySetup> category_setup(const std::string& category) {
-  CategorySetup s;
-  if (category == "cpu_flops") {
-    s.benchmark = cat::cpu_flops_benchmark();
-    s.signatures = core::cpu_flops_signatures();
-    s.default_machine = "saphira";
-  } else if (category == "gpu_flops") {
-    s.benchmark = cat::gpu_flops_benchmark();
-    s.signatures = core::gpu_flops_signatures();
-    s.default_machine = "tempest";
-  } else if (category == "branch") {
-    s.benchmark = cat::branch_benchmark();
-    s.signatures = core::branch_signatures();
-    s.default_machine = "saphira";
-  } else if (category == "gpu_dcache") {
-    s.benchmark = cat::gpu_dcache_benchmark();
-    s.signatures = core::gpu_dcache_signatures();
-    s.options.tau = 1e-1;
-    s.options.alpha = 5e-2;
-    s.options.projection_max_error = 1e-1;
-    s.options.fitness_threshold = 5e-2;
-    s.default_machine = "tempest";
-  } else if (category == "icache") {
-    s.benchmark = cat::icache_benchmark();
-    s.signatures = core::icache_signatures();
-    s.options.tau = 1e-1;
-    s.options.alpha = 5e-2;
-    s.options.projection_max_error = 1e-1;
-    s.options.fitness_threshold = 5e-2;
-    s.default_machine = "saphira";
-  } else if (category == "dcache") {
-    cat::DcacheOptions chase;
-    chase.threads = 3;
-    s.benchmark = cat::dcache_benchmark(chase);
-    s.signatures = core::dcache_signatures();
-    s.options.tau = 1e-1;
-    s.options.alpha = 5e-2;
-    s.options.projection_max_error = 1e-1;
-    s.options.fitness_threshold = 5e-2;
-    s.default_machine = "saphira";
-  } else {
-    return std::nullopt;
-  }
-  return s;
-}
+// Machine and category resolution comes from the service catalog -- the
+// single source of truth both front ends (this CLI and catalystd) share,
+// which is what makes service-path and CLI-path reports byte-identical.
+using service::category_setup;
+using service::machine_by_name;
 
 int usage() {
   std::cerr <<
@@ -251,7 +197,7 @@ int usage() {
 }
 
 int cmd_list_machines() {
-  for (const auto* name : {"saphira", "tempest", "vesuvio"}) {
+  for (const auto& name : service::machine_names()) {
     const auto m = machine_by_name(name);
     std::cout << name << ": " << m->name() << ", " << m->num_events()
               << " events, " << m->physical_counters()

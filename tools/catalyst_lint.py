@@ -45,6 +45,15 @@ Rules:
                     parallel_for_chunks so the determinism contract (fixed
                     work partitioning, first-exception propagation, full
                     join before return) holds everywhere at once.
+  raw-socket-io     No raw POSIX socket/stream syscalls (socket/bind/listen/
+                    accept/connect/read/write/recv/send/poll/pipe) in src/
+                    outside src/service/io*.  All byte movement must go
+                    through the io:: wrappers, which are the only code that
+                    understands EINTR, partial transfers, and non-blocking
+                    would-block -- a raw ::read elsewhere reintroduces the
+                    exact failure modes the wrappers exist to contain.
+                    (The checkpoint lease's ::open/::flock are file locking,
+                    not stream I/O, and stay out of scope.)
   seed-echo-in-tests
                     Every test in tests/ that owns a general-purpose PRNG
                     must include "seed_util.hpp" and take its seeds from it:
@@ -175,6 +184,10 @@ THREAD_SPAWN_ALLOWED = {
 # primitives: the annotated wrapper layer itself.
 SYNC_ALLOWED_PREFIXES = ("src/sync/",)
 
+# The ONE place allowed to issue raw socket/stream syscalls: the EINTR- and
+# would-block-aware wrapper layer (src/service/io.hpp / io.cpp).
+SOCKET_IO_ALLOWED_PREFIXES = ("src/service/io",)
+
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
 LINALG_PUBLIC_ENTRIES = {
@@ -211,6 +224,7 @@ KNOWN_RULES = {
     "sleep-in-retry",
     "raw-timing",
     "raw-thread-spawn",
+    "raw-socket-io",
     "seed-echo-in-tests",
     "raw-sync-primitive",
     "mutex-missing-guarded-by",
@@ -414,6 +428,13 @@ MANUAL_LOCK_RE = re.compile(r"\.\s*(?:un)?lock\s*\(")
 ATOMIC_ORDER_RE = re.compile(
     r"\bmemory_order(?:_|\s*::\s*)(?:acquire|release|acq_rel|seq_cst)\b")
 SYNC_MUTEX_MEMBER_RE = re.compile(r"\bsync\s*::\s*(?:Shared)?Mutex\s+\w+")
+# Global-scope POSIX stream syscalls (::read, ::socket, ...) plus a bare
+# socket() call.  The `(?<![\w:.])` guard keeps qualified names like
+# io::read_some or Session::close out of scope.
+RAW_SOCKET_IO_RE = re.compile(
+    r"(?<![\w:.])::\s*(?:socket|bind|listen|accept4?|connect|shutdown"
+    r"|read|write|recv(?:from|msg)?|send(?:to|msg)?|poll|pipe2?)\s*\("
+    r"|(?<![\w:.])socket\s*\(")
 CLASS_RE = re.compile(r"\b(class|struct)\s+(?:CATALYST_\w+\(.*?\)\s+)?"
                       r"[A-Za-z_]\w*[^;{()]*\{")
 
@@ -502,6 +523,18 @@ def pass_float_equality(model: FileModel, findings: list[Finding]):
                    "(contract::singular_tolerance or an explicit eps)")
 
 
+def pass_raw_socket_io(model: FileModel, findings: list[Finding]):
+    if model.rel.startswith(SOCKET_IO_ALLOWED_PREFIXES):
+        return
+    for lineno, line in enumerate(model.code_lines, 1):
+        if RAW_SOCKET_IO_RE.search(line):
+            report(model, findings, "raw-socket-io", lineno,
+                   "raw POSIX socket/stream syscall outside "
+                   "src/service/io*; move bytes through the io:: wrappers "
+                   "so EINTR, partial transfers, and would-block are "
+                   "handled in exactly one place")
+
+
 def pass_raw_sync_primitive(model: FileModel, findings: list[Finding]):
     if model.rel.startswith(SYNC_ALLOWED_PREFIXES):
         return
@@ -567,6 +600,7 @@ PER_FILE_PASSES = (
     pass_sleep,
     pass_thread_spawn,
     pass_raw_timing,
+    pass_raw_socket_io,
     pass_using_namespace,
     pass_pragma_once,
     pass_float_equality,

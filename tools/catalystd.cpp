@@ -1,0 +1,209 @@
+// catalystd -- the long-running metric-analysis daemon.
+//
+//   catalystd --socket PATH [--workers N] [--queue N]
+//             [--checkpoint-dir DIR] [--idle-timeout-ms N]
+//             [--partial-frame-timeout-ms N] [--session-deadline-ms N]
+//             [--analysis-timeout-ms N] [--max-inflight N]
+//             [--max-session-bytes N] [--max-frame-bytes N]
+//             [--max-sessions N] [--stats]
+//
+// Speaks catalyst-wire-v1 over a Unix-domain socket (see
+// src/service/wire.hpp).  SIGTERM/SIGINT trigger the graceful sequence:
+// stop accepting, drain in-flight analyses, checkpoint queued-unstarted
+// requests into --checkpoint-dir, flush goodbyes, exit 0.  A daemon
+// restarted with the same --checkpoint-dir re-enqueues the checkpointed
+// requests before accepting its first connection.
+//
+// Threading: worker-pool unit 0 runs the socket event loop; units 1..N run
+// ServiceCore worker loops.  All spawned through core::parallel_for -- the
+// one sanctioned thread-spawn point in the tree.
+#include <atomic>
+#include <csignal>
+#include <iostream>
+#include <string>
+
+#include "core/parallel.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "service/service.hpp"
+
+namespace {
+
+using namespace catalyst;
+
+std::atomic<bool> g_stop{false};
+std::atomic<int> g_wake_fd{-1};
+
+void handle_signal(int) {
+  // Async-signal-safe: one relaxed store + one write(2) on the self-pipe.
+  g_stop.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) service::io::notify_pipe(fd);
+}
+
+struct Flags {
+  std::string socket_path;
+  std::string checkpoint_dir;
+  int workers = 1;
+  std::size_t queue = 64;
+  std::size_t max_inflight = 8;
+  std::uint64_t max_session_bytes = 256ull * 1024 * 1024;
+  std::uint32_t max_frame_bytes = wire_default_frame_cap();
+  std::size_t max_sessions = 64;
+  long long idle_timeout_ms = 30000;
+  long long partial_frame_timeout_ms = 5000;
+  long long session_deadline_ms = 0;
+  long long analysis_timeout_ms = 0;
+  bool stats = false;
+
+  static std::uint32_t wire_default_frame_cap() {
+    return service::wire::kMaxPayloadBytes;
+  }
+};
+
+int usage() {
+  std::cerr
+      << "usage: catalystd --socket PATH [--workers N] [--queue N]\n"
+         "                 [--checkpoint-dir DIR] [--idle-timeout-ms N]\n"
+         "                 [--partial-frame-timeout-ms N]\n"
+         "                 [--session-deadline-ms N]\n"
+         "                 [--analysis-timeout-ms N] [--max-inflight N]\n"
+         "                 [--max-session-bytes N] [--max-frame-bytes N]\n"
+         "                 [--max-sessions N] [--stats]\n";
+  return 2;
+}
+
+bool parse_flags(int argc, char** argv, Flags& flags) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    const auto value = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    const char* v = nullptr;
+    if (a == "--socket" && (v = value())) {
+      flags.socket_path = v;
+    } else if (a == "--checkpoint-dir" && (v = value())) {
+      flags.checkpoint_dir = v;
+    } else if (a == "--workers" && (v = value())) {
+      flags.workers = std::stoi(v);
+    } else if (a == "--queue" && (v = value())) {
+      flags.queue = std::stoul(v);
+    } else if (a == "--max-inflight" && (v = value())) {
+      flags.max_inflight = std::stoul(v);
+    } else if (a == "--max-session-bytes" && (v = value())) {
+      flags.max_session_bytes = std::stoull(v);
+    } else if (a == "--max-frame-bytes" && (v = value())) {
+      flags.max_frame_bytes = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (a == "--max-sessions" && (v = value())) {
+      flags.max_sessions = std::stoul(v);
+    } else if (a == "--idle-timeout-ms" && (v = value())) {
+      flags.idle_timeout_ms = std::stoll(v);
+    } else if (a == "--partial-frame-timeout-ms" && (v = value())) {
+      flags.partial_frame_timeout_ms = std::stoll(v);
+    } else if (a == "--session-deadline-ms" && (v = value())) {
+      flags.session_deadline_ms = std::stoll(v);
+    } else if (a == "--analysis-timeout-ms" && (v = value())) {
+      flags.analysis_timeout_ms = std::stoll(v);
+    } else if (a == "--stats") {
+      flags.stats = true;
+    } else {
+      std::cerr << "unknown flag " << a << "\n";
+      return false;
+    }
+  }
+  return !flags.socket_path.empty();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Flags flags;
+  if (!parse_flags(argc, argv, flags)) return usage();
+  if (flags.workers < 1) flags.workers = 1;
+  if (flags.stats) obs::Tracer::instance().enable();
+
+  try {
+    faults::RealClock clock;
+
+    service::ServiceCore::Options core_options;
+    core_options.workers = flags.workers;
+    core_options.queue_capacity = flags.queue;
+    core_options.max_inflight_per_session = flags.max_inflight;
+    core_options.max_bytes_per_session = flags.max_session_bytes;
+    core_options.default_analysis_timeout =
+        std::chrono::milliseconds(flags.analysis_timeout_ms);
+    core_options.checkpoint_dir = flags.checkpoint_dir;
+    core_options.clock = &clock;
+    service::ServiceCore core(core_options);
+    if (core.restored_requests() > 0) {
+      std::cerr << "catalystd: restored " << core.restored_requests()
+                << " checkpointed request(s) from " << flags.checkpoint_dir
+                << "\n";
+    }
+
+    service::Server::Options server_options;
+    server_options.socket_path = flags.socket_path;
+    server_options.max_sessions = flags.max_sessions;
+    server_options.clock = &clock;
+    server_options.session_limits.max_frame_payload = flags.max_frame_bytes;
+    server_options.session_limits.idle_timeout =
+        std::chrono::milliseconds(flags.idle_timeout_ms);
+    server_options.session_limits.partial_frame_timeout =
+        std::chrono::milliseconds(flags.partial_frame_timeout_ms);
+    server_options.session_limits.session_deadline =
+        std::chrono::milliseconds(flags.session_deadline_ms);
+    service::Server server(core, server_options);
+
+    g_wake_fd.store(server.wake_fd(), std::memory_order_relaxed);
+    std::signal(SIGTERM, handle_signal);
+    std::signal(SIGINT, handle_signal);
+    std::signal(SIGPIPE, SIG_IGN);
+
+    std::cerr << "catalystd: listening on " << flags.socket_path << " ("
+              << flags.workers << " worker(s), queue " << flags.queue
+              << ")\n";
+
+    // Unit 0 = event loop; units 1..workers = analysis workers.  The event
+    // loop returns only after shutdown drains the core, at which point
+    // begin_shutdown() has already woken every worker out of its wait.
+    const std::size_t units = static_cast<std::size_t>(flags.workers) + 1;
+    core::parallel_for(units, static_cast<int>(units), [&](std::size_t unit) {
+      // Either side dying must release the other: a crashed event loop
+      // wakes the workers out of their queue wait; a crashed worker flips
+      // the stop flag so the event loop drains and returns.  Without this,
+      // parallel_for's join would wait forever on the survivor.
+      if (unit == 0) {
+        try {
+          server.run(g_stop);
+        } catch (...) {
+          core.begin_shutdown();
+          throw;
+        }
+      } else {
+        try {
+          core.worker_loop();
+        } catch (...) {
+          g_stop.store(true, std::memory_order_relaxed);
+          service::io::notify_pipe(server.wake_fd());
+          throw;
+        }
+      }
+    });
+
+    std::cerr << "catalystd: drained, " << server.sessions_served()
+              << " session(s) served; bye\n";
+    if (flags.stats) {
+      const obs::MetricsSnapshot metrics = obs::Metrics::instance().snapshot();
+      std::cerr << obs::format_stats(metrics, {},
+                                     obs::Tracer::instance().buffer()
+                                         .published(),
+                                     obs::Tracer::instance().buffer()
+                                         .dropped());
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "catalystd: fatal: " << e.what() << "\n";
+    return 1;
+  }
+}
