@@ -4,10 +4,14 @@
 // machine -> ServiceCore bounded queue -> analysis engine -- in a closed
 // loop of client lanes and gates on a sustained analyses/sec floor
 // (default 1000/s on Saphira-sized branch submissions).  Latency
-// percentiles are NOT measured by this harness: they are read back from
-// the obs "service.request_ns" histogram the service itself populates, so
-// the numbers printed here are the same ones `catalystd --stats` exports
-// in production.
+// percentiles are NOT measured by this harness: they are scraped back
+// over the wire with a STATS frame (catalyst-wire v2) and read from the
+// returned "service.request_ns" histogram, so the numbers printed here
+// went through the same codec path a production scraper uses --
+// in-process registry reads would skip the exposition layer entirely.
+//
+// --json-out PATH writes a machine-readable result document for
+// scripts/run_bench.sh to stamp with provenance as BENCH_service.json.
 //
 // Two drive modes:
 //   --workers 0  (default on a single-core host): each client lane runs
@@ -22,15 +26,19 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/io.hpp"
 #include "core/parallel.hpp"
 #include "faults/faults.hpp"
 #include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "service/service.hpp"
 
@@ -41,6 +49,7 @@ namespace {
 
 struct Config {
   std::string category = "branch";
+  std::string json_out;  ///< Machine-readable result doc; empty = none.
   int clients = 2;
   int requests = 200;  ///< Per client.
   int workers = 0;
@@ -64,10 +73,12 @@ bool parse(int argc, char** argv, Config& cfg) {
       cfg.workers = std::stoi(v);
     } else if (a == "--target" && (v = value())) {
       cfg.target_rate = std::stod(v);
+    } else if (a == "--json-out" && (v = value())) {
+      cfg.json_out = v;
     } else {
       std::cerr << "usage: service_load [--category C] [--clients N]\n"
                    "                    [--requests M] [--workers W]\n"
-                   "                    [--target RATE]\n";
+                   "                    [--target RATE] [--json-out PATH]\n";
       return false;
     }
   }
@@ -89,6 +100,78 @@ double percentile(const obs::HistogramSnapshot& h, double q) {
     }
   }
   return h.max;
+}
+
+/// Scrapes the service.request_ns histogram THROUGH the wire: one more
+/// Session, HELLO -> STATS -> STATS_OK, then a targeted parse of the
+/// catalyst-metrics-v1 JSON (we produced it; the format is ours).  This is
+/// the same path `catalyst_client stats` exercises against a live daemon.
+obs::HistogramSnapshot scrape_latency_over_wire(service::ServiceCore& core,
+                                                faults::Clock& clock,
+                                                service::SessionId id) {
+  service::Session session(id, &core, service::Session::Limits{},
+                           clock.now());
+  wire::FrameDecoder decoder;
+  const auto feed = [&](const std::string& bytes) {
+    session.on_bytes(clock.now(), bytes.data(), bytes.size());
+    if (session.has_output()) {
+      const std::string out = session.take_output();
+      decoder.feed(out.data(), out.size());
+    }
+    if (decoder.error()) {
+      throw std::runtime_error("STATS reply failed to decode: " +
+                               decoder.error()->message);
+    }
+  };
+  feed(wire::encode_frame(wire::FrameType::hello, "service_load/stats"));
+  if (!decoder.next()) throw std::runtime_error("no HELLO_OK before STATS");
+  feed(wire::encode_frame(wire::FrameType::stats, ""));
+  const std::optional<wire::Frame> reply = decoder.next();
+  if (!reply || reply->type != wire::FrameType::stats_ok) {
+    throw std::runtime_error("STATS did not answer with STATS_OK");
+  }
+  wire::Get cursor(reply->payload);
+  const std::string json = cursor.string();
+
+  obs::HistogramSnapshot h;
+  h.name = std::string(obs::names::kServiceRequestNs);
+  const std::string head = "{\"name\": \"" + h.name + "\",";
+  const std::size_t at = json.find(head);
+  if (at == std::string::npos) return h;  // No samples recorded.
+  const std::size_t entry_end = json.find("]}", at);
+  const std::string entry = json.substr(
+      at, entry_end == std::string::npos ? std::string::npos
+                                         : entry_end + 2 - at);
+  std::size_t p = entry.find("\"count\": ");
+  if (p != std::string::npos) {
+    h.total_count = std::strtoull(entry.c_str() + p + 9, nullptr, 10);
+  }
+  p = entry.find("\"sum\": ");
+  if (p != std::string::npos) h.sum = std::strtod(entry.c_str() + p + 7,
+                                                  nullptr);
+  p = entry.find("\"min\": ");
+  if (p != std::string::npos) h.min = std::strtod(entry.c_str() + p + 7,
+                                                  nullptr);
+  p = entry.find("\"max\": ");
+  if (p != std::string::npos) h.max = std::strtod(entry.c_str() + p + 7,
+                                                  nullptr);
+  p = entry.find("\"buckets\": [");
+  if (p != std::string::npos) {
+    const char* cur = entry.c_str() + p + 12;
+    while (*cur != '\0' && *cur != ']') {
+      if (*cur == '[') {
+        char* end = nullptr;
+        const auto index =
+            static_cast<std::size_t>(std::strtoull(cur + 1, &end, 10));
+        while (*end == ',' || *end == ' ') ++end;
+        const std::uint64_t count = std::strtoull(end, &end, 10);
+        if (index < h.buckets.size()) h.buckets[index] = count;
+        cur = end;
+      }
+      ++cur;
+    }
+  }
+  return h;
 }
 
 /// One closed-loop client lane speaking catalyst-wire-v1 to its Session.
@@ -245,9 +328,10 @@ int main(int argc, char** argv) {
   const double rate = static_cast<double>(collected.load()) /
                       elapsed.count();
 
-  const obs::MetricsSnapshot metrics = obs::Metrics::instance().snapshot();
+  const obs::HistogramSnapshot scraped = scrape_latency_over_wire(
+      core, clock, static_cast<service::SessionId>(lanes + 1));
   const obs::HistogramSnapshot* latency =
-      metrics.histogram("service.request_ns");
+      scraped.total_count > 0 ? &scraped : nullptr;
 
   std::cout << "service_load: category=" << cfg.category << " clients="
             << cfg.clients << " requests/client=" << cfg.requests
@@ -259,7 +343,7 @@ int main(int argc, char** argv) {
             << cfg.target_rate << ")\n";
   if (latency != nullptr && latency->total_count > 0) {
     const double us = 1.0 / 1000.0;
-    std::cout << "  service.request_ns (obs histogram, " <<
+    std::cout << "  service.request_ns (STATS-over-wire, " <<
         latency->total_count << " samples):\n"
               << "    p50 <= " << percentile(*latency, 0.50) * us
               << " us, p95 <= " << percentile(*latency, 0.95) * us
@@ -267,6 +351,34 @@ int main(int argc, char** argv) {
               << " us, max " << latency->max * us << " us\n";
   } else {
     std::cout << "  service.request_ns histogram: no samples (obs off?)\n";
+  }
+
+  if (!cfg.json_out.empty()) {
+    char buf[512];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\n"
+        "  \"name\": \"service_load\",\n"
+        "  \"category\": \"%s\",\n"
+        "  \"clients\": %d,\n"
+        "  \"requests_per_client\": %d,\n"
+        "  \"workers\": %d,\n"
+        "  \"analyses_completed\": %llu,\n"
+        "  \"elapsed_s\": %.6f,\n"
+        "  \"analyses_per_sec\": %.1f,\n"
+        "  \"stats_source\": \"wire\",\n"
+        "  \"latency_ns\": {\"samples\": %llu, \"p50\": %.0f, "
+        "\"p95\": %.0f, \"p99\": %.0f, \"max\": %.0f}\n"
+        "}\n",
+        cfg.category.c_str(), cfg.clients, cfg.requests, cfg.workers,
+        static_cast<unsigned long long>(collected.load()), elapsed.count(),
+        rate,
+        static_cast<unsigned long long>(latency ? latency->total_count : 0),
+        latency ? percentile(*latency, 0.50) : 0.0,
+        latency ? percentile(*latency, 0.95) : 0.0,
+        latency ? percentile(*latency, 0.99) : 0.0, latency ? latency->max
+                                                            : 0.0);
+    core::write_text_file_atomic(cfg.json_out, buf);
   }
 
   if (collected.load() != expected) {

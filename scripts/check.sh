@@ -174,13 +174,17 @@ stage_fault_pipeline() {
 stage_obs() {
     # The observability artifacts (--trace-out / --manifest-out) must be
     # schema-valid both on a clean run and under the canonical mid-rate
-    # fault plan (where retry/backoff spans appear).  Reuses the release
-    # tree.
+    # fault plan (where retry/backoff spans appear).  Then a short-lived
+    # daemon proves the live-telemetry artifacts: a STATS scrape (wire ->
+    # snapshot -> exposition), a per-request trace fragment fetched by id,
+    # and a SIGUSR1 flight-recorder dump, each run through the schema
+    # checker.  Reuses the release tree.
     local dir=build-check-release
     mkdir -p "$dir"
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
         || { cat "$dir/configure.log"; return 1; }
-    cmake --build "$dir" -j "$JOBS" --target catalyst > "$dir/build.log" 2>&1 \
+    cmake --build "$dir" -j "$JOBS" \
+        --target catalyst catalystd catalyst_client > "$dir/build.log" 2>&1 \
         || { tail -n 60 "$dir/build.log"; return 1; }
     local tmp
     tmp="$(mktemp -d)" || return 1
@@ -202,6 +206,47 @@ stage_obs() {
     [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind trace \
         "$tmp/trace_faults.json" --require-span collect.retry \
         --require-span collect.backoff || rc=1
+    # Live telemetry artifacts, via a short-lived daemon serving the archive
+    # the faulty collect just wrote.
+    if [ "$rc" -eq 0 ]; then
+        local sock="$tmp/obsd.sock" dpid="" i
+        "$dir/tools/catalystd" --socket "$sock" \
+            --flight-dump "$tmp/flight.json" > "$tmp/obsd.log" 2>&1 &
+        dpid=$!
+        for i in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
+        [ -S "$sock" ] \
+            || { echo "obs daemon never bound $sock" >&2
+                 cat "$tmp/obsd.log" >&2; rc=1; }
+        [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" \
+            submit branch --from "$tmp/archive.json" --trace-id 4242 --wait \
+            > /dev/null || rc=1; }
+        # STATS round trip: the scraped exposition is a valid metrics doc.
+        [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" \
+            stats > "$tmp/stats.json" || rc=1; }
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind metrics \
+            "$tmp/stats.json" || rc=1
+        # The traced request's fragment is itself a valid Chrome trace.
+        [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" \
+            trace 4242 > "$tmp/fragment.json" || rc=1; }
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind trace \
+            "$tmp/fragment.json" --require-span service.request || rc=1
+        # SIGUSR1 dumps the flight ring; the dump is atomic, so existence
+        # means complete.
+        if [ "$rc" -eq 0 ]; then
+            kill -USR1 "$dpid"
+            for i in $(seq 1 50); do
+                [ -f "$tmp/flight.json" ] && break; sleep 0.1
+            done
+            [ -f "$tmp/flight.json" ] \
+                || { echo "SIGUSR1 produced no flight dump" >&2; rc=1; }
+        fi
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind flight \
+            "$tmp/flight.json" --require-trace 4242 || rc=1
+        if [ -n "$dpid" ]; then
+            kill -TERM "$dpid" 2>/dev/null
+            wait "$dpid" || rc=1
+        fi
+    fi
     rm -rf "$tmp"
     return "$rc"
 }
@@ -210,15 +255,17 @@ stage_service_soak() {
     # catalystd under abuse: the service-labeled ctest tier, then a live
     # daemon serving an honest client fleet alongside a garbage sender and a
     # slow loris -- zero crashes, typed errors only, byte-identical reports
-    # vs the CLI path, a clean mid-load SIGTERM drain, and a restart on the
-    # same checkpoint directory.  Budget-enforced (<60s).  Reuses the
-    # release tree.
+    # vs the CLI path, monotone mid-load STATS scrapes, a trace fragment
+    # fetched by id, a SIGUSR1 flight dump, a clean mid-load SIGTERM drain,
+    # and a restart on the same checkpoint directory.  Budget-enforced
+    # (<60s).  Reuses the release tree.
     local dir=build-check-release
     mkdir -p "$dir"
     cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
         || { cat "$dir/configure.log"; return 1; }
     cmake --build "$dir" -j "$JOBS" \
         --target catalystd catalyst_client catalyst service_protocol_test \
+                 service_telemetry_test service_telemetry_disabled_test \
         > "$dir/build.log" 2>&1 || { tail -n 60 "$dir/build.log"; return 1; }
     local start tmp rc=0
     start="$(date +%s)"
@@ -236,7 +283,8 @@ stage_service_soak() {
 
     if [ "$rc" -eq 0 ]; then
         "$dir/tools/catalystd" --socket "$sock" --checkpoint-dir "$ckpt" \
-            --partial-frame-timeout-ms 300 > "$log" 2>&1 &
+            --partial-frame-timeout-ms 300 \
+            --flight-dump "$tmp/flight.json" > "$log" 2>&1 &
         daemon_pid=$!
         local i
         for i in $(seq 1 50); do [ -S "$sock" ] && break; sleep 0.1; done
@@ -260,10 +308,52 @@ EOF
     fi
 
     # The abuse fleet: honest clients + a garbage sender (expects a typed
-    # ERROR, never a crash) + a slow loris (expects to be cut off).
-    [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" soak \
-        --clients 4 --requests 6 --category branch --from "$tmp/archive.json" \
-        --garbage --slow-loris --dribble-ms 150 || rc=1; }
+    # ERROR, never a crash) + a slow loris (expects to be cut off).  While
+    # it runs, scrape STATS twice: both polls must be schema-valid metrics
+    # expositions and no counter may go backwards between them.
+    if [ "$rc" -eq 0 ]; then
+        "$dir/tools/catalyst_client" --socket "$sock" soak \
+            --clients 4 --requests 6 --category branch \
+            --from "$tmp/archive.json" \
+            --garbage --slow-loris --dribble-ms 150 \
+            > "$tmp/soak1.log" 2>&1 &
+        local fleet_pid=$!
+        "$dir/tools/catalyst_client" --socket "$sock" stats \
+            > "$tmp/stats1.json" || rc=1
+        sleep 0.3
+        "$dir/tools/catalyst_client" --socket "$sock" stats \
+            > "$tmp/stats2.json" || rc=1
+        wait "$fleet_pid" \
+            || { echo "abuse fleet failed" >&2; cat "$tmp/soak1.log" >&2
+                 rc=1; }
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind metrics \
+            "$tmp/stats1.json" || rc=1
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind metrics \
+            "$tmp/stats2.json" --monotone-baseline "$tmp/stats1.json" || rc=1
+    fi
+
+    # A traced request's fragment is fetchable by id, and SIGUSR1 dumps a
+    # flight ring that remembers it (the dump is written atomically, so
+    # existence means complete).
+    if [ "$rc" -eq 0 ]; then
+        "$dir/tools/catalyst_client" --socket "$sock" submit branch \
+            --from "$tmp/archive.json" --trace-id 9001 --wait \
+            > /dev/null || rc=1
+        [ "$rc" -eq 0 ] && { "$dir/tools/catalyst_client" --socket "$sock" \
+            trace 9001 > "$tmp/fragment.json" || rc=1; }
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind trace \
+            "$tmp/fragment.json" --require-span service.request || rc=1
+        if [ "$rc" -eq 0 ]; then
+            kill -USR1 "$daemon_pid"
+            for i in $(seq 1 50); do
+                [ -f "$tmp/flight.json" ] && break; sleep 0.1
+            done
+            [ -f "$tmp/flight.json" ] \
+                || { echo "SIGUSR1 produced no flight dump" >&2; rc=1; }
+        fi
+        [ "$rc" -eq 0 ] && python3 tools/trace_schema_check.py --kind flight \
+            "$tmp/flight.json" --require-trace 9001 || rc=1
+    fi
 
     # Mid-load SIGTERM: fire a bigger fleet, yank the daemon under it, and
     # require a clean drain (exit 0) from BOTH sides.
@@ -350,7 +440,7 @@ for stage in $STAGES; do
         fault_pipeline)
                     run_stage "fault-injected pipeline vs clean goldens" \
                               stage_fault_pipeline ;;
-        obs)        run_stage "obs trace/manifest schema validation" stage_obs ;;
+        obs)        run_stage "obs artifact schema validation" stage_obs ;;
         service_soak)
                     run_stage "catalystd soak (fleet + garbage + loris + SIGTERM)" \
                               stage_service_soak ;;

@@ -3,6 +3,8 @@
 # the repo root for per-PR performance trajectory tracking:
 #   BENCH_pipeline.json  <- bench/perf_pipeline (collection + pipeline)
 #   BENCH_linalg.json    <- bench/perf_linalg   (QR / QRCP / LS kernels)
+#   BENCH_service.json   <- bench/service_load  (wire->queue->engine stack;
+#                           latency scraped over STATS frames)
 #
 # Every output is stamped with a `catalyst_provenance` object (git SHA, UTC
 # timestamp, compiler, build type, and the catalyst::obs run manifest) so a
@@ -85,7 +87,7 @@ echo "== obs_overhead (budget gate)"
 
 # Refuse cross-commit overwrites up front, before any slow bench runs.
 if [ "$force" -ne 1 ]; then
-  for name in pipeline linalg; do
+  for name in pipeline linalg service; do
     out="$repo_root/BENCH_$name$out_suffix.json"
     [ -f "$out" ] || continue
     old_sha="$(python3 - "$out" <<'PY'
@@ -156,3 +158,39 @@ with open(out_path, "w", encoding="utf-8") as f:
 PY
   rm -f "$tmp_out"
 done
+
+# service_load is not a google-benchmark binary: it writes its own result
+# document (--json-out) after pushing a closed-loop load through the full
+# wire->queue->engine stack, with latency scraped back over STATS frames.
+bin="$build_dir/bench/service_load"
+if [ ! -x "$bin" ]; then
+  echo "error: $bin not built (run: cmake --build $build_dir)" >&2
+  exit 1
+fi
+out="$repo_root/BENCH_service$out_suffix.json"
+tmp_out="$(mktemp)"
+echo "== service_load -> $out"
+"$bin" --json-out "$tmp_out"
+
+GIT_SHA="$git_sha" TIMESTAMP_UTC="$timestamp_utc" \
+BUILD_TYPE="$build_type" COMPILER="$compiler" \
+python3 - "$tmp_out" "$manifest_json" "$out" <<'PY'
+import json, os, sys
+
+bench_path, manifest_path, out_path = sys.argv[1:4]
+with open(bench_path, encoding="utf-8") as f:
+    doc = json.load(f)
+with open(manifest_path, encoding="utf-8") as f:
+    manifest = json.load(f)
+doc["catalyst_provenance"] = {
+    "git_sha": os.environ["GIT_SHA"],
+    "timestamp_utc": os.environ["TIMESTAMP_UTC"],
+    "build_type": os.environ["BUILD_TYPE"],
+    "compiler": os.environ["COMPILER"],
+    "run_manifest": manifest,
+}
+with open(out_path, "w", encoding="utf-8") as f:
+    json.dump(doc, f, indent=1)
+    f.write("\n")
+PY
+rm -f "$tmp_out"

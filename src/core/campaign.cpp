@@ -10,6 +10,7 @@
 #include "core/contract.hpp"
 #include "core/json.hpp"
 #include "core/noise.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "sync/annotations.hpp"
 #include "sync/mutex.hpp"
@@ -410,9 +411,9 @@ CampaignResult run_campaign(const pmu::Machine& machine,
     batch_span.arg("resumed", resumed);
   }
   collect_span.end();
-  obs::count("campaign.batches", out.batches_total);
-  obs::count("campaign.batches_resumed", out.batches_resumed);
-  obs::count("pipeline.events_measured", all_events.size());
+  obs::count(obs::names::kCampaignBatches, out.batches_total);
+  obs::count(obs::names::kCampaignBatchesResumed, out.batches_resumed);
+  obs::count(obs::names::kPipelineEventsMeasured, all_events.size());
 
   // --- merge: quarantine union, surviving events, report ---------------------
   std::unordered_set<std::string> quarantined_set;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/contract.hpp"
+#include "obs/names.hpp"
 #include "vpapi/collector.hpp"
 
 namespace catalyst::core {
@@ -71,7 +72,7 @@ PipelineResult run_pipeline(const pmu::Machine& machine,
     per_thread.push_back(std::move(col));
   }
   collect_span.end();
-  obs::count("pipeline.events_measured", n_events);
+  obs::count(obs::names::kPipelineEventsMeasured, n_events);
 
   obs::Span median_span("stage.median_normalize");
 
@@ -189,7 +190,7 @@ PipelineResult analyze_measurements(
     }
     span.arg("detrended", detrended);
     record_stage(span, "detrend");
-    obs::count("pipeline.events_detrended", detrended);
+    obs::count(obs::names::kPipelineEventsDetrended, detrended);
   }
 
   // --- Stage 4: noise filter ------------------------------------------------
@@ -203,8 +204,8 @@ PipelineResult analyze_measurements(
     span.arg("kept", result.noise.kept.size());
     record_stage(span, "noise_filter");
   }
-  obs::count("pipeline.events_noise_kept", result.noise.kept.size());
-  obs::count("pipeline.events_noise_dropped",
+  obs::count(obs::names::kPipelineEventsNoiseKept, result.noise.kept.size());
+  obs::count(obs::names::kPipelineEventsNoiseDropped,
              result.all_event_names.size() - result.noise.kept.size());
 
   // --- Stage 5: expectation-basis projection --------------------------------
@@ -223,7 +224,7 @@ PipelineResult analyze_measurements(
     span.arg("expressible", result.projection.x_event_names.size());
     record_stage(span, "projection");
   }
-  obs::count("pipeline.events_projected",
+  obs::count(obs::names::kPipelineEventsProjected,
              result.projection.x_event_names.size());
 
   // --- Stage 6: specialized QRCP ---------------------------------------------
@@ -249,7 +250,7 @@ PipelineResult analyze_measurements(
         result.projection.x_event_names[static_cast<std::size_t>(j)]);
   }
 
-  obs::count("pipeline.events_selected", result.xhat_events.size());
+  obs::count(obs::names::kPipelineEventsSelected, result.xhat_events.size());
 
   // --- Stage 7: metric synthesis ----------------------------------------------
   check_cancel();
@@ -261,7 +262,7 @@ PipelineResult analyze_measurements(
     span.arg("solved", result.metrics.size());
     record_stage(span, "metrics");
   }
-  obs::count("pipeline.metrics_solved", result.metrics.size());
+  obs::count(obs::names::kPipelineMetricsSolved, result.metrics.size());
   analyze_span.end();
   return result;
 }

@@ -8,6 +8,7 @@
 #include "core/parallel.hpp"
 #include "linalg/blas.hpp"
 #include "linalg/householder.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace catalyst::core {
@@ -179,7 +180,7 @@ SpecialQrcpResult specialized_qrcp(const linalg::Matrix& x, double alpha,
     res.pivot_scores.push_back(pivot_score);
     pivot_span.arg("col", perm[static_cast<std::size_t>(pivot)]);
     pivot_span.arg("score", pivot_score);
-    obs::observe("qrcp.pivot_score", pivot_score);
+    obs::observe(obs::names::kQrcpPivotScore, pivot_score);
     if (pivot != i) {
       a.swap_cols(i, pivot);
       std::swap(perm[static_cast<std::size_t>(i)],

@@ -76,6 +76,24 @@ void append_histogram_json(std::string& out, const HistogramSnapshot& h,
   out += "\"mean\": " + json_number(mean) + "}";
 }
 
+/// True when the packed "k=v;" args string carries `key` = `value` as a
+/// whole pair (substring search alone would let trace id 12 match 123).
+bool has_packed_arg(const char* packed, std::string_view key,
+                    std::string_view value) {
+  std::string_view rest(packed);
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    const std::string_view pair =
+        semi == std::string_view::npos ? rest : rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view()
+                                          : rest.substr(semi + 1);
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) continue;
+    if (pair.substr(0, eq) == key && pair.substr(eq + 1) == value) return true;
+  }
+  return false;
+}
+
 }  // namespace
 
 std::string json_escape(std::string_view s) {
@@ -241,6 +259,123 @@ std::string to_run_manifest(const RunManifest& m) {
   out += buf;
   out += "}\n";
   return out;
+}
+
+std::string to_metrics_json(const MetricsSnapshot& metrics) {
+  std::string out = "{\n";
+  out += "  \"format\": ";
+  out += quoted(kMetricsFormat);
+  out += ",\n";
+  char buf[96];
+
+  out += "  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : metrics.counters) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, ": %" PRIu64, value);
+    out += "\n    " + quoted(name) + buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : metrics.gauges) {
+    if (!first) out += ",";
+    first = false;
+    std::snprintf(buf, sizeof buf, ": %" PRId64, value);
+    out += "\n    " + quoted(name) + buf;
+  }
+  out += first ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": [";
+  first = true;
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {\"name\": " + quoted(h.name) + ",";
+    std::snprintf(buf, sizeof buf, " \"count\": %" PRIu64 ",", h.total_count);
+    out += buf;
+    out += " \"sum\": " + json_number(h.sum) + ",";
+    out += " \"min\": " + json_number(h.min) + ",";
+    out += " \"max\": " + json_number(h.max) + ",\n     ";
+    std::snprintf(buf, sizeof buf, "\"num_buckets\": %zu, ", kNumBuckets);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"bucket_bias\": %d,\n     ", kBucketBias);
+    out += buf;
+    out += "\"buckets\": [";
+    bool first_bucket = true;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      std::snprintf(buf, sizeof buf, "[%zu, %" PRIu64 "]", i, h.buckets[i]);
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+std::string to_prometheus_text(const MetricsSnapshot& metrics) {
+  // "a.b_c" -> "catalyst_a_b_c": dots become underscores, everything else
+  // in our names (snake.case identifiers) is already legal.
+  const auto mangle = [](std::string_view name) {
+    std::string out = "catalyst_";
+    for (const char c : name) out += c == '.' ? '_' : c;
+    return out;
+  };
+  std::string out;
+  char buf[96];
+  for (const auto& [name, value] : metrics.counters) {
+    const std::string m = mangle(name);
+    out += "# TYPE " + m + " counter\n";
+    std::snprintf(buf, sizeof buf, " %" PRIu64 "\n", value);
+    out += m + buf;
+  }
+  for (const auto& [name, value] : metrics.gauges) {
+    const std::string m = mangle(name);
+    out += "# TYPE " + m + " gauge\n";
+    std::snprintf(buf, sizeof buf, " %" PRId64 "\n", value);
+    out += m + buf;
+  }
+  for (const HistogramSnapshot& h : metrics.histograms) {
+    const std::string m = mangle(h.name);
+    out += "# TYPE " + m + " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] == 0) continue;
+      cumulative += h.buckets[i];
+      const double bound = histogram_upper_bound(i);
+      if (std::isfinite(bound)) {
+        std::snprintf(buf, sizeof buf, "_bucket{le=\"%.17g\"} %" PRIu64 "\n",
+                      bound, cumulative);
+        out += m + buf;
+      }
+    }
+    std::snprintf(buf, sizeof buf, "_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                  h.total_count);
+    out += m + buf;
+    out += m + "_sum " + json_number(h.sum) + "\n";
+    std::snprintf(buf, sizeof buf, "_count %" PRIu64 "\n", h.total_count);
+    out += m + buf;
+  }
+  return out;
+}
+
+std::string trace_fragment_json(const std::vector<SpanRecord>& spans,
+                                std::uint64_t trace_id,
+                                std::size_t* matched) {
+  char id[24];
+  std::snprintf(id, sizeof id, "%" PRIu64, trace_id);
+  std::vector<SpanRecord> fragment;
+  for (const SpanRecord& s : spans) {
+    if (has_packed_arg(s.args, "trace", id)) fragment.push_back(s);
+  }
+  if (matched != nullptr) *matched = fragment.size();
+  return to_chrome_trace(fragment, MetricsSnapshot{});
 }
 
 std::vector<StageTiming> aggregate_stage_timings(

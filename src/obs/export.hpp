@@ -51,6 +51,17 @@ struct RunManifest {
 /// The manifest's "format" field.
 inline constexpr const char* kRunManifestFormat = "catalyst-run-manifest-v1";
 
+/// The metrics exposition's "format" field (JSON form).
+inline constexpr const char* kMetricsFormat = "catalyst-metrics-v1";
+
+/// What a CATALYST_OBS=OFF daemon answers to a STATS scrape: still a valid
+/// catalyst-metrics-v1 document (schema checkers and `catalyst_client top`
+/// parse it like any other), but explicitly flagged so a scraper can tell
+/// "no load" apart from "observability compiled out".
+inline constexpr const char* kMetricsCompiledOutJson =
+    "{\n  \"format\": \"catalyst-metrics-v1\",\n  \"compiled_out\": true,\n"
+    "  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": []\n}\n";
+
 /// JSON string escaping for the emitted subset (quotes, backslash, control
 /// characters; non-ASCII bytes pass through untouched).
 std::string json_escape(std::string_view s);
@@ -64,6 +75,24 @@ std::string to_chrome_trace(const std::vector<SpanRecord>& spans,
 
 /// Run-manifest JSON (pretty-printed, 2-space indent).
 std::string to_run_manifest(const RunManifest& manifest);
+
+/// JSON metrics exposition ("catalyst-metrics-v1"): counters, gauges, and
+/// histograms with their non-empty buckets as [index, count] pairs plus the
+/// bucket geometry (num_buckets/bucket_bias), so a scraper on the far end
+/// of a STATS frame can recompute percentiles without sharing this header.
+std::string to_metrics_json(const MetricsSnapshot& metrics);
+
+/// Prometheus text exposition (version 0.0.4): counters and gauges as
+/// single samples, histograms as cumulative le-bucket series with _sum and
+/// _count.  Names are mangled "a.b_c" -> "catalyst_a_b_c".
+std::string to_prometheus_text(const MetricsSnapshot& metrics);
+
+/// Chrome trace JSON of just the spans stamped with `trace_id` (a packed
+/// "trace=<id>" arg) -- one request's end-to-end fragment.  Returns the
+/// number of matching spans through `matched` when non-null.
+std::string trace_fragment_json(const std::vector<SpanRecord>& spans,
+                                std::uint64_t trace_id,
+                                std::size_t* matched = nullptr);
 
 /// Sums span wall time per name over spans named "stage.*", ordered by each
 /// stage's first start time; the "stage." prefix is stripped.

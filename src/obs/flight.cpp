@@ -1,0 +1,102 @@
+#include "obs/flight.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <utility>
+
+#include "obs/export.hpp"
+
+namespace catalyst::obs {
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {}
+
+void FlightRecorder::record(FlightRecord rec) {
+  const sync::LockGuard lock(mutex_);
+  const std::size_t slot = static_cast<std::size_t>(recorded_ % capacity_);
+  if (slot < ring_.size()) {
+    ring_[slot] = std::move(rec);
+  } else {
+    ring_.push_back(std::move(rec));
+  }
+  ++recorded_;
+}
+
+std::vector<FlightRecord> FlightRecorder::snapshot() const {
+  const sync::LockGuard lock(mutex_);
+  std::vector<FlightRecord> out;
+  out.reserve(ring_.size());
+  // Oldest surviving summary is recorded_ - ring_.size() (F3); walk the
+  // ring from there in record() order.
+  const std::uint64_t first = recorded_ - ring_.size();
+  for (std::uint64_t n = first; n < recorded_; ++n) {
+    out.push_back(ring_[static_cast<std::size_t>(n % capacity_)]);
+  }
+  return out;
+}
+
+std::uint64_t FlightRecorder::recorded() const {
+  const sync::LockGuard lock(mutex_);
+  return recorded_;
+}
+
+void FlightRecorder::clear() {
+  const sync::LockGuard lock(mutex_);
+  ring_.clear();
+  recorded_ = 0;
+}
+
+std::string to_flight_json(const std::vector<FlightRecord>& records,
+                           std::uint64_t recorded, std::size_t capacity) {
+  std::string out = "{\n";
+  out += "  \"format\": \"";
+  out += kFlightRecorderFormat;
+  out += "\",\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "  \"capacity\": %zu,\n", capacity);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "  \"recorded\": %" PRIu64 ",\n", recorded);
+  out += buf;
+  out += "  \"records\": [";
+  bool first = true;
+  for (const FlightRecord& r : records) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {";
+    std::snprintf(buf, sizeof buf, "\"request_id\": %" PRIu64 ", ",
+                  r.request_id);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"session_id\": %" PRIu64 ", ",
+                  r.session_id);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"trace_id\": %" PRIu64 ", ", r.trace_id);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"bytes\": %" PRIu64 ",\n     ", r.bytes);
+    out += buf;
+    out += "\"category\": \"" + json_escape(r.category) + "\", ";
+    out += "\"verdict\": \"" + json_escape(r.verdict) + "\",\n     ";
+    std::snprintf(buf, sizeof buf, "\"enqueued_ns\": %" PRId64 ", ",
+                  r.enqueued_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"started_ns\": %" PRId64 ", ",
+                  r.started_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"finished_ns\": %" PRId64 ",\n     ",
+                  r.finished_ns);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"faults\": %" PRIu64 ", ", r.faults);
+    out += buf;
+    std::snprintf(buf, sizeof buf, "\"retries\": %" PRIu64 "}", r.retries);
+    out += buf;
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+}  // namespace catalyst::obs

@@ -1,0 +1,77 @@
+// catalyst/obs -- flight recorder: a fixed-size in-memory ring of recent
+// request summaries, dumped as JSON on demand (catalystd wires it to
+// SIGUSR1 and to the crash path) for post-hoc visibility into a daemon
+// without a debugger attached.
+//
+// Ring invariants:
+//   F1. Capacity is fixed at construction; record() never allocates ring
+//       slots after that (the summary strings themselves may).
+//   F2. Summary n (0-based, in record() order) lives in slot n % capacity;
+//       once more than `capacity` summaries have been recorded, each new
+//       one overwrites the oldest.
+//   F3. snapshot() returns the surviving summaries oldest-first;
+//       recorded() counts every summary ever recorded, so
+//       recorded() - snapshot().size() is the number lost to wrap-around.
+//   F4. All access is serialized on one mutex: record() runs once per
+//       *request* (not per reading or per span), so this is not a hot
+//       path and the registry-style locking keeps it trivially correct.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sync/annotations.hpp"
+#include "sync/mutex.hpp"
+
+namespace catalyst::obs {
+
+/// One completed (or aborted) service request, as remembered by the ring.
+struct FlightRecord {
+  std::uint64_t request_id = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t trace_id = 0;  ///< 0 = client sent no trace id.
+  std::uint64_t bytes = 0;     ///< Submission payload size.
+  std::string category;
+  /// Terminal verdict: "ok", "cancelled", "deadline", "failed", ...
+  std::string verdict;
+  std::int64_t enqueued_ns = 0;
+  std::int64_t started_ns = 0;
+  std::int64_t finished_ns = 0;
+  std::uint64_t faults = 0;   ///< Collector faults absorbed by the run.
+  std::uint64_t retries = 0;  ///< Collector retries spent by the run.
+};
+
+/// The dump's "format" field.
+inline constexpr const char* kFlightRecorderFormat =
+    "catalyst-flight-recorder-v1";
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  static FlightRecorder& instance();
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  void record(FlightRecord rec) CATALYST_EXCLUDES(mutex_);
+  /// Surviving summaries, oldest first (F3).
+  std::vector<FlightRecord> snapshot() const CATALYST_EXCLUDES(mutex_);
+  /// Total summaries ever recorded (including overwritten ones).
+  std::uint64_t recorded() const CATALYST_EXCLUDES(mutex_);
+  std::size_t capacity() const noexcept { return capacity_; }
+  /// Forgets everything (tests).
+  void clear() CATALYST_EXCLUDES(mutex_);
+
+ private:
+  mutable sync::Mutex mutex_{"obs.flight"};
+  std::size_t capacity_;
+  std::uint64_t recorded_ CATALYST_GUARDED_BY(mutex_) = 0;
+  std::vector<FlightRecord> ring_ CATALYST_GUARDED_BY(mutex_);
+};
+
+/// JSON dump of a flight-recorder snapshot ("catalyst-flight-recorder-v1").
+std::string to_flight_json(const std::vector<FlightRecord>& records,
+                           std::uint64_t recorded, std::size_t capacity);
+
+}  // namespace catalyst::obs

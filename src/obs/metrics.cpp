@@ -31,12 +31,47 @@ std::uint64_t MetricsSnapshot::counter(std::string_view name) const noexcept {
   return 0;
 }
 
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const noexcept {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
 const HistogramSnapshot* MetricsSnapshot::histogram(
     std::string_view name) const noexcept {
   for (const auto& h : histograms) {
     if (h.name == name) return &h;
   }
   return nullptr;
+}
+
+MetricsSnapshot MetricsSnapshot::delta_since(
+    const MetricsSnapshot& earlier) const {
+  MetricsSnapshot out;
+  out.counters.reserve(counters.size());
+  for (const auto& [name, now] : counters) {
+    const std::uint64_t before = earlier.counter(name);
+    out.counters.emplace_back(name, now >= before ? now - before : now);
+  }
+  out.gauges = gauges;  // point-in-time: the later poll is the answer
+  out.histograms.reserve(histograms.size());
+  for (const HistogramSnapshot& h : histograms) {
+    HistogramSnapshot d = h;
+    if (const HistogramSnapshot* before = earlier.histogram(h.name)) {
+      if (h.total_count >= before->total_count) {
+        d.total_count = h.total_count - before->total_count;
+        d.sum = h.sum - before->sum;
+        for (std::size_t i = 0; i < kNumBuckets; ++i) {
+          d.buckets[i] = h.buckets[i] >= before->buckets[i]
+                             ? h.buckets[i] - before->buckets[i]
+                             : h.buckets[i];
+        }
+      }
+    }
+    out.histograms.push_back(std::move(d));
+  }
+  return out;
 }
 
 Metrics& Metrics::instance() {
@@ -51,6 +86,16 @@ void Metrics::add(std::string_view counter, std::uint64_t delta) {
     it->second += delta;
   } else {
     counters_.emplace(std::string(counter), delta);
+  }
+}
+
+void Metrics::set_gauge(std::string_view gauge, std::int64_t value) {
+  const sync::LockGuard lock(mutex_);
+  const auto it = gauges_.find(gauge);
+  if (it != gauges_.end()) {
+    it->second = value;
+  } else {
+    gauges_.emplace(std::string(gauge), value);
   }
 }
 
@@ -77,6 +122,8 @@ MetricsSnapshot Metrics::snapshot() const {
   MetricsSnapshot snap;
   snap.counters.reserve(counters_.size());
   for (const auto& [name, v] : counters_) snap.counters.emplace_back(name, v);
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, v] : gauges_) snap.gauges.emplace_back(name, v);
   snap.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
     HistogramSnapshot hs;
@@ -94,6 +141,7 @@ MetricsSnapshot Metrics::snapshot() const {
 void Metrics::reset() {
   const sync::LockGuard lock(mutex_);
   counters_.clear();
+  gauges_.clear();
   histograms_.clear();
 }
 
@@ -108,6 +156,11 @@ void count(std::string_view counter, std::uint64_t delta) {
 void observe(std::string_view histogram, double value) {
   if (!enabled()) return;
   Metrics::instance().observe(histogram, value);
+}
+
+void gauge(std::string_view gauge_name, std::int64_t value) {
+  if (!enabled()) return;
+  Metrics::instance().set_gauge(gauge_name, value);
 }
 
 }  // namespace live

@@ -1,10 +1,12 @@
-// catalyst/obs -- process-wide metrics registry: named monotonic counters
-// and fixed-bucket (power-of-two) histograms.
+// catalyst/obs -- process-wide metrics registry: named monotonic counters,
+// point-in-time gauges, and fixed-bucket (power-of-two) histograms.
 //
 // Instrumented code reports through the free functions obs::count() /
-// obs::observe() (declared in obs/trace.hpp), which are no-ops unless
-// tracing is enabled -- and compile out entirely under CATALYST_OBS=OFF.
-// Exporters and the CLI's --stats read an immutable MetricsSnapshot.
+// obs::observe() / obs::gauge() (declared in obs/trace.hpp), which are
+// no-ops unless tracing is enabled -- and compile out entirely under
+// CATALYST_OBS=OFF.  Exporters and the CLI's --stats read an immutable
+// MetricsSnapshot; live scrapers (the catalystd STATS frame) diff two
+// snapshots with MetricsSnapshot::delta_since for rate computation.
 //
 // Updates take a mutex: every call site is a per-stage / per-retry event,
 // not a per-reading hot path, so contention is negligible and the registry
@@ -48,11 +50,24 @@ struct HistogramSnapshot {
 struct MetricsSnapshot {
   /// Sorted by name (deterministic export order).
   std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// Gauges are last-write point-in-time values (queue depth, inflight
+  /// sessions); unlike counters they may go down, hence signed.
+  std::vector<std::pair<std::string, std::int64_t>> gauges;
   std::vector<HistogramSnapshot> histograms;
 
   /// Counter value by name; 0 when absent.
   std::uint64_t counter(std::string_view name) const noexcept;
+  /// Gauge value by name; 0 when absent.
+  std::int64_t gauge(std::string_view name) const noexcept;
   const HistogramSnapshot* histogram(std::string_view name) const noexcept;
+
+  /// Activity between `earlier` and this snapshot: counters and histogram
+  /// counts/sums/buckets are subtracted (clamped at zero, so a registry
+  /// reset between the two polls degrades to "current values" instead of
+  /// wrapping); gauges are point-in-time and carried over unchanged, as
+  /// are histogram min/max (extrema cannot be un-observed).  Series absent
+  /// from `earlier` appear whole.
+  MetricsSnapshot delta_since(const MetricsSnapshot& earlier) const;
 };
 
 /// The process-wide registry behind obs::count()/obs::observe().
@@ -63,6 +78,9 @@ class Metrics {
   void add(std::string_view counter, std::uint64_t delta)
       CATALYST_EXCLUDES(mutex_);
   void observe(std::string_view histogram, double value)
+      CATALYST_EXCLUDES(mutex_);
+  /// Sets a gauge to an absolute value (last write wins).
+  void set_gauge(std::string_view gauge, std::int64_t value)
       CATALYST_EXCLUDES(mutex_);
 
   MetricsSnapshot snapshot() const CATALYST_EXCLUDES(mutex_);
@@ -83,6 +101,8 @@ class Metrics {
 
   mutable sync::Mutex mutex_{"obs.metrics"};
   std::map<std::string, std::uint64_t, std::less<>> counters_
+      CATALYST_GUARDED_BY(mutex_);
+  std::map<std::string, std::int64_t, std::less<>> gauges_
       CATALYST_GUARDED_BY(mutex_);
   std::map<std::string, Histogram, std::less<>> histograms_
       CATALYST_GUARDED_BY(mutex_);

@@ -1,0 +1,112 @@
+// catalyst/obs -- the single registry of metric/gauge/histogram names.
+//
+// Every obs::count() / obs::observe() / obs::gauge() call site must name
+// its series through one of these constants (catalyst_lint enforces this
+// with the metric-name-literal rule): scrapers, dashboards, and the
+// exposition schema checker key on exact strings, so a typo'd inline
+// literal would silently fork a series.  Names are lowercase dotted
+// snake.case -- "<subsystem>.<what>[_<unit>]" -- and, once shipped in an
+// exposition, are append-only (renaming breaks external scrape configs the
+// same way renumbering a wire enum would break clients).
+#pragma once
+
+#include <string_view>
+
+namespace catalyst::obs::names {
+
+// -- pipeline stage funnel (counters) ---------------------------------------
+inline constexpr std::string_view kPipelineEventsMeasured =
+    "pipeline.events_measured";
+inline constexpr std::string_view kPipelineEventsDetrended =
+    "pipeline.events_detrended";
+inline constexpr std::string_view kPipelineEventsNoiseKept =
+    "pipeline.events_noise_kept";
+inline constexpr std::string_view kPipelineEventsNoiseDropped =
+    "pipeline.events_noise_dropped";
+inline constexpr std::string_view kPipelineEventsProjected =
+    "pipeline.events_projected";
+inline constexpr std::string_view kPipelineEventsSelected =
+    "pipeline.events_selected";
+inline constexpr std::string_view kPipelineMetricsSolved =
+    "pipeline.metrics_solved";
+
+// -- collector resilience (counters) ----------------------------------------
+inline constexpr std::string_view kCollectRetries = "collect.retries";
+inline constexpr std::string_view kCollectStartRetries =
+    "collect.start_retries";
+inline constexpr std::string_view kCollectWrapsCorrected =
+    "collect.wraps_corrected";
+inline constexpr std::string_view kCollectQuarantined = "collect.quarantined";
+/// Per-fault-kind counters are "collect.faults.<kind>"; the prefix is the
+/// registered constant, the kind suffix comes from faults::to_string.
+inline constexpr std::string_view kCollectFaultsPrefix = "collect.faults.";
+
+// -- campaign batching (counters) -------------------------------------------
+inline constexpr std::string_view kCampaignBatches = "campaign.batches";
+inline constexpr std::string_view kCampaignBatchesResumed =
+    "campaign.batches_resumed";
+
+// -- qrcp diagnostics (histograms) ------------------------------------------
+inline constexpr std::string_view kQrcpPivotScore = "qrcp.pivot_score";
+
+// -- service: session/frame plumbing (counters) -----------------------------
+inline constexpr std::string_view kServiceFramesReceived =
+    "service.frames_received";
+inline constexpr std::string_view kServiceErrorsSent = "service.errors_sent";
+inline constexpr std::string_view kServiceMalformedFrames =
+    "service.malformed_frames";
+inline constexpr std::string_view kServiceSessionsExpired =
+    "service.sessions_expired";
+inline constexpr std::string_view kServiceSlowLorisDrops =
+    "service.slow_loris_drops";
+inline constexpr std::string_view kServiceIdleDrops = "service.idle_drops";
+inline constexpr std::string_view kServiceStatsServed = "service.stats_served";
+inline constexpr std::string_view kServiceTracesServed =
+    "service.traces_served";
+
+// -- service: request lifecycle (counters) ----------------------------------
+inline constexpr std::string_view kServiceRequestsAccepted =
+    "service.requests_accepted";
+inline constexpr std::string_view kServiceRequestsCancelled =
+    "service.requests_cancelled";
+inline constexpr std::string_view kServiceQuotaRejections =
+    "service.quota_rejections";
+inline constexpr std::string_view kServiceLoadShed = "service.load_shed";
+inline constexpr std::string_view kServiceAnalysesOk = "service.analyses_ok";
+inline constexpr std::string_view kServiceAnalysesCancelled =
+    "service.analyses_cancelled";
+inline constexpr std::string_view kServiceAnalysesFailed =
+    "service.analyses_failed";
+
+// -- service: checkpointing (counters) --------------------------------------
+inline constexpr std::string_view kServiceRequestsCheckpointed =
+    "service.requests_checkpointed";
+inline constexpr std::string_view kServiceRequestsRestored =
+    "service.requests_restored";
+inline constexpr std::string_view kServiceCheckpointWriteFailed =
+    "service.checkpoint_write_failed";
+inline constexpr std::string_view kServiceCheckpointRestoreFailed =
+    "service.checkpoint_restore_failed";
+
+// -- service: server loop (counters) ----------------------------------------
+inline constexpr std::string_view kServiceSessionsAccepted =
+    "service.sessions_accepted";
+inline constexpr std::string_view kServiceSessionsClosed =
+    "service.sessions_closed";
+inline constexpr std::string_view kServiceSessionsTurnedAway =
+    "service.sessions_turned_away";
+inline constexpr std::string_view kServiceShutdowns = "service.shutdowns";
+
+// -- service: latency (histograms) ------------------------------------------
+inline constexpr std::string_view kServiceRequestNs = "service.request_ns";
+
+// -- service: live pressure (gauges) ----------------------------------------
+inline constexpr std::string_view kServiceQueueDepth = "service.queue_depth";
+inline constexpr std::string_view kServiceInflightRequests =
+    "service.inflight_requests";
+inline constexpr std::string_view kServiceSessionsOpen =
+    "service.sessions_open";
+inline constexpr std::string_view kServiceWorkersBusy =
+    "service.workers_busy";
+
+}  // namespace catalyst::obs::names

@@ -235,6 +235,8 @@ inline void count(std::string_view /*counter*/,
                   std::uint64_t /*delta*/ = 1) noexcept {}
 inline void observe(std::string_view /*histogram*/, double /*value*/) noexcept {
 }
+inline void gauge(std::string_view /*gauge_name*/,
+                  std::int64_t /*value*/) noexcept {}
 
 }  // namespace noop
 
@@ -301,6 +303,8 @@ class Span {
 
 void count(std::string_view counter, std::uint64_t delta = 1);
 void observe(std::string_view histogram, double value);
+/// Sets a point-in-time gauge (queue depth, inflight sessions, ...).
+void gauge(std::string_view gauge_name, std::int64_t value);
 
 }  // namespace live
 

@@ -7,6 +7,7 @@
 
 #include "core/io.hpp"
 #include "core/report.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace catalyst::service {
@@ -18,11 +19,12 @@ std::string render_result(const core::PipelineResult& result) {
 
 wire::SubmitBody packed_submit_from_archive(
     const core::MeasurementArchive& archive, const std::string& category,
-    std::uint64_t deadline_ns) {
+    std::uint64_t deadline_ns, std::uint64_t trace_id) {
   wire::SubmitBody body;
   body.kind = wire::SubmitKind::packed;
   body.category = category;
   body.deadline_ns = deadline_ns;
+  body.trace_id = trace_id;
   body.event_names = archive.event_names;
   body.repetitions = archive.measurements.empty()
                          ? 0
@@ -77,6 +79,7 @@ EngineOutcome run_analysis(SharedCatalog& catalog,
                            const core::CancelToken* cancel) {
   obs::Span span("service.analyze");
   span.arg("category", submit.category);
+  if (submit.trace_id != 0) span.arg("trace", submit.trace_id);
   const CategorySetup* setup = catalog.category(submit.category);
   if (setup == nullptr) {
     return fail(wire::ErrorCode::bad_request,
@@ -110,10 +113,10 @@ EngineOutcome run_analysis(SharedCatalog& catalog,
     EngineOutcome out;
     out.ok = true;
     out.text = render_result(result);
-    obs::count("service.analyses_ok");
+    obs::count(obs::names::kServiceAnalysesOk);
     return out;
   } catch (const core::PipelineCancelled& e) {
-    obs::count("service.analyses_cancelled");
+    obs::count(obs::names::kServiceAnalysesCancelled);
     return fail(e.reason() == core::PipelineCancelled::Reason::deadline
                     ? wire::ErrorCode::deadline_exceeded
                     : wire::ErrorCode::cancelled,
@@ -121,7 +124,7 @@ EngineOutcome run_analysis(SharedCatalog& catalog,
   } catch (const std::exception& e) {
     // load_archive / analyze_measurements rejections (ArchiveError, shape
     // and finiteness contracts): data problems, typed as analysis_failed.
-    obs::count("service.analyses_failed");
+    obs::count(obs::names::kServiceAnalysesFailed);
     return fail(wire::ErrorCode::analysis_failed, e.what());
   }
 }

@@ -45,8 +45,9 @@ std::string render_result(const core::PipelineResult& result);
 
 /// Flattens a measurement archive into a packed SUBMIT body (the client's
 /// and bench's fast path: the daemon decodes it without parsing JSON).
+/// A non-zero `trace_id` stamps the submission for end-to-end tracing.
 wire::SubmitBody packed_submit_from_archive(
     const core::MeasurementArchive& archive, const std::string& category,
-    std::uint64_t deadline_ns = 0);
+    std::uint64_t deadline_ns = 0, std::uint64_t trace_id = 0);
 
 }  // namespace catalyst::service

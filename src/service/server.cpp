@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "service/io.hpp"
 
@@ -29,7 +30,7 @@ void Server::accept_new() {
     if (conns_.size() >= options_.max_sessions) {
       // Load shedding at the door: a connection we cannot serve is closed
       // immediately rather than admitted and starved.
-      obs::count("service.sessions_turned_away");
+      obs::count(obs::names::kServiceSessionsTurnedAway);
       io::close_fd(fd);
       continue;
     }
@@ -41,7 +42,9 @@ void Server::accept_new() {
     if (core_.shutting_down()) conn.session->begin_shutdown();
     conns_.push_back(std::move(conn));
     sessions_served_.fetch_add(1, std::memory_order_relaxed);
-    obs::count("service.sessions_accepted");
+    obs::count(obs::names::kServiceSessionsAccepted);
+    obs::gauge(obs::names::kServiceSessionsOpen,
+               static_cast<std::int64_t>(conns_.size()));
   }
 }
 
@@ -89,7 +92,7 @@ void Server::drop(Conn& conn) {
     core_.forget_session(conn.session->id());
     conn.session.reset();
   }
-  obs::count("service.sessions_closed");
+  obs::count(obs::names::kServiceSessionsClosed);
 }
 
 void Server::run(const std::atomic<bool>& stop) {
@@ -98,7 +101,7 @@ void Server::run(const std::atomic<bool>& stop) {
   for (;;) {
     if (!shutdown_started && stop.load(std::memory_order_relaxed)) {
       shutdown_started = true;
-      obs::count("service.shutdowns");
+      obs::count(obs::names::kServiceShutdowns);
       // Order matters: the core first (refuse new work, checkpoint the
       // queue), then the door (no new connections), then the sessions
       // (future SUBMITs on live connections answer shutting_down; polls
@@ -146,7 +149,10 @@ void Server::run(const std::atomic<bool>& stop) {
     io::poll_fds(items, options_.poll_interval_ms);
     const std::chrono::nanoseconds now = options_.clock->now();
 
-    if (items[0].readable) io::drain_pipe(pipe_.read_end);
+    if (items[0].readable) {
+      io::drain_pipe(pipe_.read_end);
+      if (options_.on_wake) options_.on_wake();
+    }
     if (listen_fd_ >= 0 && items[listen_slot].readable) accept_new();
 
     // accept_new() may have appended connections that were never polled;
@@ -168,9 +174,14 @@ void Server::run(const std::atomic<bool>& stop) {
       if (!flush_writes(conn)) alive = false;
       if (!alive || conn.session->finished()) drop(conn);
     }
+    const std::size_t before = conns_.size();
     conns_.erase(std::remove_if(conns_.begin(), conns_.end(),
                                 [](const Conn& c) { return c.fd < 0; }),
                  conns_.end());
+    if (conns_.size() != before) {
+      obs::gauge(obs::names::kServiceSessionsOpen,
+                 static_cast<std::int64_t>(conns_.size()));
+    }
   }
   // Shutdown epilogue: best-effort flush of goodbye bytes, then close.
   for (Conn& conn : conns_) {

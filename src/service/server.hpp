@@ -17,6 +17,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -39,6 +40,10 @@ class Server {
     /// closing remaining sessions (gives in-flight pollers their results).
     std::chrono::nanoseconds drain_linger = std::chrono::milliseconds(200);
     faults::Clock* clock = nullptr;  ///< Session timer source; required.
+    /// Runs on the event-loop thread whenever the self-pipe wakes the
+    /// poll -- the safe place to do signal-requested work (the SIGUSR1
+    /// flight-recorder dump) outside any signal handler.
+    std::function<void()> on_wake;
   };
 
   /// Binds and listens immediately (so callers know the socket is ready

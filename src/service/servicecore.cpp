@@ -5,10 +5,18 @@
 
 #include "core/io.hpp"
 #include "core/json.hpp"
+#include "obs/flight.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "service/engine.hpp"
 
 namespace catalyst::service {
+
+std::string RequestBroker::stats_json() { return render_stats_exposition(); }
+
+std::string RequestBroker::trace_json(std::uint64_t trace_id) {
+  return render_trace_fragment(trace_id);
+}
 
 const char* const kServiceCheckpointFormat = "catalyst-service-checkpoint-v1";
 
@@ -98,7 +106,7 @@ void ServiceCore::restore_checkpoints() {
       fs::remove(entry.path(), ec);
     } catch (const std::exception&) {
       // Torn / corrupt checkpoint: the request is lost, the daemon is not.
-      obs::count("service.checkpoint_restore_failed");
+      obs::count(obs::names::kServiceCheckpointRestoreFailed);
     }
   }
   // Id order IS arrival order (ids are assigned monotonically), so the
@@ -117,7 +125,27 @@ void ServiceCore::restore_checkpoints() {
     requests_.emplace(r.id, std::move(request));
     ++restored_;
   }
-  obs::count("service.requests_restored", restored_);
+  obs::count(obs::names::kServiceRequestsRestored, restored_);
+  update_gauges_locked();
+}
+
+std::string ServiceCore::stats_json() {
+  obs::count(obs::names::kServiceStatsServed);
+  return render_stats_exposition();
+}
+
+std::string ServiceCore::trace_json(std::uint64_t trace_id) {
+  obs::count(obs::names::kServiceTracesServed);
+  return render_trace_fragment(trace_id);
+}
+
+void ServiceCore::update_gauges_locked() {
+  obs::gauge(obs::names::kServiceQueueDepth,
+             static_cast<std::int64_t>(queue_.size()));
+  obs::gauge(obs::names::kServiceWorkersBusy,
+             static_cast<std::int64_t>(running_));
+  obs::gauge(obs::names::kServiceInflightRequests,
+             static_cast<std::int64_t>(requests_.size()));
 }
 
 SubmitOutcome ServiceCore::submit(SessionId session, wire::SubmitBody body) {
@@ -132,7 +160,7 @@ SubmitOutcome ServiceCore::submit(SessionId session, wire::SubmitBody body) {
   }
   SessionUsage& usage = usage_[session];
   if (usage.inflight >= options_.max_inflight_per_session) {
-    obs::count("service.quota_rejections");
+    obs::count(obs::names::kServiceQuotaRejections);
     out.kind = SubmitOutcome::Kind::rejected;
     out.code = wire::ErrorCode::quota_exceeded;
     out.message = "session has " + std::to_string(usage.inflight) +
@@ -141,7 +169,7 @@ SubmitOutcome ServiceCore::submit(SessionId session, wire::SubmitBody body) {
     return out;
   }
   if (usage.bytes + cost > options_.max_bytes_per_session) {
-    obs::count("service.quota_rejections");
+    obs::count(obs::names::kServiceQuotaRejections);
     out.kind = SubmitOutcome::Kind::rejected;
     out.code = wire::ErrorCode::quota_exceeded;
     out.message = "session byte quota exhausted (limit " +
@@ -149,7 +177,7 @@ SubmitOutcome ServiceCore::submit(SessionId session, wire::SubmitBody body) {
     return out;
   }
   if (queue_.size() >= options_.queue_capacity) {
-    obs::count("service.load_shed");
+    obs::count(obs::names::kServiceLoadShed);
     out.kind = SubmitOutcome::Kind::retry_after;
     out.retry_after = options_.retry_after_hint;
     return out;
@@ -159,13 +187,17 @@ SubmitOutcome ServiceCore::submit(SessionId session, wire::SubmitBody body) {
   request->session = session;
   request->body = std::move(body);
   request->body_bytes = cost;
+  if (obs::enabled()) {
+    request->enqueued_ns = obs::Tracer::instance().now_ns();
+  }
   out.kind = SubmitOutcome::Kind::accepted;
   out.request_id = request->id;
   usage.inflight += 1;
   usage.bytes += cost;
   queue_.push_back(request->id);
   requests_.emplace(request->id, std::move(request));
-  obs::count("service.requests_accepted");
+  obs::count(obs::names::kServiceRequestsAccepted);
+  update_gauges_locked();
   work_cv_.notify_one();
   return out;
 }
@@ -193,6 +225,7 @@ PollOutcome ServiceCore::poll(SessionId session, std::uint64_t request_id) {
     case State::done:
       out.kind = PollOutcome::Kind::result;
       out.text = std::move(request.outcome.text);
+      out.trace_id = request.body.trace_id;
       break;
     case State::failed:
       out.kind = PollOutcome::Kind::failed;
@@ -211,6 +244,7 @@ PollOutcome ServiceCore::poll(SessionId session, std::uint64_t request_id) {
     usage_it->second.inflight -= 1;
   }
   requests_.erase(it);
+  update_gauges_locked();
   return out;
 }
 
@@ -227,7 +261,8 @@ bool ServiceCore::cancel(SessionId session, std::uint64_t request_id) {
       const auto pos = std::find(queue_.begin(), queue_.end(), request_id);
       if (pos != queue_.end()) queue_.erase(pos);
       request.state = State::cancelled;
-      obs::count("service.requests_cancelled");
+      obs::count(obs::names::kServiceRequestsCancelled);
+      update_gauges_locked();
       return true;
     }
     case State::running:
@@ -267,6 +302,7 @@ void ServiceCore::forget_session(SessionId session) {
     }
     it = requests_.erase(it);
   }
+  update_gauges_locked();
 }
 
 ServiceCore::Request* ServiceCore::claim_next_locked() {
@@ -277,12 +313,17 @@ ServiceCore::Request* ServiceCore::claim_next_locked() {
   if (it == requests_.end()) return nullptr;  // Cancelled out of the queue.
   it->second->state = State::running;
   running_ += 1;
+  if (obs::enabled()) {
+    it->second->started_ns = obs::Tracer::instance().now_ns();
+  }
+  update_gauges_locked();
   return it->second.get();
 }
 
 void ServiceCore::execute(Request* request) {
   obs::Span span("service.request");
   span.arg("id", request->id);
+  if (request->body.trace_id != 0) span.arg("trace", request->body.trace_id);
   // Arm the per-request deadline at execution start: the budget covers the
   // ANALYSIS, not the queue wait (queue pressure is the client's signal via
   // retry_after, not a reason to fail work already accepted).
@@ -299,30 +340,56 @@ void ServiceCore::execute(Request* request) {
   EngineOutcome outcome =
       run_analysis(catalog_, request->body, &request->cancel);
   span.end();
-  // Latency histogram behind the span: bench/service_load reads its
-  // percentiles, and --stats exports it without trace post-processing.
-  obs::observe("service.request_ns",
+  // Latency histogram behind the span: bench/service_load scrapes its
+  // percentiles over the wire, and --stats exports it without trace
+  // post-processing.
+  obs::observe(obs::names::kServiceRequestNs,
                static_cast<double>(span.duration_ns()));
   finish(request, std::move(outcome));
 }
 
 void ServiceCore::finish(Request* request, EngineOutcome outcome) {
+  if (obs::enabled()) {
+    // Flight recorder: one bounded summary per request, whatever its fate
+    // -- the ring is what a SIGUSR1 dump (or the crash path) shows.
+    obs::FlightRecord rec;
+    rec.request_id = request->id;
+    rec.session_id = request->session;
+    rec.trace_id = request->body.trace_id;
+    rec.bytes = request->body_bytes;
+    rec.category = request->body.category;
+    if (outcome.ok) {
+      rec.verdict = "ok";
+    } else if (outcome.code == wire::ErrorCode::cancelled) {
+      rec.verdict = "cancelled";
+    } else if (outcome.code == wire::ErrorCode::deadline_exceeded) {
+      rec.verdict = "deadline";
+    } else {
+      rec.verdict = "failed";
+    }
+    rec.enqueued_ns = request->enqueued_ns;
+    rec.started_ns = request->started_ns;
+    rec.finished_ns = obs::Tracer::instance().now_ns();
+    obs::FlightRecorder::instance().record(std::move(rec));
+  }
   const sync::LockGuard lock(mutex_);
   running_ -= 1;
   if (request->orphaned) {
     // Owner session is gone; nobody will ever poll this.
     requests_.erase(request->id);
+    update_gauges_locked();
     return;
   }
   if (outcome.ok) {
     request->state = State::done;
   } else if (outcome.code == wire::ErrorCode::cancelled) {
     request->state = State::cancelled;
-    obs::count("service.requests_cancelled");
+    obs::count(obs::names::kServiceRequestsCancelled);
   } else {
     request->state = State::failed;
   }
   request->outcome = std::move(outcome);
+  update_gauges_locked();
 }
 
 void ServiceCore::worker_loop() {
@@ -374,6 +441,7 @@ void ServiceCore::begin_shutdown() {
             ? "daemon shut down before this request started"
             : "daemon shut down; request checkpointed for restart";
   }
+  update_gauges_locked();
   work_cv_.notify_all();
 }
 
@@ -394,10 +462,10 @@ void ServiceCore::checkpoint_queued_locked() {
           core::json::dump(root));
       ++written;
     } catch (const std::exception&) {
-      obs::count("service.checkpoint_write_failed");
+      obs::count(obs::names::kServiceCheckpointWriteFailed);
     }
   }
-  obs::count("service.requests_checkpointed", written);
+  obs::count(obs::names::kServiceRequestsCheckpointed, written);
 }
 
 bool ServiceCore::drained() const {

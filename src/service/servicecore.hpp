@@ -39,6 +39,9 @@
 #include "core/campaign.hpp"
 #include "core/pipeline.hpp"
 #include "faults/faults.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "service/catalog.hpp"
 #include "service/engine.hpp"
 #include "service/wire.hpp"
@@ -75,9 +78,52 @@ struct PollOutcome {
   };
   Kind kind = Kind::unknown;
   std::string text;
+  /// Echo of the SUBMIT's trace id (0 = untraced); rides the RESULT frame
+  /// so the client can fetch the request's trace fragment afterwards.
+  std::uint64_t trace_id = 0;
   wire::ErrorCode code = wire::ErrorCode::analysis_failed;
   std::string message;
 };
+
+// Renders the STATS answer / TRACE fragment for the obs mode the calling
+// translation unit was compiled under.  The two variants live in distinct
+// inline namespaces (the obs noop/live idiom) so a CATALYST_OBS=OFF TU and
+// a regular TU linked into one binary never ODR-collide: each calls its
+// own symbol.  Under OFF, STATS still gets a *valid* catalyst-metrics-v1
+// document -- explicitly flagged compiled_out, so a scraper can tell "no
+// load" apart from "observability compiled out".
+#if defined(CATALYST_OBS_DISABLED)
+inline namespace telemetry_noop {
+
+inline std::string render_stats_exposition() {
+  return obs::kMetricsCompiledOutJson;
+}
+
+inline std::string render_trace_fragment(std::uint64_t trace_id,
+                                         std::size_t* matched = nullptr) {
+  return obs::trace_fragment_json(std::vector<obs::SpanRecord>{}, trace_id,
+                                  matched);
+}
+
+}  // namespace telemetry_noop
+#else
+inline namespace telemetry_live {
+
+inline std::string render_stats_exposition() {
+  return obs::to_metrics_json(obs::Metrics::instance().snapshot());
+}
+
+/// One request's Chrome trace fragment by trace id (the spans the request
+/// stamped on its way through session -> queue -> execute -> pipeline).
+/// `matched` (optional) reports how many spans carried the id.
+inline std::string render_trace_fragment(std::uint64_t trace_id,
+                                         std::size_t* matched = nullptr) {
+  return obs::trace_fragment_json(obs::Tracer::instance().buffer().snapshot(),
+                                  trace_id, matched);
+}
+
+}  // namespace telemetry_live
+#endif  // CATALYST_OBS_DISABLED
 
 /// The session-facing face of the core.  Sessions hold a RequestBroker*,
 /// never a ServiceCore*, so protocol tests drive them with a scripted fake.
@@ -89,6 +135,15 @@ class RequestBroker {
   /// True if the id was live (queued request dropped / running analysis
   /// signalled); false for unknown ids.
   virtual bool cancel(SessionId session, std::uint64_t request_id) = 0;
+
+  // Live-telemetry hooks behind the v2 STATS/TRACE frames.  Non-pure with
+  // working defaults (defined once in servicecore.cpp, under the library's
+  // obs mode) so brokers that only script submit/poll/cancel -- the
+  // protocol-test fakes -- stay source-compatible.
+  /// Metrics exposition JSON ("catalyst-metrics-v1") for a STATS frame.
+  virtual std::string stats_json();
+  /// Chrome trace fragment for one trace id, for a TRACE frame.
+  virtual std::string trace_json(std::uint64_t trace_id);
 };
 
 /// The service-checkpoint format marker.
@@ -125,6 +180,8 @@ class ServiceCore final : public RequestBroker {
       CATALYST_EXCLUDES(mutex_);
   bool cancel(SessionId session, std::uint64_t request_id) override
       CATALYST_EXCLUDES(mutex_);
+  std::string stats_json() override;
+  std::string trace_json(std::uint64_t trace_id) override;
 
   /// Drops every finished entry of a closed session and cancels its live
   /// ones: a vanished client must not pin queue slots or result memory.
@@ -175,6 +232,9 @@ class ServiceCore final : public RequestBroker {
     bool orphaned = false;
     core::CancelToken cancel;  ///< Live for the entry's whole lifetime.
     EngineOutcome outcome;     ///< Valid in done/failed.
+    /// Flight-recorder timestamps (obs::Tracer time base, matching spans).
+    std::int64_t enqueued_ns = 0;
+    std::int64_t started_ns = 0;
   };
 
   /// Claims the oldest queued request (marks it running) or returns
@@ -187,6 +247,10 @@ class ServiceCore final : public RequestBroker {
 
   void checkpoint_queued_locked() CATALYST_REQUIRES(mutex_);
   void restore_checkpoints();
+
+  /// Publishes the live-pressure gauges (queue depth, inflight entries,
+  /// busy workers); called at every queue/table mutation point.
+  void update_gauges_locked() CATALYST_REQUIRES(mutex_);
 
   Options options_;
   SharedCatalog catalog_;

@@ -1,6 +1,7 @@
 #include "service/session.hpp"
 
 #include "core/io.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 
 namespace catalyst::service {
@@ -25,7 +26,7 @@ void Session::send_error(std::uint64_t request_id, wire::ErrorCode code,
   body.code = code;
   body.message = message;  // encode_error applies the excerpt bound.
   send(wire::FrameType::error, wire::encode_error(body));
-  obs::count("service.errors_sent");
+  obs::count(obs::names::kServiceErrorsSent);
 }
 
 void Session::fail_session(wire::ErrorCode code, const std::string& message) {
@@ -53,7 +54,7 @@ void Session::on_bytes(std::chrono::nanoseconds now, const char* data,
       // The stream is garbage from here on: every parse failure becomes a
       // typed ERROR frame followed by teardown, never a crash and never a
       // guess at resynchronisation.
-      obs::count("service.malformed_frames");
+      obs::count(obs::names::kServiceMalformedFrames);
       fail_session(decoder_.error()->code, decoder_.error()->message);
       return;
     }
@@ -74,7 +75,7 @@ void Session::on_tick(std::chrono::nanoseconds now) {
   if (state_ == State::closed) return;
   if (limits_.session_deadline.count() > 0 &&
       now - connected_at_ > limits_.session_deadline) {
-    obs::count("service.sessions_expired");
+    obs::count(obs::names::kServiceSessionsExpired);
     fail_session(wire::ErrorCode::deadline_exceeded,
                  "session lifetime limit reached");
     return;
@@ -83,21 +84,21 @@ void Session::on_tick(std::chrono::nanoseconds now) {
       now - partial_since_ > limits_.partial_frame_timeout) {
     // Slow loris: a frame has been dribbling in longer than any honest
     // client needs to send one.
-    obs::count("service.slow_loris_drops");
+    obs::count(obs::names::kServiceSlowLorisDrops);
     fail_session(wire::ErrorCode::deadline_exceeded,
                  "frame transfer too slow");
     return;
   }
   if (limits_.idle_timeout.count() > 0 &&
       now - last_bytes_at_ > limits_.idle_timeout) {
-    obs::count("service.idle_drops");
+    obs::count(obs::names::kServiceIdleDrops);
     fail_session(wire::ErrorCode::deadline_exceeded, "session idle timeout");
     return;
   }
 }
 
 void Session::handle_frame(const wire::Frame& frame) {
-  obs::count("service.frames_received");
+  obs::count(obs::names::kServiceFramesReceived);
   switch (state_) {
     case State::handshake:
       if (frame.type != wire::FrameType::hello) {
@@ -106,7 +107,7 @@ void Session::handle_frame(const wire::Frame& frame) {
                          " before HELLO");
         return;
       }
-      send(wire::FrameType::hello_ok, "catalystd/1");
+      send(wire::FrameType::hello_ok, "catalystd/2");
       state_ = State::ready;
       return;
     case State::ready:
@@ -123,6 +124,12 @@ void Session::handle_frame(const wire::Frame& frame) {
       return;
     case wire::FrameType::cancel:
       handle_cancel(frame);
+      return;
+    case wire::FrameType::stats:
+      handle_stats(frame);
+      return;
+    case wire::FrameType::trace:
+      handle_trace(frame);
       return;
     case wire::FrameType::bye:
       send(wire::FrameType::bye, "");
@@ -203,6 +210,7 @@ void Session::handle_poll(const wire::Frame& frame) {
       return;
     case PollOutcome::Kind::result:
       wire::put_string(payload, outcome.text);
+      wire::put_u64(payload, outcome.trace_id);
       send(wire::FrameType::result, payload);
       return;
     case PollOutcome::Kind::failed:
@@ -232,6 +240,35 @@ void Session::handle_cancel(const wire::Frame& frame) {
   std::string payload;
   wire::put_u64(payload, request_id);
   send(wire::FrameType::cancelled, payload);
+}
+
+void Session::handle_stats(const wire::Frame& frame) {
+  // STATS carries no payload; trailing bytes mean the client is confused,
+  // which is recoverable (the frame itself was sound).
+  if (!frame.payload.empty()) {
+    send_error(0, wire::ErrorCode::bad_request,
+               "STATS takes no payload");
+    return;
+  }
+  std::string payload;
+  wire::put_string(payload, broker_->stats_json());
+  send(wire::FrameType::stats_ok, payload);
+}
+
+void Session::handle_trace(const wire::Frame& frame) {
+  std::uint64_t trace_id = 0;
+  try {
+    wire::Get cursor(frame.payload);
+    trace_id = cursor.u64();
+    cursor.expect_done();
+  } catch (const wire::PayloadError& e) {
+    send_error(0, wire::ErrorCode::bad_request, e.what());
+    return;
+  }
+  std::string payload;
+  wire::put_u64(payload, trace_id);
+  wire::put_string(payload, broker_->trace_json(trace_id));
+  send(wire::FrameType::trace_ok, payload);
 }
 
 std::string Session::take_output() {

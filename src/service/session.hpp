@@ -7,8 +7,8 @@
 //
 //   HANDSHAKE --HELLO--> READY --BYE/teardown--> CLOSED
 //
-// In READY the session relays SUBMIT/POLL/CANCEL to its RequestBroker and
-// frames the outcomes.  Every way a connection can misbehave lands in one
+// In READY the session relays SUBMIT/POLL/CANCEL (and the v2 telemetry
+// frames STATS/TRACE) to its RequestBroker and frames the outcomes.  Every way a connection can misbehave lands in one
 // of exactly two shapes, both of which leave the daemon standing:
 //
 //   * recoverable request problems (unknown id, quota, bad payload): a
@@ -82,6 +82,8 @@ class Session {
   void handle_submit(const wire::Frame& frame);
   void handle_poll(const wire::Frame& frame);
   void handle_cancel(const wire::Frame& frame);
+  void handle_stats(const wire::Frame& frame);
+  void handle_trace(const wire::Frame& frame);
   void send(wire::FrameType type, const std::string& payload);
   void send_error(std::uint64_t request_id, wire::ErrorCode code,
                   const std::string& message);

@@ -22,6 +22,10 @@ const char* to_string(FrameType type) noexcept {
     case FrameType::cancelled: return "CANCELLED";
     case FrameType::retry_after: return "RETRY_AFTER";
     case FrameType::bye: return "BYE";
+    case FrameType::stats: return "STATS";
+    case FrameType::stats_ok: return "STATS_OK";
+    case FrameType::trace: return "TRACE";
+    case FrameType::trace_ok: return "TRACE_OK";
   }
   return "UNKNOWN";
 }
@@ -64,7 +68,7 @@ const std::array<std::uint32_t, 256>& crc_table() noexcept {
 
 bool is_known_type(std::uint16_t raw) noexcept {
   return raw >= static_cast<std::uint16_t>(FrameType::hello) &&
-         raw <= static_cast<std::uint16_t>(FrameType::bye);
+         raw <= static_cast<std::uint16_t>(FrameType::trace_ok);
 }
 
 std::uint16_t load_u16(const char* p) noexcept {
@@ -273,6 +277,7 @@ std::string encode_submit(const SubmitBody& body) {
   out.push_back(static_cast<char>(body.kind));
   put_string(out, body.category);
   put_u64(out, body.deadline_ns);
+  put_u64(out, body.trace_id);
   if (body.kind == SubmitKind::json) {
     put_string(out, body.archive_json);
     return out;
@@ -298,6 +303,7 @@ SubmitBody decode_submit(const std::string& payload) {
   Get cursor(rest);
   body.category = cursor.string(256);
   body.deadline_ns = cursor.u64();
+  body.trace_id = cursor.u64();
   if (body.kind == SubmitKind::json) {
     body.archive_json = cursor.string();
     cursor.expect_done();

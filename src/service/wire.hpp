@@ -1,10 +1,10 @@
-// catalyst/service -- the catalyst-wire-v1 framing layer.
+// catalyst/service -- the catalyst-wire-v2 framing layer.
 //
 // catalystd speaks a length-prefixed binary protocol over a Unix-domain
 // socket.  Every frame is
 //
 //   magic   u32 LE  0x4C544143 ("CATL")
-//   version u16 LE  1
+//   version u16 LE  2
 //   type    u16 LE  FrameType
 //   length  u32 LE  payload byte count
 //   crc32   u32 LE  CRC-32 (IEEE) of the payload bytes
@@ -22,6 +22,14 @@
 // SUBMIT payload carries either a packed binary measurement block (the hot
 // path -- decoding is a bounds-checked memcpy, never a JSON parse) or a
 // JSON measurement archive (compatibility with `catalyst collect` output).
+//
+// Version history: v1 shipped frame types 1-12 (handshake, submit/poll/
+// cancel, results).  v2 adds live telemetry -- a client trace id in SUBMIT
+// (echoed in RESULT), STATS/STATS_OK metrics scraping, and TRACE/TRACE_OK
+// per-request trace fetch.  The version is a strict equality check at the
+// header stage; every codec in this repository compiles against one
+// kVersion, so mixed-version peers fail fast with bad_version instead of
+// misparsing each other.
 #pragma once
 
 #include <cstdint>
@@ -34,7 +42,7 @@
 namespace catalyst::service::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4C544143u;  // "CATL" little-endian.
-inline constexpr std::uint16_t kVersion = 1;
+inline constexpr std::uint16_t kVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Hard ceiling on a frame payload.  Anything larger is load-shed at the
@@ -55,6 +63,10 @@ enum class FrameType : std::uint16_t {
   cancelled = 10,   ///< server -> client: cancellation acknowledged.
   retry_after = 11, ///< server -> client: queue full, back off.
   bye = 12,         ///< either direction: orderly goodbye.
+  stats = 13,       ///< client -> server: scrape the live metrics (v2).
+  stats_ok = 14,    ///< server -> client: metrics exposition JSON (v2).
+  trace = 15,       ///< client -> server: fetch one request's trace (v2).
+  trace_ok = 16,    ///< server -> client: Chrome trace fragment JSON (v2).
 };
 
 /// Everything that can be wrong with a request, as seen on the wire.
@@ -62,7 +74,7 @@ enum class FrameType : std::uint16_t {
 /// detail.
 enum class ErrorCode : std::uint16_t {
   malformed_frame = 1,   ///< Bad magic / garbage header.
-  bad_version = 2,       ///< Frame version != 1.
+  bad_version = 2,       ///< Frame version != kVersion.
   bad_crc = 3,           ///< Payload checksum mismatch.
   oversized_frame = 4,   ///< Length field beyond the payload ceiling.
   quota_exceeded = 5,    ///< Per-session byte / inflight quota hit.
@@ -189,6 +201,10 @@ struct SubmitBody {
   SubmitKind kind = SubmitKind::packed;
   std::string category;
   std::uint64_t deadline_ns = 0;  ///< 0 = server default analysis timeout.
+  /// Client-chosen trace id (0 = untraced).  Stamped onto every span the
+  /// request touches server-side and echoed in the RESULT frame, so the
+  /// whole request can be fetched later with TRACE.
+  std::uint64_t trace_id = 0;
   // kind == json:
   std::string archive_json;
   // kind == packed: measurements[e][r][k] flattened row-major.

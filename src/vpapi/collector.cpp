@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "core/parallel.hpp"
+#include "obs/names.hpp"
 #include "obs/trace.hpp"
 #include "sync/annotations.hpp"
 #include "sync/mutex.hpp"
@@ -557,8 +558,8 @@ ResilientCollectionResult collect_resilient(
   // the totals are already order-independent sums, so this keeps metrics off
   // the merge lock entirely.
   if (obs::enabled()) {
-    obs::count("collect.retries", report.total_retries);
-    obs::count("collect.start_retries", report.start_retries);
+    obs::count(obs::names::kCollectRetries, report.total_retries);
+    obs::count(obs::names::kCollectStartRetries, report.start_retries);
     std::uint64_t wraps = 0;
     std::array<std::uint64_t, faults::kNumFaultKinds> by_kind{};
     for (const EventReport& er : report.events) {
@@ -567,11 +568,11 @@ ResilientCollectionResult collect_resilient(
         by_kind[f] += er.faults[f];
       }
     }
-    obs::count("collect.wraps_corrected", wraps);
-    obs::count("collect.quarantined", report.quarantined.size());
+    obs::count(obs::names::kCollectWrapsCorrected, wraps);
+    obs::count(obs::names::kCollectQuarantined, report.quarantined.size());
     for (std::size_t f = 0; f < faults::kNumFaultKinds; ++f) {
       if (by_kind[f] == 0) continue;
-      obs::count("collect.faults." +
+      obs::count(std::string(obs::names::kCollectFaultsPrefix) +
                      faults::to_string(static_cast<faults::FaultKind>(f)),
                  by_kind[f]);
     }

@@ -1,7 +1,8 @@
-// Fuzz harness for the catalyst-wire-v1 decoder and the Session state
-// machine -- the "a daemon must not be crashable by anything a client
-// sends" guarantee, exercised the same way json_fuzz_test exercises the
-// archive loaders:
+// Fuzz harness for the catalyst-wire decoder (protocol version 2: the
+// STATS/TRACE telemetry frames and trace-id-bearing SUBMITs included) and
+// the Session state machine -- the "a daemon must not be crashable by
+// anything a client sends" guarantee, exercised the same way
+// json_fuzz_test exercises the archive loaders:
 //
 //   * random bytes      -> FrameDecoder must surface frames or a
 //                          DecodeError -- never throw, never crash;
@@ -65,7 +66,9 @@ std::string hex_dump(const std::string& bytes) {
 std::string random_bytes(std::mt19937_64& rng, std::size_t max_len) {
   static constexpr unsigned char kPalette[] = {
       0x43, 0x41, 0x54, 0x4C,  // "CATL"
-      0x01, 0x00, 0x00, 0x00, 0x02, 0x03, 0x08, 0x0C, 0xFF, 0x10, 0x20};
+      0x01, 0x00, 0x00, 0x00, 0x02, 0x03, 0x08, 0x0C,
+      0x0D, 0x0E, 0x0F,  // STATS / STATS_OK / TRACE type bytes
+      0xFF, 0x10, 0x20};
   std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
   std::uniform_int_distribution<int> mode_dist(0, 2);
   std::uniform_int_distribution<std::size_t> palette_dist(
@@ -114,7 +117,9 @@ std::string mutate(const std::string& doc, std::mt19937_64& rng) {
   return out;
 }
 
-/// A realistic little frame stream: HELLO, a packed SUBMIT, a POLL.
+/// A realistic little frame stream: HELLO, a packed trace-id-bearing
+/// SUBMIT, a POLL, a STATS scrape, and a TRACE fetch -- one of every
+/// client-to-server frame the v2 protocol knows.
 std::string base_stream() {
   std::string out = wire::encode_frame(wire::FrameType::hello, "fuzz/1");
   wire::SubmitBody body;
@@ -124,10 +129,15 @@ std::string base_stream() {
   body.repetitions = 2;
   body.slots = 3;
   body.values = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  body.trace_id = 0xABCDEF0123456789ull;
   out += wire::encode_frame(wire::FrameType::submit, wire::encode_submit(body));
   std::string poll;
   wire::put_u64(poll, 1);
   out += wire::encode_frame(wire::FrameType::poll, poll);
+  out += wire::encode_frame(wire::FrameType::stats, "");
+  std::string trace;
+  wire::put_u64(trace, body.trace_id);
+  out += wire::encode_frame(wire::FrameType::trace, trace);
   return out;
 }
 
@@ -183,7 +193,7 @@ TEST(FrameFuzz, MutatedStreamsNeverThrowAndNeverPassCorruptFrames) {
         ASSERT_TRUE(check.next().has_value())
             << testing::seed_banner(seed) << hex_dump(input);
       }
-      ASSERT_LE(frames, 3u + 1u)  // base stream has 3; splices may add one
+      ASSERT_LE(frames, 5u + 1u)  // base stream has 5; splices may add one
           << testing::seed_banner(seed) << hex_dump(input);
     } catch (const std::exception& e) {
       FAIL() << testing::seed_banner(seed) << "decoder threw " << e.what()

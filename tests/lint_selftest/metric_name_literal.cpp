@@ -1,0 +1,23 @@
+// Fixture: inline metric-name literals at obs:: emission call sites.
+#include <string>
+#include <string_view>
+
+namespace obs {
+void count(std::string_view name, unsigned long long delta = 1);
+void observe(std::string_view name, double value);
+void gauge(std::string_view name, long long value);
+namespace names {
+inline constexpr std::string_view kGoodCounter = "selftest.good_counter";
+inline constexpr std::string_view kFaultPrefix = "selftest.faults.";
+}  // namespace names
+}  // namespace obs
+
+void selftest_emit(const std::string& kind) {
+  obs::count("service.frames_received");  // expect: metric-name-literal
+  obs::observe("service.request_ns", 1.5);  // expect: metric-name-literal
+  obs::gauge("service.queue_depth", 3);  // expect: metric-name-literal
+  obs::count(obs::names::kGoodCounter);                      // clean: registry
+  obs::count(std::string(obs::names::kFaultPrefix) + kind);  // clean: prefix
+  // A comment mentioning obs::count("not.a.call") must not fire.
+  obs::gauge("licensed.literal", 0);  // catalyst-lint: allow(metric-name-literal)
+}

@@ -91,7 +91,7 @@ TEST(Wire, BadMagicPoisonsTheDecoder) {
 
 TEST(Wire, BadVersionIsItsOwnError) {
   std::string bytes = wire::encode_frame(wire::FrameType::hello, "hi");
-  bytes[4] = 2;  // version field (offset 4, LE u16)
+  bytes[4] = 9;  // version field (offset 4, LE u16); 9 != kVersion (2)
   wire::FrameDecoder decoder;
   decoder.feed(bytes.data(), bytes.size());
   EXPECT_FALSE(decoder.next().has_value());
@@ -126,6 +126,7 @@ TEST(Wire, SubmitBodyRoundTripsBothKinds) {
   packed.kind = wire::SubmitKind::packed;
   packed.category = "branch";
   packed.deadline_ns = 12345;
+  packed.trace_id = 0xFEEDFACE12345678ull;
   packed.event_names = {"EV_A", "EV_B"};
   packed.repetitions = 2;
   packed.slots = 3;
@@ -135,6 +136,7 @@ TEST(Wire, SubmitBodyRoundTripsBothKinds) {
       wire::decode_submit(wire::encode_submit(packed));
   EXPECT_EQ(packed2.category, "branch");
   EXPECT_EQ(packed2.deadline_ns, 12345u);
+  EXPECT_EQ(packed2.trace_id, 0xFEEDFACE12345678ull);
   EXPECT_EQ(packed2.event_names, packed.event_names);
   EXPECT_EQ(packed2.repetitions, 2u);
   EXPECT_EQ(packed2.slots, 3u);
@@ -375,6 +377,7 @@ TEST(Session, BrokerOutcomesAreFramedFaithfully) {
 
   broker.poll_outcome.kind = PollOutcome::Kind::result;
   broker.poll_outcome.text = "the report";
+  broker.poll_outcome.trace_id = 0xBEEF;
   feed(session, 5ms, poll_for(4));
   frames = decode_all(session.take_output());
   ASSERT_EQ(frames.size(), 1u);
@@ -383,6 +386,7 @@ TEST(Session, BrokerOutcomesAreFramedFaithfully) {
     wire::Get cursor(frames[0].payload);
     EXPECT_EQ(cursor.u64(), 4u);
     EXPECT_EQ(cursor.string(), "the report");
+    EXPECT_EQ(cursor.u64(), 0xBEEFu) << "RESULT echoes the SUBMIT trace id";
   }
 
   broker.poll_outcome.kind = PollOutcome::Kind::unknown;
@@ -403,6 +407,66 @@ TEST(Session, BrokerOutcomesAreFramedFaithfully) {
   frames = decode_all(session.take_output());
   EXPECT_EQ(error_of(frames[0]).code, wire::ErrorCode::unknown_request);
   EXPECT_EQ(session.state(), Session::State::ready);
+}
+
+TEST(Session, StatsAndTraceAnswerInReadyState) {
+  FakeBroker broker;
+  Session session(1, &broker, {}, 0ns);
+  feed(session, 0ns, hello());
+  session.take_output();
+
+  // STATS: empty request, STATS_OK carrying one JSON string.  FakeBroker
+  // inherits the RequestBroker defaults, so this also proves scripted
+  // brokers stay source-compatible with the v2 telemetry hooks.
+  feed(session, 1ms, wire::encode_frame(wire::FrameType::stats, ""));
+  auto frames = decode_all(session.take_output());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, wire::FrameType::stats_ok);
+  {
+    wire::Get cursor(frames[0].payload);
+    const std::string json = cursor.string();
+    cursor.expect_done();
+    EXPECT_NE(json.find("\"format\": \"catalyst-metrics-v1\""),
+              std::string::npos);
+  }
+
+  // STATS with trailing bytes: recoverable bad_request, session stays up.
+  feed(session, 2ms, wire::encode_frame(wire::FrameType::stats, "junk"));
+  frames = decode_all(session.take_output());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(error_of(frames[0]).code, wire::ErrorCode::bad_request);
+  EXPECT_EQ(session.state(), Session::State::ready);
+
+  // TRACE: u64 id in, TRACE_OK echoing the id plus a Chrome fragment.
+  std::string trace_payload;
+  wire::put_u64(trace_payload, 42);
+  feed(session, 3ms,
+       wire::encode_frame(wire::FrameType::trace, trace_payload));
+  frames = decode_all(session.take_output());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].type, wire::FrameType::trace_ok);
+  {
+    wire::Get cursor(frames[0].payload);
+    EXPECT_EQ(cursor.u64(), 42u);
+    EXPECT_NE(cursor.string().find("\"traceEvents\""), std::string::npos);
+    cursor.expect_done();
+  }
+
+  // Truncated TRACE id: recoverable bad_request.
+  feed(session, 4ms, wire::encode_frame(wire::FrameType::trace, "abc"));
+  frames = decode_all(session.take_output());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(error_of(frames[0]).code, wire::ErrorCode::bad_request);
+  EXPECT_EQ(session.state(), Session::State::ready);
+
+  // STATS before HELLO is a state-machine violation, not a scrape.
+  FakeBroker broker2;
+  Session fresh(2, &broker2, {}, 0ns);
+  feed(fresh, 0ns, wire::encode_frame(wire::FrameType::stats, ""));
+  frames = decode_all(fresh.take_output());
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(error_of(frames[0]).code, wire::ErrorCode::bad_state);
+  EXPECT_TRUE(fresh.closed());
 }
 
 TEST(Session, IdleTimeoutFiresExactly) {

@@ -1,16 +1,26 @@
 // catalyst_client -- command-line client (and abuse harness) for catalystd.
 //
 //   catalyst_client --socket PATH submit CATEGORY --from ARCHIVE [--wait]
-//                   [--deadline-ms N]
+//                   [--deadline-ms N] [--trace-id N]
 //   catalyst_client --socket PATH poll ID
 //   catalyst_client --socket PATH cancel ID
+//   catalyst_client --socket PATH stats
+//   catalyst_client --socket PATH trace ID
+//   catalyst_client --socket PATH top [--interval-ms N] [--iterations N]
 //   catalyst_client --socket PATH soak --clients N --requests M
 //                   --category C --from ARCHIVE [--garbage] [--slow-loris]
 //
 // submit sends a packed (binary) submission built from a measurement
 // archive and prints the assigned request id; --wait polls until the
 // result arrives and prints the rendered report (byte-identical to
-// `catalyst analyze --from ARCHIVE CATEGORY` output).
+// `catalyst analyze --from ARCHIVE CATEGORY` output).  --trace-id stamps
+// the submission so its journey through the daemon can be fetched later
+// with `trace ID` (a Chrome trace fragment of just that request's spans).
+//
+// stats scrapes one catalyst-metrics-v1 JSON document over the wire; top
+// polls STATS on an interval and renders a one-screen live summary (qps,
+// p50/p95/p99 request latency, queue / quota pressure) computed entirely
+// from deltas between consecutive scrapes.
 //
 // soak is the abuse harness scripts/check.sh drives: N concurrent client
 // loops each pushing M requests through submit/poll, optionally joined by
@@ -20,18 +30,26 @@
 // any hang, crash, or protocol violation exits nonzero.
 #include <atomic>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <map>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <vector>
 
 #include "core/core.hpp"
 #include "core/parallel.hpp"
+#include "obs/metrics.hpp"
+#include "obs/names.hpp"
 #include "service/engine.hpp"
 #include "service/io.hpp"
 #include "service/wire.hpp"
+
+#include <unistd.h>
 
 namespace {
 
@@ -143,9 +161,13 @@ int usage() {
   std::cerr
       << "usage:\n"
          "  catalyst_client --socket PATH submit CATEGORY --from ARCHIVE\n"
-         "                  [--wait] [--deadline-ms N]\n"
+         "                  [--wait] [--deadline-ms N] [--trace-id N]\n"
          "  catalyst_client --socket PATH poll ID\n"
          "  catalyst_client --socket PATH cancel ID\n"
+         "  catalyst_client --socket PATH stats\n"
+         "  catalyst_client --socket PATH trace ID\n"
+         "  catalyst_client --socket PATH top [--interval-ms N]\n"
+         "                  [--iterations N]\n"
          "  catalyst_client --socket PATH soak --clients N --requests M\n"
          "                  --category C --from ARCHIVE [--garbage]\n"
          "                  [--slow-loris]\n";
@@ -159,9 +181,23 @@ wire::SubmitBody load_submission(const Args& args,
   const core::MeasurementArchive archive =
       core::load_archive(core::read_text_file(path));
   const auto deadline_ms = args.get_ll("deadline-ms", 0);
+  const auto trace_id = args.get_ll("trace-id", 0);
   return service::packed_submit_from_archive(
       archive, category,
-      static_cast<std::uint64_t>(deadline_ms) * 1000000ull);
+      static_cast<std::uint64_t>(deadline_ms) * 1000000ull,
+      static_cast<std::uint64_t>(trace_id));
+}
+
+/// One STATS round trip on an open connection; returns the JSON document.
+std::string fetch_stats(Connection& conn) {
+  conn.send(wire::FrameType::stats, "");
+  const wire::Frame reply = conn.recv();
+  if (reply.type != wire::FrameType::stats_ok) {
+    throw std::runtime_error("unexpected STATS reply: " +
+                             std::string(wire::to_string(reply.type)));
+  }
+  wire::Get cursor(reply.payload);
+  return cursor.string();
 }
 
 /// Polls until the request leaves the queue/analyzing states.  Returns the
@@ -278,6 +314,240 @@ int cmd_cancel(const Args& args, const std::string& socket_path) {
   }
   std::cerr << "unexpected reply " << wire::to_string(reply.type) << "\n";
   return 1;
+}
+
+int cmd_stats(const std::string& socket_path) {
+  Connection conn(socket_path);
+  conn.handshake();
+  std::cout << fetch_stats(conn);
+  conn.send(wire::FrameType::bye, "");
+  return 0;
+}
+
+int cmd_trace(const Args& args, const std::string& socket_path) {
+  if (args.positional.size() < 2) return usage();
+  const auto id = static_cast<std::uint64_t>(std::stoull(args.positional[1]));
+  Connection conn(socket_path);
+  conn.handshake();
+  std::string payload;
+  wire::put_u64(payload, id);
+  conn.send(wire::FrameType::trace, payload);
+  const wire::Frame reply = conn.recv();
+  if (reply.type == wire::FrameType::error) {
+    const wire::ErrorBody err = wire::decode_error(reply.payload);
+    std::cerr << wire::to_string(err.code) << ": " << err.message << "\n";
+    return 1;
+  }
+  if (reply.type != wire::FrameType::trace_ok) {
+    std::cerr << "unexpected reply " << wire::to_string(reply.type) << "\n";
+    return 1;
+  }
+  wire::Get cursor(reply.payload);
+  const std::uint64_t echoed = cursor.u64();
+  if (echoed != id) {
+    std::cerr << "TRACE_OK echoed id " << echoed << ", wanted " << id << "\n";
+    return 1;
+  }
+  std::cout << cursor.string();
+  conn.send(wire::FrameType::bye, "");
+  return 0;
+}
+
+// --- top ---------------------------------------------------------------------
+
+/// A parsed-enough view of one STATS scrape.  The producer is our own
+/// to_metrics_json, so targeted scans beat a general JSON parser: every
+/// series this needs appears exactly once as `"name": value`.
+struct StatsSample {
+  std::map<std::string, std::uint64_t> scalars;  ///< Counters + gauges.
+  std::uint64_t hist_count = 0;
+  double hist_sum = 0.0;
+  std::vector<std::pair<std::size_t, std::uint64_t>> hist_buckets;
+  bool compiled_out = false;
+};
+
+StatsSample parse_stats(const std::string& json,
+                        const std::vector<std::string>& scalar_names,
+                        const std::string& histogram_name) {
+  StatsSample sample;
+  sample.compiled_out = json.find("\"compiled_out\": true") != std::string::npos;
+  for (const std::string& name : scalar_names) {
+    const std::string needle = "\"" + name + "\": ";
+    const std::size_t at = json.find(needle);
+    if (at == std::string::npos) continue;
+    sample.scalars[name] = std::strtoull(
+        json.c_str() + at + needle.size(), nullptr, 10);
+  }
+  // The histogram entry: {"name": "...", "count": N, "sum": S, ...
+  //  "buckets": [[i, c], ...]}
+  const std::string head = "{\"name\": \"" + histogram_name + "\",";
+  const std::size_t at = json.find(head);
+  if (at == std::string::npos) return sample;
+  const std::size_t entry_end = json.find("]}", at);
+  const std::string entry =
+      json.substr(at, entry_end == std::string::npos ? std::string::npos
+                                                     : entry_end + 2 - at);
+  std::size_t p = entry.find("\"count\": ");
+  if (p != std::string::npos) {
+    sample.hist_count = std::strtoull(entry.c_str() + p + 9, nullptr, 10);
+  }
+  p = entry.find("\"sum\": ");
+  if (p != std::string::npos) {
+    sample.hist_sum = std::strtod(entry.c_str() + p + 7, nullptr);
+  }
+  p = entry.find("\"buckets\": [");
+  if (p != std::string::npos) {
+    const char* cur = entry.c_str() + p + 12;
+    while (*cur != '\0' && *cur != ']') {
+      if (*cur == '[') {
+        char* end = nullptr;
+        const std::size_t index =
+            static_cast<std::size_t>(std::strtoull(cur + 1, &end, 10));
+        while (*end == ',' || *end == ' ') ++end;
+        const std::uint64_t count = std::strtoull(end, &end, 10);
+        sample.hist_buckets.emplace_back(index, count);
+        cur = end;
+      }
+      ++cur;
+    }
+  }
+  return sample;
+}
+
+/// q-th percentile (0..1) from delta bucket counts: walks the cumulative
+/// distribution and returns the matched bucket's inclusive upper bound.
+double bucket_percentile(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& buckets,
+    std::uint64_t total, double q) {
+  if (total == 0) return 0.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (const auto& [index, count] : buckets) {
+    cumulative += count;
+    if (static_cast<double>(cumulative) >= target) {
+      return obs::histogram_upper_bound(index);
+    }
+  }
+  return obs::histogram_upper_bound(obs::kNumBuckets - 1);
+}
+
+/// Delta of the window's buckets: current minus previous, clamped at zero
+/// (a daemon restart between polls degrades to "current" instead of
+/// wrapping).
+std::vector<std::pair<std::size_t, std::uint64_t>> bucket_delta(
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& now,
+    const std::vector<std::pair<std::size_t, std::uint64_t>>& before) {
+  std::map<std::size_t, std::uint64_t> prior(before.begin(), before.end());
+  std::vector<std::pair<std::size_t, std::uint64_t>> out;
+  for (const auto& [index, count] : now) {
+    const auto it = prior.find(index);
+    const std::uint64_t earlier = it == prior.end() ? 0 : it->second;
+    if (count > earlier) out.emplace_back(index, count - earlier);
+  }
+  return out;
+}
+
+std::string format_ms(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2fms", ns / 1e6);
+  return buf;
+}
+
+int cmd_top(const Args& args, const std::string& socket_path) {
+  const auto interval_ms = args.get_ll("interval-ms", 1000);
+  const auto iterations = args.get_ll("iterations", 0);  // 0 = forever.
+  const bool tty = ::isatty(STDOUT_FILENO) == 1;
+
+  const std::string hist_name(obs::names::kServiceRequestNs);
+  const std::vector<std::string> scalar_names = {
+      std::string(obs::names::kServiceRequestsAccepted),
+      std::string(obs::names::kServiceAnalysesOk),
+      std::string(obs::names::kServiceAnalysesFailed),
+      std::string(obs::names::kServiceAnalysesCancelled),
+      std::string(obs::names::kServiceQuotaRejections),
+      std::string(obs::names::kServiceLoadShed),
+      std::string(obs::names::kServiceQueueDepth),
+      std::string(obs::names::kServiceInflightRequests),
+      std::string(obs::names::kServiceWorkersBusy),
+      std::string(obs::names::kServiceSessionsOpen),
+  };
+
+  Connection conn(socket_path);
+  conn.handshake();
+  StatsSample prev = parse_stats(fetch_stats(conn), scalar_names, hist_name);
+  auto prev_at = std::chrono::steady_clock::now();
+  for (long long i = 0; iterations == 0 || i < iterations; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+    const StatsSample now =
+        parse_stats(fetch_stats(conn), scalar_names, hist_name);
+    const auto now_at = std::chrono::steady_clock::now();
+    const double dt = std::chrono::duration<double>(now_at - prev_at).count();
+
+    const auto scalar = [&now](std::string_view name) -> std::uint64_t {
+      const auto it = now.scalars.find(std::string(name));
+      return it == now.scalars.end() ? 0 : it->second;
+    };
+    const auto rate = [&](std::string_view name) -> double {
+      const auto it = prev.scalars.find(std::string(name));
+      const std::uint64_t before = it == prev.scalars.end() ? 0 : it->second;
+      const std::uint64_t current = scalar(name);
+      const std::uint64_t delta = current > before ? current - before : 0;
+      return dt > 0 ? static_cast<double>(delta) / dt : 0.0;
+    };
+
+    if (tty) std::cout << "\x1b[H\x1b[2J";
+    std::cout << "catalystd top -- " << socket_path << "  (every "
+              << interval_ms << "ms)\n";
+    if (now.compiled_out) {
+      std::cout << "observability compiled out (CATALYST_OBS=OFF); the\n"
+                   "daemon answers STATS but records nothing.\n";
+      std::cout.flush();
+      prev = now;
+      prev_at = now_at;
+      continue;
+    }
+    const std::uint64_t window_count =
+        now.hist_count > prev.hist_count ? now.hist_count - prev.hist_count
+                                         : 0;
+    const auto window = bucket_delta(now.hist_buckets, prev.hist_buckets);
+    char line[160];
+    std::snprintf(line, sizeof line,
+                  "qps %7.1f   done %7.1f/s   window %6" PRIu64
+                  " completed\n",
+                  rate(obs::names::kServiceRequestsAccepted),
+                  rate(obs::names::kServiceAnalysesOk), window_count);
+    std::cout << line;
+    std::cout << "latency  p50 " << format_ms(bucket_percentile(window,
+                                                                window_count,
+                                                                0.50))
+              << "   p95 " << format_ms(bucket_percentile(window,
+                                                          window_count, 0.95))
+              << "   p99 " << format_ms(bucket_percentile(window,
+                                                          window_count, 0.99))
+              << "  (bucket upper bounds)\n";
+    std::snprintf(line, sizeof line,
+                  "pressure queue %4" PRIu64 "   inflight %4" PRIu64
+                  "   busy workers %3" PRIu64 "   sessions %3" PRIu64 "\n",
+                  scalar(obs::names::kServiceQueueDepth),
+                  scalar(obs::names::kServiceInflightRequests),
+                  scalar(obs::names::kServiceWorkersBusy),
+                  scalar(obs::names::kServiceSessionsOpen));
+    std::cout << line;
+    std::snprintf(line, sizeof line,
+                  "rejects  quota %6" PRIu64 " (%.1f/s)   shed %6" PRIu64
+                  " (%.1f/s)   failed %6" PRIu64 "\n",
+                  scalar(obs::names::kServiceQuotaRejections),
+                  rate(obs::names::kServiceQuotaRejections),
+                  scalar(obs::names::kServiceLoadShed),
+                  rate(obs::names::kServiceLoadShed),
+                  scalar(obs::names::kServiceAnalysesFailed));
+    std::cout << line;
+    std::cout.flush();
+    prev = now;
+    prev_at = now_at;
+  }
+  conn.send(wire::FrameType::bye, "");
+  return 0;
 }
 
 // --- soak --------------------------------------------------------------------
@@ -437,6 +707,9 @@ int main(int argc, char** argv) {
     if (cmd == "submit") return cmd_submit(args, socket_path);
     if (cmd == "poll") return cmd_poll(args, socket_path);
     if (cmd == "cancel") return cmd_cancel(args, socket_path);
+    if (cmd == "stats") return cmd_stats(socket_path);
+    if (cmd == "trace") return cmd_trace(args, socket_path);
+    if (cmd == "top") return cmd_top(args, socket_path);
     if (cmd == "soak") return cmd_soak(args, socket_path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -62,6 +62,20 @@ Rules:
                     failure.  A randomized test whose failure cannot be
                     reproduced from its output is a flake report, not a test.
 
+  -- observability (the src/obs metric registry) --
+
+  metric-name-literal
+                    No inline metric-name string literal at an
+                    obs::count / obs::observe / obs::gauge call site in
+                    src/ outside src/obs/.  Every metric name lives once in
+                    the registry header (src/obs/names.hpp) as a constexpr
+                    string_view, so the exposition surface is enumerable by
+                    reading one file and a rename cannot silently fork a
+                    counter into two spellings.  The registry itself is
+                    checked too: every constant in names.hpp must be a
+                    snake.case dotted identifier (a trailing '.' marks a
+                    dynamic-suffix prefix like "collect.faults.").
+
   -- lock discipline (the src/sync capability layer) --
 
   raw-sync-primitive
@@ -188,6 +202,11 @@ SYNC_ALLOWED_PREFIXES = ("src/sync/",)
 # would-block-aware wrapper layer (src/service/io.hpp / io.cpp).
 SOCKET_IO_ALLOWED_PREFIXES = ("src/service/io",)
 
+# The metric-name registry, and the ONE layer allowed to spell metric names
+# as string literals (the registry plus the obs implementation itself).
+METRIC_NAMES_HEADER = "src/obs/names.hpp"
+METRIC_NAME_ALLOWED_PREFIXES = ("src/obs/",)
+
 # Public src/linalg entry points that must validate shapes before computing.
 # Maps source file -> function names whose definitions are checked.
 LINALG_PUBLIC_ENTRIES = {
@@ -226,6 +245,7 @@ KNOWN_RULES = {
     "raw-thread-spawn",
     "raw-socket-io",
     "seed-echo-in-tests",
+    "metric-name-literal",
     "raw-sync-primitive",
     "mutex-missing-guarded-by",
     "manual-lock-unlock",
@@ -437,6 +457,17 @@ RAW_SOCKET_IO_RE = re.compile(
     r"|(?<![\w:.])socket\s*\(")
 CLASS_RE = re.compile(r"\b(class|struct)\s+(?:CATALYST_\w+\(.*?\)\s+)?"
                       r"[A-Za-z_]\w*[^;{()]*\{")
+# Metric-emission call whose first argument opens as a string literal.  The
+# raw (string-preserving) variant spots the literal; the code (string-blanked)
+# variant confirms the call is real code, not a mention inside a comment.
+METRIC_CALL_RAW_RE = re.compile(
+    r"\bobs\s*::\s*(?:count|observe|gauge)\s*\(\s*\"")
+METRIC_CALL_CODE_RE = re.compile(r"\bobs\s*::\s*(?:count|observe|gauge)\s*\(")
+# Registry constants: `... string_view kFoo = "bar.baz";`
+METRIC_NAME_DEF_RE = re.compile(r'\bstring_view\s+k\w+\s*=\s*"([^"]*)"')
+# snake.case dotted identifier; a trailing '.' marks a dynamic-suffix prefix
+# (e.g. "collect.faults.").
+METRIC_NAME_OK_RE = re.compile(r"^[a-z][a-z0-9_]*(?:\.[a-z][a-z0-9_]*)*\.?$")
 
 
 def pass_rng(model: FileModel, findings: list[Finding]):
@@ -595,12 +626,40 @@ def pass_mutex_guarded_by(model: FileModel, findings: list[Finding]):
                    "so the thread-safety analysis can check it")
 
 
+def pass_metric_name_literal(model: FileModel, findings: list[Finding]):
+    if model.rel == METRIC_NAMES_HEADER:
+        # The registry is where literals belong -- but they must all be
+        # well-formed dotted snake.case so the exposition stays uniform.
+        for lineno, line in enumerate(model.raw_lines, 1):
+            m = METRIC_NAME_DEF_RE.search(line)
+            if m and not METRIC_NAME_OK_RE.match(m.group(1)):
+                report(model, findings, "metric-name-literal", lineno,
+                       f'registry name "{m.group(1)}" is not a snake.case '
+                       "dotted identifier (lowercase segments joined by "
+                       "'.'; trailing '.' only for dynamic-suffix prefixes)")
+        return
+    if model.rel.startswith(METRIC_NAME_ALLOWED_PREFIXES):
+        return
+    for lineno, raw in enumerate(model.raw_lines, 1):
+        if not METRIC_CALL_RAW_RE.search(raw):
+            continue
+        # Comments are blanked in code_lines, so a match there means the
+        # call is real code (only the literal's contents are blanked).
+        if not METRIC_CALL_CODE_RE.search(model.code_lines[lineno - 1]):
+            continue
+        report(model, findings, "metric-name-literal", lineno,
+               "inline metric-name literal at an obs:: call site; add the "
+               "name to src/obs/names.hpp and reference the constant so "
+               "the metric surface stays enumerable from one header")
+
+
 PER_FILE_PASSES = (
     pass_rng,
     pass_sleep,
     pass_thread_spawn,
     pass_raw_timing,
     pass_raw_socket_io,
+    pass_metric_name_literal,
     pass_using_namespace,
     pass_pragma_once,
     pass_float_equality,

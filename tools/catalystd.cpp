@@ -5,14 +5,23 @@
 //             [--partial-frame-timeout-ms N] [--session-deadline-ms N]
 //             [--analysis-timeout-ms N] [--max-inflight N]
 //             [--max-session-bytes N] [--max-frame-bytes N]
-//             [--max-sessions N] [--stats]
+//             [--max-sessions N] [--stats] [--flight-dump PATH]
 //
-// Speaks catalyst-wire-v1 over a Unix-domain socket (see
-// src/service/wire.hpp).  SIGTERM/SIGINT trigger the graceful sequence:
-// stop accepting, drain in-flight analyses, checkpoint queued-unstarted
-// requests into --checkpoint-dir, flush goodbyes, exit 0.  A daemon
-// restarted with the same --checkpoint-dir re-enqueues the checkpointed
-// requests before accepting its first connection.
+// Speaks catalyst-wire-v1 (protocol version 2: STATS/TRACE telemetry
+// frames) over a Unix-domain socket (see src/service/wire.hpp).
+// SIGTERM/SIGINT trigger the graceful sequence: stop accepting, drain
+// in-flight analyses, checkpoint queued-unstarted requests into
+// --checkpoint-dir, flush goodbyes, exit 0.  A daemon restarted with the
+// same --checkpoint-dir re-enqueues the checkpointed requests before
+// accepting its first connection.
+//
+// Live telemetry is always on: the tracer is enabled at startup (its
+// steady-state cost is covered by the bench/obs_overhead <2% budget), so
+// STATS frames answer with real counters and TRACE frames can replay a
+// request's spans.  SIGUSR1 dumps the flight recorder -- the ring of the
+// most recent request summaries -- as JSON to --flight-dump (stderr when
+// unset); a fatal crash dumps the same ring on the way out, so the last
+// thing a dead daemon leaves behind is what it was doing.
 //
 // Threading: worker-pool unit 0 runs the socket event loop; units 1..N run
 // ServiceCore worker loops.  All spawned through core::parallel_for -- the
@@ -22,8 +31,10 @@
 #include <iostream>
 #include <string>
 
+#include "core/io.hpp"
 #include "core/parallel.hpp"
 #include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/service.hpp"
@@ -33,6 +44,7 @@ namespace {
 using namespace catalyst;
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_dump_flight{false};
 std::atomic<int> g_wake_fd{-1};
 
 void handle_signal(int) {
@@ -42,9 +54,37 @@ void handle_signal(int) {
   if (fd >= 0) service::io::notify_pipe(fd);
 }
 
+void handle_sigusr1(int) {
+  // Same shape as handle_signal: flag + self-pipe poke; the dump itself
+  // (JSON rendering, file I/O) happens on the event-loop thread.
+  g_dump_flight.store(true, std::memory_order_relaxed);
+  const int fd = g_wake_fd.load(std::memory_order_relaxed);
+  if (fd >= 0) service::io::notify_pipe(fd);
+}
+
+/// Renders the flight-recorder ring and writes it to `path` (atomically)
+/// or stderr when no path was configured.  Never throws: this runs on the
+/// crash path, where a second failure must not mask the first.
+void dump_flight(const std::string& path) noexcept {
+  try {
+    obs::FlightRecorder& recorder = obs::FlightRecorder::instance();
+    const std::string json = obs::to_flight_json(
+        recorder.snapshot(), recorder.recorded(), recorder.capacity());
+    if (path.empty()) {
+      std::cerr << json;
+    } else {
+      core::write_text_file_atomic(path, json);
+      std::cerr << "catalystd: flight recorder dumped to " << path << "\n";
+    }
+  } catch (...) {
+    // Swallow: a failed dump is a diagnostic loss, not a daemon failure.
+  }
+}
+
 struct Flags {
   std::string socket_path;
   std::string checkpoint_dir;
+  std::string flight_dump_path;
   int workers = 1;
   std::size_t queue = 64;
   std::size_t max_inflight = 8;
@@ -70,7 +110,8 @@ int usage() {
          "                 [--session-deadline-ms N]\n"
          "                 [--analysis-timeout-ms N] [--max-inflight N]\n"
          "                 [--max-session-bytes N] [--max-frame-bytes N]\n"
-         "                 [--max-sessions N] [--stats]\n";
+         "                 [--max-sessions N] [--stats]\n"
+         "                 [--flight-dump PATH]\n";
   return 2;
 }
 
@@ -85,6 +126,8 @@ bool parse_flags(int argc, char** argv, Flags& flags) {
       flags.socket_path = v;
     } else if (a == "--checkpoint-dir" && (v = value())) {
       flags.checkpoint_dir = v;
+    } else if (a == "--flight-dump" && (v = value())) {
+      flags.flight_dump_path = v;
     } else if (a == "--workers" && (v = value())) {
       flags.workers = std::stoi(v);
     } else if (a == "--queue" && (v = value())) {
@@ -121,7 +164,10 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!parse_flags(argc, argv, flags)) return usage();
   if (flags.workers < 1) flags.workers = 1;
-  if (flags.stats) obs::Tracer::instance().enable();
+  // Live telemetry is part of the daemon's contract (STATS/TRACE frames,
+  // flight recorder), so tracing is on unconditionally; --stats only adds
+  // the exit-time summary on stderr.
+  obs::Tracer::instance().enable();
 
   try {
     faults::RealClock clock;
@@ -153,11 +199,17 @@ int main(int argc, char** argv) {
         std::chrono::milliseconds(flags.partial_frame_timeout_ms);
     server_options.session_limits.session_deadline =
         std::chrono::milliseconds(flags.session_deadline_ms);
+    server_options.on_wake = [&flags]() {
+      if (g_dump_flight.exchange(false, std::memory_order_relaxed)) {
+        dump_flight(flags.flight_dump_path);
+      }
+    };
     service::Server server(core, server_options);
 
     g_wake_fd.store(server.wake_fd(), std::memory_order_relaxed);
     std::signal(SIGTERM, handle_signal);
     std::signal(SIGINT, handle_signal);
+    std::signal(SIGUSR1, handle_sigusr1);
     std::signal(SIGPIPE, SIG_IGN);
 
     std::cerr << "catalystd: listening on " << flags.socket_path << " ("
@@ -204,6 +256,8 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "catalystd: fatal: " << e.what() << "\n";
+    // Crash-path dump: leave behind what the daemon was doing when it died.
+    dump_flight(flags.flight_dump_path);
     return 1;
   }
 }

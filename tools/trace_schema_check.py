@@ -1,19 +1,28 @@
 #!/usr/bin/env python3
 """Schema validator for catalyst::obs artifacts.
 
-Validates the two JSON formats the CLI emits:
+Validates the four JSON formats the tools emit:
 
-  * Chrome trace_event files (--trace-out):   --kind trace
+  * Chrome trace_event files (--trace-out,
+    `catalyst_client trace <id>` fragments):  --kind trace
   * run manifests (--manifest-out):           --kind manifest
+  * metrics expositions (STATS scrapes,
+    `catalyst_client stats --json`):          --kind metrics
+  * flight-recorder dumps (SIGUSR1 /
+    crash-path --flight-dump files):          --kind flight
 
 Usage:
   tools/trace_schema_check.py --kind trace run.json \
       --require-span stage.noise_filter --require-span stage.qrcp
   tools/trace_schema_check.py --kind manifest manifest.json
+  tools/trace_schema_check.py --kind metrics stats2.json \
+      --monotone-baseline stats1.json
+  tools/trace_schema_check.py --kind flight flight.json --require-trace 77
 
-Exit code 0 when the file is schema-valid (and every --require-span name
-occurs at least once); 1 with a diagnostic otherwise.  Stdlib only -- this
-runs in CI (scripts/check.sh obs) and in a ctest.
+Exit code 0 when the file is schema-valid (and every --require-span /
+--require-trace / --monotone-baseline condition holds); 1 with a diagnostic
+otherwise.  Stdlib only -- this runs in CI (scripts/check.sh obs and
+service_soak) and in a ctest.
 """
 from __future__ import annotations
 
@@ -22,6 +31,9 @@ import json
 import sys
 
 MANIFEST_FORMAT = "catalyst-run-manifest-v1"
+METRICS_FORMAT = "catalyst-metrics-v1"
+FLIGHT_FORMAT = "catalyst-flight-recorder-v1"
+FLIGHT_VERDICTS = ("ok", "cancelled", "deadline", "failed")
 
 
 class SchemaError(Exception):
@@ -35,6 +47,16 @@ def expect(cond: bool, msg: str) -> None:
 
 def is_uint(v) -> bool:
     return isinstance(v, int) and not isinstance(v, bool) and v >= 0
+
+
+def is_int(v) -> bool:
+    return isinstance(v, int) and not isinstance(v, bool)
+
+
+def is_number_or_null(v) -> bool:
+    # json_number() degrades non-finite doubles to null.
+    return v is None or (isinstance(v, (int, float)) and
+                         not isinstance(v, bool))
 
 
 def check_trace(doc, required_spans) -> int:
@@ -129,25 +151,160 @@ def check_manifest(doc, required_spans) -> int:
     return 0
 
 
+def check_counter_map(doc, key) -> dict:
+    counters = doc.get(key)
+    expect(isinstance(counters, dict), f"metrics '{key}' must be an object")
+    return counters
+
+
+def check_metrics(doc, baseline) -> int:
+    expect(isinstance(doc, dict), "metrics root must be an object")
+    expect(doc.get("format") == METRICS_FORMAT,
+           f"metrics 'format' must be '{METRICS_FORMAT}', got "
+           f"{doc.get('format')!r}")
+    compiled_out = doc.get("compiled_out", False)
+    expect(isinstance(compiled_out, bool),
+           "'compiled_out' must be a boolean when present")
+    counters = check_counter_map(doc, "counters")
+    for name, value in counters.items():
+        expect(is_uint(value),
+               f"counter '{name}' must be a non-negative int, got {value!r}")
+    gauges = check_counter_map(doc, "gauges")
+    for name, value in gauges.items():
+        expect(is_int(value), f"gauge '{name}' must be an int, got {value!r}")
+    hists = doc.get("histograms")
+    expect(isinstance(hists, list), "metrics 'histograms' must be an array")
+    for i, h in enumerate(hists):
+        where = f"histograms[{i}]"
+        expect(isinstance(h, dict), f"{where} must be an object")
+        expect(isinstance(h.get("name"), str) and h["name"],
+               f"{where}: missing/empty 'name'")
+        expect(is_uint(h.get("count")), f"{where}: 'count' must be a uint")
+        for key in ("sum", "min", "max"):
+            expect(is_number_or_null(h.get(key)),
+                   f"{where}: '{key}' must be a number or null")
+        expect(is_uint(h.get("num_buckets")) and h["num_buckets"] > 0,
+               f"{where}: 'num_buckets' must be a positive int")
+        expect(is_int(h.get("bucket_bias")),
+               f"{where}: 'bucket_bias' must be an int")
+        buckets = h.get("buckets")
+        expect(isinstance(buckets, list), f"{where}: 'buckets' must be an "
+               "array of [index, count] pairs")
+        prev_index = -1
+        for j, pair in enumerate(buckets):
+            expect(isinstance(pair, list) and len(pair) == 2 and
+                   is_uint(pair[0]) and is_uint(pair[1]),
+                   f"{where}.buckets[{j}] must be [uint index, uint count]")
+            expect(pair[0] < h["num_buckets"],
+                   f"{where}.buckets[{j}]: index {pair[0]} out of range "
+                   f"(num_buckets {h['num_buckets']})")
+            expect(pair[0] > prev_index,
+                   f"{where}.buckets[{j}]: indices must be strictly "
+                   "increasing")
+            expect(pair[1] > 0,
+                   f"{where}.buckets[{j}]: zero-count buckets are elided "
+                   "by the exposition, so a 0 here is malformed")
+            prev_index = pair[0]
+    if compiled_out:
+        expect(not counters and not gauges and not hists,
+               "a compiled-out exposition must carry empty "
+               "counters/gauges/histograms")
+    if baseline is not None:
+        base_counters = baseline.get("counters", {})
+        expect(isinstance(base_counters, dict),
+               "baseline 'counters' must be an object")
+        for name, before in base_counters.items():
+            after = counters.get(name, 0)
+            expect(is_uint(before) and after >= before,
+                   f"counter '{name}' went backwards across polls: "
+                   f"{before} -> {after}")
+    print(f"metrics OK: {len(counters)} counters, {len(gauges)} gauges, "
+          f"{len(hists)} histograms"
+          + (", compiled out" if compiled_out else "")
+          + (f", monotone vs baseline ({len(baseline.get('counters', {}))} "
+             "counters)" if baseline is not None else ""))
+    return 0
+
+
+def check_flight(doc, required_traces) -> int:
+    expect(isinstance(doc, dict), "flight dump root must be an object")
+    expect(doc.get("format") == FLIGHT_FORMAT,
+           f"flight 'format' must be '{FLIGHT_FORMAT}', got "
+           f"{doc.get('format')!r}")
+    expect(is_uint(doc.get("capacity")) and doc["capacity"] >= 1,
+           "flight 'capacity' must be a positive int")
+    expect(is_uint(doc.get("recorded")),
+           "flight 'recorded' must be a non-negative int")
+    records = doc.get("records")
+    expect(isinstance(records, list), "flight 'records' must be an array")
+    expect(len(records) == min(doc["recorded"], doc["capacity"]),
+           f"flight ring invariant broken: {doc['recorded']} recorded with "
+           f"capacity {doc['capacity']} must retain "
+           f"{min(doc['recorded'], doc['capacity'])} records, "
+           f"got {len(records)}")
+    seen_traces = set()
+    for i, r in enumerate(records):
+        where = f"records[{i}]"
+        expect(isinstance(r, dict), f"{where} must be an object")
+        for key in ("request_id", "session_id", "trace_id", "bytes",
+                    "faults", "retries"):
+            expect(is_uint(r.get(key)),
+                   f"{where}: '{key}' must be a non-negative int")
+        expect(isinstance(r.get("category"), str),
+               f"{where}: 'category' must be a string")
+        expect(r.get("verdict") in FLIGHT_VERDICTS,
+               f"{where}: 'verdict' must be one of "
+               f"{'/'.join(FLIGHT_VERDICTS)}, got {r.get('verdict')!r}")
+        for key in ("enqueued_ns", "started_ns", "finished_ns"):
+            expect(is_int(r.get(key)), f"{where}: '{key}' must be an int")
+        seen_traces.add(r["trace_id"])
+    missing = [t for t in required_traces if t not in seen_traces]
+    expect(not missing,
+           "required trace id(s) absent from the ring: "
+           + ", ".join(str(t) for t in missing))
+    print(f"flight dump OK: {len(records)} of {doc['recorded']} recorded "
+          f"(capacity {doc['capacity']})")
+    return 0
+
+
+def load_json(path: str):
+    with open(path, "r", encoding="utf-8") as f:
+        return json.load(f)
+
+
 def main() -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("file", help="JSON artifact to validate")
-    ap.add_argument("--kind", choices=("trace", "manifest"), required=True)
+    ap.add_argument("--kind", choices=("trace", "manifest", "metrics",
+                                       "flight"), required=True)
     ap.add_argument("--require-span", action="append", default=[],
                     metavar="NAME",
                     help="fail unless a span/stage with this name is present "
-                         "(repeatable)")
+                         "(repeatable; trace/manifest kinds)")
+    ap.add_argument("--monotone-baseline", metavar="FILE",
+                    help="metrics kind: fail if any counter in FILE (an "
+                         "earlier scrape) exceeds its value in the validated "
+                         "exposition")
+    ap.add_argument("--require-trace", action="append", default=[], type=int,
+                    metavar="ID",
+                    help="flight kind: fail unless a record with this "
+                         "trace_id survives in the ring (repeatable)")
     args = ap.parse_args()
     try:
-        with open(args.file, "r", encoding="utf-8") as f:
-            doc = json.load(f)
+        doc = load_json(args.file)
+        baseline = (load_json(args.monotone_baseline)
+                    if args.monotone_baseline else None)
     except (OSError, json.JSONDecodeError) as e:
-        print(f"{args.file}: unreadable or invalid JSON: {e}", file=sys.stderr)
+        print(f"unreadable or invalid JSON: {e}", file=sys.stderr)
         return 1
     try:
         if args.kind == "trace":
             return check_trace(doc, args.require_span)
-        return check_manifest(doc, args.require_span)
+        if args.kind == "manifest":
+            return check_manifest(doc, args.require_span)
+        if args.kind == "metrics":
+            return check_metrics(doc, baseline)
+        return check_flight(doc, args.require_trace)
     except SchemaError as e:
         print(f"{args.file}: {e}", file=sys.stderr)
         return 1
