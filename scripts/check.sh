@@ -13,6 +13,9 @@
 #                               GEMM/QR/QRCP with worker threads > 1)
 #   5. fault_pipeline           Tables V-VIII pipeline under the canonical
 #                               mid-rate FaultPlan vs the clean goldens
+#   5b. collection_modes        counting-vs-sampling recovery oracle, quick
+#                               ratchet tier (bench/ablation_collection_modes
+#                               --quick), budget-enforced (<60s)
 #   6. obs                      trace + run-manifest artifacts are schema-valid
 #                               (clean and under injected faults)
 #   7. clang-tidy               if clang-tidy is installed (SKIPPED otherwise)
@@ -169,6 +172,32 @@ stage_fault_pipeline() {
     cmake --build "$dir" -j "$JOBS" > "$dir/build.log" 2>&1 \
         || { tail -n 60 "$dir/build.log"; return 1; }
     (cd "$dir" && ctest --output-on-failure -R '^fault_pipeline$' --timeout 300)
+}
+
+stage_collection_modes() {
+    # The counting-vs-sampling recovery oracle: sweep the quick ratchet of
+    # sampling ratios and fail on any wrong-model recovery (counting must be
+    # >=95% exact with zero wrong; sampling/strobed may degrade but may
+    # never recover a wrong model).  The oracle binary enforces those gates
+    # itself; this stage just keeps it wired into CI under a time budget.
+    # Reuses the release tree.
+    local dir=build-check-release
+    mkdir -p "$dir"
+    cmake -B "$dir" -S . -DCMAKE_BUILD_TYPE=Release > "$dir/configure.log" 2>&1 \
+        || { cat "$dir/configure.log"; return 1; }
+    cmake --build "$dir" -j "$JOBS" \
+        --target ablation_collection_modes > "$dir/build.log" 2>&1 \
+        || { tail -n 60 "$dir/build.log"; return 1; }
+    local start elapsed rc=0
+    start="$(date +%s)"
+    "$dir/bench/ablation_collection_modes" --quick || rc=1
+    elapsed=$(( $(date +%s) - start ))
+    printf 'collection-modes oracle wall time: %ss (budget 60s)\n' "$elapsed"
+    if [ "$elapsed" -ge 60 ]; then
+        printf 'collection-modes oracle exceeded its 60s budget\n' >&2
+        return 1
+    fi
+    return "$rc"
 }
 
 stage_obs() {
@@ -421,7 +450,7 @@ stage_tidy() {
         | xargs -0 -P "$JOBS" -n 8 clang-tidy -p "$dir" --quiet
 }
 
-ALL_STAGES="lint quick release thread_safety asan_ubsan tsan tsan_linalg fault_pipeline obs service_soak tidy"
+ALL_STAGES="lint quick release thread_safety asan_ubsan tsan tsan_linalg fault_pipeline collection_modes obs service_soak tidy"
 STAGES="${*:-$ALL_STAGES}"
 
 for stage in $STAGES; do
@@ -440,6 +469,9 @@ for stage in $STAGES; do
         fault_pipeline)
                     run_stage "fault-injected pipeline vs clean goldens" \
                               stage_fault_pipeline ;;
+        collection_modes)
+                    run_stage "collection-modes recovery oracle (quick ratchet)" \
+                              stage_collection_modes ;;
         obs)        run_stage "obs artifact schema validation" stage_obs ;;
         service_soak)
                     run_stage "catalystd soak (fleet + garbage + loris + SIGTERM)" \

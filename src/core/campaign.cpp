@@ -137,6 +137,15 @@ std::string campaign_config_key(const pmu::Machine& machine,
      << (options.fault_plan != nullptr ? faults::describe(*options.fault_plan)
                                        : std::string("off"))
      << "|max_retries=" << options.resilience.max_retries;
+  if (options.collection_mode != vpapi::CollectionMode::counting) {
+    // Counting campaigns keep the historical key byte-for-byte; sampling
+    // knobs only appear when they actually shape the data.
+    os << "|mode=" << vpapi::to_string(options.collection_mode)
+       << "|span=" << options.sample_schedule.kernel_span_ns
+       << "|period=" << options.sample_schedule.period_ns
+       << "|short=" << options.sample_schedule.short_period_ns
+       << "|dither=" << (options.sample_schedule.dither ? 1 : 0);
+  }
   return os.str();
 }
 
@@ -150,6 +159,10 @@ struct Batch {
   std::vector<std::vector<double>> measurements;
   std::vector<std::string> quarantined;  ///< This batch's casualties.
   vpapi::CollectionReport report;        ///< Merged across benchmark threads.
+  /// Sampling/strobed modes only: the per-run sample traces behind this
+  /// batch's measurements, benchmark-thread order.  Never checkpointed
+  /// (checkpointing is counting-only).
+  std::vector<vpapi::RunTrace> traces;
 };
 
 std::string checkpoint_path(const std::string& directory, std::size_t batch) {
@@ -248,21 +261,35 @@ Batch collect_batch(const pmu::Machine& machine,
                     const CampaignOptions& options) {
   const std::size_t n_threads = thread_acts.size();
   const std::size_t n_slots = benchmark.slots.size();
+  const bool sampled =
+      options.collection_mode != vpapi::CollectionMode::counting;
 
-  std::vector<vpapi::ResilientCollectionResult> per_thread;
-  per_thread.reserve(n_threads);
+  Batch batch;
+  std::vector<vpapi::CollectionResult> thread_data(n_threads);
+  std::vector<vpapi::CollectionReport> thread_reports;
   std::unordered_set<std::string> quarantined_set;
   for (std::size_t t = 0; t < n_threads; ++t) {
-    per_thread.push_back(vpapi::collect_resilient(
-        machine, all_events, thread_acts[t], /*repetitions=*/1,
-        options.fault_plan, options.resilience,
-        /*repetition_offset=*/r * n_threads + t));
-    for (const auto& q : per_thread[t].report.quarantined) {
-      quarantined_set.insert(q);
+    if (sampled) {
+      vpapi::SampledCollectionResult sr = vpapi::collect_sampled(
+          machine, all_events, thread_acts[t], /*repetitions=*/1,
+          options.collection_mode, options.sample_schedule,
+          options.resilience.threads, options.sample_clock,
+          /*repetition_offset=*/r * n_threads + t);
+      thread_data[t] = std::move(sr.data);
+      for (auto& run : sr.trace.runs) batch.traces.push_back(std::move(run));
+    } else {
+      vpapi::ResilientCollectionResult rr = vpapi::collect_resilient(
+          machine, all_events, thread_acts[t], /*repetitions=*/1,
+          options.fault_plan, options.resilience,
+          /*repetition_offset=*/r * n_threads + t);
+      for (const auto& q : rr.report.quarantined) {
+        quarantined_set.insert(q);
+      }
+      thread_data[t] = std::move(rr.data);
+      thread_reports.push_back(std::move(rr.report));
     }
   }
 
-  Batch batch;
   for (const auto& name : all_events) {
     if (quarantined_set.count(name) == 0) {
       batch.events.push_back(name);
@@ -275,7 +302,7 @@ Batch collect_batch(const pmu::Machine& machine,
   // are absent from a thread's data, shifting the ones after them).
   std::vector<std::unordered_map<std::string, std::size_t>> row_of(n_threads);
   for (std::size_t t = 0; t < n_threads; ++t) {
-    const auto& names = per_thread[t].data.event_names;
+    const auto& names = thread_data[t].event_names;
     for (std::size_t e = 0; e < names.size(); ++e) row_of[t][names[e]] = e;
   }
 
@@ -290,7 +317,7 @@ Batch collect_batch(const pmu::Machine& machine,
                         "collect_batch: kept event missing from a thread's "
                         "data");
         thread_vals[t] =
-            per_thread[t].data.repetitions[0].values[it->second][k];
+            thread_data[t].repetitions[0].values[it->second][k];
       }
       const double med =
           n_threads == 1 ? thread_vals[0] : median(thread_vals);
@@ -299,10 +326,10 @@ Batch collect_batch(const pmu::Machine& machine,
   }
 
   std::unordered_map<std::string, vpapi::EventReport> by_name;
-  for (const auto& rt : per_thread) {
-    merge_report_into(by_name, rt.report);
-    batch.report.total_retries += rt.report.total_retries;
-    batch.report.start_retries += rt.report.start_retries;
+  for (const auto& rt : thread_reports) {
+    merge_report_into(by_name, rt);
+    batch.report.total_retries += rt.total_retries;
+    batch.report.start_retries += rt.start_retries;
   }
   for (const auto& name : all_events) {
     const auto it = by_name.find(name);
@@ -335,6 +362,20 @@ CampaignResult run_campaign(const pmu::Machine& machine,
   benchmark.validate();
   CATALYST_REQUIRE_AS(!machine.events().empty(), std::invalid_argument,
                       "run_campaign: machine publishes no events");
+  const bool sampled =
+      options.collection_mode != vpapi::CollectionMode::counting;
+  if (sampled) {
+    options.sample_schedule.validate();
+    CATALYST_REQUIRE_AS(
+        options.fault_plan == nullptr || !options.fault_plan->enabled(),
+        std::invalid_argument,
+        "run_campaign: fault injection is counting-mode only (the sampling "
+        "collector has no per-kernel retry point)");
+    CATALYST_REQUIRE_AS(
+        options.checkpoint.directory.empty(), std::invalid_argument,
+        "run_campaign: checkpointing is counting-mode only (sample traces "
+        "do not fit the checkpoint format)");
+  }
   const std::size_t n_threads =
       benchmark.slots.front().thread_activities.size();
   for (const auto& slot : benchmark.slots) {
@@ -479,8 +520,19 @@ CampaignResult run_campaign(const pmu::Machine& machine,
   out.archive = make_archive(machine, benchmark, out.result);
   out.archive.quarantined = quarantined_ordered;
   out.archive.collection_report = std::move(merged);
+  if (sampled) {
+    out.archive.collection_mode = options.collection_mode;
+    vpapi::SampleTrace trace;
+    trace.mode = options.collection_mode;
+    trace.schedule = options.sample_schedule;
+    trace.kernels = n_slots;
+    for (auto& b : batches) {
+      for (auto& run : b.traces) trace.runs.push_back(std::move(run));
+    }
+    out.archive.sample_trace = std::move(trace);
+  }
   if (!out.archive.quarantined.empty() ||
-      out.archive.collection_report.has_value()) {
+      out.archive.collection_report.has_value() || sampled) {
     // Let save_archive pick the v2 format marker.
     out.archive.format_version.clear();
   }
@@ -498,6 +550,19 @@ PipelineResult run_pipeline_resilient(
   campaign.resilience = resilience;
   return std::move(run_campaign(machine, benchmark, signatures, campaign)
                        .result);
+}
+
+CampaignResult run_pipeline_sampled(
+    const pmu::Machine& machine, const cat::Benchmark& benchmark,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options, vpapi::CollectionMode mode,
+    const vpapi::SampleSchedule& schedule, faults::Clock* clock) {
+  CampaignOptions campaign;
+  campaign.pipeline = options;
+  campaign.collection_mode = mode;
+  campaign.sample_schedule = schedule;
+  campaign.sample_clock = clock;
+  return run_campaign(machine, benchmark, signatures, campaign);
 }
 
 }  // namespace catalyst::core

@@ -88,10 +88,25 @@ struct CheckpointOptions {
 /// Everything a campaign needs beyond the machine + benchmark pair.
 struct CampaignOptions {
   PipelineOptions pipeline;
-  /// Fault injection; nullptr (or a disabled plan) runs clean.
+  /// Fault injection; nullptr (or a disabled plan) runs clean.  Only the
+  /// counting mode supports fault injection: the sampling collector reads
+  /// running counters on a timer and has no per-kernel retry point.
   const faults::FaultPlan* fault_plan = nullptr;
   vpapi::ResilienceOptions resilience;
+  /// Checkpointing is counting-only for now: a sampling batch's trace does
+  /// not fit the catalyst-checkpoint-v1 row format, and silently dropping
+  /// it on resume would desynchronize the archive from the measurements.
+  /// run_campaign throws std::invalid_argument on a non-counting mode with
+  /// a checkpoint directory (or an enabled fault plan).
   CheckpointOptions checkpoint;
+  /// How the collection stage reads the counters (vpapi/sampling.hpp).
+  vpapi::CollectionMode collection_mode = vpapi::CollectionMode::counting;
+  /// Virtual-time schedule for the sampling/strobed modes (ignored when
+  /// counting).
+  vpapi::SampleSchedule sample_schedule;
+  /// Paces sampling-mode collection in virtual time; nullptr skips pacing
+  /// (measured values never depend on the clock).
+  faults::Clock* sample_clock = nullptr;
 };
 
 struct CampaignResult {
@@ -133,5 +148,17 @@ PipelineResult run_pipeline_resilient(
     const PipelineOptions& options = {},
     const faults::FaultPlan* plan = nullptr,
     const vpapi::ResilienceOptions& resilience = {});
+
+/// run_pipeline() on the sampling collector: measurements come from the
+/// per-phase synthesis of each run's sample trace instead of boundary
+/// reads, and the returned archive carries the mode + full trace (v2).
+/// `mode` = counting degenerates to the plain campaign (bit-identical
+/// archive to run_pipeline()).  No fault plan, no checkpointing.
+CampaignResult run_pipeline_sampled(
+    const pmu::Machine& machine, const cat::Benchmark& benchmark,
+    const std::vector<MetricSignature>& signatures,
+    const PipelineOptions& options, vpapi::CollectionMode mode,
+    const vpapi::SampleSchedule& schedule = {},
+    faults::Clock* clock = nullptr);
 
 }  // namespace catalyst::core

@@ -44,8 +44,10 @@ MeasurementArchive make_archive(const pmu::Machine& machine,
 }
 
 std::string save_archive(const MeasurementArchive& archive, int indent) {
-  const bool v2 =
-      !archive.quarantined.empty() || archive.collection_report.has_value();
+  const bool v2 = !archive.quarantined.empty() ||
+                  archive.collection_report.has_value() ||
+                  archive.collection_mode != vpapi::CollectionMode::counting ||
+                  archive.sample_trace.has_value();
   json::Value root = json::Value::object();
   root["format"] = !archive.format_version.empty() ? archive.format_version
                    : v2                            ? kFormatVersionV2
@@ -95,6 +97,15 @@ std::string save_archive(const MeasurementArchive& archive, int indent) {
     if (archive.collection_report.has_value()) {
       root["collection_report"] =
           collection_report_to_json(*archive.collection_report);
+    }
+    // The mode knob and trace appear only for non-counting campaigns:
+    // default-mode archives keep the exact v1 byte layout.
+    if (archive.collection_mode != vpapi::CollectionMode::counting) {
+      root["collection_mode"] =
+          std::string(vpapi::to_string(archive.collection_mode));
+    }
+    if (archive.sample_trace.has_value()) {
+      root["sample_trace"] = sample_trace_to_json(*archive.sample_trace);
     }
   }
 
@@ -173,6 +184,13 @@ MeasurementArchive load_archive_impl(const std::string& json_text) {
   if (root.contains("collection_report")) {
     a.collection_report =
         collection_report_from_json(root.at("collection_report"));
+  }
+  if (root.contains("collection_mode")) {
+    a.collection_mode = vpapi::collection_mode_from_string(
+        root.at("collection_mode").as_string());
+  }
+  if (root.contains("sample_trace")) {
+    a.sample_trace = sample_trace_from_json(root.at("sample_trace"));
   }
   return a;
 }
@@ -289,6 +307,92 @@ vpapi::CollectionReport collection_report_from_json(const json::Value& v) {
     report.events.push_back(std::move(e));
   }
   return report;
+}
+
+json::Value sample_trace_to_json(const vpapi::SampleTrace& trace) {
+  json::Value v = json::Value::object();
+  v["mode"] = std::string(vpapi::to_string(trace.mode));
+  json::Value sched = json::Value::object();
+  sched["kernel_span_ns"] = trace.schedule.kernel_span_ns;
+  sched["period_ns"] = trace.schedule.period_ns;
+  sched["short_period_ns"] = trace.schedule.short_period_ns;
+  sched["dither"] = trace.schedule.dither;
+  v["schedule"] = std::move(sched);
+  v["kernels"] = trace.kernels;
+  json::Value runs = json::Value::array();
+  for (const auto& run : trace.runs) {
+    json::Value jr = json::Value::object();
+    jr["repetition"] = run.repetition;
+    jr["run_id"] = run.run_id;
+    json::Value evs = json::Value::array();
+    for (const auto& n : run.events) evs.push_back(n);
+    jr["events"] = std::move(evs);
+    json::Value samples = json::Value::array();
+    for (const auto& s : run.samples) {
+      json::Value js = json::Value::object();
+      js["t"] = s.t_ns;
+      json::Value vals = json::Value::array();
+      for (const double x : s.values) vals.push_back(x);
+      js["values"] = std::move(vals);
+      samples.push_back(std::move(js));
+    }
+    jr["samples"] = std::move(samples);
+    runs.push_back(std::move(jr));
+  }
+  v["runs"] = std::move(runs);
+  return v;
+}
+
+namespace {
+
+/// Checked u64 field read: a negative or absurdly large number in a
+/// hand-edited (or fuzzed) archive must surface as a typed error, never
+/// reach the undefined double->unsigned cast.
+std::uint64_t trace_u64(const json::Value& v, const char* what) {
+  const double x = v.as_number();
+  if (!(x >= 0.0) || x >= 1.8446744073709552e19) {
+    throw std::invalid_argument(std::string("sample_trace: ") + what +
+                                " out of range");
+  }
+  return static_cast<std::uint64_t>(x);
+}
+
+}  // namespace
+
+vpapi::SampleTrace sample_trace_from_json(const json::Value& v) {
+  vpapi::SampleTrace trace;
+  trace.mode = vpapi::collection_mode_from_string(v.at("mode").as_string());
+  const auto& sched = v.at("schedule");
+  trace.schedule.kernel_span_ns =
+      trace_u64(sched.at("kernel_span_ns"), "kernel_span_ns");
+  trace.schedule.period_ns = trace_u64(sched.at("period_ns"), "period_ns");
+  trace.schedule.short_period_ns =
+      trace_u64(sched.at("short_period_ns"), "short_period_ns");
+  trace.schedule.dither = sched.at("dither").as_bool();
+  trace.schedule.validate();
+  trace.kernels =
+      static_cast<std::size_t>(trace_u64(v.at("kernels"), "kernels"));
+  for (const auto& jr : v.at("runs").as_array()) {
+    vpapi::RunTrace run;
+    run.repetition = trace_u64(jr.at("repetition"), "repetition");
+    run.run_id = trace_u64(jr.at("run_id"), "run_id");
+    for (const auto& n : jr.at("events").as_array()) {
+      run.events.push_back(n.as_string());
+    }
+    for (const auto& js : jr.at("samples").as_array()) {
+      vpapi::SamplePoint s;
+      s.t_ns = trace_u64(js.at("t"), "sample t");
+      const auto& vals = js.at("values").as_array();
+      if (vals.size() != run.events.size()) {
+        throw std::invalid_argument(
+            "sample_trace: sample width != run event count");
+      }
+      for (const auto& x : vals) s.values.push_back(x.as_number());
+      run.samples.push_back(std::move(s));
+    }
+    trace.runs.push_back(std::move(run));
+  }
+  return trace;
 }
 
 }  // namespace catalyst::core

@@ -17,6 +17,7 @@
 #include "core/pipeline.hpp"
 #include "pmu/machine.hpp"
 #include "vpapi/collector.hpp"
+#include "vpapi/sampling.hpp"
 
 namespace catalyst::core {
 
@@ -52,9 +53,12 @@ class ArchiveError : public json::JsonError {
 /// Everything needed to analyze a collection offline.
 ///
 /// Format versions: "catalyst-measurements-v1" is the original archive;
-/// "catalyst-measurements-v2" adds the robustness payload (quarantined
-/// events + the resilient driver's CollectionReport).  The loader accepts
-/// both; the writer emits v2 exactly when a robustness payload is present.
+/// "catalyst-measurements-v2" adds the optional payloads -- robustness
+/// (quarantined events + the resilient driver's CollectionReport) and
+/// collection mode (the mode knob + the sampling/strobed sample trace).
+/// The loader accepts both; the writer emits v2 exactly when any optional
+/// payload is present, so default counting-mode archives stay
+/// byte-identical to v1.
 struct MeasurementArchive {
   std::string format_version;  ///< "catalyst-measurements-v{1,2}".
   std::string machine_name;
@@ -69,6 +73,11 @@ struct MeasurementArchive {
   /// from `measurements`), and the full per-event collection report.
   std::vector<std::string> quarantined;
   std::optional<vpapi::CollectionReport> collection_report;
+  /// v2: how the measurements were collected.  counting (the default) is
+  /// never serialized; sampling/strobed archives carry the mode and the
+  /// per-run sample trace the measurements were reconstructed from.
+  vpapi::CollectionMode collection_mode = vpapi::CollectionMode::counting;
+  std::optional<vpapi::SampleTrace> sample_trace;
 };
 
 /// Builds an archive from a pipeline run (uses the result's stage-1..3
@@ -107,5 +116,11 @@ void write_text_file_atomic(const std::string& path,
 
 json::Value collection_report_to_json(const vpapi::CollectionReport& report);
 vpapi::CollectionReport collection_report_from_json(const json::Value& v);
+
+// --- JSON (de)serialization of sample traces --------------------------------
+// Carried by v2 archives of sampling/strobed campaigns.
+
+json::Value sample_trace_to_json(const vpapi::SampleTrace& trace);
+vpapi::SampleTrace sample_trace_from_json(const json::Value& v);
 
 }  // namespace catalyst::core

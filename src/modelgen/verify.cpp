@@ -5,6 +5,7 @@
 #include <random>
 #include <sstream>
 
+#include "core/campaign.hpp"
 #include "core/contract.hpp"
 #include "core/truth.hpp"
 
@@ -136,6 +137,34 @@ RecoveryOutcome run_and_verify(const GeneratedModel& model,
   const core::PipelineResult result = core::run_pipeline(
       machine, model.benchmark, model.signatures, model.options);
   return verify_recovery(model, result, options);
+}
+
+RecoveryOutcome run_and_verify_sampled(const GeneratedModel& model,
+                                       vpapi::CollectionMode mode,
+                                       const vpapi::SampleSchedule& schedule,
+                                       const VerifyOptions& options) {
+  const pmu::Machine machine = model.machine();
+  const core::CampaignResult campaign = core::run_pipeline_sampled(
+      machine, model.benchmark, model.signatures, model.options, mode,
+      schedule);
+  VerifyOptions adjusted = options;
+  if (adjusted.truth_tol <= 0.0 && mode != vpapi::CollectionMode::counting) {
+    // Sampled measurements carry a KNOWN phase-attribution bias: a kernel
+    // boundary is interpolated between samples up to one period apart, so
+    // per-kernel values -- and any signature composed from them -- are only
+    // determined to a relative error of order period/span.  Judging
+    // truthfulness tighter than the data permits would brand bias-shifted
+    // but faithful compositions as silent lies.  The bound is capped below
+    // the ~0.14 relative deviation of the smallest integer-coefficient
+    // misstatement, so a genuine coefficient lie still reads `wrong`; past
+    // the cap the pipeline's own composability flag (-> degraded) is the
+    // load-bearing detector, which the collection-modes oracle sweep pins.
+    const double ratio = static_cast<double>(schedule.period_ns) /
+                         static_cast<double>(schedule.kernel_span_ns);
+    adjusted.truth_tol = std::max(derived_truth_tol(model.spec),
+                                  std::min(0.13, 1.5 * ratio));
+  }
+  return verify_recovery(model, campaign.result, adjusted);
 }
 
 std::string RecoveryOutcome::repro() const { return repro_line; }

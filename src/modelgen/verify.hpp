@@ -26,6 +26,7 @@
 
 #include "core/pipeline.hpp"
 #include "modelgen/generator.hpp"
+#include "vpapi/sampling.hpp"
 
 namespace catalyst::modelgen {
 
@@ -80,6 +81,19 @@ RecoveryOutcome verify_recovery(const GeneratedModel& model,
 /// model's derived options, and judges the result.
 RecoveryOutcome run_and_verify(const GeneratedModel& model,
                                const VerifyOptions& options = {});
+
+/// run_and_verify through the sampling collector: measurements are the
+/// per-phase synthesis of each run's sample trace (vpapi/sampling.hpp)
+/// instead of boundary reads, then judged against the same planted truth.
+/// This is the counting-vs-sampling recovery oracle: `schedule` controls
+/// the attribution-error magnitude, and the acceptable outcomes are exact /
+/// alternative (fine periods) or degraded (coarse periods) -- never wrong,
+/// because dithering turns attribution error into repetition variance the
+/// RNMSE filter can see.
+RecoveryOutcome run_and_verify_sampled(const GeneratedModel& model,
+                                       vpapi::CollectionMode mode,
+                                       const vpapi::SampleSchedule& schedule,
+                                       const VerifyOptions& options = {});
 
 // --- metamorphic transforms ------------------------------------------------
 // Each returns a transformed copy whose recovery outcome must be equivalent

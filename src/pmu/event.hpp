@@ -67,6 +67,13 @@ struct EventDefinition {
   std::string description;
   std::vector<SignalTerm> terms;
   NoiseModel noise;
+  /// Physical-counter placement constraint: bit i set = the event may be
+  /// programmed on physical slot i.  0 means unconstrained (any slot) --
+  /// the overwhelmingly common case.  Real PMUs pin some events to fixed
+  /// counters (e.g. cycles on a dedicated counter, uncore events on a
+  /// subset of programmable slots); the event-set scheduler
+  /// (vpapi/scheduler.hpp) honours the mask when packing events into runs.
+  std::uint64_t slot_mask = 0;
   /// fnv1a(name), filled by Machine::add_event so the measurement hot path
   /// never re-hashes the name.  0 means "not yet cached" (fnv1a never maps a
   /// real name to 0); measure_from_ideal falls back to hashing on the fly so

@@ -48,6 +48,19 @@ void validate_spec(const MachineSpec& spec) {
         std::invalid_argument,
         "MachineSpec '" + spec.name + "': event '" + ev.name +
             "' has an out-of-range noise parameter");
+    // A slot mask (0 = unconstrained) must name at least one slot the
+    // machine actually has, or the event could never be scheduled.
+    if (ev.slot_mask != 0) {
+      const std::uint64_t machine_slots =
+          spec.physical_counters >= 64
+              ? ~std::uint64_t{0}
+              : (std::uint64_t{1} << spec.physical_counters) - 1;
+      CATALYST_REQUIRE_AS((ev.slot_mask & machine_slots) != 0,
+                          std::invalid_argument,
+                          "MachineSpec '" + spec.name + "': event '" +
+                              ev.name +
+                              "' has a slot mask with no schedulable slot");
+    }
   }
 }
 

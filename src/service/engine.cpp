@@ -25,6 +25,8 @@ wire::SubmitBody packed_submit_from_archive(
   body.category = category;
   body.deadline_ns = deadline_ns;
   body.trace_id = trace_id;
+  body.collection_mode =
+      static_cast<std::uint8_t>(archive.collection_mode);
   body.event_names = archive.event_names;
   body.repetitions = archive.measurements.empty()
                          ? 0

@@ -105,6 +105,10 @@ std::uint32_t crc32(const void* data, std::size_t size) noexcept {
   return c ^ 0xFFFFFFFFu;
 }
 
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
 void put_u16(std::string& out, std::uint16_t v) {
   out.push_back(static_cast<char>(v & 0xFF));
   out.push_back(static_cast<char>((v >> 8) & 0xFF));
@@ -134,6 +138,13 @@ void put_f64(std::string& out, double v) {
 void put_string(std::string& out, const std::string& s) {
   put_u32(out, static_cast<std::uint32_t>(s.size()));
   out += s;
+}
+
+std::uint8_t Get::u8() {
+  if (data_.size() - pos_ < 1) throw PayloadError("payload truncated (u8)");
+  const auto v = static_cast<std::uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return v;
 }
 
 std::uint16_t Get::u16() {
@@ -278,6 +289,7 @@ std::string encode_submit(const SubmitBody& body) {
   put_string(out, body.category);
   put_u64(out, body.deadline_ns);
   put_u64(out, body.trace_id);
+  put_u8(out, body.collection_mode);
   if (body.kind == SubmitKind::json) {
     put_string(out, body.archive_json);
     return out;
@@ -304,6 +316,12 @@ SubmitBody decode_submit(const std::string& payload) {
   body.category = cursor.string(256);
   body.deadline_ns = cursor.u64();
   body.trace_id = cursor.u64();
+  body.collection_mode = cursor.u8();
+  if (body.collection_mode > 2) {
+    // vpapi::CollectionMode tops out at strobed (2); anything else is a
+    // peer speaking a future dialect, not a mode we can record.
+    throw PayloadError("unknown SUBMIT collection mode");
+  }
   if (body.kind == SubmitKind::json) {
     body.archive_json = cursor.string();
     cursor.expect_done();

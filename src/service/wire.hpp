@@ -10,7 +10,7 @@
 //   crc32   u32 LE  CRC-32 (IEEE) of the payload bytes
 //   payload length bytes
 //
-// The 16-byte header is fixed; everything about the connection that can go
+// The 16-byte header is fixed (version currently 3); everything that can go
 // wrong -- truncated frames, garbage magic, future versions, absurd
 // lengths, corrupt payloads -- is detected HERE, before any payload byte is
 // interpreted, and surfaces as a typed DecodeError the session turns into
@@ -26,10 +26,12 @@
 // Version history: v1 shipped frame types 1-12 (handshake, submit/poll/
 // cancel, results).  v2 adds live telemetry -- a client trace id in SUBMIT
 // (echoed in RESULT), STATS/STATS_OK metrics scraping, and TRACE/TRACE_OK
-// per-request trace fetch.  The version is a strict equality check at the
-// header stage; every codec in this repository compiles against one
-// kVersion, so mixed-version peers fail fast with bad_version instead of
-// misparsing each other.
+// per-request trace fetch.  v3 adds the collection-mode byte to SUBMIT
+// (counting / sampling / strobed, vpapi/sampling.hpp) so the daemon can
+// record how a submission's measurements were collected.  The version is a
+// strict equality check at the header stage; every codec in this
+// repository compiles against one kVersion, so mixed-version peers fail
+// fast with bad_version instead of misparsing each other.
 #pragma once
 
 #include <cstdint>
@@ -42,7 +44,7 @@
 namespace catalyst::service::wire {
 
 inline constexpr std::uint32_t kMagic = 0x4C544143u;  // "CATL" little-endian.
-inline constexpr std::uint16_t kVersion = 2;
+inline constexpr std::uint16_t kVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 16;
 
 /// Hard ceiling on a frame payload.  Anything larger is load-shed at the
@@ -159,6 +161,7 @@ class PayloadError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+void put_u8(std::string& out, std::uint8_t v);
 void put_u16(std::string& out, std::uint16_t v);
 void put_u32(std::string& out, std::uint32_t v);
 void put_u64(std::string& out, std::uint64_t v);
@@ -168,6 +171,7 @@ void put_string(std::string& out, const std::string& s);  ///< u32 len + bytes.
 class Get {
  public:
   explicit Get(const std::string& payload) : data_(payload) {}
+  std::uint8_t u8();
   std::uint16_t u16();
   std::uint32_t u32();
   std::uint64_t u64();
@@ -205,6 +209,10 @@ struct SubmitBody {
   /// request touches server-side and echoed in the RESULT frame, so the
   /// whole request can be fetched later with TRACE.
   std::uint64_t trace_id = 0;
+  /// How the submitted measurements were collected (v3): a
+  /// vpapi::CollectionMode value (0 counting, 1 sampling, 2 strobed).
+  /// Values above 2 are rejected at decode as bad_request.
+  std::uint8_t collection_mode = 0;
   // kind == json:
   std::string archive_json;
   // kind == packed: measurements[e][r][k] flattened row-major.

@@ -14,6 +14,7 @@
 #include "obs/trace.hpp"
 #include "sync/annotations.hpp"
 #include "sync/mutex.hpp"
+#include "vpapi/scheduler.hpp"
 
 namespace catalyst::vpapi {
 
@@ -34,14 +35,15 @@ namespace {
 
 // Runs one (repetition, group) unit: a fresh session measuring the group's
 // events over the full kernel sequence, writing results into the
-// caller-owned slices of `data` starting at `event_offset`.  `ideals` is the
-// sweep-wide (event, kernel) ideal-value table; it is immutable and shared
-// by every unit (and worker thread) of the collection.
+// caller-owned rows of `data` named by `dest_rows` (constrained events may
+// be packed out of input order, so a run's rows need not be contiguous).
+// `ideals` is the sweep-wide (event, kernel) ideal-value table; it is
+// immutable and shared by every unit (and worker thread) of the collection.
 void run_unit(const pmu::Machine& machine,
               const std::vector<std::string>& group,
               const std::vector<pmu::Activity>& activities,
               const pmu::IdealTable& ideals, std::uint64_t run_id,
-              std::size_t event_offset, RepetitionData& data,
+              const std::vector<std::size_t>& dest_rows, RepetitionData& data,
               const faults::FaultPlan* plan) {
   Session session(machine);
   if (plan != nullptr) {
@@ -80,8 +82,29 @@ void run_unit(const pmu::Machine& machine,
     }
   }
   for (std::size_t e = 0; e < group.size(); ++e) {
-    data.values[event_offset + e] = std::move(per_kernel[e]);
+    data.values[dest_rows[e]] = std::move(per_kernel[e]);
   }
+}
+
+// Maps every scheduled run's members back to their row in `event_names`
+// (the schedule preserves within-run input order, but constrained events
+// can be packed into earlier runs than chunking would put them).
+std::vector<std::vector<std::size_t>> schedule_rows(
+    const EventSetSchedule& schedule,
+    const std::vector<std::string>& event_names) {
+  std::unordered_map<std::string, std::size_t> index;
+  index.reserve(event_names.size());
+  for (std::size_t e = 0; e < event_names.size(); ++e) {
+    index.emplace(event_names[e], e);
+  }
+  std::vector<std::vector<std::size_t>> rows(schedule.runs.size());
+  for (std::size_t g = 0; g < schedule.runs.size(); ++g) {
+    rows[g].reserve(schedule.runs[g].events.size());
+    for (const auto& name : schedule.runs[g].events) {
+      rows[g].push_back(index.at(name));
+    }
+  }
+  return rows;
 }
 
 // Resolves event names to machine indices, throwing on unknown names.
@@ -116,7 +139,10 @@ CollectionResult collect(const pmu::Machine& machine,
       resolve_events(machine, event_names, "collect");
   CollectionResult result;
   result.event_names = event_names;
-  const auto groups = schedule_groups(machine, event_names);
+  // Bin-packed, constraint-aware run schedule; identical to the naive
+  // chunking when no event carries a slot mask (see vpapi/scheduler.hpp).
+  const EventSetSchedule schedule = schedule_event_sets(machine, event_names);
+  const std::vector<ScheduledRun>& groups = schedule.runs;
   result.runs_per_repetition = groups.size();
 
   // An event's ideal reading over a kernel is repetition-invariant, so the
@@ -126,11 +152,8 @@ CollectionResult collect(const pmu::Machine& machine,
   // threads read it without synchronization.
   const pmu::IdealTable ideals(machine, activities, event_indices);
 
-  // Flatten event offsets per group.
-  std::vector<std::size_t> group_offset(groups.size(), 0);
-  for (std::size_t g = 1; g < groups.size(); ++g) {
-    group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
-  }
+  const std::vector<std::vector<std::size_t>> group_rows =
+      schedule_rows(schedule, event_names);
 
   result.repetitions.resize(repetitions);
   for (auto& rep : result.repetitions) {
@@ -152,8 +175,8 @@ CollectionResult collect(const pmu::Machine& machine,
     obs::Span unit_span("collect.unit");
     unit_span.arg("rep", rep);
     unit_span.arg("group", g);
-    run_unit(machine, groups[g], activities, ideals, run_id, group_offset[g],
-             result.repetitions[rep], plan);
+    run_unit(machine, groups[g].events, activities, ideals, run_id,
+             group_rows[g], result.repetitions[rep], plan);
   };
 
   try {
@@ -456,7 +479,8 @@ ResilientCollectionResult collect_resilient(
                       "collect_resilient: need at least one thread");
   const std::vector<std::size_t> event_indices =
       resolve_events(machine, event_names, "collect_resilient");
-  const auto groups = schedule_groups(machine, event_names);
+  const EventSetSchedule schedule = schedule_event_sets(machine, event_names);
+  const std::vector<ScheduledRun>& groups = schedule.runs;
   const pmu::IdealTable ideals(machine, activities, event_indices);
 
   obs::Span collect_span("vpapi.collect_resilient");
@@ -465,10 +489,8 @@ ResilientCollectionResult collect_resilient(
   collect_span.arg("groups", groups.size());
   collect_span.arg("faults", plan != nullptr && plan->enabled());
 
-  std::vector<std::size_t> group_offset(groups.size(), 0);
-  for (std::size_t g = 1; g < groups.size(); ++g) {
-    group_offset[g] = group_offset[g - 1] + groups[g - 1].size();
-  }
+  const std::vector<std::vector<std::size_t>> group_rows =
+      schedule_rows(schedule, event_names);
 
   // Campaign-wide accumulators, merged per unit under `mutex`.  Every count
   // is additive and the quarantine verdicts are a set union, so the merged
@@ -495,12 +517,11 @@ ResilientCollectionResult collect_resilient(
       for (auto& r : reps) r.values.resize(names.size());
     }
 
-    void merge_unit(const std::vector<std::size_t>& offsets,
-                    std::size_t group_size, std::size_t group_index,
+    void merge_unit(const std::vector<std::size_t>& rows,
                     std::size_t rep_index, UnitOutcome&& out)
         CATALYST_REQUIRES(mutex) {
-      for (std::size_t i = 0; i < group_size; ++i) {
-        const std::size_t e = offsets[group_index] + i;
+      for (std::size_t i = 0; i < rows.size(); ++i) {
+        const std::size_t e = rows[i];
         EventReport& er = report.events[e];
         er.read_attempts += out.read_attempts[i];
         er.retries += out.retries[i];
@@ -521,10 +542,11 @@ ResilientCollectionResult collect_resilient(
     const std::size_t g = unit % groups.size();
     const std::uint64_t run_id =
         (repetition_offset + rep) * groups.size() + g;
-    UnitOutcome out = run_unit_resilient(machine, groups[g], activities,
-                                         ideals, run_id, plan, options);
+    UnitOutcome out = run_unit_resilient(machine, groups[g].events,
+                                         activities, ideals, run_id, plan,
+                                         options);
     const sync::LockGuard lock(merge.mutex);
-    merge.merge_unit(group_offset, groups[g].size(), g, rep, std::move(out));
+    merge.merge_unit(group_rows[g], rep, std::move(out));
   };
 
   const std::size_t total_units = repetitions * groups.size();
@@ -625,6 +647,13 @@ CollectionResult collect_multiplexed(
                                     name + "': " + to_string(s));
       }
     }
+    // Continue the round-robin schedule across repetitions instead of
+    // restarting it at slot 0: with the cursor pinned, the same leading
+    // groups would collect the ceil(slices/groups) share in EVERY
+    // repetition whenever kernels % groups != 0, a systematic duty-cycle
+    // bias against the trailing group that no amount of repetition
+    // averages away (see Session::set_multiplex_phase).
+    session.set_multiplex_phase(set, rep * activities.size());
     RepetitionData data;
     data.values.assign(event_names.size(), {});
     for (auto& v : data.values) v.reserve(activities.size());

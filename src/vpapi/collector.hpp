@@ -32,7 +32,10 @@ struct CollectionResult {
 };
 
 /// Splits `event_names` into groups no larger than the machine's physical
-/// counter budget (simple greedy first-fit, preserving order).
+/// counter budget (simple greedy chunking, preserving order).  Kept as the
+/// constraint-blind reference scheduler; the collectors below use the
+/// slot-mask-aware bin packer in vpapi/scheduler.hpp, which produces these
+/// exact groups whenever no event carries a slot constraint.
 std::vector<std::vector<std::string>> schedule_groups(
     const pmu::Machine& machine, const std::vector<std::string>& event_names);
 

@@ -1,0 +1,111 @@
+#include "vpapi/scheduler.hpp"
+
+#include <stdexcept>
+
+#include "core/contract.hpp"
+
+namespace catalyst::vpapi {
+
+namespace {
+
+/// The event's allowed-slot mask clipped to the machine's counters; an
+/// unconstrained event (mask 0) may use every slot.
+std::uint64_t allowed_mask(const pmu::EventDefinition& event,
+                           std::size_t counters) {
+  const std::uint64_t machine_slots =
+      counters >= 64 ? ~std::uint64_t{0}
+                     : (std::uint64_t{1} << counters) - 1;
+  return event.slot_mask == 0 ? machine_slots
+                              : (event.slot_mask & machine_slots);
+}
+
+std::size_t resolve(const pmu::Machine& machine, const std::string& name,
+                    const char* caller) {
+  const auto idx = machine.find(name);
+  if (!idx) {
+    throw std::invalid_argument(std::string(caller) + ": unknown event " +
+                                name);
+  }
+  return *idx;
+}
+
+}  // namespace
+
+std::size_t EventSetSchedule::scheduled_events() const {
+  std::size_t n = 0;
+  for (const ScheduledRun& run : runs) n += run.events.size();
+  return n;
+}
+
+EventSetSchedule schedule_event_sets(
+    const pmu::Machine& machine, const std::vector<std::string>& event_names) {
+  const std::size_t counters = machine.physical_counters();
+  CATALYST_REQUIRE_AS(counters >= 1, std::invalid_argument,
+                      "schedule_event_sets: machine has no counters");
+  EventSetSchedule schedule;
+  // free[r] = bitmask of still-open slots in run r.
+  std::vector<std::uint64_t> free_slots;
+  for (const auto& name : event_names) {
+    const std::size_t idx = resolve(machine, name, "schedule_event_sets");
+    const std::uint64_t mask = allowed_mask(machine.event(idx), counters);
+    CATALYST_INVARIANT(mask != 0,
+                       "schedule_event_sets: event '" + name +
+                           "' has no schedulable slot (validate_spec missed "
+                           "it)");
+    bool placed = false;
+    for (std::size_t r = 0; r < schedule.runs.size() && !placed; ++r) {
+      const std::uint64_t usable = free_slots[r] & mask;
+      if (usable == 0) continue;
+      // Lowest allowed free slot -- a deterministic tie-break.
+      const std::uint64_t bit = usable & (~usable + 1);
+      std::size_t slot = 0;
+      while ((bit >> slot) != 1) ++slot;
+      free_slots[r] &= ~bit;
+      schedule.runs[r].events.push_back(name);
+      schedule.runs[r].slots.push_back(slot);
+      placed = true;
+    }
+    if (!placed) {
+      const std::uint64_t all =
+          counters >= 64 ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << counters) - 1;
+      const std::uint64_t bit = mask & (~mask + 1);
+      std::size_t slot = 0;
+      while ((bit >> slot) != 1) ++slot;
+      schedule.runs.emplace_back();
+      schedule.runs.back().events.push_back(name);
+      schedule.runs.back().slots.push_back(slot);
+      free_slots.push_back(all & ~bit);
+    }
+  }
+  schedule.baseline_runs = next_fit_run_count(machine, event_names);
+  CATALYST_ENSURE(schedule.runs.size() <= schedule.baseline_runs ||
+                      event_names.empty(),
+                  "schedule_event_sets: packed worse than next-fit");
+  return schedule;
+}
+
+std::size_t next_fit_run_count(const pmu::Machine& machine,
+                               const std::vector<std::string>& event_names) {
+  const std::size_t counters = machine.physical_counters();
+  CATALYST_REQUIRE_AS(counters >= 1, std::invalid_argument,
+                      "next_fit_run_count: machine has no counters");
+  std::size_t runs = 0;
+  std::uint64_t free_slots = 0;  // of the current (last) run only
+  for (const auto& name : event_names) {
+    const std::size_t idx = resolve(machine, name, "next_fit_run_count");
+    const std::uint64_t mask = allowed_mask(machine.event(idx), counters);
+    std::uint64_t usable = free_slots & mask;
+    if (usable == 0) {
+      ++runs;
+      free_slots = counters >= 64 ? ~std::uint64_t{0}
+                                  : (std::uint64_t{1} << counters) - 1;
+      usable = free_slots & mask;
+    }
+    const std::uint64_t bit = usable & (~usable + 1);
+    free_slots &= ~bit;
+  }
+  return runs;
+}
+
+}  // namespace catalyst::vpapi

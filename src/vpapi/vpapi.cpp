@@ -128,6 +128,40 @@ bool Session::is_multiplexed(int set) const {
   return es != nullptr && es->multiplexed;
 }
 
+Status Session::set_multiplex_phase(int set, std::uint64_t start_slice) {
+  EventSet* es = get(set);
+  if (!es) return Status::no_such_eventset;
+  if (es->running) return Status::is_running;
+  const std::size_t n_slots = es->slots.size();
+  const std::size_t window = machine_->physical_counters();
+  if (!es->multiplexed || n_slots <= window) {
+    es->mux_cursor = 0;  // not oversubscribed: every slot counts every slice
+    return Status::ok;
+  }
+  es->mux_cursor = static_cast<std::size_t>(
+      (start_slice % n_slots) * window % n_slots);
+  return Status::ok;
+}
+
+std::vector<std::uint64_t> Session::slice_counts(int set) const {
+  const EventSet* es = get(set);
+  if (!es) return {};
+  std::vector<std::uint64_t> counts;
+  counts.reserve(es->items.size());
+  for (const auto& item : es->items) {
+    std::uint64_t slices = 0;
+    bool first = true;
+    for (const auto& part : item.parts) {
+      const Slot* slot = find_slot(*es, part.machine_index);
+      if (slot == nullptr) continue;
+      slices = first ? slot->slices : std::min(slices, slot->slices);
+      first = false;
+    }
+    counts.push_back(slices);
+  }
+  return counts;
+}
+
 Status Session::destroy_eventset(int set) {
   EventSet* es = get(set);
   if (!es) return Status::no_such_eventset;

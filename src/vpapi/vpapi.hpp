@@ -101,6 +101,27 @@ class Session {
   /// True if multiplexing was enabled on the set.
   bool is_multiplexed(int set) const;
 
+  /// Rotates the multiplex schedule so the set behaves as if `start_slice`
+  /// time-slices had already elapsed: the round-robin window of the next
+  /// run_kernel starts where slice `start_slice` of a continuous schedule
+  /// would.  Fixes the naive multiplexer's residual apportioning bias: with
+  /// the cursor pinned at 0 every repetition, the FIRST groups in rotation
+  /// order collect ceil(slices/groups) slices and the last only
+  /// floor(slices/groups) -- every repetition, for the same events --
+  /// whenever the per-repetition slice count is not a multiple of the group
+  /// count.  Callers that re-create the set per repetition (see
+  /// collect_multiplexed) pass a per-repetition phase so the favoured group
+  /// rotates and the extra slices spread evenly across events.
+  /// Fails with is_running on a started set; a no-op for sets that are not
+  /// oversubscribed.
+  Status set_multiplex_phase(int set, std::uint64_t start_slice);
+
+  /// Time-slices each added event's counter was live, in list_events order
+  /// (presets report the minimum over their constituent raw events).  The
+  /// apportioning regression tests read this to prove the slice shares are
+  /// fair; zero for sets never run.
+  std::vector<std::uint64_t> slice_counts(int set) const;
+
   /// Destroys a (non-running) event set.
   Status destroy_eventset(int set);
 

@@ -197,6 +197,88 @@ TEST(Campaign, ArchiveCarriesTheRobustnessPayload) {
   EXPECT_EQ(loaded.quarantined, out.archive.quarantined);
 }
 
+TEST(SampledCampaign, CountingModeIsBitIdenticalToPlainCampaign) {
+  // run_pipeline_sampled with mode=counting must degenerate to the plain
+  // campaign exactly -- same measurements, same archive bytes, no trace.
+  const Rig s;
+  const auto plain = run_campaign(s.machine, s.bench, s.signatures);
+  const auto sampled = run_pipeline_sampled(s.machine, s.bench, s.signatures,
+                                            {}, vpapi::CollectionMode::counting);
+  EXPECT_EQ(sampled.result.measurements, plain.result.measurements);
+  EXPECT_EQ(sampled.result.xhat_events, plain.result.xhat_events);
+  EXPECT_EQ(sampled.archive.collection_mode, vpapi::CollectionMode::counting);
+  EXPECT_FALSE(sampled.archive.sample_trace.has_value());
+  EXPECT_EQ(save_archive(sampled.archive), save_archive(plain.archive));
+}
+
+TEST(SampledCampaign, ArchiveCarriesTheTraceAndRoundTripsByteStably) {
+  const Rig s;
+  const auto out = run_pipeline_sampled(s.machine, s.bench, s.signatures, {},
+                                        vpapi::CollectionMode::strobed);
+  EXPECT_EQ(out.archive.collection_mode, vpapi::CollectionMode::strobed);
+  ASSERT_TRUE(out.archive.sample_trace.has_value());
+  EXPECT_EQ(out.archive.sample_trace->mode, vpapi::CollectionMode::strobed);
+  EXPECT_FALSE(out.archive.sample_trace->runs.empty());
+  EXPECT_EQ(out.archive.sample_trace->kernels,
+            s.bench.slots.size());
+  const auto text = save_archive(out.archive);
+  EXPECT_NE(text.find("catalyst-measurements-v2"), std::string::npos);
+  const auto loaded = load_archive(text);
+  EXPECT_EQ(loaded.collection_mode, vpapi::CollectionMode::strobed);
+  ASSERT_TRUE(loaded.sample_trace.has_value());
+  EXPECT_EQ(loaded.sample_trace->runs.size(),
+            out.archive.sample_trace->runs.size());
+  EXPECT_EQ(save_archive(loaded), text);
+}
+
+TEST(SampledCampaign, RefusesCountingOnlyFeatures) {
+  const Rig s;
+  CampaignOptions options;
+  options.collection_mode = vpapi::CollectionMode::sampling;
+  options.checkpoint.directory = fresh_dir("sampled_ckpt");
+  EXPECT_THROW(run_campaign(s.machine, s.bench, s.signatures, options),
+               std::invalid_argument);
+  options.checkpoint.directory.clear();
+  const auto plan = faults::FaultPlan::mid_rate();
+  options.fault_plan = &plan;
+  EXPECT_THROW(run_campaign(s.machine, s.bench, s.signatures, options),
+               std::invalid_argument);
+  // A present-but-disabled plan is fine: nothing to inject.
+  const faults::FaultPlan idle;
+  options.fault_plan = &idle;
+  EXPECT_NO_THROW(run_campaign(s.machine, s.bench, s.signatures, options));
+  // An invalid schedule is refused up front, not deep in a worker.
+  options.fault_plan = nullptr;
+  options.sample_schedule.period_ns = 0;
+  EXPECT_THROW(run_campaign(s.machine, s.bench, s.signatures, options),
+               std::invalid_argument);
+}
+
+TEST(SampledCampaign, ConfigKeyGrowsModeKnobsOnlyWhenSampled) {
+  // Counting campaigns must keep their pre-sampling config keys (resume
+  // compatibility with existing checkpoint directories); sampled campaigns
+  // must be distinguishable per mode and schedule.
+  const Rig s;
+  CampaignOptions counting;
+  const auto counting_key =
+      campaign_config_key(s.machine, s.bench, counting);
+  EXPECT_EQ(counting_key.find("mode="), std::string::npos);
+
+  CampaignOptions sampled;
+  sampled.collection_mode = vpapi::CollectionMode::sampling;
+  const auto sampled_key = campaign_config_key(s.machine, s.bench, sampled);
+  EXPECT_NE(sampled_key.find("mode=sampling"), std::string::npos);
+  EXPECT_NE(sampled_key, counting_key);
+
+  CampaignOptions strobed = sampled;
+  strobed.collection_mode = vpapi::CollectionMode::strobed;
+  EXPECT_NE(campaign_config_key(s.machine, s.bench, strobed), sampled_key);
+  CampaignOptions other_period = sampled;
+  other_period.sample_schedule.period_ns *= 2;
+  EXPECT_NE(campaign_config_key(s.machine, s.bench, other_period),
+            sampled_key);
+}
+
 TEST(ResilientPipeline, QuarantinedBasisEventDegradesGracefully) {
   // Make one of the events Table VII actually selects unrecoverable: the
   // pipeline must complete on the remaining events, not abort.

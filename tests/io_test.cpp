@@ -191,6 +191,80 @@ TEST(ArchiveV2, QuarantineAndReportRoundTrip) {
   EXPECT_EQ(v1_text.find("collection_report"), std::string::npos);
 }
 
+TEST(ArchiveV2, SampleTraceRoundTripIsByteStable) {
+  // A sampled archive carries the collection mode and the per-run sample
+  // trace; save -> load -> save must reproduce the text byte for byte (the
+  // strobed determinism guarantee extends to the serialized form).
+  MeasurementArchive a;
+  a.machine_name = "m";
+  a.benchmark_name = "b";
+  a.slot_names = {"s1", "s2"};
+  a.basis_labels = {"X"};
+  a.expectation = linalg::Matrix(2, 1);
+  a.expectation(0, 0) = 1.0;
+  a.expectation(1, 0) = 2.0;
+  a.event_names = {"E"};
+  a.measurements = {{{1.0, 2.0}, {1.0, 2.0}}};
+  a.collection_mode = vpapi::CollectionMode::strobed;
+  vpapi::SampleTrace trace;
+  trace.mode = vpapi::CollectionMode::strobed;
+  trace.schedule.kernel_span_ns = 1000;
+  trace.schedule.period_ns = 300;
+  trace.schedule.short_period_ns = 100;
+  trace.schedule.dither = false;
+  trace.kernels = 2;
+  vpapi::RunTrace run;
+  run.repetition = 1;
+  run.run_id = 3;
+  run.events = {"E"};
+  run.samples = {{300, {5.0}}, {400, {7.0}}, {2000, {42.0}}};
+  trace.runs.push_back(run);
+  a.sample_trace = trace;
+
+  const auto text = save_archive(a);
+  EXPECT_NE(text.find("catalyst-measurements-v2"), std::string::npos);
+  EXPECT_NE(text.find("collection_mode"), std::string::npos);
+  EXPECT_NE(text.find("sample_trace"), std::string::npos);
+  const auto loaded = load_archive(text);
+  EXPECT_EQ(loaded.collection_mode, vpapi::CollectionMode::strobed);
+  ASSERT_TRUE(loaded.sample_trace.has_value());
+  EXPECT_EQ(loaded.sample_trace->mode, vpapi::CollectionMode::strobed);
+  EXPECT_EQ(loaded.sample_trace->schedule.period_ns, 300u);
+  EXPECT_EQ(loaded.sample_trace->schedule.short_period_ns, 100u);
+  EXPECT_FALSE(loaded.sample_trace->schedule.dither);
+  EXPECT_EQ(loaded.sample_trace->kernels, 2u);
+  ASSERT_EQ(loaded.sample_trace->runs.size(), 1u);
+  const vpapi::RunTrace& lr = loaded.sample_trace->runs[0];
+  EXPECT_EQ(lr.repetition, 1u);
+  EXPECT_EQ(lr.run_id, 3u);
+  EXPECT_EQ(lr.events, run.events);
+  ASSERT_EQ(lr.samples.size(), 3u);
+  EXPECT_EQ(lr.samples[1].t_ns, 400u);
+  EXPECT_EQ(lr.samples[2].values, std::vector<double>{42.0});
+  EXPECT_EQ(save_archive(loaded), text);
+
+  // Counting-mode archives never grow the new keys: byte-compatible v1.
+  a.collection_mode = vpapi::CollectionMode::counting;
+  a.sample_trace.reset();
+  a.format_version.clear();
+  const auto v1_text = save_archive(a);
+  EXPECT_NE(v1_text.find("catalyst-measurements-v1"), std::string::npos);
+  EXPECT_EQ(v1_text.find("collection_mode"), std::string::npos);
+  EXPECT_EQ(v1_text.find("sample_trace"), std::string::npos);
+}
+
+TEST(ArchiveV2, SampleTraceCodecRejectsInconsistentShapes) {
+  vpapi::SampleTrace trace;
+  trace.mode = vpapi::CollectionMode::sampling;
+  trace.kernels = 1;
+  vpapi::RunTrace run;
+  run.events = {"E1", "E2"};
+  run.samples = {{1000, {1.0}}};  // width 1 != 2 run events
+  trace.runs.push_back(run);
+  EXPECT_THROW(sample_trace_from_json(sample_trace_to_json(trace)),
+               std::invalid_argument);
+}
+
 TEST(ArchiveFiles, AtomicWriteReplacesAndNeverTears) {
   const std::string path = "/tmp/catalyst_io_atomic_test.json";
   write_text_file_atomic(path, "first");

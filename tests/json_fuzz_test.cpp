@@ -144,6 +144,26 @@ std::string base_archive_v2() {
   return save_archive(archive, 2);
 }
 
+/// A v2 archive carrying a sample trace (the sampling-mode payload).
+std::string base_archive_sampled() {
+  MeasurementArchive archive = load_archive(base_archive_v1());
+  archive.format_version.clear();
+  archive.collection_mode = vpapi::CollectionMode::strobed;
+  vpapi::SampleTrace trace;
+  trace.mode = vpapi::CollectionMode::strobed;
+  trace.schedule.kernel_span_ns = 1000;
+  trace.schedule.period_ns = 300;
+  trace.schedule.short_period_ns = 100;
+  trace.kernels = 3;
+  vpapi::RunTrace run;
+  run.run_id = 1;
+  run.events = {"EV_A", "EV_B"};
+  run.samples = {{300, {1.0, 2.0}}, {400, {2.0, 3.0}}, {3000, {9.0, 9.0}}};
+  trace.runs.push_back(run);
+  archive.sample_trace = std::move(trace);
+  return save_archive(archive, 2);
+}
+
 /// Random JSON document generator for the round-trip property.
 json::Value random_value(std::mt19937_64& rng, int depth) {
   std::uniform_int_distribution<int> type_dist(0, depth > 2 ? 3 : 5);
@@ -196,10 +216,11 @@ TEST(JsonFuzz, RandomBytesNeverCrashTheParser) {
 }
 
 TEST(JsonFuzz, MutatedArchivesNeverCrashTheLoader) {
-  const std::string bases[] = {base_archive_v1(), base_archive_v2()};
+  const std::string bases[] = {base_archive_v1(), base_archive_v2(),
+                               base_archive_sampled()};
   for (const std::uint64_t seed : testing::sweep_seeds(1, 6000)) {
     std::mt19937_64 rng(seed);
-    const std::string input = mutate(bases[seed % 2], rng);
+    const std::string input = mutate(bases[seed % 3], rng);
     try {
       const MeasurementArchive archive = load_archive(input);
       EXPECT_EQ(archive.event_names.size(), archive.measurements.size())
@@ -208,6 +229,142 @@ TEST(JsonFuzz, MutatedArchivesNeverCrashTheLoader) {
       // ArchiveError derives from JsonError; both are documented.
     } catch (const std::invalid_argument&) {
       // Documented for version/shape problems in well-formed JSON.
+    } catch (const std::exception& e) {
+      FAIL() << testing::seed_banner(seed) << "load_archive threw "
+             << e.what() << " (undocumented type) on input\n"
+             << hex_dump(input);
+    }
+  }
+}
+
+TEST(JsonFuzz, MutatedSampleTraceFieldsFailTypedNeverCrash) {
+  // Structure-aware mutations aimed at the sample-trace payload: instead of
+  // flipping bytes, rewrite the semantic fields the codec validates (mode
+  // string, schedule spans, sample widths/timestamps, container types) and
+  // require a typed rejection or a successful load -- never a crash, never
+  // an undocumented exception type.
+  const json::Value base = json::parse(base_archive_sampled());
+
+  auto mk_sample = [](json::Value t, std::initializer_list<double> vals) {
+    json::Value js = json::Value::object();
+    js["t"] = std::move(t);
+    json::Value arr = json::Value::array();
+    for (const double x : vals) arr.push_back(x);
+    js["values"] = std::move(arr);
+    return js;
+  };
+  auto mk_schedule = [](json::Value span, json::Value period,
+                        json::Value short_period, json::Value dither) {
+    json::Value s = json::Value::object();
+    s["kernel_span_ns"] = std::move(span);
+    s["period_ns"] = std::move(period);
+    s["short_period_ns"] = std::move(short_period);
+    s["dither"] = std::move(dither);
+    return s;
+  };
+  auto mk_trace = [&](json::Value mode, json::Value schedule, bool two_events,
+                      json::Value samples) {
+    json::Value t = json::Value::object();
+    t["mode"] = std::move(mode);
+    t["schedule"] = std::move(schedule);
+    t["kernels"] = 3;
+    json::Value run = json::Value::object();
+    run["repetition"] = 0;
+    run["run_id"] = 1;
+    json::Value events = json::Value::array();
+    events.push_back("EV_A");
+    if (two_events) events.push_back("EV_B");
+    run["events"] = std::move(events);
+    run["samples"] = std::move(samples);
+    json::Value runs = json::Value::array();
+    runs.push_back(std::move(run));
+    t["runs"] = std::move(runs);
+    return t;
+  };
+  auto ok_schedule = [&] { return mk_schedule(1000, 300, 100, true); };
+  auto ok_samples = [&] {
+    json::Value s = json::Value::array();
+    s.push_back(mk_sample(300, {1.0, 2.0}));
+    s.push_back(mk_sample(3000, {9.0, 9.0}));
+    return s;
+  };
+
+  for (const std::uint64_t seed : testing::sweep_seeds(1, 2000)) {
+    std::mt19937_64 rng(seed);
+    json::Value doc = base;
+    switch (rng() % 12) {
+      case 0:  // unknown mode string
+        doc["sample_trace"] =
+            mk_trace("multiplexed", ok_schedule(), true, ok_samples());
+        break;
+      case 1:  // archive/trace mode disagreement is legal JSON
+        doc["collection_mode"] = std::string("sampling");
+        break;
+      case 2:  // zero period fails SampleSchedule::validate
+        doc["sample_trace"] = mk_trace(
+            "strobed", mk_schedule(1000, 0, 100, true), true, ok_samples());
+        break;
+      case 3:  // short > long fails validate
+        doc["sample_trace"] = mk_trace(
+            "strobed", mk_schedule(1000, 300, 1e9, true), true, ok_samples());
+        break;
+      case 4:  // wrong type for a span
+        doc["sample_trace"] = mk_trace(
+            "strobed", mk_schedule("soon", 300, 100, true), true,
+            ok_samples());
+        break;
+      case 5: {  // sample narrower than the run's event list
+        json::Value samples = json::Value::array();
+        samples.push_back(mk_sample(300, {}));
+        doc["sample_trace"] =
+            mk_trace("strobed", ok_schedule(), true, std::move(samples));
+        break;
+      }
+      case 6: {  // sample wider than the run's event list
+        json::Value samples = json::Value::array();
+        samples.push_back(mk_sample(300, {1.0, 2.0, 7.0}));
+        doc["sample_trace"] =
+            mk_trace("strobed", ok_schedule(), true, std::move(samples));
+        break;
+      }
+      case 7: {  // negative timestamp (decoder must reject, not cast)
+        json::Value samples = json::Value::array();
+        samples.push_back(mk_sample(-1.0, {1.0, 2.0}));
+        doc["sample_trace"] =
+            mk_trace("strobed", ok_schedule(), true, std::move(samples));
+        break;
+      }
+      case 8:  // samples not an array
+        doc["sample_trace"] =
+            mk_trace("strobed", ok_schedule(), true, "none");
+        break;
+      case 9:  // missing schedule (and everything else) entirely
+        doc["sample_trace"] = json::Value::object();
+        break;
+      case 10:  // events list vanishes while samples stay wide
+        doc["sample_trace"] =
+            mk_trace("strobed", ok_schedule(), false, ok_samples());
+        break;
+      default:  // dither as a number instead of a bool
+        doc["sample_trace"] = mk_trace(
+            "strobed", mk_schedule(1000, 300, 100, 1.0), true, ok_samples());
+        break;
+    }
+    const std::string input = json::dump(doc, rng() % 2 == 0 ? 0 : 2);
+    try {
+      const MeasurementArchive archive = load_archive(input);
+      if (archive.sample_trace.has_value()) {
+        for (const auto& run : archive.sample_trace->runs) {
+          for (const auto& sample : run.samples) {
+            EXPECT_EQ(sample.values.size(), run.events.size())
+                << testing::seed_banner(seed) << hex_dump(input);
+          }
+        }
+      }
+    } catch (const json::JsonError&) {
+      // Documented: type errors surface as JsonError.
+    } catch (const std::invalid_argument&) {
+      // Documented: mode/shape/schedule validation.
     } catch (const std::exception& e) {
       FAIL() << testing::seed_banner(seed) << "load_archive threw "
              << e.what() << " (undocumented type) on input\n"

@@ -1,0 +1,10 @@
+// Fixture: wall-clock *type* inside a sampling translation unit.  No ::now()
+// call, so raw-timing stays quiet -- only the stricter clock-in-sampling
+// rule (keyed off the "sampling" basename) must fire.
+// expect: clock-in-sampling
+#include <chrono>
+
+struct SelftestSampler {
+  std::chrono::steady_clock::time_point last_slice{};
+  std::chrono::nanoseconds period{250000};  // duration types stay legal
+};

@@ -91,7 +91,7 @@ TEST(Wire, BadMagicPoisonsTheDecoder) {
 
 TEST(Wire, BadVersionIsItsOwnError) {
   std::string bytes = wire::encode_frame(wire::FrameType::hello, "hi");
-  bytes[4] = 9;  // version field (offset 4, LE u16); 9 != kVersion (2)
+  bytes[4] = 9;  // version field (offset 4, LE u16); 9 != kVersion (3)
   wire::FrameDecoder decoder;
   decoder.feed(bytes.data(), bytes.size());
   EXPECT_FALSE(decoder.next().has_value());
@@ -149,6 +149,35 @@ TEST(Wire, SubmitBodyRoundTripsBothKinds) {
   const wire::SubmitBody json2 = wire::decode_submit(wire::encode_submit(json));
   EXPECT_EQ(json2.kind, wire::SubmitKind::json);
   EXPECT_EQ(json2.archive_json, json.archive_json);
+}
+
+TEST(Wire, SubmitCarriesTheCollectionMode) {
+  // v3: the collection-mode byte rides after the trace id.  All three modes
+  // round-trip; anything above the known range is a typed decode error (a
+  // future mode must bump the version, not smuggle through).
+  for (const int mode : {0, 1, 2}) {
+    wire::SubmitBody body;
+    body.kind = wire::SubmitKind::packed;
+    body.category = "branch";
+    body.collection_mode = static_cast<std::uint8_t>(mode);
+    body.event_names = {"EV_A"};
+    body.repetitions = 1;
+    body.slots = 1;
+    body.values = {1.0};
+    const wire::SubmitBody back =
+        wire::decode_submit(wire::encode_submit(body));
+    EXPECT_EQ(back.collection_mode, mode);
+  }
+  wire::SubmitBody bad;
+  bad.kind = wire::SubmitKind::packed;
+  bad.category = "branch";
+  bad.collection_mode = 3;
+  bad.event_names = {"EV_A"};
+  bad.repetitions = 1;
+  bad.slots = 1;
+  bad.values = {1.0};
+  EXPECT_THROW(wire::decode_submit(wire::encode_submit(bad)),
+               wire::PayloadError);
 }
 
 TEST(Wire, SubmitDecoderRejectsTruncationAndTrailingGarbage) {

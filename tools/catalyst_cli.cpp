@@ -16,6 +16,7 @@
 // The collect/analyze split mirrors real CAT usage: `collect` runs the
 // benchmarks and saves a measurement archive (JSON); `analyze --from`
 // re-runs only the mathematical stages on the archived data.
+#include <algorithm>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
@@ -185,9 +186,13 @@ int usage() {
       "                   [--trace-out FILE] [--manifest-out FILE] [--stats]\n"
       "  catalyst collect <category> [--machine M] [--reps N] --out FILE\n"
       "                   [--faults [SPEC]] [--checkpoint-dir DIR] [--resume]\n"
+      "                   [--mode counting|sampling|strobed]\n"
+      "                   [--kernel-span-us N] [--sample-period-us N]\n"
+      "                   [--strobe-short-us N] [--no-dither]\n"
       "                   [--trace-out FILE] [--manifest-out FILE] [--stats]\n"
       "                   (--resume defaults the checkpoint dir to OUT.ckpt;\n"
-      "                    SPEC: \"mid\" or \"drop=0.01,wrap=0.001,...\")\n"
+      "                    SPEC: \"mid\" or \"drop=0.01,wrap=0.001,...\";\n"
+      "                    sampling modes exclude --faults/--checkpoint-dir)\n"
       "  catalyst full-report [--machine M] [--out FILE] [--presets FILE]\n"
       "  catalyst validate <category> [--machine M] [--workloads N]\n"
       "categories: cpu_flops | gpu_flops | branch | dcache | icache |\n"
@@ -330,6 +335,52 @@ int cmd_collect(const Args& args) {
   std::string checkpoint_dir = args.get("checkpoint-dir", "");
   if (resume && checkpoint_dir.empty()) {
     checkpoint_dir = args.get("out", "") + ".ckpt";
+  }
+
+  const vpapi::CollectionMode mode =
+      vpapi::collection_mode_from_string(args.get("mode", "counting"));
+  if (mode != vpapi::CollectionMode::counting) {
+    if (plan.has_value() || !checkpoint_dir.empty()) {
+      std::cerr << "sampling modes do not combine with --faults or "
+                   "--checkpoint-dir (counting-mode features)\n";
+      return 2;
+    }
+    vpapi::SampleSchedule schedule;
+    schedule.kernel_span_ns = static_cast<std::uint64_t>(
+        args.get_double("kernel-span-us",
+                        double(schedule.kernel_span_ns) / 1000.0) *
+        1000.0);
+    schedule.period_ns = static_cast<std::uint64_t>(
+        args.get_double("sample-period-us",
+                        double(schedule.period_ns) / 1000.0) *
+        1000.0);
+    // The short period only matters for strobed runs; cap the default at
+    // the long period so a fine --sample-period-us alone stays valid.
+    schedule.short_period_ns = static_cast<std::uint64_t>(
+        args.get_double("strobe-short-us",
+                        double(std::min(schedule.short_period_ns,
+                                        schedule.period_ns)) /
+                            1000.0) *
+        1000.0);
+    schedule.dither = !args.has("no-dither");
+    schedule.validate();
+    const auto out =
+        core::run_pipeline_sampled(*machine, setup->benchmark,
+                                   setup->signatures, setup->options, mode,
+                                   schedule);
+    core::write_text_file(args.get("out", ""),
+                          core::save_archive(out.archive));
+    std::cout << "wrote " << out.archive.event_names.size() << " events x "
+              << setup->options.repetitions << " repetitions x "
+              << out.archive.slot_names.size() << " slots ("
+              << vpapi::to_string(mode) << " mode, "
+              << (out.archive.sample_trace.has_value()
+                      ? out.archive.sample_trace->runs.size()
+                      : std::size_t{0})
+              << " sample-trace runs) to " << args.get("out", "") << "\n";
+    write_trace_artifacts(trace, "catalyst collect", args.positional[1],
+                          machine_name, setup->options, out.result);
+    return 0;
   }
 
   if (plan.has_value() || !checkpoint_dir.empty()) {

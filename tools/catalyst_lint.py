@@ -54,6 +54,14 @@ Rules:
                     exact failure modes the wrappers exist to contain.
                     (The checkpoint lease's ::open/::flock are file locking,
                     not stream I/O, and stay out of scope.)
+  clock-in-sampling No std::chrono steady/system/high_resolution clock
+                    *types* anywhere in a sampling translation unit (any
+                    file whose basename contains "sampling").  Stricter
+                    than raw-timing: the sampled-collection path must pace
+                    itself exclusively through faults::Clock, so even a
+                    cached time_point or a clock-typed member is a design
+                    smell -- a wall-clock value that leaks into a sample
+                    boundary destroys byte-identical trace replay.
   seed-echo-in-tests
                     Every test in tests/ that owns a general-purpose PRNG
                     must include "seed_util.hpp" and take its seeds from it:
@@ -244,6 +252,7 @@ KNOWN_RULES = {
     "raw-timing",
     "raw-thread-spawn",
     "raw-socket-io",
+    "clock-in-sampling",
     "seed-echo-in-tests",
     "metric-name-literal",
     "raw-sync-primitive",
@@ -434,6 +443,12 @@ SLEEP_RE = re.compile(r"\bstd::this_thread::sleep_(for|until)\b"
 RAW_TIMING_RE = re.compile(
     r"\b(?:std\s*::\s*)?chrono\s*::\s*"
     r"(?:steady_clock|system_clock|high_resolution_clock)\s*::\s*now\s*\(")
+# Stricter variant for sampling code: the clock *type* alone is banned, not
+# just ::now() -- a cached time_point or clock-typed member smuggles wall
+# time into the sample schedule just as effectively as a direct read.
+SAMPLING_CLOCK_RE = re.compile(
+    r"\b(?:std\s*::\s*)?chrono\s*::\s*"
+    r"(?:steady_clock|system_clock|high_resolution_clock)\b")
 USING_NS_RE = re.compile(r"^\s*using\s+namespace\b")
 THREAD_SPAWN_RE = re.compile(r"\bstd\s*::\s*thread\b")
 # ==/!= where either side is a float literal other than 0.0 / 0. / .0
@@ -514,6 +529,19 @@ def pass_raw_timing(model: FileModel, findings: list[Finding]):
                    "take timestamps through the injectable faults::Clock "
                    "(obs::Tracer) so timing stays deterministic under "
                    "FakeClock")
+
+
+def pass_clock_in_sampling(model: FileModel, findings: list[Finding]):
+    basename = model.rel.rsplit("/", 1)[-1]
+    if "sampling" not in basename:
+        return
+    for lineno, line in enumerate(model.code_lines, 1):
+        if SAMPLING_CLOCK_RE.search(line):
+            report(model, findings, "clock-in-sampling", lineno,
+                   "wall-clock type in sampling code; the sampled "
+                   "collection path must pace itself through faults::Clock "
+                   "only, so sample traces stay byte-identical under "
+                   "FakeClock replay")
 
 
 def pass_using_namespace(model: FileModel, findings: list[Finding]):
@@ -659,6 +687,7 @@ PER_FILE_PASSES = (
     pass_thread_spawn,
     pass_raw_timing,
     pass_raw_socket_io,
+    pass_clock_in_sampling,
     pass_metric_name_literal,
     pass_using_namespace,
     pass_pragma_once,
